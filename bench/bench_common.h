@@ -1,0 +1,65 @@
+#ifndef PEEGA_BENCH_BENCH_COMMON_H_
+#define PEEGA_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/attacker.h"
+#include "attack/gf_attack.h"
+#include "attack/metattack.h"
+#include "attack/pgd.h"
+#include "core/gnat.h"
+#include "core/peega.h"
+#include "defense/defender.h"
+#include "eval/pipeline.h"
+#include "graph/generators.h"
+
+namespace repro::bench {
+
+/// Global size multiplier from the REPRO_SCALE environment variable
+/// (default 1.0 = CI-sized graphs; ~5 approaches the paper's datasets).
+double Scale();
+
+/// Repetitions per accuracy cell from REPRO_RUNS (default 2).
+int Runs();
+
+/// One evaluation dataset with its paper-style tuned hyper-parameters
+/// (the paper tunes lambda/p per dataset for PEEGA, Sec. V-A3, and
+/// k_t/k_f/k_e per dataset for GNAT; identity-feature datasets drop all
+/// feature-similarity components, Tab. VI footnote).
+struct Dataset {
+  std::string name;
+  graph::Graph graph;
+  core::PeegaAttack::Options peega;
+  core::GnatDefender::Options gnat;
+  /// False for Polblogs-style identity features: GCN-Jaccard and GNAT's
+  /// feature view are not applicable.
+  bool features_usable = true;
+};
+
+/// name in {"cora", "citeseer", "polblogs"}; `extra_scale` multiplies the
+/// global Scale() (used by the heavier sweep benches).
+Dataset MakeDataset(const std::string& name, double extra_scale = 1.0);
+
+/// The attacker line-up of the paper's evaluation, in table order:
+/// PGD, MinMax, Metattack, GF-Attack, PEEGA (with per-dataset options).
+std::vector<std::unique_ptr<attack::Attacker>> MakeAttackers(
+    const Dataset& dataset);
+
+/// The defender line-up of the paper's tables, in column order:
+/// GCN, GAT, [GCN-Jaccard,] GCN-SVD, RGCN, Pro-GNN, SimPGCN, GNAT.
+/// GCN-Jaccard is omitted when `dataset.features_usable` is false.
+std::vector<std::unique_ptr<defense::Defender>> MakeDefenders(
+    const Dataset& dataset);
+
+/// Training options used by every bench (shorter than the test default
+/// to keep single-core runs snappy; early stopping still applies).
+nn::TrainOptions BenchTrainOptions();
+
+/// Pipeline options seeded deterministically.
+eval::PipelineOptions BenchPipeline();
+
+}  // namespace repro::bench
+
+#endif  // PEEGA_BENCH_BENCH_COMMON_H_

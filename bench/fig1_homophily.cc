@@ -1,0 +1,35 @@
+// Reproduces Fig. 1: the proportion of edges whose endpoints share a
+// label, across five homophilous datasets. The paper reports >= 70.43%
+// on all of its datasets — the property PEEGA's global view (Eq. 6)
+// relies on.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "eval/table.h"
+#include "graph/metrics.h"
+
+int main() {
+  using namespace repro;
+  const double scale = bench::Scale();
+  linalg::Rng rng(20220901);
+  const std::vector<graph::Graph> graphs = {
+      graph::MakeCoraLike(&rng, scale),
+      graph::MakeCiteseerLike(&rng, scale),
+      graph::MakePolblogsLike(&rng, scale),
+      graph::MakePubmedLike(&rng, scale),
+      graph::MakeBlogLike(&rng, scale),
+  };
+  std::printf("Fig. 1 — same-label edge proportion per dataset\n");
+  eval::TablePrinter table({"Dataset", "Nodes", "Edges", "SameLabel%"});
+  for (const auto& g : graphs) {
+    char pct[32];
+    std::snprintf(pct, sizeof(pct), "%.2f",
+                  100.0 * graph::HomophilyRatio(g));
+    table.AddRow({g.name, std::to_string(g.num_nodes),
+                  std::to_string(g.NumEdges()), pct});
+  }
+  table.Print(std::cout);
+  std::printf("paper: all five datasets >= 70.43%%\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Fig. 3: cross-label neighborhood similarity under Metattack
+// at increasing perturbation rates, with the GCN accuracy on each poison
+// graph. The paper's finding: the clean graph has high intra-label and
+// low inter-label similarity; as r grows, inter-label similarity rises
+// (contexts blur) and accuracy falls.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "defense/model_defenders.h"
+#include "eval/table.h"
+#include "graph/metrics.h"
+
+int main() {
+  using namespace repro;
+  // Metattack is greedy per-edge, so large r is expensive; the bench
+  // sweeps smaller rates than the paper's {0, 0.5, 1, 5} on a reduced
+  // graph — the monotone trend is the reproduced shape.
+  const auto dataset = bench::MakeDataset("cora", 0.5);
+  const std::vector<double> rates = {0.0, 0.05, 0.1, 0.25, 0.5};
+
+  std::printf("Fig. 3 — label-context similarity vs Metattack rate (%s)\n",
+              dataset.graph.name.c_str());
+  eval::TablePrinter table(
+      {"Ptb_rate", "IntraSim", "InterSim", "GCN Acc"});
+  for (const double rate : rates) {
+    graph::Graph poisoned = dataset.graph;
+    if (rate > 0.0) {
+      attack::Metattack attacker;
+      attack::AttackOptions options;
+      options.perturbation_rate = rate;
+      poisoned =
+          eval::RunAttack(&attacker, dataset.graph, options, 917).poisoned;
+    }
+    const auto sim = graph::CrossLabelSimilarity(poisoned);
+    const auto summary = graph::SummarizeLabelSimilarity(sim);
+    defense::GcnDefender gcn;
+    const auto eval_result =
+        eval::EvaluateDefense(&gcn, poisoned, bench::BenchPipeline());
+    char intra[32], inter[32];
+    std::snprintf(intra, sizeof(intra), "%.3f", summary.intra);
+    std::snprintf(inter, sizeof(inter), "%.3f", summary.inter);
+    char rate_str[32];
+    std::snprintf(rate_str, sizeof(rate_str), "%.2f", rate);
+    table.AddRow({rate_str, intra, inter,
+                  eval::FormatMeanStd(eval_result.accuracy)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "paper: inter-label similarity rises and accuracy falls with r\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Google-benchmark microbenchmarks of the numerical substrate: dense
+// matmul, SpMM, GCN normalization, truncated eigendecomposition, one
+// autodiff train step, and one PEEGA greedy step. These bound the cost
+// of everything the experiment harnesses do.
+#include <benchmark/benchmark.h>
+
+#include "autograd/tape.h"
+#include "core/peega.h"
+#include "graph/generators.h"
+#include "linalg/eigen.h"
+#include "linalg/ops.h"
+#include "nn/gcn.h"
+#include "nn/optim.h"
+
+namespace {
+
+using namespace repro;
+using linalg::Matrix;
+using linalg::Rng;
+
+void BM_DenseMatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Matrix a = linalg::RandomNormal(n, n, 1.0f, &rng);
+  const Matrix b = linalg::RandomNormal(n, n, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_DenseMatMul)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_SpMM(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(2);
+  const graph::Graph g = graph::MakeCoraLike(&rng, n / 500.0);
+  const auto a_n = graph::GcnNormalize(g.adjacency);
+  const Matrix x = g.features;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::SpMM(a_n, x));
+  }
+}
+BENCHMARK(BM_SpMM)->Arg(250)->Arg(500)->Arg(1000);
+
+void BM_GcnNormalize(benchmark::State& state) {
+  Rng rng(3);
+  const graph::Graph g = graph::MakeCoraLike(&rng, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::GcnNormalize(g.adjacency));
+  }
+}
+BENCHMARK(BM_GcnNormalize);
+
+void BM_TopKEigen(benchmark::State& state) {
+  const int rank = static_cast<int>(state.range(0));
+  Rng rng(4);
+  const graph::Graph g = graph::MakeCoraLike(&rng, 1.0);
+  const auto a_n = graph::GcnNormalize(g.adjacency);
+  for (auto _ : state) {
+    Rng eig_rng(5);
+    benchmark::DoNotOptimize(
+        linalg::TopKEigenSymmetric(a_n, rank, &eig_rng));
+  }
+}
+BENCHMARK(BM_TopKEigen)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GcnTrainStep(benchmark::State& state) {
+  Rng rng(6);
+  const graph::Graph g = graph::MakeCoraLike(&rng, 1.0);
+  nn::Gcn gcn(g.features.cols(), g.num_classes, nn::Gcn::Options(), &rng);
+  gcn.Prepare(g);
+  nn::Adam adam;
+  const Matrix labels = g.OneHotLabels();
+  const auto mask = g.NodeMask(g.train_nodes);
+  for (auto _ : state) {
+    autograd::Tape tape;
+    auto fwd = gcn.Forward(&tape, g, /*training=*/true, &rng);
+    auto loss = tape.SoftmaxCrossEntropy(fwd.logits, labels, mask);
+    tape.Backward(loss);
+    for (auto& [param, var] : fwd.bound) adam.Step(param, var.grad());
+  }
+}
+BENCHMARK(BM_GcnTrainStep);
+
+void BM_PeegaGreedyStep(benchmark::State& state) {
+  Rng rng(7);
+  const graph::Graph g = graph::MakeCoraLike(&rng, 0.5);
+  // One greedy step == attack with a budget of one flip.
+  for (auto _ : state) {
+    core::PeegaAttack attacker;
+    attack::AttackOptions options;
+    options.perturbation_rate = 1e-9;  // clamps to budget 1
+    Rng step_rng(8);
+    benchmark::DoNotOptimize(attacker.Attack(g, options, &step_rng));
+  }
+}
+BENCHMARK(BM_PeegaGreedyStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

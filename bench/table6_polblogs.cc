@@ -1,0 +1,10 @@
+// Reproduces Tab. VI: node classification accuracy on the Polblogs-like
+// dataset under a 0.1 perturbation rate. GCN-Jaccard and GNAT's feature
+// view are dropped (identity features), as in the paper's footnote.
+#include "table_accuracy.h"
+
+int main() {
+  const auto dataset = repro::bench::MakeDataset("polblogs");
+  repro::bench::RunAccuracyTable(dataset, 0.1);
+  return 0;
+}

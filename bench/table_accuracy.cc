@@ -1,0 +1,84 @@
+#include "table_accuracy.h"
+
+#include <cstdio>
+#include <iostream>
+#include <limits>
+
+#include "eval/stats.h"
+#include "eval/table.h"
+
+namespace repro::bench {
+
+void RunAccuracyTable(const Dataset& dataset, double perturbation_rate) {
+  const auto attackers = MakeAttackers(dataset);
+  const auto defenders = MakeDefenders(dataset);
+  const eval::PipelineOptions pipeline = BenchPipeline();
+
+  std::printf(
+      "Node classification accuracy on %s (N=%d, |E|=%lld, r=%.2f, "
+      "%d runs)\n",
+      dataset.graph.name.c_str(), dataset.graph.num_nodes,
+      static_cast<long long>(dataset.graph.NumEdges()), perturbation_rate,
+      pipeline.runs);
+
+  // Rows: clean + one per attacker. Columns: defenders.
+  std::vector<std::string> row_names = {"Clean"};
+  std::vector<graph::Graph> graphs = {dataset.graph};
+  attack::AttackOptions attack_options;
+  attack_options.perturbation_rate = perturbation_rate;
+  for (const auto& attacker : attackers) {
+    const auto result = eval::RunAttack(attacker.get(), dataset.graph,
+                                        attack_options, pipeline.seed);
+    row_names.push_back(attacker->name());
+    graphs.push_back(result.poisoned);
+    std::printf("  [attack] %-10s edges=%d features=%d (%.1fs)\n",
+                attacker->name().c_str(), result.edge_modifications,
+                result.feature_modifications, result.elapsed_seconds);
+  }
+
+  std::vector<std::vector<eval::MeanStd>> cells(
+      graphs.size(), std::vector<eval::MeanStd>(defenders.size()));
+  for (size_t r = 0; r < graphs.size(); ++r) {
+    for (size_t c = 0; c < defenders.size(); ++c) {
+      cells[r][c] =
+          eval::EvaluateDefense(defenders[c].get(), graphs[r], pipeline)
+              .accuracy;
+    }
+  }
+
+  // Strongest attacker per defender column (lowest accuracy, skipping
+  // the clean row) and best defender per row (highest accuracy).
+  std::vector<size_t> best_attacker(defenders.size(), 1);
+  for (size_t c = 0; c < defenders.size(); ++c) {
+    for (size_t r = 1; r < graphs.size(); ++r) {
+      if (cells[r][c].mean < cells[best_attacker[c]][c].mean) {
+        best_attacker[c] = r;
+      }
+    }
+  }
+
+  std::vector<std::string> header = {"Attacker"};
+  for (const auto& defender : defenders) header.push_back(defender->name());
+  eval::TablePrinter table(header);
+  for (size_t r = 0; r < graphs.size(); ++r) {
+    size_t best_defender = 0;
+    for (size_t c = 1; c < defenders.size(); ++c) {
+      if (cells[r][c].mean > cells[r][best_defender].mean) {
+        best_defender = c;
+      }
+    }
+    std::vector<std::string> row = {row_names[r]};
+    for (size_t c = 0; c < defenders.size(); ++c) {
+      std::string cell = eval::FormatMeanStd(cells[r][c]);
+      if (c == best_defender) cell = "(" + cell + ")";
+      if (r > 0 && best_attacker[c] == r) cell += "*";
+      row.push_back(cell);
+    }
+    table.AddRow(row);
+  }
+  table.Print(std::cout);
+  std::printf(
+      "() = best defender per row; * = strongest attacker per column\n");
+}
+
+}  // namespace repro::bench

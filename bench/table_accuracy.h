@@ -1,0 +1,17 @@
+#ifndef PEEGA_BENCH_TABLE_ACCURACY_H_
+#define PEEGA_BENCH_TABLE_ACCURACY_H_
+
+#include "bench_common.h"
+
+namespace repro::bench {
+
+/// Runs the Tab. IV/V/VI protocol on `dataset`: every attacker poisons
+/// the graph at `perturbation_rate`, every defender trains on each
+/// poison graph (plus the clean row), and the accuracy table is printed
+/// in the paper's layout. The best defender per row is marked with (),
+/// the strongest attacker per column with *.
+void RunAccuracyTable(const Dataset& dataset, double perturbation_rate);
+
+}  // namespace repro::bench
+
+#endif  // PEEGA_BENCH_TABLE_ACCURACY_H_

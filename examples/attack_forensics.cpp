@@ -1,0 +1,89 @@
+// Attack forensics: given a clean snapshot and a suspicious graph, use
+// the library's metrics to reconstruct WHAT the attacker did — the
+// Sec. IV-A analysis of the paper as a reusable workflow. It reports the
+// Add/Del x Same/Diff breakdown, the shift in cross-label neighborhood
+// similarity, and the degree profile of the attacked endpoints.
+//
+//   ./build/examples/attack_forensics
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "attack/metattack.h"
+#include "core/peega.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+
+namespace {
+
+using namespace repro;
+
+void Analyze(const char* attacker_name, const graph::Graph& clean,
+             const graph::Graph& suspicious) {
+  std::printf("--- forensics: %s ---\n", attacker_name);
+  const auto diff = graph::ComputeEdgeDiff(clean, suspicious);
+  std::printf("edge edits: +same %d, +diff %d, -same %d, -diff %d "
+              "(feature edits: %lld)\n",
+              diff.add_same, diff.add_diff, diff.del_same, diff.del_diff,
+              static_cast<long long>(
+                  graph::FeatureDiffCount(clean, suspicious)));
+
+  const auto clean_sim = graph::SummarizeLabelSimilarity(
+      graph::CrossLabelSimilarity(clean));
+  const auto sus_sim = graph::SummarizeLabelSimilarity(
+      graph::CrossLabelSimilarity(suspicious));
+  std::printf("context similarity: intra %.3f -> %.3f, inter %.3f -> "
+              "%.3f\n",
+              clean_sim.intra, sus_sim.intra, clean_sim.inter,
+              sus_sim.inter);
+
+  // Degree profile of attacked endpoints: attackers favor low-degree
+  // nodes, whose representations are cheap to move.
+  std::vector<int> touched_degrees;
+  auto record = [&](int u, int v) {
+    touched_degrees.push_back(static_cast<int>(clean.Neighbors(u).size()));
+    touched_degrees.push_back(static_cast<int>(clean.Neighbors(v).size()));
+  };
+  for (const auto& [u, v] : suspicious.EdgeList()) {
+    if (!clean.HasEdge(u, v)) record(u, v);
+  }
+  for (const auto& [u, v] : clean.EdgeList()) {
+    if (!suspicious.HasEdge(u, v)) record(u, v);
+  }
+  double graph_mean = 0.0;
+  for (int v = 0; v < clean.num_nodes; ++v) {
+    graph_mean += static_cast<double>(clean.Neighbors(v).size());
+  }
+  graph_mean /= clean.num_nodes;
+  double touched_mean = 0.0;
+  for (int d : touched_degrees) touched_mean += d;
+  if (!touched_degrees.empty()) touched_mean /= touched_degrees.size();
+  std::printf("attacked endpoints: mean degree %.2f (graph mean %.2f)\n\n",
+              touched_mean, graph_mean);
+}
+
+}  // namespace
+
+int main() {
+  linalg::Rng rng(5);
+  const graph::Graph clean = graph::MakeCoraLike(&rng);
+  attack::AttackOptions options;
+  options.perturbation_rate = 0.1;
+
+  {
+    core::PeegaAttack attacker;
+    linalg::Rng attack_rng(31);
+    Analyze("PEEGA (black-box)", clean,
+            attacker.Attack(clean, options, &attack_rng).poisoned);
+  }
+  {
+    attack::Metattack attacker;
+    linalg::Rng attack_rng(32);
+    Analyze("Metattack (gray-box)", clean,
+            attacker.Attack(clean, options, &attack_rng).poisoned);
+  }
+  std::printf("signature of GNN poisoning: inter-class ADDITIONS dominate "
+              "and inter-label context similarity rises — the pattern "
+              "GNAT's augmentations counteract\n");
+  return 0;
+}

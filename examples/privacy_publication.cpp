@@ -1,0 +1,73 @@
+// Privacy-preserving data publication (the paper's introduction
+// scenario): before releasing a social graph, the platform perturbs user
+// links and profiles so that individual connections cannot be trusted,
+// then measures how much downstream GNN utility survives.
+//
+// PEEGA doubles as the perturbation engine here: its representation-
+// difference objective finds the modifications that change node contexts
+// the most per unit of edit budget — exactly what a privacy perturbation
+// wants — and because it is black-box, the publisher needs no labels.
+//
+//   ./build/examples/privacy_publication
+#include <cstdio>
+
+#include "core/peega.h"
+#include "defense/model_defenders.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/metrics.h"
+#include "nn/trainer.h"
+
+int main() {
+  using namespace repro;
+
+  // A blog-style social network: users, follow links, interest profiles.
+  linalg::Rng rng(2026);
+  const graph::Graph social = graph::MakeBlogLike(&rng);
+  std::printf("social graph: %d users, %lld links\n", social.num_nodes,
+              static_cast<long long>(social.NumEdges()));
+
+  nn::TrainOptions train;
+  defense::GcnDefender downstream;
+  linalg::Rng eval_rng(3);
+  const double utility_before =
+      downstream.Run(social, train, &eval_rng).test_accuracy;
+  std::printf("downstream GNN utility before publication: %.4f\n",
+              utility_before);
+
+  // Publish at increasing perturbation levels and watch the
+  // privacy/utility trade-off: links become less trustworthy (more of
+  // them are synthetic) while classification utility decays gracefully.
+  for (const double rate : {0.05, 0.1, 0.2}) {
+    core::PeegaAttack perturber;
+    attack::AttackOptions options;
+    options.perturbation_rate = rate;
+    linalg::Rng perturb_rng(17);
+    const attack::AttackResult published =
+        perturber.Attack(social, options, &perturb_rng);
+
+    const auto diff = graph::ComputeEdgeDiff(social, published.poisoned);
+    const double link_noise =
+        static_cast<double>(diff.add_same + diff.add_diff) /
+        static_cast<double>(published.poisoned.NumEdges());
+    linalg::Rng run_rng(3);
+    const double utility =
+        downstream.Run(published.poisoned, train, &run_rng).test_accuracy;
+    std::printf("rate %.2f: %4d link edits, %4d profile edits, "
+                "%.1f%% of published links synthetic, utility %.4f\n",
+                rate, published.edge_modifications,
+                published.feature_modifications, 100.0 * link_noise,
+                utility);
+
+    // The published artifact can be persisted for consumers.
+    if (rate == 0.1) {
+      const std::string path = "published_graph.txt";
+      if (graph::SaveGraph(published.poisoned, path)) {
+        std::printf("          wrote %s\n", path.c_str());
+      }
+    }
+  }
+  std::printf("\ntrade-off: stronger perturbation = more plausible "
+              "deniability per link, less downstream utility\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Quickstart: generate a citation-style graph, run the black-box PEEGA
+// attacker against it, and defend with GNAT — the full pipeline of the
+// library in ~60 lines.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/gnat.h"
+#include "core/peega.h"
+#include "defense/model_defenders.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "nn/trainer.h"
+
+int main() {
+  using namespace repro;
+
+  // 1. A Cora-like citation graph: 500 publications, 7 areas, binary
+  //    bag-of-words features, 10%/10%/80% train/val/test split.
+  linalg::Rng rng(42);
+  const graph::Graph clean = graph::MakeCoraLike(&rng);
+  std::printf("graph: %d nodes, %lld edges, homophily %.2f\n",
+              clean.num_nodes, static_cast<long long>(clean.NumEdges()),
+              graph::HomophilyRatio(clean));
+
+  // 2. Train a plain GCN on the clean graph.
+  nn::TrainOptions train;
+  defense::GcnDefender gcn;
+  linalg::Rng train_rng(7);
+  const double clean_acc = gcn.Run(clean, train, &train_rng).test_accuracy;
+  std::printf("GCN on clean graph:     %.4f test accuracy\n", clean_acc);
+
+  // 3. Attack with PEEGA. The attacker sees ONLY the adjacency matrix
+  //    and the feature matrix — no labels, no model, no predictions —
+  //    and may flip up to 10%% of the edge count (edges or feature bits).
+  core::PeegaAttack attacker;
+  attack::AttackOptions attack_options;
+  attack_options.perturbation_rate = 0.1;
+  linalg::Rng attack_rng(13);
+  const attack::AttackResult attack =
+      attacker.Attack(clean, attack_options, &attack_rng);
+  std::printf("PEEGA poisoned the graph: %d edge flips, %d feature flips "
+              "(%.1fs)\n",
+              attack.edge_modifications, attack.feature_modifications,
+              attack.elapsed_seconds);
+
+  // 4. The undefended GCN suffers on the poison graph...
+  linalg::Rng poison_rng(7);
+  const double poisoned_acc =
+      gcn.Run(attack.poisoned, train, &poison_rng).test_accuracy;
+  std::printf("GCN on poisoned graph:  %.4f test accuracy\n", poisoned_acc);
+
+  // 5. ...while GNAT recovers most of it by training one GCN jointly on
+  //    three augmented views (k_t-hop topology, top-k_f feature
+  //    similarity, self-loop-emphasized ego graph).
+  core::GnatDefender gnat;
+  linalg::Rng gnat_rng(7);
+  const double defended_acc =
+      gnat.Run(attack.poisoned, train, &gnat_rng).test_accuracy;
+  std::printf("GNAT on poisoned graph: %.4f test accuracy\n", defended_acc);
+
+  std::printf("\nattack cost GCN %.1f accuracy points; GNAT recovered "
+              "%.1f of them\n",
+              100.0 * (clean_acc - poisoned_acc),
+              100.0 * (defended_acc - poisoned_acc));
+  return 0;
+}

@@ -1,0 +1,59 @@
+#ifndef PEEGA_ATTACK_ATTACKER_H_
+#define PEEGA_ATTACK_ATTACKER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/random.h"
+
+namespace repro::attack {
+
+/// Shared attack configuration.
+///
+/// The budget follows the paper: delta = perturbation_rate * ||A||_0
+/// where ||A||_0 is the number of undirected edges. One edge flip costs
+/// 1; one feature-bit flip costs `feature_cost` (the beta of Fig. 5b;
+/// 1.0 = the paper's default equal-cost setting).
+struct AttackOptions {
+  double perturbation_rate = 0.1;
+  double feature_cost = 1.0;
+  /// Nodes the attacker controls. Empty = all nodes. An edge (u, v) is
+  /// modifiable iff at least one endpoint is controlled; a feature row
+  /// is modifiable iff its node is controlled (Fig. 7a study).
+  std::vector<int> attacker_nodes;
+};
+
+struct AttackResult {
+  graph::Graph poisoned;
+  int edge_modifications = 0;
+  int feature_modifications = 0;
+  /// Wall-clock seconds spent inside Attack() (Tab. VII).
+  double elapsed_seconds = 0.0;
+};
+
+/// Interface of graph adversarial attackers.
+///
+/// Every attacker receives the full `Graph`, but what it may read is part
+/// of its contract: black-box attackers (PEEGA, GF-Attack) use only the
+/// adjacency and features; gray-box attackers (Metattack) additionally
+/// use training labels; white-box attackers (PGD, MinMax) also train and
+/// read the victim model.
+class Attacker {
+ public:
+  virtual ~Attacker() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Produces a poisoned graph within the budget implied by `options`.
+  virtual AttackResult Attack(const graph::Graph& g,
+                              const AttackOptions& options,
+                              linalg::Rng* rng) = 0;
+};
+
+/// Budget delta = rate * #edges (at least 1 when rate > 0).
+int ComputeBudget(const graph::Graph& g, double perturbation_rate);
+
+}  // namespace repro::attack
+
+#endif  // PEEGA_ATTACK_ATTACKER_H_

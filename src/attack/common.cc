@@ -1,0 +1,105 @@
+#include "attack/common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <tuple>
+
+#include "attack/attacker.h"
+#include "linalg/check.h"
+
+namespace repro::attack {
+
+using linalg::Matrix;
+using linalg::SparseMatrix;
+
+int ComputeBudget(const graph::Graph& g, double perturbation_rate) {
+  if (perturbation_rate <= 0.0) return 0;
+  const int budget =
+      static_cast<int>(perturbation_rate * static_cast<double>(g.NumEdges()));
+  return std::max(budget, 1);
+}
+
+AccessControl::AccessControl(int num_nodes,
+                             const std::vector<int>& attacker_nodes)
+    : controlled_(num_nodes, attacker_nodes.empty() ? 1 : 0),
+      all_nodes_(attacker_nodes.empty()) {
+  for (int v : attacker_nodes) {
+    REPRO_CHECK_GE(v, 0);
+    REPRO_CHECK_LT(v, num_nodes);
+    controlled_[v] = 1;
+  }
+}
+
+void FlipEdge(Matrix* dense_adjacency, int u, int v) {
+  REPRO_CHECK_NE(u, v);
+  const float flipped = (*dense_adjacency)(u, v) > 0.5f ? 0.0f : 1.0f;
+  (*dense_adjacency)(u, v) = flipped;
+  (*dense_adjacency)(v, u) = flipped;
+}
+
+void FlipFeature(Matrix* features, int v, int j) {
+  (*features)(v, j) = (*features)(v, j) > 0.5f ? 0.0f : 1.0f;
+}
+
+EdgeCandidate BestEdgeFlip(const Matrix& grad,
+                           const Matrix& dense_adjacency,
+                           const AccessControl& access,
+                           const Matrix* exclude) {
+  const int n = dense_adjacency.rows();
+  EdgeCandidate best;
+  best.score = -std::numeric_limits<float>::infinity();
+  for (int u = 0; u < n; ++u) {
+    const float* grow = grad.row(u);
+    const float* arow = dense_adjacency.row(u);
+    const float* erow = exclude != nullptr ? exclude->row(u) : nullptr;
+    for (int v = u + 1; v < n; ++v) {
+      if (!access.EdgeAllowed(u, v)) continue;
+      if (erow != nullptr && erow[v] > 0.0f) continue;
+      const float direction = 1.0f - 2.0f * arow[v];  // +1 add, -1 delete
+      const float score = direction * (grow[v] + grad(v, u));
+      if (score > best.score) {
+        best = {u, v, score};
+      }
+    }
+  }
+  if (best.u < 0) best.score = -std::numeric_limits<float>::infinity();
+  return best;
+}
+
+FeatureCandidate BestFeatureFlip(const Matrix& grad, const Matrix& features,
+                                 const AccessControl& access,
+                                 const Matrix* exclude) {
+  FeatureCandidate best;
+  best.score = -std::numeric_limits<float>::infinity();
+  for (int v = 0; v < features.rows(); ++v) {
+    if (!access.FeatureAllowed(v)) continue;
+    const float* grow = grad.row(v);
+    const float* xrow = features.row(v);
+    const float* erow = exclude != nullptr ? exclude->row(v) : nullptr;
+    for (int j = 0; j < features.cols(); ++j) {
+      if (erow != nullptr && erow[j] > 0.0f) continue;
+      const float direction = 1.0f - 2.0f * xrow[j];
+      const float score = direction * grow[j];
+      if (score > best.score) {
+        best = {v, j, score};
+      }
+    }
+  }
+  if (best.node < 0) best.score = -std::numeric_limits<float>::infinity();
+  return best;
+}
+
+SparseMatrix DenseToAdjacency(const Matrix& dense) {
+  REPRO_CHECK_EQ(dense.rows(), dense.cols());
+  std::vector<std::tuple<int, int, float>> triplets;
+  for (int u = 0; u < dense.rows(); ++u) {
+    const float* row = dense.row(u);
+    for (int v = 0; v < dense.cols(); ++v) {
+      if (u != v && row[v] > 0.5f) triplets.emplace_back(u, v, 1.0f);
+    }
+  }
+  return SparseMatrix::FromTriplets(dense.rows(), dense.cols(), triplets);
+}
+
+}  // namespace repro::attack

@@ -1,0 +1,71 @@
+#ifndef PEEGA_ATTACK_COMMON_H_
+#define PEEGA_ATTACK_COMMON_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace repro::attack {
+
+/// Tracks which edges / feature rows an attacker may modify, derived from
+/// `AttackOptions::attacker_nodes`.
+class AccessControl {
+ public:
+  AccessControl(int num_nodes, const std::vector<int>& attacker_nodes);
+
+  /// True iff the edge (u, v) may be flipped.
+  bool EdgeAllowed(int u, int v) const {
+    return controlled_[u] || controlled_[v];
+  }
+  /// True iff features of node v may be flipped.
+  bool FeatureAllowed(int v) const { return controlled_[v]; }
+  bool all_nodes() const { return all_nodes_; }
+
+ private:
+  std::vector<char> controlled_;
+  bool all_nodes_;
+};
+
+/// Flips A[u][v] and A[v][u] between 0 and 1 in a dense adjacency.
+void FlipEdge(linalg::Matrix* dense_adjacency, int u, int v);
+
+/// Flips X[v][j] between 0 and 1.
+void FlipFeature(linalg::Matrix* features, int v, int j);
+
+/// Scans a dense gradient-score matrix over node pairs (u < v) and
+/// returns the best allowed flip. The score of flipping (u, v) is
+/// grad[u][v] * (1 - 2 A[u][v]) summed with its symmetric mirror.
+/// Entries already flipped once (`exclude`(u,v) > 0) are skipped —
+/// greedy attackers would otherwise oscillate on a single edge after
+/// reaching a local optimum. Returns {-1, -1, -inf} when no pair is
+/// allowed.
+struct EdgeCandidate {
+  int u = -1;
+  int v = -1;
+  float score = 0.0f;
+};
+EdgeCandidate BestEdgeFlip(const linalg::Matrix& grad,
+                           const linalg::Matrix& dense_adjacency,
+                           const AccessControl& access,
+                           const linalg::Matrix* exclude = nullptr);
+
+/// Best allowed feature flip: score = grad[v][j] * (1 - 2 X[v][j]);
+/// entries with `exclude`(v,j) > 0 are skipped.
+struct FeatureCandidate {
+  int node = -1;
+  int dim = -1;
+  float score = 0.0f;
+};
+FeatureCandidate BestFeatureFlip(const linalg::Matrix& grad,
+                                 const linalg::Matrix& features,
+                                 const AccessControl& access,
+                                 const linalg::Matrix* exclude = nullptr);
+
+/// Rebuilds a binary symmetric SparseMatrix from a dense 0/1 adjacency.
+linalg::SparseMatrix DenseToAdjacency(const linalg::Matrix& dense);
+
+}  // namespace repro::attack
+
+#endif  // PEEGA_ATTACK_COMMON_H_

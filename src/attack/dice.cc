@@ -1,0 +1,53 @@
+#include "attack/dice.h"
+
+#include <chrono>
+
+#include "attack/common.h"
+
+namespace repro::attack {
+
+DiceAttack::DiceAttack() : options_(Options()) {}
+DiceAttack::DiceAttack(const Options& options) : options_(options) {}
+
+AttackResult DiceAttack::Attack(const graph::Graph& g,
+                                const AttackOptions& attack_options,
+                                linalg::Rng* rng) {
+  const auto start = std::chrono::steady_clock::now();
+  const int budget = ComputeBudget(g, attack_options.perturbation_rate);
+  const AccessControl access(g.num_nodes, attack_options.attacker_nodes);
+  linalg::Matrix dense = g.adjacency.ToDense();
+  auto edges = g.EdgeList();
+
+  AttackResult result;
+  int spent = 0;
+  int attempts = 0;
+  const int max_attempts = budget * 400 + 1000;
+  while (spent < budget && attempts++ < max_attempts) {
+    if (rng->Bernoulli(options_.add_fraction)) {
+      // Connect externally: add an inter-class edge.
+      const int u = static_cast<int>(rng->UniformInt(0, g.num_nodes - 1));
+      const int v = static_cast<int>(rng->UniformInt(0, g.num_nodes - 1));
+      if (u == v || g.labels[u] == g.labels[v]) continue;
+      if (dense(u, v) > 0.5f || !access.EdgeAllowed(u, v)) continue;
+      FlipEdge(&dense, u, v);
+    } else {
+      // Delete internally: remove an intra-class edge.
+      if (edges.empty()) continue;
+      const size_t pick =
+          static_cast<size_t>(rng->UniformInt(0, edges.size() - 1));
+      const auto [u, v] = edges[pick];
+      if (g.labels[u] != g.labels[v]) continue;
+      if (dense(u, v) < 0.5f || !access.EdgeAllowed(u, v)) continue;
+      FlipEdge(&dense, u, v);
+    }
+    ++result.edge_modifications;
+    ++spent;
+  }
+  result.poisoned = g.WithAdjacency(DenseToAdjacency(dense));
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace repro::attack

@@ -1,0 +1,36 @@
+#ifndef PEEGA_ATTACK_DICE_H_
+#define PEEGA_ATTACK_DICE_H_
+
+#include "attack/attacker.h"
+
+namespace repro::attack {
+
+/// DICE — "Delete Internally, Connect Externally" (Waniek et al., 2018).
+/// A label-aware heuristic baseline: with probability `add_fraction` add
+/// an edge between two random nodes with DIFFERENT labels, otherwise
+/// delete an existing edge between two nodes with the SAME label.
+///
+/// DICE is gray-box (it reads labels) but model-free; it implements by
+/// construction the attack pattern the paper discovers empirically in
+/// its Sec. IV-A forensics, which makes it a useful reference point for
+/// the edge-diff analysis (Fig. 2) and for GNAT's defense premise.
+class DiceAttack : public Attacker {
+ public:
+  struct Options {
+    double add_fraction = 0.5;
+  };
+
+  DiceAttack();
+  explicit DiceAttack(const Options& options);
+
+  std::string name() const override { return "DICE"; }
+  AttackResult Attack(const graph::Graph& g, const AttackOptions& options,
+                      linalg::Rng* rng) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace repro::attack
+
+#endif  // PEEGA_ATTACK_DICE_H_

@@ -1,0 +1,116 @@
+#include "attack/metattack.h"
+
+#include <chrono>
+
+#include "attack/common.h"
+#include "autograd/tape.h"
+#include "linalg/ops.h"
+#include "nn/init.h"
+#include "nn/trainer.h"
+
+namespace repro::attack {
+
+using autograd::Tape;
+using autograd::Var;
+using linalg::Matrix;
+
+AttackResult Metattack::Attack(const graph::Graph& g,
+                               const AttackOptions& attack_options,
+                               linalg::Rng* rng) {
+  const auto start = std::chrono::steady_clock::now();
+  const int budget = ComputeBudget(g, attack_options.perturbation_rate);
+  const AccessControl access(g.num_nodes, attack_options.attacker_nodes);
+
+  // Self-training: pseudo-labels for the outer (attack) loss.
+  const std::vector<int> pseudo = nn::SelfTrainLabels(g, rng);
+  Matrix pseudo_onehot(g.num_nodes, g.num_classes);
+  for (int v = 0; v < g.num_nodes; ++v) {
+    pseudo_onehot(v, pseudo[v]) = 1.0f;
+  }
+  const Matrix train_labels = g.OneHotLabels();
+  const std::vector<float> train_mask = g.NodeMask(g.train_nodes);
+  std::vector<float> unlabeled_mask(g.num_nodes, 1.0f);
+  for (int v : g.train_nodes) unlabeled_mask[v] = 0.0f;
+  // Row mask as a matrix for masking the inner gradient.
+  Matrix train_mask_matrix(g.num_nodes, g.num_classes);
+  for (int v : g.train_nodes) {
+    for (int c = 0; c < g.num_classes; ++c) train_mask_matrix(v, c) = 1.0f;
+  }
+  const float inv_train =
+      g.train_nodes.empty() ? 0.0f : 1.0f / g.train_nodes.size();
+
+  // Fixed surrogate initialization: the meta-gradient is computed from
+  // the same training trajectory every greedy step, which keeps the
+  // greedy scores comparable across steps.
+  linalg::Rng init_rng(rng->engine()());
+  const Matrix w0 =
+      nn::GlorotUniform(g.features.cols(), g.num_classes, &init_rng);
+
+  Matrix dense = g.adjacency.ToDense();
+  Matrix features = g.features;
+  // Once-flipped entries are frozen so the greedy loop cannot oscillate
+  // on a single edge once a local optimum is reached.
+  Matrix edge_done(g.num_nodes, g.num_nodes);
+  Matrix feature_done(g.num_nodes, g.features.cols());
+  AttackResult result;
+  double spent = 0.0;
+
+  while (spent + 1e-9 < budget) {
+    Tape tape;
+    Var a = tape.Input(dense, /*requires_grad=*/true);
+    Var x = tape.Input(features,
+                       /*requires_grad=*/options_.attack_features);
+    Var a_n = tape.GcnNormalizeDense(a);
+    // M = A_n (A_n X): two N x d products instead of an N^3 square.
+    Var m = tape.MatMul(a_n, tape.MatMul(a_n, x));
+    Var mt = tape.Transpose(m);
+    // Unrolled inner training of the linear surrogate W.
+    Var w = tape.Input(w0, /*requires_grad=*/false);
+    for (int t = 0; t < options_.inner_steps; ++t) {
+      Var probs = tape.RowSoftmax(tape.MatMul(m, w));
+      Var masked_diff =
+          tape.MulConst(tape.Sub(probs, tape.Input(train_labels, false)),
+                        train_mask_matrix);
+      Var gw = tape.Scale(tape.MatMul(mt, masked_diff), inv_train);
+      w = tape.Sub(w, tape.Scale(gw, options_.inner_lr));
+    }
+    // Outer attack loss on unlabeled nodes vs. pseudo-labels. The greedy
+    // step maximizes it, so flip scores use the raw (ascent) gradient.
+    Var attack_loss = tape.SoftmaxCrossEntropy(
+        tape.MatMul(m, w), pseudo_onehot, unlabeled_mask);
+    tape.Backward(attack_loss);
+
+    const EdgeCandidate edge =
+        BestEdgeFlip(a.grad(), dense, access, &edge_done);
+    FeatureCandidate feature;
+    if (options_.attack_features && attack_options.feature_cost > 0.0 &&
+        spent + attack_options.feature_cost <= budget) {
+      feature = BestFeatureFlip(x.grad(), features, access, &feature_done);
+      feature.score /= static_cast<float>(attack_options.feature_cost);
+    }
+    if (edge.u < 0 && feature.node < 0) break;
+    if (feature.node >= 0 && feature.score > edge.score) {
+      FlipFeature(&features, feature.node, feature.dim);
+      feature_done(feature.node, feature.dim) = 1.0f;
+      ++result.feature_modifications;
+      spent += attack_options.feature_cost;
+    } else if (edge.u >= 0) {
+      FlipEdge(&dense, edge.u, edge.v);
+      edge_done(edge.u, edge.v) = 1.0f;
+      edge_done(edge.v, edge.u) = 1.0f;
+      ++result.edge_modifications;
+      spent += 1.0;
+    } else {
+      break;
+    }
+  }
+
+  result.poisoned =
+      g.WithAdjacency(DenseToAdjacency(dense)).WithFeatures(features);
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace repro::attack

@@ -1,0 +1,66 @@
+#ifndef PEEGA_ATTACK_PGD_H_
+#define PEEGA_ATTACK_PGD_H_
+
+#include "attack/attacker.h"
+
+namespace repro::attack {
+
+/// Topology attack via projected gradient descent (Xu et al., IJCAI
+/// 2019) — white-box.
+///
+/// A relaxed symmetric perturbation matrix P in [0,1]^{NxN} defines
+/// A_hat = A + (1 - 2A) ⊙ P. The attacker maximizes the victim GCN's
+/// training cross-entropy by gradient ascent on P, projecting after each
+/// step onto the box [0,1] intersected with the budget simplex
+/// sum(P)/2 <= delta (bisection on the shift). Afterwards the top-delta
+/// relaxed entries are committed as discrete flips.
+///
+/// `PgdAttack` pre-trains the victim once and keeps its parameters fixed
+/// (the paper's "PGD"); `MinMaxAttack` re-optimizes the victim between
+/// perturbation steps (the paper's "MinMax"), making it stronger but
+/// slower.
+class PgdAttack : public Attacker {
+ public:
+  struct Options {
+    int steps = 80;
+    float base_lr = 20.0f;      // decayed as base_lr / sqrt(t)
+    int victim_hidden = 16;
+    int victim_epochs = 150;
+    /// MinMax mode: inner victim training steps per perturbation step.
+    int inner_steps = 0;
+  };
+
+  PgdAttack();
+  explicit PgdAttack(const Options& options);
+
+  std::string name() const override { return "PGD"; }
+  AttackResult Attack(const graph::Graph& g, const AttackOptions& options,
+                      linalg::Rng* rng) override;
+
+ protected:
+  Options options_;
+};
+
+/// MinMax variant: alternates perturbation ascent with victim descent.
+class MinMaxAttack : public PgdAttack {
+ public:
+  explicit MinMaxAttack(const Options& options = DefaultOptions())
+      : PgdAttack(options) {}
+
+  std::string name() const override { return "MinMax"; }
+
+ private:
+  static Options DefaultOptions() {
+    Options o;
+    o.inner_steps = 3;
+    return o;
+  }
+};
+
+inline PgdAttack::PgdAttack() : options_(Options()) {}
+inline PgdAttack::PgdAttack(const Options& options) : options_(options) {}
+
+
+}  // namespace repro::attack
+
+#endif  // PEEGA_ATTACK_PGD_H_

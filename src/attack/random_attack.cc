@@ -1,0 +1,35 @@
+#include "attack/random_attack.h"
+
+#include <chrono>
+
+#include "attack/common.h"
+
+namespace repro::attack {
+
+AttackResult RandomAttack::Attack(const graph::Graph& g,
+                                  const AttackOptions& options,
+                                  linalg::Rng* rng) {
+  const auto start = std::chrono::steady_clock::now();
+  const int budget = ComputeBudget(g, options.perturbation_rate);
+  const AccessControl access(g.num_nodes, options.attacker_nodes);
+  linalg::Matrix dense = g.adjacency.ToDense();
+  AttackResult result;
+  int spent = 0;
+  int attempts = 0;
+  const int max_attempts = budget * 200 + 1000;
+  while (spent < budget && attempts++ < max_attempts) {
+    const int u = static_cast<int>(rng->UniformInt(0, g.num_nodes - 1));
+    const int v = static_cast<int>(rng->UniformInt(0, g.num_nodes - 1));
+    if (u == v || !access.EdgeAllowed(u, v)) continue;
+    FlipEdge(&dense, u, v);
+    ++result.edge_modifications;
+    ++spent;
+  }
+  result.poisoned = g.WithAdjacency(DenseToAdjacency(dense));
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace repro::attack

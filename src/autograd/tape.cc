@@ -1,0 +1,671 @@
+#include "autograd/tape.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/check.h"
+#include "linalg/ops.h"
+
+namespace repro::autograd {
+
+using linalg::Matrix;
+using linalg::SparseMatrix;
+
+namespace {
+
+// Accumulates `delta` scaled by `scale` into the parent's gradient if it
+// participates in differentiation.
+void Accumulate(internal::Node* parent, const Matrix& delta,
+                float scale = 1.0f) {
+  if (parent == nullptr) return;
+  linalg::Axpy(&parent->EnsureGrad(), delta, scale);
+}
+
+}  // namespace
+
+internal::Node* Tape::NewNode(Matrix value, bool requires_grad) {
+  nodes_.push_back(std::make_unique<internal::Node>());
+  internal::Node* node = nodes_.back().get();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  return node;
+}
+
+Var Tape::Input(Matrix value, bool requires_grad) {
+  return Var(NewNode(std::move(value), requires_grad));
+}
+
+Var Tape::MatMul(Var a, Var b) {
+  internal::Node* na = a.node_;
+  internal::Node* nb = b.node_;
+  internal::Node* out = NewNode(linalg::MatMul(na->value, nb->value),
+                                na->requires_grad || nb->requires_grad);
+  out->backward = [na, nb](internal::Node* self) {
+    if (na->requires_grad) {
+      Accumulate(na, linalg::MatMulTransB(self->grad, nb->value));
+    }
+    if (nb->requires_grad) {
+      Accumulate(nb, linalg::MatMulTransA(na->value, self->grad));
+    }
+  };
+  return Var(out);
+}
+
+Var Tape::SpMMConst(const SparseMatrix& s, Var b) {
+  internal::Node* nb = b.node_;
+  internal::Node* out =
+      NewNode(linalg::SpMM(s, nb->value), nb->requires_grad);
+  if (nb->requires_grad) {
+    // Capture the transpose once; S is immutable for the tape's lifetime.
+    auto st = std::make_shared<SparseMatrix>(s.Transposed());
+    out->backward = [nb, st](internal::Node* self) {
+      Accumulate(nb, linalg::SpMM(*st, self->grad));
+    };
+  }
+  return Var(out);
+}
+
+Var Tape::Transpose(Var a) {
+  internal::Node* na = a.node_;
+  internal::Node* out =
+      NewNode(linalg::Transpose(na->value), na->requires_grad);
+  out->backward = [na](internal::Node* self) {
+    if (na->requires_grad) Accumulate(na, linalg::Transpose(self->grad));
+  };
+  return Var(out);
+}
+
+Var Tape::Add(Var a, Var b) {
+  internal::Node* na = a.node_;
+  internal::Node* nb = b.node_;
+  internal::Node* out = NewNode(linalg::Add(na->value, nb->value),
+                                na->requires_grad || nb->requires_grad);
+  out->backward = [na, nb](internal::Node* self) {
+    if (na->requires_grad) Accumulate(na, self->grad);
+    if (nb->requires_grad) Accumulate(nb, self->grad);
+  };
+  return Var(out);
+}
+
+Var Tape::Sub(Var a, Var b) {
+  internal::Node* na = a.node_;
+  internal::Node* nb = b.node_;
+  internal::Node* out = NewNode(linalg::Sub(na->value, nb->value),
+                                na->requires_grad || nb->requires_grad);
+  out->backward = [na, nb](internal::Node* self) {
+    if (na->requires_grad) Accumulate(na, self->grad);
+    if (nb->requires_grad) Accumulate(nb, self->grad, -1.0f);
+  };
+  return Var(out);
+}
+
+Var Tape::Mul(Var a, Var b) {
+  internal::Node* na = a.node_;
+  internal::Node* nb = b.node_;
+  internal::Node* out = NewNode(linalg::Mul(na->value, nb->value),
+                                na->requires_grad || nb->requires_grad);
+  out->backward = [na, nb](internal::Node* self) {
+    if (na->requires_grad) {
+      Accumulate(na, linalg::Mul(self->grad, nb->value));
+    }
+    if (nb->requires_grad) {
+      Accumulate(nb, linalg::Mul(self->grad, na->value));
+    }
+  };
+  return Var(out);
+}
+
+Var Tape::Scale(Var a, float s) {
+  internal::Node* na = a.node_;
+  internal::Node* out =
+      NewNode(linalg::Affine(na->value, s), na->requires_grad);
+  out->backward = [na, s](internal::Node* self) {
+    if (na->requires_grad) Accumulate(na, self->grad, s);
+  };
+  return Var(out);
+}
+
+Var Tape::AddConst(Var a, const Matrix& c) {
+  internal::Node* na = a.node_;
+  internal::Node* out =
+      NewNode(linalg::Add(na->value, c), na->requires_grad);
+  out->backward = [na](internal::Node* self) {
+    if (na->requires_grad) Accumulate(na, self->grad);
+  };
+  return Var(out);
+}
+
+Var Tape::MulConst(Var a, const Matrix& c) {
+  internal::Node* na = a.node_;
+  internal::Node* out =
+      NewNode(linalg::Mul(na->value, c), na->requires_grad);
+  // The constant must outlive backward; copy it into the closure.
+  Matrix c_copy = c;
+  out->backward = [na, c_copy](internal::Node* self) {
+    if (na->requires_grad) Accumulate(na, linalg::Mul(self->grad, c_copy));
+  };
+  return Var(out);
+}
+
+Var Tape::Relu(Var a) {
+  internal::Node* na = a.node_;
+  internal::Node* out = NewNode(linalg::Relu(na->value), na->requires_grad);
+  out->backward = [na](internal::Node* self) {
+    if (!na->requires_grad) return;
+    Matrix masked = self->grad;
+    const float* v = na->value.data();
+    float* g = masked.data();
+    for (int64_t i = 0; i < masked.size(); ++i) {
+      if (v[i] <= 0.0f) g[i] = 0.0f;
+    }
+    Accumulate(na, masked);
+  };
+  return Var(out);
+}
+
+Var Tape::LeakyRelu(Var a, float slope) {
+  internal::Node* na = a.node_;
+  internal::Node* out =
+      NewNode(linalg::LeakyRelu(na->value, slope), na->requires_grad);
+  out->backward = [na, slope](internal::Node* self) {
+    if (!na->requires_grad) return;
+    Matrix scaled = self->grad;
+    const float* v = na->value.data();
+    float* g = scaled.data();
+    for (int64_t i = 0; i < scaled.size(); ++i) {
+      if (v[i] <= 0.0f) g[i] *= slope;
+    }
+    Accumulate(na, scaled);
+  };
+  return Var(out);
+}
+
+Var Tape::Sigmoid(Var a) {
+  internal::Node* na = a.node_;
+  internal::Node* out =
+      NewNode(linalg::Sigmoid(na->value), na->requires_grad);
+  out->backward = [na](internal::Node* self) {
+    if (!na->requires_grad) return;
+    Matrix d = self->grad;
+    const float* s = self->value.data();
+    float* g = d.data();
+    for (int64_t i = 0; i < d.size(); ++i) g[i] *= s[i] * (1.0f - s[i]);
+    Accumulate(na, d);
+  };
+  return Var(out);
+}
+
+Var Tape::Exp(Var a) {
+  internal::Node* na = a.node_;
+  Matrix value(na->value.rows(), na->value.cols());
+  {
+    const float* v = na->value.data();
+    float* o = value.data();
+    for (int64_t i = 0; i < value.size(); ++i) o[i] = std::exp(v[i]);
+  }
+  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  out->backward = [na](internal::Node* self) {
+    if (!na->requires_grad) return;
+    Accumulate(na, linalg::Mul(self->grad, self->value));
+  };
+  return Var(out);
+}
+
+Var Tape::Log(Var a, float eps) {
+  internal::Node* na = a.node_;
+  Matrix value(na->value.rows(), na->value.cols());
+  {
+    const float* v = na->value.data();
+    float* o = value.data();
+    for (int64_t i = 0; i < value.size(); ++i) o[i] = std::log(v[i] + eps);
+  }
+  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  out->backward = [na, eps](internal::Node* self) {
+    if (!na->requires_grad) return;
+    Matrix d = self->grad;
+    const float* v = na->value.data();
+    float* g = d.data();
+    for (int64_t i = 0; i < d.size(); ++i) g[i] /= (v[i] + eps);
+    Accumulate(na, d);
+  };
+  return Var(out);
+}
+
+Var Tape::PowNonNeg(Var a, float exponent) {
+  internal::Node* na = a.node_;
+  Matrix value(na->value.rows(), na->value.cols());
+  {
+    const float* v = na->value.data();
+    float* o = value.data();
+    for (int64_t i = 0; i < value.size(); ++i) {
+      o[i] = v[i] > 0.0f ? std::pow(v[i], exponent) : 0.0f;
+    }
+  }
+  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  out->backward = [na, exponent](internal::Node* self) {
+    if (!na->requires_grad) return;
+    Matrix d = self->grad;
+    const float* v = na->value.data();
+    float* g = d.data();
+    for (int64_t i = 0; i < d.size(); ++i) {
+      g[i] *= v[i] > 0.0f ? exponent * std::pow(v[i], exponent - 1.0f) : 0.0f;
+    }
+    Accumulate(na, d);
+  };
+  return Var(out);
+}
+
+Var Tape::Dropout(Var a, const Matrix& mask) {
+  return MulConst(a, mask);
+}
+
+Var Tape::RowSums(Var a) {
+  internal::Node* na = a.node_;
+  const std::vector<float> sums = linalg::RowSums(na->value);
+  Matrix value(na->value.rows(), 1);
+  for (int i = 0; i < value.rows(); ++i) value(i, 0) = sums[i];
+  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  out->backward = [na](internal::Node* self) {
+    if (!na->requires_grad) return;
+    Matrix d(na->value.rows(), na->value.cols());
+    for (int i = 0; i < d.rows(); ++i) {
+      const float g = self->grad(i, 0);
+      float* drow = d.row(i);
+      for (int j = 0; j < d.cols(); ++j) drow[j] = g;
+    }
+    Accumulate(na, d);
+  };
+  return Var(out);
+}
+
+Var Tape::ColSums(Var a) {
+  internal::Node* na = a.node_;
+  Matrix value(1, na->value.cols());
+  for (int i = 0; i < na->value.rows(); ++i) {
+    const float* arow = na->value.row(i);
+    for (int j = 0; j < na->value.cols(); ++j) value(0, j) += arow[j];
+  }
+  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  out->backward = [na](internal::Node* self) {
+    if (!na->requires_grad) return;
+    Matrix d(na->value.rows(), na->value.cols());
+    for (int i = 0; i < d.rows(); ++i) {
+      float* drow = d.row(i);
+      for (int j = 0; j < d.cols(); ++j) drow[j] = self->grad(0, j);
+    }
+    Accumulate(na, d);
+  };
+  return Var(out);
+}
+
+Var Tape::Sum(Var a) {
+  internal::Node* na = a.node_;
+  Matrix value(1, 1);
+  value(0, 0) = static_cast<float>(linalg::Sum(na->value));
+  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  out->backward = [na](internal::Node* self) {
+    if (!na->requires_grad) return;
+    Matrix d(na->value.rows(), na->value.cols(), self->grad(0, 0));
+    Accumulate(na, d);
+  };
+  return Var(out);
+}
+
+Var Tape::BroadcastCol(Var a, int cols) {
+  internal::Node* na = a.node_;
+  REPRO_CHECK_EQ(na->value.cols(), 1);
+  Matrix value(na->value.rows(), cols);
+  for (int i = 0; i < value.rows(); ++i) {
+    const float v = na->value(i, 0);
+    float* row = value.row(i);
+    for (int j = 0; j < cols; ++j) row[j] = v;
+  }
+  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  out->backward = [na](internal::Node* self) {
+    if (!na->requires_grad) return;
+    Matrix d(na->value.rows(), 1);
+    for (int i = 0; i < self->grad.rows(); ++i) {
+      const float* grow = self->grad.row(i);
+      float acc = 0.0f;
+      for (int j = 0; j < self->grad.cols(); ++j) acc += grow[j];
+      d(i, 0) = acc;
+    }
+    Accumulate(na, d);
+  };
+  return Var(out);
+}
+
+Var Tape::BroadcastRow(Var a, int rows) {
+  internal::Node* na = a.node_;
+  REPRO_CHECK_EQ(na->value.rows(), 1);
+  Matrix value(rows, na->value.cols());
+  for (int i = 0; i < rows; ++i) {
+    float* row = value.row(i);
+    for (int j = 0; j < value.cols(); ++j) row[j] = na->value(0, j);
+  }
+  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  out->backward = [na](internal::Node* self) {
+    if (!na->requires_grad) return;
+    Matrix d(1, na->value.cols());
+    for (int i = 0; i < self->grad.rows(); ++i) {
+      const float* grow = self->grad.row(i);
+      for (int j = 0; j < self->grad.cols(); ++j) d(0, j) += grow[j];
+    }
+    Accumulate(na, d);
+  };
+  return Var(out);
+}
+
+Var Tape::ScaleRowsVar(Var a, Var s) {
+  internal::Node* na = a.node_;
+  internal::Node* ns = s.node_;
+  REPRO_CHECK_EQ(ns->value.cols(), 1);
+  REPRO_CHECK_EQ(ns->value.rows(), na->value.rows());
+  Matrix value(na->value.rows(), na->value.cols());
+  for (int i = 0; i < value.rows(); ++i) {
+    const float sv = ns->value(i, 0);
+    const float* arow = na->value.row(i);
+    float* vrow = value.row(i);
+    for (int j = 0; j < value.cols(); ++j) vrow[j] = arow[j] * sv;
+  }
+  internal::Node* out = NewNode(std::move(value),
+                                na->requires_grad || ns->requires_grad);
+  out->backward = [na, ns](internal::Node* self) {
+    if (na->requires_grad) {
+      Matrix d(na->value.rows(), na->value.cols());
+      for (int i = 0; i < d.rows(); ++i) {
+        const float sv = ns->value(i, 0);
+        const float* grow = self->grad.row(i);
+        float* drow = d.row(i);
+        for (int j = 0; j < d.cols(); ++j) drow[j] = grow[j] * sv;
+      }
+      Accumulate(na, d);
+    }
+    if (ns->requires_grad) {
+      Matrix d(ns->value.rows(), 1);
+      for (int i = 0; i < d.rows(); ++i) {
+        const float* grow = self->grad.row(i);
+        const float* arow = na->value.row(i);
+        float acc = 0.0f;
+        for (int j = 0; j < na->value.cols(); ++j) acc += grow[j] * arow[j];
+        d(i, 0) = acc;
+      }
+      Accumulate(ns, d);
+    }
+  };
+  return Var(out);
+}
+
+Var Tape::ScaleColsVar(Var a, Var s) {
+  internal::Node* na = a.node_;
+  internal::Node* ns = s.node_;
+  REPRO_CHECK_EQ(ns->value.cols(), 1);
+  REPRO_CHECK_EQ(ns->value.rows(), na->value.cols());
+  Matrix value(na->value.rows(), na->value.cols());
+  for (int i = 0; i < value.rows(); ++i) {
+    const float* arow = na->value.row(i);
+    float* vrow = value.row(i);
+    for (int j = 0; j < value.cols(); ++j) {
+      vrow[j] = arow[j] * ns->value(j, 0);
+    }
+  }
+  internal::Node* out = NewNode(std::move(value),
+                                na->requires_grad || ns->requires_grad);
+  out->backward = [na, ns](internal::Node* self) {
+    if (na->requires_grad) {
+      Matrix d(na->value.rows(), na->value.cols());
+      for (int i = 0; i < d.rows(); ++i) {
+        const float* grow = self->grad.row(i);
+        float* drow = d.row(i);
+        for (int j = 0; j < d.cols(); ++j) {
+          drow[j] = grow[j] * ns->value(j, 0);
+        }
+      }
+      Accumulate(na, d);
+    }
+    if (ns->requires_grad) {
+      Matrix d(ns->value.rows(), 1);
+      for (int i = 0; i < na->value.rows(); ++i) {
+        const float* grow = self->grad.row(i);
+        const float* arow = na->value.row(i);
+        for (int j = 0; j < na->value.cols(); ++j) {
+          d(j, 0) += grow[j] * arow[j];
+        }
+      }
+      Accumulate(ns, d);
+    }
+  };
+  return Var(out);
+}
+
+Var Tape::AddRowVector(Var a, Var bias) {
+  Var broadcast = BroadcastRow(bias, a.rows());
+  return Add(a, broadcast);
+}
+
+Var Tape::RowSoftmax(Var a) {
+  internal::Node* na = a.node_;
+  internal::Node* out =
+      NewNode(linalg::RowSoftmax(na->value), na->requires_grad);
+  out->backward = [na](internal::Node* self) {
+    if (!na->requires_grad) return;
+    // d a = (g - (g . s) 1) ⊙ s  row-wise.
+    Matrix d(na->value.rows(), na->value.cols());
+    for (int i = 0; i < d.rows(); ++i) {
+      const float* srow = self->value.row(i);
+      const float* grow = self->grad.row(i);
+      float dot = 0.0f;
+      for (int j = 0; j < d.cols(); ++j) dot += grow[j] * srow[j];
+      float* drow = d.row(i);
+      for (int j = 0; j < d.cols(); ++j) {
+        drow[j] = (grow[j] - dot) * srow[j];
+      }
+    }
+    Accumulate(na, d);
+  };
+  return Var(out);
+}
+
+Var Tape::MaskedRowSoftmax(Var a, const Matrix& mask) {
+  internal::Node* na = a.node_;
+  REPRO_CHECK(na->value.SameShape(mask));
+  Matrix value(na->value.rows(), na->value.cols());
+  for (int i = 0; i < value.rows(); ++i) {
+    const float* arow = na->value.row(i);
+    const float* mrow = mask.row(i);
+    float* vrow = value.row(i);
+    float row_max = -std::numeric_limits<float>::infinity();
+    for (int j = 0; j < value.cols(); ++j) {
+      if (mrow[j] > 0.0f) row_max = std::max(row_max, arow[j]);
+    }
+    if (row_max == -std::numeric_limits<float>::infinity()) continue;
+    float denom = 0.0f;
+    for (int j = 0; j < value.cols(); ++j) {
+      if (mrow[j] > 0.0f) {
+        vrow[j] = std::exp(arow[j] - row_max);
+        denom += vrow[j];
+      }
+    }
+    const float inv = 1.0f / denom;
+    for (int j = 0; j < value.cols(); ++j) vrow[j] *= inv;
+  }
+  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  Matrix mask_copy = mask;
+  out->backward = [na, mask_copy](internal::Node* self) {
+    if (!na->requires_grad) return;
+    Matrix d(na->value.rows(), na->value.cols());
+    for (int i = 0; i < d.rows(); ++i) {
+      const float* srow = self->value.row(i);
+      const float* grow = self->grad.row(i);
+      const float* mrow = mask_copy.row(i);
+      float dot = 0.0f;
+      for (int j = 0; j < d.cols(); ++j) dot += grow[j] * srow[j];
+      float* drow = d.row(i);
+      for (int j = 0; j < d.cols(); ++j) {
+        drow[j] = mrow[j] > 0.0f ? (grow[j] - dot) * srow[j] : 0.0f;
+      }
+    }
+    Accumulate(na, d);
+  };
+  return Var(out);
+}
+
+Var Tape::SoftmaxCrossEntropy(Var logits, const Matrix& labels,
+                              const std::vector<float>& row_mask) {
+  internal::Node* nl = logits.node_;
+  REPRO_CHECK(nl->value.SameShape(labels));
+  REPRO_CHECK_EQ(static_cast<int>(row_mask.size()), nl->value.rows());
+  Matrix probs = linalg::RowSoftmax(nl->value);
+  double loss = 0.0;
+  double count = 0.0;
+  for (int i = 0; i < probs.rows(); ++i) {
+    if (row_mask[i] <= 0.0f) continue;
+    count += 1.0;
+    const float* prow = probs.row(i);
+    const float* lrow = labels.row(i);
+    for (int j = 0; j < probs.cols(); ++j) {
+      if (lrow[j] > 0.0f) {
+        loss -= lrow[j] * std::log(std::max(prow[j], 1e-12f));
+      }
+    }
+  }
+  if (count > 0.0) loss /= count;
+  Matrix value(1, 1);
+  value(0, 0) = static_cast<float>(loss);
+  internal::Node* out = NewNode(std::move(value), nl->requires_grad);
+  if (nl->requires_grad) {
+    auto probs_ptr = std::make_shared<Matrix>(std::move(probs));
+    Matrix labels_copy = labels;
+    std::vector<float> mask_copy = row_mask;
+    const float inv_count = count > 0.0 ? static_cast<float>(1.0 / count)
+                                        : 0.0f;
+    out->backward = [nl, probs_ptr, labels_copy, mask_copy,
+                     inv_count](internal::Node* self) {
+      const float g = self->grad(0, 0) * inv_count;
+      Matrix d(nl->value.rows(), nl->value.cols());
+      for (int i = 0; i < d.rows(); ++i) {
+        if (mask_copy[i] <= 0.0f) continue;
+        const float* prow = probs_ptr->row(i);
+        const float* lrow = labels_copy.row(i);
+        float* drow = d.row(i);
+        for (int j = 0; j < d.cols(); ++j) {
+          drow[j] = g * (prow[j] - lrow[j]);
+        }
+      }
+      Accumulate(nl, d);
+    };
+  }
+  return Var(out);
+}
+
+namespace {
+
+// Shared kernel for the PEEGA norms. Computes sum over (v, ref_row) pairs
+// of || x[v] - ref[ref_row] ||_p and, in backward, scatters the gradient
+// of each pair into x[v].
+struct PNormPair {
+  int x_row;
+  int ref_row;
+};
+
+}  // namespace
+
+Var Tape::SumRowPNorm(Var x, const Matrix& ref, int p) {
+  REPRO_CHECK(x.value().SameShape(ref));
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(x.rows());
+  for (int v = 0; v < x.rows(); ++v) pairs.emplace_back(v, v);
+  return SumEdgePNorm(x, ref, pairs, p);
+}
+
+Var Tape::SumEdgePNorm(Var x, const Matrix& ref,
+                       const std::vector<std::pair<int, int>>& edges,
+                       int p) {
+  internal::Node* nx = x.node_;
+  REPRO_CHECK_EQ(nx->value.cols(), ref.cols());
+  REPRO_CHECK_GE(p, 1);
+  const int d = nx->value.cols();
+  double total = 0.0;
+  // Cache per-pair norms for backward.
+  auto norms = std::make_shared<std::vector<float>>();
+  norms->reserve(edges.size());
+  for (const auto& [v, u] : edges) {
+    double acc = 0.0;
+    const float* xrow = nx->value.row(v);
+    const float* rrow = ref.row(u);
+    for (int j = 0; j < d; ++j) {
+      const double diff = std::fabs(xrow[j] - rrow[j]);
+      acc += p == 1 ? diff : (p == 2 ? diff * diff : std::pow(diff, p));
+    }
+    const double norm = p == 1 ? acc : std::pow(acc, 1.0 / p);
+    norms->push_back(static_cast<float>(norm));
+    total += norm;
+  }
+  Matrix value(1, 1);
+  value(0, 0) = static_cast<float>(total);
+  internal::Node* out = NewNode(std::move(value), nx->requires_grad);
+  if (nx->requires_grad) {
+    Matrix ref_copy = ref;
+    std::vector<std::pair<int, int>> edges_copy = edges;
+    out->backward = [nx, ref_copy, edges_copy, norms,
+                     p](internal::Node* self) {
+      const float g = self->grad(0, 0);
+      Matrix dx(nx->value.rows(), nx->value.cols());
+      const int d = nx->value.cols();
+      for (size_t e = 0; e < edges_copy.size(); ++e) {
+        const auto [v, u] = edges_copy[e];
+        const float norm = (*norms)[e];
+        if (norm < 1e-12f) continue;
+        const float* xrow = nx->value.row(v);
+        const float* rrow = ref_copy.row(u);
+        float* drow = dx.row(v);
+        // d||d||_p / d d_j = sign(d_j) |d_j|^{p-1} / ||d||_p^{p-1}.
+        const float denom = p == 1 ? 1.0f : std::pow(norm, p - 1);
+        for (int j = 0; j < d; ++j) {
+          const float diff = xrow[j] - rrow[j];
+          if (diff == 0.0f) continue;
+          const float mag =
+              p == 1 ? 1.0f
+                     : (p == 2 ? std::fabs(diff)
+                               : std::pow(std::fabs(diff), p - 1));
+          drow[j] += g * (diff > 0.0f ? 1.0f : -1.0f) * mag / denom;
+        }
+      }
+      Accumulate(nx, dx);
+    };
+  }
+  return Var(out);
+}
+
+Var Tape::GcnNormalizeDense(Var a) {
+  const int n = a.rows();
+  REPRO_CHECK_EQ(n, a.cols());
+  Var a_hat = AddConst(a, Matrix::Identity(n));
+  Var deg = RowSums(a_hat);                 // (n x 1)
+  Var inv_sqrt = PowNonNeg(deg, -0.5f);     // D^{-1/2} diagonal as column
+  Var scaled_rows = ScaleRowsVar(a_hat, inv_sqrt);
+  return ScaleColsVar(scaled_rows, inv_sqrt);
+}
+
+void Tape::Backward(Var loss) {
+  internal::Node* root = loss.node_;
+  REPRO_CHECK(root != nullptr);
+  REPRO_CHECK_EQ(root->value.rows(), 1);
+  REPRO_CHECK_EQ(root->value.cols(), 1);
+  root->EnsureGrad()(0, 0) = 1.0f;
+  // Nodes were appended in topological order; reverse order is valid for
+  // reverse-mode accumulation. Stop at the root's position.
+  bool seen_root = false;
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    internal::Node* node = it->get();
+    if (!seen_root) {
+      if (node == root) seen_root = true;
+      else continue;
+    }
+    if (node->backward && node->grad_initialized) {
+      node->backward(node);
+    }
+  }
+}
+
+}  // namespace repro::autograd

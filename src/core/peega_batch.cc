@@ -1,0 +1,158 @@
+#include "core/peega_batch.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+#include "attack/common.h"
+#include "autograd/tape.h"
+#include "linalg/ops.h"
+
+namespace repro::core {
+
+using attack::AccessControl;
+using attack::AttackOptions;
+using attack::AttackResult;
+using autograd::Tape;
+using autograd::Var;
+using linalg::Matrix;
+
+PeegaBatchAttack::PeegaBatchAttack() : options_(Options()) {}
+PeegaBatchAttack::PeegaBatchAttack(const Options& options)
+    : options_(options) {}
+
+namespace {
+
+struct Candidate {
+  float score;
+  bool is_feature;
+  int a;  // node u / node
+  int b;  // node v / feature dim
+};
+
+float GumbelNoise(float scale, linalg::Rng* rng) {
+  if (scale <= 0.0f) return 0.0f;
+  const double u = std::max(1e-12, rng->Uniform(0.0, 1.0));
+  return static_cast<float>(-scale * std::log(-std::log(u)));
+}
+
+}  // namespace
+
+AttackResult PeegaBatchAttack::Attack(const graph::Graph& g,
+                                      const AttackOptions& attack_options,
+                                      linalg::Rng* rng) {
+  const auto start = std::chrono::steady_clock::now();
+  const int budget =
+      attack::ComputeBudget(g, attack_options.perturbation_rate);
+  const AccessControl access(g.num_nodes, attack_options.attacker_nodes);
+  const auto& peega = options_.peega;
+  const bool attack_topology =
+      peega.mode != PeegaAttack::Mode::kFeaturesOnly;
+  const bool attack_features =
+      peega.mode != PeegaAttack::Mode::kTopologyOnly;
+  const float beta = static_cast<float>(attack_options.feature_cost);
+
+  const Matrix reference = PeegaAttack::SurrogateRepresentation(
+      g.adjacency, g.features, peega.layers);
+  // Directed neighbor pairs of the clean topology (Eq. 6).
+  std::vector<std::pair<int, int>> neighbor_pairs;
+  {
+    const auto& row_ptr = g.adjacency.row_ptr();
+    const auto& col_idx = g.adjacency.col_idx();
+    for (int v = 0; v < g.num_nodes; ++v) {
+      for (int64_t k = row_ptr[v]; k < row_ptr[v + 1]; ++k) {
+        neighbor_pairs.emplace_back(v, col_idx[k]);
+      }
+    }
+  }
+
+  Matrix dense = g.adjacency.ToDense();
+  Matrix features = g.features;
+  Matrix edge_done(g.num_nodes, g.num_nodes);
+  Matrix feature_done(g.num_nodes, g.features.cols());
+  AttackResult result;
+  double spent = 0.0;
+
+  while (spent + std::min<double>(1.0, beta) <= budget + 1e-9) {
+    Tape tape;
+    Var a = tape.Input(dense, attack_topology);
+    Var x = tape.Input(features, attack_features);
+    Var a_n = tape.GcnNormalizeDense(a);
+    Var m_hat = x;
+    for (int l = 0; l < peega.layers; ++l) m_hat = tape.MatMul(a_n, m_hat);
+    Var obj = tape.SumRowPNorm(m_hat, reference, peega.norm_p);
+    if (peega.lambda != 0.0f) {
+      obj = tape.Add(obj, tape.Scale(tape.SumEdgePNorm(m_hat, reference,
+                                                       neighbor_pairs,
+                                                       peega.norm_p),
+                                     peega.lambda));
+    }
+    tape.Backward(obj);
+
+    // Collect all positive-score candidates, rank, commit top-k.
+    std::vector<Candidate> candidates;
+    if (attack_topology) {
+      const Matrix& grad = a.grad();
+      for (int u = 0; u < g.num_nodes; ++u) {
+        for (int v = u + 1; v < g.num_nodes; ++v) {
+          if (edge_done(u, v) > 0.0f || !access.EdgeAllowed(u, v)) continue;
+          const float direction = 1.0f - 2.0f * dense(u, v);
+          const float score = direction * (grad(u, v) + grad(v, u)) +
+                              GumbelNoise(options_.gumbel_scale, rng);
+          candidates.push_back({score, false, u, v});
+        }
+      }
+    }
+    if (attack_features && beta > 0.0f) {
+      const Matrix& grad = x.grad();
+      for (int v = 0; v < g.num_nodes; ++v) {
+        if (!access.FeatureAllowed(v)) continue;
+        for (int j = 0; j < features.cols(); ++j) {
+          if (feature_done(v, j) > 0.0f) continue;
+          const float direction = 1.0f - 2.0f * features(v, j);
+          const float score =
+              direction * grad(v, j) / beta +
+              GumbelNoise(options_.gumbel_scale, rng);
+          candidates.push_back({score, true, v, j});
+        }
+      }
+    }
+    if (candidates.empty()) break;
+    const int take = std::min<int>(options_.batch_size,
+                                   static_cast<int>(candidates.size()));
+    std::partial_sort(candidates.begin(), candidates.begin() + take,
+                      candidates.end(),
+                      [](const Candidate& a, const Candidate& b) {
+                        return a.score > b.score;
+                      });
+    bool committed = false;
+    for (int i = 0; i < take; ++i) {
+      const Candidate& c = candidates[i];
+      const double cost = c.is_feature ? beta : 1.0;
+      if (spent + cost > budget + 1e-9) continue;
+      if (c.is_feature) {
+        attack::FlipFeature(&features, c.a, c.b);
+        feature_done(c.a, c.b) = 1.0f;
+        ++result.feature_modifications;
+      } else {
+        attack::FlipEdge(&dense, c.a, c.b);
+        edge_done(c.a, c.b) = 1.0f;
+        edge_done(c.b, c.a) = 1.0f;
+        ++result.edge_modifications;
+      }
+      spent += cost;
+      committed = true;
+    }
+    if (!committed) break;
+  }
+
+  result.poisoned = g.WithAdjacency(attack::DenseToAdjacency(dense))
+                        .WithFeatures(features);
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace repro::core

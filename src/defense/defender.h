@@ -1,0 +1,38 @@
+#ifndef PEEGA_DEFENSE_DEFENDER_H_
+#define PEEGA_DEFENSE_DEFENDER_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "linalg/random.h"
+#include "nn/trainer.h"
+
+namespace repro::defense {
+
+/// Outcome of training a defender on a (possibly poisoned) graph.
+struct DefenseReport {
+  double test_accuracy = 0.0;
+  double val_accuracy = 0.0;
+  /// Wall-clock seconds of the full defense pipeline, purification
+  /// included (Tab. VIII).
+  double train_seconds = 0.0;
+};
+
+/// Interface of GNN defenders: given a poisoned graph, purify and/or
+/// train robustly, then report test accuracy.
+class Defender {
+ public:
+  virtual ~Defender() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Runs the full defense pipeline on `g`. Implementations must not
+  /// mutate `g`.
+  virtual DefenseReport Run(const graph::Graph& g,
+                            const nn::TrainOptions& train_options,
+                            linalg::Rng* rng) = 0;
+};
+
+}  // namespace repro::defense
+
+#endif  // PEEGA_DEFENSE_DEFENDER_H_

@@ -1,0 +1,41 @@
+#include "defense/jaccard.h"
+
+#include <chrono>
+
+#include "linalg/ops.h"
+#include "nn/trainer.h"
+
+namespace repro::defense {
+
+JaccardDefender::JaccardDefender() : options_(Options()) {}
+JaccardDefender::JaccardDefender(const Options& options)
+    : options_(options) {}
+
+graph::Graph JaccardDefender::Purify(const graph::Graph& g) const {
+  std::vector<std::pair<int, int>> kept;
+  for (const auto& [u, v] : g.EdgeList()) {
+    if (linalg::JaccardSimilarity(g.features, u, v) >= options_.threshold) {
+      kept.emplace_back(u, v);
+    }
+  }
+  return g.WithAdjacency(graph::AdjacencyFromEdges(g.num_nodes, kept));
+}
+
+DefenseReport JaccardDefender::Run(const graph::Graph& g,
+                                   const nn::TrainOptions& train_options,
+                                   linalg::Rng* rng) {
+  const auto start = std::chrono::steady_clock::now();
+  const graph::Graph purified = Purify(g);
+  nn::Gcn model(g.features.cols(), g.num_classes, options_.gcn, rng);
+  const nn::TrainReport train =
+      nn::TrainNodeClassifier(&model, purified, train_options, rng);
+  DefenseReport report;
+  report.test_accuracy = train.test_accuracy;
+  report.val_accuracy = train.val_accuracy;
+  report.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace repro::defense

@@ -1,0 +1,38 @@
+#ifndef PEEGA_DEFENSE_JACCARD_H_
+#define PEEGA_DEFENSE_JACCARD_H_
+
+#include "defense/defender.h"
+#include "nn/gcn.h"
+
+namespace repro::defense {
+
+/// GCN-Jaccard (Wu et al., IJCAI 2019): preprocessing defense that drops
+/// every edge whose endpoints have Jaccard feature similarity below a
+/// threshold, then trains a plain GCN on the pruned graph. Only
+/// meaningful for binary non-identity features (it is skipped for the
+/// Polblogs-style dataset, as in the paper's Tab. VI).
+class JaccardDefender : public Defender {
+ public:
+  struct Options {
+    float threshold = 0.02f;
+    nn::Gcn::Options gcn;
+  };
+
+  JaccardDefender();
+  explicit JaccardDefender(const Options& options);
+
+  std::string name() const override { return "GCN-Jaccard"; }
+  DefenseReport Run(const graph::Graph& g,
+                    const nn::TrainOptions& train_options,
+                    linalg::Rng* rng) override;
+
+  /// The purified graph (exposed for tests).
+  graph::Graph Purify(const graph::Graph& g) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace repro::defense
+
+#endif  // PEEGA_DEFENSE_JACCARD_H_

@@ -1,0 +1,75 @@
+#include "defense/model_defenders.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace repro::defense {
+
+namespace {
+
+DefenseReport TrainAndReport(nn::Model* model, const graph::Graph& g,
+                             const nn::TrainOptions& train_options,
+                             linalg::Rng* rng) {
+  const auto start = std::chrono::steady_clock::now();
+  const nn::TrainReport train =
+      nn::TrainNodeClassifier(model, g, train_options, rng);
+  DefenseReport report;
+  report.test_accuracy = train.test_accuracy;
+  report.val_accuracy = train.val_accuracy;
+  report.train_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace
+
+GcnDefender::GcnDefender() : options_(nn::Gcn::Options()) {}
+GcnDefender::GcnDefender(const nn::Gcn::Options& options)
+    : options_(options) {}
+
+DefenseReport GcnDefender::Run(const graph::Graph& g,
+                               const nn::TrainOptions& train_options,
+                               linalg::Rng* rng) {
+  nn::Gcn model(g.features.cols(), g.num_classes, options_, rng);
+  return TrainAndReport(&model, g, train_options, rng);
+}
+
+GatDefender::GatDefender() : options_(nn::Gat::Options()) {}
+GatDefender::GatDefender(const nn::Gat::Options& options)
+    : options_(options) {}
+
+DefenseReport GatDefender::Run(const graph::Graph& g,
+                               const nn::TrainOptions& train_options,
+                               linalg::Rng* rng) {
+  nn::Gat model(g.features.cols(), g.num_classes, options_, rng);
+  // GAT trains stably at a lower learning rate than GCN (matching the
+  // original implementation's per-model defaults).
+  nn::TrainOptions tuned = train_options;
+  tuned.lr = std::min(train_options.lr, 0.005f);
+  return TrainAndReport(&model, g, tuned, rng);
+}
+
+RGcnDefender::RGcnDefender() : options_(nn::RGcn::Options()) {}
+RGcnDefender::RGcnDefender(const nn::RGcn::Options& options)
+    : options_(options) {}
+
+DefenseReport RGcnDefender::Run(const graph::Graph& g,
+                                const nn::TrainOptions& train_options,
+                                linalg::Rng* rng) {
+  nn::RGcn model(g.features.cols(), g.num_classes, options_, rng);
+  return TrainAndReport(&model, g, train_options, rng);
+}
+
+SimPGcnDefender::SimPGcnDefender() : options_(nn::SimPGcn::Options()) {}
+SimPGcnDefender::SimPGcnDefender(const nn::SimPGcn::Options& options)
+    : options_(options) {}
+
+DefenseReport SimPGcnDefender::Run(const graph::Graph& g,
+                                   const nn::TrainOptions& train_options,
+                                   linalg::Rng* rng) {
+  nn::SimPGcn model(g.features.cols(), g.num_classes, options_, rng);
+  return TrainAndReport(&model, g, train_options, rng);
+}
+
+}  // namespace repro::defense

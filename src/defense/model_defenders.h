@@ -1,0 +1,72 @@
+#ifndef PEEGA_DEFENSE_MODEL_DEFENDERS_H_
+#define PEEGA_DEFENSE_MODEL_DEFENDERS_H_
+
+#include <memory>
+
+#include "defense/defender.h"
+#include "nn/gat.h"
+#include "nn/gcn.h"
+#include "nn/rgcn.h"
+#include "nn/simpgcn.h"
+
+namespace repro::defense {
+
+/// Raw GCN trained directly on the input graph (the undefended victim).
+class GcnDefender : public Defender {
+ public:
+  GcnDefender();
+  explicit GcnDefender(const nn::Gcn::Options& options);
+  std::string name() const override { return "GCN"; }
+  DefenseReport Run(const graph::Graph& g,
+                    const nn::TrainOptions& train_options,
+                    linalg::Rng* rng) override;
+
+ private:
+  nn::Gcn::Options options_;
+};
+
+/// Raw GAT; its attention provides mild implicit robustness.
+class GatDefender : public Defender {
+ public:
+  GatDefender();
+  explicit GatDefender(const nn::Gat::Options& options);
+  std::string name() const override { return "GAT"; }
+  DefenseReport Run(const graph::Graph& g,
+                    const nn::TrainOptions& train_options,
+                    linalg::Rng* rng) override;
+
+ private:
+  nn::Gat::Options options_;
+};
+
+/// RGCN: Gaussian node representations with variance attention.
+class RGcnDefender : public Defender {
+ public:
+  RGcnDefender();
+  explicit RGcnDefender(const nn::RGcn::Options& options);
+  std::string name() const override { return "RGCN"; }
+  DefenseReport Run(const graph::Graph& g,
+                    const nn::TrainOptions& train_options,
+                    linalg::Rng* rng) override;
+
+ private:
+  nn::RGcn::Options options_;
+};
+
+/// SimPGCN: adaptive mixing of topology and feature-kNN propagation.
+class SimPGcnDefender : public Defender {
+ public:
+  SimPGcnDefender();
+  explicit SimPGcnDefender(const nn::SimPGcn::Options& options);
+  std::string name() const override { return "SimPGCN"; }
+  DefenseReport Run(const graph::Graph& g,
+                    const nn::TrainOptions& train_options,
+                    linalg::Rng* rng) override;
+
+ private:
+  nn::SimPGcn::Options options_;
+};
+
+}  // namespace repro::defense
+
+#endif  // PEEGA_DEFENSE_MODEL_DEFENDERS_H_

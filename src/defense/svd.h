@@ -1,0 +1,42 @@
+#ifndef PEEGA_DEFENSE_SVD_H_
+#define PEEGA_DEFENSE_SVD_H_
+
+#include "defense/defender.h"
+#include "nn/gcn.h"
+
+namespace repro::defense {
+
+/// GCN-SVD (Entezari et al., WSDM 2020): replaces the poisoned adjacency
+/// by its rank-k truncated spectral reconstruction (adversarial edge
+/// flips are high-frequency, so a low-rank projection filters them),
+/// then trains a GCN on the weighted reconstruction. The adjacency is
+/// symmetric, so the truncated eigendecomposition equals the truncated
+/// SVD up to signs.
+class SvdDefender : public Defender {
+ public:
+  struct Options {
+    int rank = 15;
+    /// Reconstruction entries with |v| below this are dropped.
+    float sparsify_tol = 0.05f;
+    nn::Gcn::Options gcn;
+  };
+
+  SvdDefender();
+  explicit SvdDefender(const Options& options);
+
+  std::string name() const override { return "GCN-SVD"; }
+  DefenseReport Run(const graph::Graph& g,
+                    const nn::TrainOptions& train_options,
+                    linalg::Rng* rng) override;
+
+  /// Low-rank purified (weighted, non-negative) adjacency.
+  linalg::SparseMatrix Purify(const graph::Graph& g,
+                              linalg::Rng* rng) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace repro::defense
+
+#endif  // PEEGA_DEFENSE_SVD_H_

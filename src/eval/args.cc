@@ -1,0 +1,51 @@
+#include "eval/args.h"
+
+#include <cstdlib>
+
+namespace repro::eval {
+
+Args Args::Parse(int argc, const char* const* argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      token = token.substr(2);
+      const size_t eq = token.find('=');
+      if (eq != std::string::npos) {
+        args.values_[token.substr(0, eq)] = token.substr(eq + 1);
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.values_[token] = argv[++i];
+      } else {
+        args.values_[token] = "true";
+      }
+    } else if (args.command_.empty()) {
+      args.command_ = token;
+    } else {
+      args.positional_.push_back(token);
+    }
+  }
+  return args;
+}
+
+bool Args::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Args::GetString(const std::string& key,
+                            const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Args::GetDouble(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+int Args::GetInt(const std::string& key, int fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+}  // namespace repro::eval

@@ -1,0 +1,36 @@
+#ifndef PEEGA_EVAL_ARGS_H_
+#define PEEGA_EVAL_ARGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace repro::eval {
+
+/// Minimal command-line parser for the tools:
+/// `prog <command> --key value --flag ...`.
+/// Unknown keys are kept (callers validate); `--key=value` is also
+/// accepted. Bare tokens after the command become positional arguments.
+class Args {
+ public:
+  /// Parses argv (argv[0] skipped). The first bare token is the command.
+  static Args Parse(int argc, const char* const* argv);
+
+  const std::string& command() const { return command_; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool Has(const std::string& key) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+  double GetDouble(const std::string& key, double fallback) const;
+  int GetInt(const std::string& key, int fallback) const;
+
+ private:
+  std::string command_;
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace repro::eval
+
+#endif  // PEEGA_EVAL_ARGS_H_

@@ -1,0 +1,41 @@
+#include "eval/pipeline.h"
+
+namespace repro::eval {
+
+DefenseEvaluation EvaluateDefense(defense::Defender* defender,
+                                  const graph::Graph& g,
+                                  const PipelineOptions& options) {
+  std::vector<double> accuracies;
+  double total_seconds = 0.0;
+  for (int run = 0; run < options.runs; ++run) {
+    linalg::Rng rng(options.seed + 7919 * run);
+    const defense::DefenseReport report =
+        defender->Run(g, options.train, &rng);
+    accuracies.push_back(report.test_accuracy);
+    total_seconds += report.train_seconds;
+  }
+  DefenseEvaluation evaluation;
+  evaluation.accuracy = Summarize(accuracies);
+  evaluation.mean_train_seconds =
+      options.runs > 0 ? total_seconds / options.runs : 0.0;
+  return evaluation;
+}
+
+attack::AttackResult RunAttack(attack::Attacker* attacker,
+                               const graph::Graph& g,
+                               const attack::AttackOptions& attack_options,
+                               uint64_t seed) {
+  linalg::Rng rng(seed);
+  return attacker->Attack(g, attack_options, &rng);
+}
+
+DefenseEvaluation EvaluateAttackDefense(
+    attack::Attacker* attacker, defense::Defender* defender,
+    const graph::Graph& g, const attack::AttackOptions& attack_options,
+    const PipelineOptions& options) {
+  const attack::AttackResult attacked =
+      RunAttack(attacker, g, attack_options, options.seed);
+  return EvaluateDefense(defender, attacked.poisoned, options);
+}
+
+}  // namespace repro::eval

@@ -1,0 +1,48 @@
+#ifndef PEEGA_EVAL_PIPELINE_H_
+#define PEEGA_EVAL_PIPELINE_H_
+
+#include <vector>
+
+#include "attack/attacker.h"
+#include "defense/defender.h"
+#include "eval/stats.h"
+#include "graph/graph.h"
+#include "nn/trainer.h"
+
+namespace repro::eval {
+
+/// How experiments repeat: each run re-seeds the defender's RNG (model
+/// init, dropout) while the poisoned graph stays fixed, matching the
+/// paper's "average accuracy of k runs" protocol.
+struct PipelineOptions {
+  int runs = 3;
+  uint64_t seed = 20220901;
+  nn::TrainOptions train;
+};
+
+/// Trains `defender` on `g` `options.runs` times; returns mean±std of
+/// test accuracy and the mean training seconds.
+struct DefenseEvaluation {
+  MeanStd accuracy;
+  double mean_train_seconds = 0.0;
+};
+DefenseEvaluation EvaluateDefense(defense::Defender* defender,
+                                  const graph::Graph& g,
+                                  const PipelineOptions& options);
+
+/// Runs `attacker` once on `g` (seeded), returning the poisoned graph.
+attack::AttackResult RunAttack(attack::Attacker* attacker,
+                               const graph::Graph& g,
+                               const attack::AttackOptions& attack_options,
+                               uint64_t seed);
+
+/// Attack-then-defend convenience: poison with `attacker`, then evaluate
+/// `defender` on the poisoned graph.
+DefenseEvaluation EvaluateAttackDefense(
+    attack::Attacker* attacker, defense::Defender* defender,
+    const graph::Graph& g, const attack::AttackOptions& attack_options,
+    const PipelineOptions& options);
+
+}  // namespace repro::eval
+
+#endif  // PEEGA_EVAL_PIPELINE_H_

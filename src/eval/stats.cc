@@ -1,0 +1,28 @@
+#include "eval/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace repro::eval {
+
+MeanStd Summarize(const std::vector<double>& values) {
+  MeanStd stats;
+  if (values.empty()) return stats;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  stats.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - stats.mean) * (v - stats.mean);
+  stats.std = std::sqrt(var / static_cast<double>(values.size()));
+  return stats;
+}
+
+std::string FormatMeanStd(const MeanStd& stats, double scale,
+                          int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f±%.*f", precision,
+                stats.mean * scale, precision, stats.std * scale);
+  return buffer;
+}
+
+}  // namespace repro::eval

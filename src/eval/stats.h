@@ -1,0 +1,24 @@
+#ifndef PEEGA_EVAL_STATS_H_
+#define PEEGA_EVAL_STATS_H_
+
+#include <string>
+#include <vector>
+
+namespace repro::eval {
+
+/// Mean and (population) standard deviation of repeated measurements.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+
+MeanStd Summarize(const std::vector<double>& values);
+
+/// "82.31±0.45"-style string; `scale` multiplies values first (100 for
+/// accuracy-as-percent tables).
+std::string FormatMeanStd(const MeanStd& stats, double scale = 100.0,
+                          int precision = 2);
+
+}  // namespace repro::eval
+
+#endif  // PEEGA_EVAL_STATS_H_

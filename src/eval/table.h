@@ -1,0 +1,28 @@
+#ifndef PEEGA_EVAL_TABLE_H_
+#define PEEGA_EVAL_TABLE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace repro::eval {
+
+/// Minimal fixed-width table printer for the experiment benches; output
+/// mirrors the row/column structure of the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Writes the table with aligned columns to `out`.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace repro::eval
+
+#endif  // PEEGA_EVAL_TABLE_H_

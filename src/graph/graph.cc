@@ -1,0 +1,207 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "linalg/check.h"
+#include "linalg/ops.h"
+#include "linalg/random.h"
+
+namespace repro::graph {
+
+using linalg::Matrix;
+using linalg::SparseMatrix;
+
+std::vector<int> Graph::Neighbors(int v) const {
+  REPRO_CHECK_GE(v, 0);
+  REPRO_CHECK_LT(v, num_nodes);
+  const auto& row_ptr = adjacency.row_ptr();
+  const auto& col_idx = adjacency.col_idx();
+  return std::vector<int>(col_idx.begin() + row_ptr[v],
+                          col_idx.begin() + row_ptr[v + 1]);
+}
+
+std::vector<std::pair<int, int>> Graph::EdgeList() const {
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(adjacency.nnz() / 2);
+  const auto& row_ptr = adjacency.row_ptr();
+  const auto& col_idx = adjacency.col_idx();
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int64_t k = row_ptr[u]; k < row_ptr[u + 1]; ++k) {
+      const int v = col_idx[k];
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+Matrix Graph::OneHotLabels() const {
+  Matrix y(num_nodes, num_classes);
+  for (int v = 0; v < num_nodes; ++v) {
+    if (labels[v] >= 0) y(v, labels[v]) = 1.0f;
+  }
+  return y;
+}
+
+std::vector<float> Graph::NodeMask(const std::vector<int>& nodes) const {
+  std::vector<float> mask(num_nodes, 0.0f);
+  for (int v : nodes) {
+    REPRO_CHECK_GE(v, 0);
+    REPRO_CHECK_LT(v, num_nodes);
+    mask[v] = 1.0f;
+  }
+  return mask;
+}
+
+Graph Graph::WithAdjacency(SparseMatrix new_adjacency) const {
+  Graph g = *this;
+  g.adjacency = std::move(new_adjacency);
+  return g;
+}
+
+Graph Graph::WithFeatures(Matrix new_features) const {
+  Graph g = *this;
+  g.features = std::move(new_features);
+  return g;
+}
+
+void Graph::CheckInvariants() const {
+  REPRO_CHECK_EQ(adjacency.rows(), num_nodes);
+  REPRO_CHECK_EQ(adjacency.cols(), num_nodes);
+  REPRO_CHECK_EQ(features.rows(), num_nodes);
+  REPRO_CHECK_EQ(static_cast<int>(labels.size()), num_nodes);
+  const auto& row_ptr = adjacency.row_ptr();
+  const auto& col_idx = adjacency.col_idx();
+  const auto& values = adjacency.values();
+  for (int u = 0; u < num_nodes; ++u) {
+    for (int64_t k = row_ptr[u]; k < row_ptr[u + 1]; ++k) {
+      const int v = col_idx[k];
+      REPRO_CHECK_NE(u, v);                          // no self-loops
+      REPRO_CHECK(std::fabs(values[k] - 1.0f) < 1e-6);  // binary
+      REPRO_CHECK(adjacency.At(v, u) > 0.0f);        // symmetric
+    }
+  }
+  for (int v = 0; v < num_nodes; ++v) {
+    REPRO_CHECK_GE(labels[v], -1);
+    REPRO_CHECK_LT(labels[v], num_classes);
+  }
+}
+
+SparseMatrix GcnNormalize(const SparseMatrix& adjacency) {
+  return GcnNormalizeWeighted(adjacency, 1.0f);
+}
+
+SparseMatrix GcnNormalizeWeighted(const SparseMatrix& adjacency,
+                                  float self_loop_weight) {
+  const int n = adjacency.rows();
+  REPRO_CHECK_EQ(n, adjacency.cols());
+  std::vector<float> degree(n, self_loop_weight);
+  const auto& row_ptr = adjacency.row_ptr();
+  const auto& values = adjacency.values();
+  for (int u = 0; u < n; ++u) {
+    for (int64_t k = row_ptr[u]; k < row_ptr[u + 1]; ++k) {
+      degree[u] += values[k];
+    }
+  }
+  const std::vector<float> inv_sqrt = linalg::RSqrt(degree);
+  std::vector<std::tuple<int, int, float>> triplets;
+  triplets.reserve(adjacency.nnz() + n);
+  const auto& col_idx = adjacency.col_idx();
+  for (int u = 0; u < n; ++u) {
+    if (self_loop_weight > 0.0f) {
+      triplets.emplace_back(u, u,
+                            self_loop_weight * inv_sqrt[u] * inv_sqrt[u]);
+    }
+    for (int64_t k = row_ptr[u]; k < row_ptr[u + 1]; ++k) {
+      const int v = col_idx[k];
+      triplets.emplace_back(u, v, values[k] * inv_sqrt[u] * inv_sqrt[v]);
+    }
+  }
+  return SparseMatrix::FromTriplets(n, n, triplets);
+}
+
+SparseMatrix RowNormalize(const SparseMatrix& adjacency) {
+  const int n = adjacency.rows();
+  std::vector<float> degree(n, 1.0f);
+  const auto& row_ptr = adjacency.row_ptr();
+  const auto& values = adjacency.values();
+  for (int u = 0; u < n; ++u) {
+    for (int64_t k = row_ptr[u]; k < row_ptr[u + 1]; ++k) {
+      degree[u] += values[k];
+    }
+  }
+  std::vector<std::tuple<int, int, float>> triplets;
+  triplets.reserve(adjacency.nnz() + n);
+  const auto& col_idx = adjacency.col_idx();
+  for (int u = 0; u < n; ++u) {
+    const float inv = 1.0f / degree[u];
+    triplets.emplace_back(u, u, inv);
+    for (int64_t k = row_ptr[u]; k < row_ptr[u + 1]; ++k) {
+      triplets.emplace_back(u, col_idx[k], values[k] * inv);
+    }
+  }
+  return SparseMatrix::FromTriplets(n, n, triplets);
+}
+
+SparseMatrix KHopAdjacency(const SparseMatrix& adjacency, int k) {
+  REPRO_CHECK_GE(k, 1);
+  const int n = adjacency.rows();
+  std::vector<std::tuple<int, int, float>> triplets;
+  std::vector<int> dist(n, -1);
+  std::vector<int> touched;
+  for (int src = 0; src < n; ++src) {
+    // BFS truncated at depth k.
+    std::queue<int> frontier;
+    frontier.push(src);
+    dist[src] = 0;
+    touched.clear();
+    touched.push_back(src);
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      if (dist[u] >= k) continue;
+      const auto& row_ptr = adjacency.row_ptr();
+      const auto& col_idx = adjacency.col_idx();
+      for (int64_t e = row_ptr[u]; e < row_ptr[u + 1]; ++e) {
+        const int v = col_idx[e];
+        if (dist[v] != -1) continue;
+        dist[v] = dist[u] + 1;
+        touched.push_back(v);
+        frontier.push(v);
+        triplets.emplace_back(src, v, 1.0f);
+      }
+    }
+    for (int v : touched) dist[v] = -1;
+  }
+  return SparseMatrix::FromTriplets(n, n, triplets);
+}
+
+SparseMatrix AdjacencyFromEdges(
+    int num_nodes, const std::vector<std::pair<int, int>>& edges) {
+  std::vector<std::tuple<int, int, float>> triplets;
+  triplets.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    REPRO_CHECK_NE(u, v);
+    triplets.emplace_back(u, v, 1.0f);
+    triplets.emplace_back(v, u, 1.0f);
+  }
+  SparseMatrix adj =
+      SparseMatrix::FromTriplets(num_nodes, num_nodes, triplets);
+  // Clamp duplicate edges back to 1.
+  for (float& v : adj.mutable_values()) v = v > 0.0f ? 1.0f : 0.0f;
+  return adj;
+}
+
+void AssignSplits(Graph* g, double train_frac, double val_frac,
+                  linalg::Rng* rng) {
+  const std::vector<int> perm = rng->Permutation(g->num_nodes);
+  const int n_train = static_cast<int>(train_frac * g->num_nodes);
+  const int n_val = static_cast<int>(val_frac * g->num_nodes);
+  g->train_nodes.assign(perm.begin(), perm.begin() + n_train);
+  g->val_nodes.assign(perm.begin() + n_train,
+                      perm.begin() + n_train + n_val);
+  g->test_nodes.assign(perm.begin() + n_train + n_val, perm.end());
+}
+
+}  // namespace repro::graph

@@ -1,0 +1,86 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace repro::graph {
+
+bool SaveGraph(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "peega-graph 1\n";
+  out << g.name << "\n";
+  out << g.num_nodes << " " << g.num_classes << " " << g.features.cols()
+      << "\n";
+  const auto edges = g.EdgeList();
+  out << edges.size() << "\n";
+  for (const auto& [u, v] : edges) out << u << " " << v << "\n";
+  // Sparse feature coordinates (binary features dominate).
+  std::vector<std::pair<int, int>> coords;
+  for (int v = 0; v < g.num_nodes; ++v) {
+    for (int j = 0; j < g.features.cols(); ++j) {
+      if (g.features(v, j) > 0.5f) coords.emplace_back(v, j);
+    }
+  }
+  out << coords.size() << "\n";
+  for (const auto& [v, j] : coords) out << v << " " << j << "\n";
+  for (int v = 0; v < g.num_nodes; ++v) {
+    out << g.labels[v] << (v + 1 == g.num_nodes ? "\n" : " ");
+  }
+  auto write_split = [&out](const std::vector<int>& nodes) {
+    out << nodes.size();
+    for (int v : nodes) out << " " << v;
+    out << "\n";
+  };
+  write_split(g.train_nodes);
+  write_split(g.val_nodes);
+  write_split(g.test_nodes);
+  return static_cast<bool>(out);
+}
+
+bool LoadGraph(const std::string& path, Graph* g) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (magic != "peega-graph" || version != 1) return false;
+  Graph loaded;
+  in >> std::ws;
+  std::getline(in, loaded.name);
+  int feature_dim = 0;
+  in >> loaded.num_nodes >> loaded.num_classes >> feature_dim;
+  if (!in || loaded.num_nodes <= 0) return false;
+  size_t num_edges = 0;
+  in >> num_edges;
+  std::vector<std::pair<int, int>> edges(num_edges);
+  for (auto& [u, v] : edges) in >> u >> v;
+  loaded.adjacency = AdjacencyFromEdges(loaded.num_nodes, edges);
+  size_t num_coords = 0;
+  in >> num_coords;
+  loaded.features = linalg::Matrix(loaded.num_nodes, feature_dim);
+  for (size_t i = 0; i < num_coords; ++i) {
+    int v = 0, j = 0;
+    in >> v >> j;
+    if (v < 0 || v >= loaded.num_nodes || j < 0 || j >= feature_dim) {
+      return false;
+    }
+    loaded.features(v, j) = 1.0f;
+  }
+  loaded.labels.resize(loaded.num_nodes);
+  for (int v = 0; v < loaded.num_nodes; ++v) in >> loaded.labels[v];
+  auto read_split = [&in](std::vector<int>* nodes) {
+    size_t count = 0;
+    in >> count;
+    nodes->resize(count);
+    for (size_t i = 0; i < count; ++i) in >> (*nodes)[i];
+  };
+  read_split(&loaded.train_nodes);
+  read_split(&loaded.val_nodes);
+  read_split(&loaded.test_nodes);
+  if (!in) return false;
+  *g = std::move(loaded);
+  return true;
+}
+
+}  // namespace repro::graph

@@ -1,0 +1,21 @@
+#ifndef PEEGA_GRAPH_IO_H_
+#define PEEGA_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace repro::graph {
+
+/// Saves a graph to a self-describing text file (header, edge list,
+/// sparse feature coordinates, labels, splits). Returns false on I/O
+/// failure.
+bool SaveGraph(const Graph& g, const std::string& path);
+
+/// Loads a graph previously written by `SaveGraph`. Returns false (and
+/// leaves `*g` untouched) if the file is missing or malformed.
+bool LoadGraph(const std::string& path, Graph* g);
+
+}  // namespace repro::graph
+
+#endif  // PEEGA_GRAPH_IO_H_

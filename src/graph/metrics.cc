@@ -1,0 +1,135 @@
+#include "graph/metrics.h"
+
+#include <cmath>
+
+#include "linalg/check.h"
+
+namespace repro::graph {
+
+using linalg::Matrix;
+
+double HomophilyRatio(const Graph& g) {
+  const auto edges = g.EdgeList();
+  if (edges.empty()) return 0.0;
+  int same = 0;
+  for (const auto& [u, v] : edges) {
+    if (g.labels[u] == g.labels[v]) ++same;
+  }
+  return static_cast<double>(same) / static_cast<double>(edges.size());
+}
+
+Matrix CrossLabelSimilarity(const Graph& g) {
+  const int c = g.num_classes;
+  // Normalized label histogram of each node's 1-hop neighborhood.
+  Matrix hist(g.num_nodes, c);
+  for (int v = 0; v < g.num_nodes; ++v) {
+    const auto neighbors = g.Neighbors(v);
+    if (neighbors.empty()) continue;
+    for (int u : neighbors) {
+      if (g.labels[u] >= 0) hist(v, g.labels[u]) += 1.0f;
+    }
+    for (int j = 0; j < c; ++j) {
+      hist(v, j) /= static_cast<float>(neighbors.size());
+    }
+  }
+  std::vector<std::vector<int>> by_class(c);
+  for (int v = 0; v < g.num_nodes; ++v) {
+    if (g.labels[v] >= 0) by_class[g.labels[v]].push_back(v);
+  }
+  // Mean pairwise cosine similarity between class buckets. Computed via
+  // normalized-histogram sums to stay O(N * c) instead of O(N^2 * c):
+  // mean_{v in Vi, u in Vj} cos(h_v, h_u)
+  //   = (1/|Vi||Vj|) * sum_v sum_u  <h_v/|h_v|, h_u/|h_u|>
+  //   = < mean_norm_i, mean_norm_j > with mean_norm = mean of unit rows.
+  Matrix class_sum(c, g.num_classes);
+  for (int i = 0; i < c; ++i) {
+    for (int v : by_class[i]) {
+      double norm = 0.0;
+      for (int j = 0; j < c; ++j) {
+        norm += static_cast<double>(hist(v, j)) * hist(v, j);
+      }
+      norm = std::sqrt(norm);
+      if (norm <= 0.0) continue;
+      for (int j = 0; j < c; ++j) {
+        class_sum(i, j) += static_cast<float>(hist(v, j) / norm);
+      }
+    }
+  }
+  Matrix sim(c, c);
+  for (int i = 0; i < c; ++i) {
+    for (int j = 0; j < c; ++j) {
+      if (by_class[i].empty() || by_class[j].empty()) continue;
+      double dot = 0.0;
+      for (int k = 0; k < c; ++k) {
+        dot += static_cast<double>(class_sum(i, k)) * class_sum(j, k);
+      }
+      sim(i, j) = static_cast<float>(
+          dot / (static_cast<double>(by_class[i].size()) *
+                 by_class[j].size()));
+    }
+  }
+  return sim;
+}
+
+LabelSimilaritySummary SummarizeLabelSimilarity(const Matrix& sim) {
+  LabelSimilaritySummary s;
+  const int c = sim.rows();
+  REPRO_CHECK_EQ(c, sim.cols());
+  double intra = 0.0, inter = 0.0;
+  int n_inter = 0;
+  for (int i = 0; i < c; ++i) {
+    intra += sim(i, i);
+    for (int j = 0; j < c; ++j) {
+      if (i != j) {
+        inter += sim(i, j);
+        ++n_inter;
+      }
+    }
+  }
+  s.intra = intra / c;
+  s.inter = n_inter > 0 ? inter / n_inter : 0.0;
+  return s;
+}
+
+EdgeDiffStats ComputeEdgeDiff(const Graph& clean, const Graph& poisoned) {
+  REPRO_CHECK_EQ(clean.num_nodes, poisoned.num_nodes);
+  EdgeDiffStats stats;
+  for (const auto& [u, v] : poisoned.EdgeList()) {
+    if (!clean.HasEdge(u, v)) {
+      if (clean.labels[u] == clean.labels[v]) ++stats.add_same;
+      else ++stats.add_diff;
+    }
+  }
+  for (const auto& [u, v] : clean.EdgeList()) {
+    if (!poisoned.HasEdge(u, v)) {
+      if (clean.labels[u] == clean.labels[v]) ++stats.del_same;
+      else ++stats.del_diff;
+    }
+  }
+  return stats;
+}
+
+int64_t FeatureDiffCount(const Graph& clean, const Graph& poisoned) {
+  REPRO_CHECK(clean.features.SameShape(poisoned.features));
+  int64_t count = 0;
+  const float* a = clean.features.data();
+  const float* b = poisoned.features.data();
+  for (int64_t i = 0; i < clean.features.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > 0.5f) ++count;
+  }
+  return count;
+}
+
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels,
+                const std::vector<int>& nodes) {
+  if (nodes.empty()) return 0.0;
+  int correct = 0;
+  for (int v : nodes) {
+    REPRO_CHECK_LT(v, static_cast<int>(predictions.size()));
+    if (predictions[v] == labels[v]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(nodes.size());
+}
+
+}  // namespace repro::graph

@@ -1,0 +1,51 @@
+#ifndef PEEGA_GRAPH_METRICS_H_
+#define PEEGA_GRAPH_METRICS_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+
+namespace repro::graph {
+
+/// Fraction of edges whose endpoints share a label (Fig. 1 of the paper;
+/// the real datasets sit above 0.70).
+double HomophilyRatio(const Graph& g);
+
+/// Cross-label neighborhood similarity (Sec. IV-A): entry (i, j) is the
+/// mean cosine similarity between the normalized 1-hop label histograms
+/// of nodes labeled i and nodes labeled j. Diagonal = intra-label
+/// similarity; off-diagonal = inter-label similarity.
+linalg::Matrix CrossLabelSimilarity(const Graph& g);
+
+/// Mean of the diagonal / off-diagonal entries of `CrossLabelSimilarity`.
+struct LabelSimilaritySummary {
+  double intra = 0.0;
+  double inter = 0.0;
+};
+LabelSimilaritySummary SummarizeLabelSimilarity(const linalg::Matrix& sim);
+
+/// Edge modifications between a clean graph and a poisoned graph, broken
+/// down as in Fig. 2: additions/deletions between same-label or
+/// different-label endpoints.
+struct EdgeDiffStats {
+  int add_same = 0;
+  int add_diff = 0;
+  int del_same = 0;
+  int del_diff = 0;
+  int total() const { return add_same + add_diff + del_same + del_diff; }
+};
+EdgeDiffStats ComputeEdgeDiff(const Graph& clean, const Graph& poisoned);
+
+/// Number of differing feature entries between two graphs.
+int64_t FeatureDiffCount(const Graph& clean, const Graph& poisoned);
+
+/// Classification accuracy of `predictions` (argmax class per node) over
+/// the node subset `nodes`.
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels,
+                const std::vector<int>& nodes);
+
+}  // namespace repro::graph
+
+#endif  // PEEGA_GRAPH_METRICS_H_

@@ -1,0 +1,27 @@
+#ifndef PEEGA_LINALG_CHECK_H_
+#define PEEGA_LINALG_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Lightweight CHECK macros for invariant validation. A failed check prints
+// the condition with its source location and aborts; these guard API
+// misuse (shape mismatches, out-of-range indices), not recoverable errors.
+
+#define REPRO_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "CHECK failed: %s at %s:%d\n", #cond, __FILE__, \
+                   __LINE__);                                              \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define REPRO_CHECK_EQ(a, b) REPRO_CHECK((a) == (b))
+#define REPRO_CHECK_NE(a, b) REPRO_CHECK((a) != (b))
+#define REPRO_CHECK_LT(a, b) REPRO_CHECK((a) < (b))
+#define REPRO_CHECK_LE(a, b) REPRO_CHECK((a) <= (b))
+#define REPRO_CHECK_GT(a, b) REPRO_CHECK((a) > (b))
+#define REPRO_CHECK_GE(a, b) REPRO_CHECK((a) >= (b))
+
+#endif  // PEEGA_LINALG_CHECK_H_

@@ -1,0 +1,162 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/check.h"
+#include "linalg/ops.h"
+
+namespace repro::linalg {
+
+void OrthonormalizeColumns(Matrix* m) {
+  const int n = m->rows();
+  const int k = m->cols();
+  for (int j = 0; j < k; ++j) {
+    double norm_before = 0.0;
+    for (int i = 0; i < n; ++i) {
+      norm_before += static_cast<double>((*m)(i, j)) * (*m)(i, j);
+    }
+    norm_before = std::sqrt(norm_before);
+    // Subtract projections onto previous columns. Two passes ("twice is
+    // enough"): a single pass leaves O(eps * kappa) residual components
+    // that explode when the remaining norm is tiny (rank-deficient
+    // subspaces), destroying orthogonality after normalization.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int p = 0; p < j; ++p) {
+        double dot = 0.0;
+        for (int i = 0; i < n; ++i) dot += (*m)(i, j) * (*m)(i, p);
+        for (int i = 0; i < n; ++i) {
+          (*m)(i, j) -= static_cast<float>(dot) * (*m)(i, p);
+        }
+      }
+    }
+    double norm = 0.0;
+    for (int i = 0; i < n; ++i) {
+      norm += static_cast<double>((*m)(i, j)) * (*m)(i, j);
+    }
+    norm = std::sqrt(norm);
+    // Columns numerically inside the span of previous ones are zeroed
+    // instead of normalizing amplified rounding noise.
+    const bool degenerate = norm <= 1e-12 || norm < 1e-6 * norm_before;
+    const float inv = degenerate ? 0.0f : static_cast<float>(1.0 / norm);
+    for (int i = 0; i < n; ++i) (*m)(i, j) *= inv;
+  }
+}
+
+namespace {
+
+/// Jacobi eigendecomposition of a small dense symmetric matrix (k x k).
+/// Returns eigenvalues (descending |value|) and eigenvectors as columns.
+EigenResult JacobiEigen(Matrix a) {
+  const int n = a.rows();
+  REPRO_CHECK_EQ(n, a.cols());
+  Matrix v = Matrix::Identity(n);
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) off += std::fabs(a(p, q));
+    }
+    if (off < 1e-10) break;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        if (std::fabs(a(p, q)) < 1e-14) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+        const double sign = theta >= 0.0 ? 1.0 : -1.0;
+        const double t =
+            sign / (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int i = 0; i < n; ++i) {
+          const double aip = a(i, p), aiq = a(i, q);
+          a(i, p) = static_cast<float>(c * aip - s * aiq);
+          a(i, q) = static_cast<float>(s * aip + c * aiq);
+        }
+        for (int i = 0; i < n; ++i) {
+          const double api = a(p, i), aqi = a(q, i);
+          a(p, i) = static_cast<float>(c * api - s * aqi);
+          a(q, i) = static_cast<float>(s * api + c * aqi);
+        }
+        for (int i = 0; i < n; ++i) {
+          const double vip = v(i, p), viq = v(i, q);
+          v(i, p) = static_cast<float>(c * vip - s * viq);
+          v(i, q) = static_cast<float>(s * vip + c * viq);
+        }
+      }
+    }
+  }
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int x, int y) {
+    return std::fabs(a(x, x)) > std::fabs(a(y, y));
+  });
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  for (int j = 0; j < n; ++j) {
+    result.values[j] = a(order[j], order[j]);
+    for (int i = 0; i < n; ++i) result.vectors(i, j) = v(i, order[j]);
+  }
+  return result;
+}
+
+template <typename MultiplyFn>
+EigenResult SubspaceIteration(int n, int k, MultiplyFn multiply, Rng* rng,
+                              int iters) {
+  REPRO_CHECK_GT(k, 0);
+  REPRO_CHECK_LE(k, n);
+  // Over-sample the subspace a little for faster convergence.
+  const int kb = std::min(n, k + 4);
+  Matrix q = RandomNormal(n, kb, 1.0f, rng);
+  OrthonormalizeColumns(&q);
+  for (int it = 0; it < iters; ++it) {
+    q = multiply(q);
+    OrthonormalizeColumns(&q);
+  }
+  // Rayleigh-Ritz: B = Q^T A Q, eigendecompose the small kb x kb matrix.
+  Matrix aq = multiply(q);
+  Matrix b = MatMulTransA(q, aq);
+  // Symmetrize against round-off.
+  for (int i = 0; i < kb; ++i) {
+    for (int j = i + 1; j < kb; ++j) {
+      const float avg = 0.5f * (b(i, j) + b(j, i));
+      b(i, j) = avg;
+      b(j, i) = avg;
+    }
+  }
+  EigenResult small = JacobiEigen(b);
+  EigenResult result;
+  result.values.assign(small.values.begin(), small.values.begin() + k);
+  Matrix sub(kb, k);
+  for (int i = 0; i < kb; ++i) {
+    for (int j = 0; j < k; ++j) sub(i, j) = small.vectors(i, j);
+  }
+  result.vectors = MatMul(q, sub);
+  return result;
+}
+
+}  // namespace
+
+EigenResult TopKEigenSymmetric(const SparseMatrix& a, int k, Rng* rng,
+                               int iters) {
+  REPRO_CHECK_EQ(a.rows(), a.cols());
+  return SubspaceIteration(
+      a.rows(), k, [&a](const Matrix& q) { return SpMM(a, q); }, rng, iters);
+}
+
+EigenResult TopKEigenSymmetricDense(const Matrix& a, int k, Rng* rng,
+                                    int iters) {
+  REPRO_CHECK_EQ(a.rows(), a.cols());
+  return SubspaceIteration(
+      a.rows(), k, [&a](const Matrix& q) { return MatMul(a, q); }, rng,
+      iters);
+}
+
+Matrix LowRankReconstruct(const EigenResult& eig) {
+  const int k = static_cast<int>(eig.values.size());
+  REPRO_CHECK_EQ(k, eig.vectors.cols());
+  Matrix scaled = ScaleCols(eig.vectors, eig.values);
+  return MatMulTransB(scaled, eig.vectors);
+}
+
+}  // namespace repro::linalg

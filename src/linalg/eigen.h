@@ -1,0 +1,42 @@
+#ifndef PEEGA_LINALG_EIGEN_H_
+#define PEEGA_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/random.h"
+#include "linalg/sparse.h"
+
+namespace repro::linalg {
+
+/// Result of a truncated symmetric eigendecomposition: the `k` eigenpairs
+/// with the largest |eigenvalue|. `vectors` is n x k (column j is the
+/// eigenvector of `values[j]`).
+struct EigenResult {
+  std::vector<float> values;
+  Matrix vectors;
+};
+
+/// Truncated eigendecomposition of a symmetric matrix via subspace
+/// (block power) iteration with Rayleigh-Ritz projection.
+///
+/// Used by GCN-SVD (low-rank purification of a symmetric poisoned
+/// adjacency) and GF-Attack (spectral filter scores). `iters` controls
+/// convergence; 30-50 suffices for the well-separated graph spectra we
+/// handle.
+EigenResult TopKEigenSymmetric(const SparseMatrix& a, int k, Rng* rng,
+                               int iters = 40);
+
+/// Dense variant of `TopKEigenSymmetric` for small matrices / tests.
+EigenResult TopKEigenSymmetricDense(const Matrix& a, int k, Rng* rng,
+                                    int iters = 40);
+
+/// Reconstructs `U diag(values) U^T` from an eigendecomposition.
+Matrix LowRankReconstruct(const EigenResult& eig);
+
+/// QR-orthonormalizes the columns of `m` in place (modified Gram-Schmidt).
+void OrthonormalizeColumns(Matrix* m);
+
+}  // namespace repro::linalg
+
+#endif  // PEEGA_LINALG_EIGEN_H_

@@ -1,0 +1,37 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+
+namespace repro::linalg {
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0f;
+  return m;
+}
+
+Matrix Matrix::Constant(int rows, int cols, float value) {
+  return Matrix(rows, cols, value);
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return Matrix();
+  const int r = static_cast<int>(rows.size());
+  const int c = static_cast<int>(rows[0].size());
+  Matrix m(r, c);
+  for (int i = 0; i < r; ++i) {
+    REPRO_CHECK_EQ(static_cast<int>(rows[i].size()), c);
+    std::copy(rows[i].begin(), rows[i].end(), m.row(i));
+  }
+  return m;
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+std::string Matrix::ShapeString() const {
+  return std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+}  // namespace repro::linalg

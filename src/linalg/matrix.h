@@ -1,0 +1,91 @@
+#ifndef PEEGA_LINALG_MATRIX_H_
+#define PEEGA_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "linalg/check.h"
+
+namespace repro::linalg {
+
+/// Row-major dense matrix of floats.
+///
+/// `Matrix` is the workhorse value type of the library: node feature
+/// matrices, GNN layer weights, relaxed adjacency matrices during attacks,
+/// and gradients are all `Matrix`. It is a plain copyable value type; all
+/// numerical kernels live in `linalg/ops.h`.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Creates a `rows` x `cols` matrix filled with `fill`.
+  Matrix(int rows, int cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, fill) {
+    REPRO_CHECK_GE(rows, 0);
+    REPRO_CHECK_GE(cols, 0);
+  }
+
+  /// Creates a matrix taking ownership of an existing flat buffer.
+  Matrix(int rows, int cols, std::vector<float> data)
+      : rows_(rows), cols_(cols), data_(std::move(data)) {
+    REPRO_CHECK_EQ(static_cast<size_t>(rows) * cols, data_.size());
+  }
+
+  /// Identity matrix of size n.
+  static Matrix Identity(int n);
+
+  /// Matrix with every entry equal to `value`.
+  static Matrix Constant(int rows, int cols, float value);
+
+  /// Builds from a nested initializer-style vector (row per inner vector).
+  static Matrix FromRows(const std::vector<std::vector<float>>& rows);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t size() const { return static_cast<int64_t>(rows_) * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(int r, int c) {
+    REPRO_CHECK_GE(r, 0);
+    REPRO_CHECK_LT(r, rows_);
+    REPRO_CHECK_GE(c, 0);
+    REPRO_CHECK_LT(c, cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float operator()(int r, int c) const {
+    REPRO_CHECK_GE(r, 0);
+    REPRO_CHECK_LT(r, rows_);
+    REPRO_CHECK_GE(c, 0);
+    REPRO_CHECK_LT(c, cols_);
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  /// Unchecked flat access for hot loops.
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const float* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Sets every entry to `value`.
+  void Fill(float value);
+
+  /// Human-readable "rows x cols" string for error messages.
+  std::string ShapeString() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace repro::linalg
+
+#endif  // PEEGA_LINALG_MATRIX_H_

@@ -1,0 +1,342 @@
+#include "linalg/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/check.h"
+
+namespace repro::linalg {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  REPRO_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  constexpr int kBlock = 64;
+  for (int i0 = 0; i0 < m; i0 += kBlock) {
+    const int i1 = std::min(i0 + kBlock, m);
+    for (int k0 = 0; k0 < k; k0 += kBlock) {
+      const int k1 = std::min(k0 + kBlock, k);
+      for (int i = i0; i < i1; ++i) {
+        const float* arow = a.row(i);
+        float* crow = c.row(i);
+        for (int kk = k0; kk < k1; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          const float* brow = b.row(kk);
+          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  REPRO_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.cols(), b.cols());
+  const int m = a.cols(), n = b.cols(), k = a.rows();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = a.row(kk);
+    const float* brow = b.row(kk);
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.row(i);
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  REPRO_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), b.rows());
+  const int m = a.rows(), n = b.rows(), k = a.cols();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float dot = 0.0f;
+      for (int kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
+      crow[j] = dot;
+    }
+  }
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    for (int j = 0; j < a.cols(); ++j) t(j, i) = arow[j];
+  }
+  return t;
+}
+
+namespace {
+
+template <typename F>
+Matrix Elementwise(const Matrix& a, const Matrix& b, F f) {
+  REPRO_CHECK(a.SameShape(b));
+  Matrix c(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) pc[i] = f(pa[i], pb[i]);
+  return c;
+}
+
+template <typename F>
+Matrix Map(const Matrix& a, F f) {
+  Matrix c(a.rows(), a.cols());
+  const float* pa = a.data();
+  float* pc = c.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) pc[i] = f(pa[i]);
+  return c;
+}
+
+}  // namespace
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  return Elementwise(a, b, [](float x, float y) { return x + y; });
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  return Elementwise(a, b, [](float x, float y) { return x - y; });
+}
+
+Matrix Mul(const Matrix& a, const Matrix& b) {
+  return Elementwise(a, b, [](float x, float y) { return x * y; });
+}
+
+Matrix Affine(const Matrix& a, float scale, float offset) {
+  return Map(a, [scale, offset](float x) { return x * scale + offset; });
+}
+
+void Axpy(Matrix* a, const Matrix& b, float scale) {
+  REPRO_CHECK(a->SameShape(b));
+  float* pa = a->data();
+  const float* pb = b.data();
+  const int64_t n = a->size();
+  for (int64_t i = 0; i < n; ++i) pa[i] += scale * pb[i];
+}
+
+Matrix AddRowVector(const Matrix& a, const std::vector<float>& v) {
+  REPRO_CHECK_EQ(static_cast<int>(v.size()), a.cols());
+  Matrix c(a.rows(), a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] + v[j];
+  }
+  return c;
+}
+
+Matrix ScaleRows(const Matrix& a, const std::vector<float>& s) {
+  REPRO_CHECK_EQ(static_cast<int>(s.size()), a.rows());
+  Matrix c(a.rows(), a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    const float sv = s[i];
+    for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] * sv;
+  }
+  return c;
+}
+
+Matrix ScaleCols(const Matrix& a, const std::vector<float>& s) {
+  REPRO_CHECK_EQ(static_cast<int>(s.size()), a.cols());
+  Matrix c(a.rows(), a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] * s[j];
+  }
+  return c;
+}
+
+std::vector<float> RowSums(const Matrix& a) {
+  std::vector<float> sums(a.rows(), 0.0f);
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float acc = 0.0f;
+    for (int j = 0; j < a.cols(); ++j) acc += arow[j];
+    sums[i] = acc;
+  }
+  return sums;
+}
+
+double Sum(const Matrix& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) acc += p[i];
+  return acc;
+}
+
+double FrobeniusNorm(const Matrix& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) acc += static_cast<double>(p[i]) * p[i];
+  return std::sqrt(acc);
+}
+
+int64_t CountNonZero(const Matrix& a, float tol) {
+  int64_t count = 0;
+  const float* p = a.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) {
+    if (std::fabs(p[i]) > tol) ++count;
+  }
+  return count;
+}
+
+float MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  REPRO_CHECK(a.SameShape(b));
+  float max_diff = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) {
+    max_diff = std::max(max_diff, std::fabs(pa[i] - pb[i]));
+  }
+  return max_diff;
+}
+
+Matrix Relu(const Matrix& a) {
+  return Map(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Matrix LeakyRelu(const Matrix& a, float slope) {
+  return Map(a, [slope](float x) { return x > 0.0f ? x : slope * x; });
+}
+
+Matrix Sigmoid(const Matrix& a) {
+  return Map(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+Matrix RowSoftmax(const Matrix& a) {
+  Matrix c(a.rows(), a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    float row_max = arow[0];
+    for (int j = 1; j < a.cols(); ++j) row_max = std::max(row_max, arow[j]);
+    float denom = 0.0f;
+    for (int j = 0; j < a.cols(); ++j) {
+      crow[j] = std::exp(arow[j] - row_max);
+      denom += crow[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int j = 0; j < a.cols(); ++j) crow[j] *= inv;
+  }
+  return c;
+}
+
+std::vector<int> RowArgmax(const Matrix& a) {
+  std::vector<int> result(a.rows(), 0);
+  for (int i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    int best = 0;
+    for (int j = 1; j < a.cols(); ++j) {
+      if (arow[j] > arow[best]) best = j;
+    }
+    result[i] = best;
+  }
+  return result;
+}
+
+Matrix RandomNormal(int rows, int cols, float stddev, Rng* rng) {
+  Matrix m(rows, cols);
+  float* p = m.data();
+  const int64_t n = m.size();
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  return m;
+}
+
+Matrix RandomUniform(int rows, int cols, float lo, float hi, Rng* rng) {
+  Matrix m(rows, cols);
+  float* p = m.data();
+  const int64_t n = m.size();
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return m;
+}
+
+Matrix SpMM(const SparseMatrix& s, const Matrix& b) {
+  REPRO_CHECK_EQ(s.cols(), b.rows());
+  Matrix c(s.rows(), b.cols());
+  const auto& row_ptr = s.row_ptr();
+  const auto& col_idx = s.col_idx();
+  const auto& values = s.values();
+  const int n = b.cols();
+  for (int i = 0; i < s.rows(); ++i) {
+    float* crow = c.row(i);
+    for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      const float v = values[k];
+      const float* brow = b.row(col_idx[k]);
+      for (int j = 0; j < n; ++j) crow[j] += v * brow[j];
+    }
+  }
+  return c;
+}
+
+std::vector<float> SpMV(const SparseMatrix& s, const std::vector<float>& x) {
+  REPRO_CHECK_EQ(s.cols(), static_cast<int>(x.size()));
+  std::vector<float> y(s.rows(), 0.0f);
+  const auto& row_ptr = s.row_ptr();
+  const auto& col_idx = s.col_idx();
+  const auto& values = s.values();
+  for (int i = 0; i < s.rows(); ++i) {
+    float acc = 0.0f;
+    for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+      acc += values[k] * x[col_idx[k]];
+    }
+    y[i] = acc;
+  }
+  return y;
+}
+
+float CosineSimilarity(const Matrix& x, int i, int j) {
+  const float* a = x.row(i);
+  const float* b = x.row(j);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int k = 0; k < x.cols(); ++k) {
+    dot += static_cast<double>(a[k]) * b[k];
+    na += static_cast<double>(a[k]) * a[k];
+    nb += static_cast<double>(b[k]) * b[k];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0f;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+float JaccardSimilarity(const Matrix& x, int i, int j) {
+  const float* a = x.row(i);
+  const float* b = x.row(j);
+  int inter = 0, uni = 0;
+  for (int k = 0; k < x.cols(); ++k) {
+    const bool av = a[k] > 0.5f;
+    const bool bv = b[k] > 0.5f;
+    inter += (av && bv) ? 1 : 0;
+    uni += (av || bv) ? 1 : 0;
+  }
+  if (uni == 0) return 0.0f;
+  return static_cast<float>(inter) / static_cast<float>(uni);
+}
+
+std::vector<float> RSqrt(const std::vector<float>& x) {
+  std::vector<float> y(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    y[i] = x[i] > 0.0f ? 1.0f / std::sqrt(x[i]) : 0.0f;
+  }
+  return y;
+}
+
+}  // namespace repro::linalg

@@ -1,0 +1,109 @@
+#ifndef PEEGA_LINALG_OPS_H_
+#define PEEGA_LINALG_OPS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/random.h"
+#include "linalg/sparse.h"
+
+namespace repro::linalg {
+
+// ---------------------------------------------------------------------------
+// Dense kernels
+// ---------------------------------------------------------------------------
+
+/// C = A * B. Cache-blocked i-k-j loop order.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B without materializing A^T.
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T without materializing B^T.
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// Returns A^T.
+Matrix Transpose(const Matrix& a);
+
+/// Elementwise a + b, a - b, a ⊙ b (same shape).
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+Matrix Mul(const Matrix& a, const Matrix& b);
+
+/// a * scalar + offset, elementwise.
+Matrix Affine(const Matrix& a, float scale, float offset = 0.0f);
+
+/// In-place a += b * scale.
+void Axpy(Matrix* a, const Matrix& b, float scale);
+
+/// Adds vector `v` (length = a.cols()) to every row of a.
+Matrix AddRowVector(const Matrix& a, const std::vector<float>& v);
+
+/// Scales row r of a by s[r] (s.size() == a.rows()).
+Matrix ScaleRows(const Matrix& a, const std::vector<float>& s);
+
+/// Scales column c of a by s[c] (s.size() == a.cols()).
+Matrix ScaleCols(const Matrix& a, const std::vector<float>& s);
+
+/// Per-row sums / means; length = rows().
+std::vector<float> RowSums(const Matrix& a);
+
+/// Sum of all entries.
+double Sum(const Matrix& a);
+
+/// Frobenius norm and squared Frobenius norm.
+double FrobeniusNorm(const Matrix& a);
+
+/// Number of entries with |v| > tol ("L0 norm" used for attack budgets).
+int64_t CountNonZero(const Matrix& a, float tol = 0.5f);
+
+/// Max absolute entrywise difference, for test comparisons.
+float MaxAbsDiff(const Matrix& a, const Matrix& b);
+
+/// ReLU, LeakyReLU, sigmoid, elementwise.
+Matrix Relu(const Matrix& a);
+Matrix LeakyRelu(const Matrix& a, float slope);
+Matrix Sigmoid(const Matrix& a);
+
+/// Row-wise softmax. Numerically stabilized by the row max.
+Matrix RowSoftmax(const Matrix& a);
+
+/// Row-wise argmax; ties resolve to the lowest index.
+std::vector<int> RowArgmax(const Matrix& a);
+
+/// Fills with N(0, stddev) / U(lo, hi) samples.
+Matrix RandomNormal(int rows, int cols, float stddev, Rng* rng);
+Matrix RandomUniform(int rows, int cols, float lo, float hi, Rng* rng);
+
+// ---------------------------------------------------------------------------
+// Sparse kernels
+// ---------------------------------------------------------------------------
+
+/// C = S * B for CSR S and dense B.
+Matrix SpMM(const SparseMatrix& s, const Matrix& b);
+
+/// y = S * x.
+std::vector<float> SpMV(const SparseMatrix& s, const std::vector<float>& x);
+
+// ---------------------------------------------------------------------------
+// Similarity measures used by defenders
+// ---------------------------------------------------------------------------
+
+/// Cosine similarity between rows i and j of `x`. Returns 0 when either
+/// row is all-zero.
+float CosineSimilarity(const Matrix& x, int i, int j);
+
+/// Jaccard similarity between binary rows i and j of `x` (entries > 0.5
+/// are treated as 1).
+float JaccardSimilarity(const Matrix& x, int i, int j);
+
+// ---------------------------------------------------------------------------
+// Vector helpers
+// ---------------------------------------------------------------------------
+
+/// Elementwise x^(-1/2) with 0 mapped to 0 (degree normalization).
+std::vector<float> RSqrt(const std::vector<float>& x);
+
+}  // namespace repro::linalg
+
+#endif  // PEEGA_LINALG_OPS_H_

@@ -1,0 +1,32 @@
+#include "linalg/random.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "linalg/check.h"
+
+namespace repro::linalg {
+
+std::vector<int> Rng::Permutation(int n) {
+  REPRO_CHECK_GE(n, 0);
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::shuffle(perm.begin(), perm.end(), engine_);
+  return perm;
+}
+
+std::vector<int> Rng::Sample(int n, int k) {
+  REPRO_CHECK_GE(k, 0);
+  REPRO_CHECK_LE(k, n);
+  // Partial Fisher-Yates: O(n) memory but only k swaps.
+  std::vector<int> pool(n);
+  std::iota(pool.begin(), pool.end(), 0);
+  for (int i = 0; i < k; ++i) {
+    int j = static_cast<int>(UniformInt(i, n - 1));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace repro::linalg

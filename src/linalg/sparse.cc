@@ -1,0 +1,97 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "linalg/check.h"
+
+namespace repro::linalg {
+
+SparseMatrix SparseMatrix::FromTriplets(
+    int rows, int cols,
+    const std::vector<std::tuple<int, int, float>>& triplets) {
+  SparseMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  std::vector<std::tuple<int, int, float>> sorted = triplets;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(std::get<0>(a), std::get<1>(a)) <
+                     std::tie(std::get<0>(b), std::get<1>(b));
+            });
+  m.row_ptr_.assign(rows + 1, 0);
+  int prev_r = -1;
+  int prev_c = -1;
+  for (const auto& [r, c, v] : sorted) {
+    REPRO_CHECK_GE(r, 0);
+    REPRO_CHECK_LT(r, rows);
+    REPRO_CHECK_GE(c, 0);
+    REPRO_CHECK_LT(c, cols);
+    if (r == prev_r && c == prev_c) {
+      m.values_.back() += v;  // duplicate coordinate: accumulate
+      continue;
+    }
+    m.col_idx_.push_back(c);
+    m.values_.push_back(v);
+    m.row_ptr_[r + 1] = static_cast<int64_t>(m.col_idx_.size());
+    prev_r = r;
+    prev_c = c;
+  }
+  // Rows with no entries inherit the running prefix.
+  for (int r = 0; r < rows; ++r) {
+    m.row_ptr_[r + 1] = std::max(m.row_ptr_[r + 1], m.row_ptr_[r]);
+  }
+  return m;
+}
+
+SparseMatrix SparseMatrix::FromDense(const Matrix& dense, float tol) {
+  SparseMatrix m;
+  m.rows_ = dense.rows();
+  m.cols_ = dense.cols();
+  m.row_ptr_.assign(m.rows_ + 1, 0);
+  for (int r = 0; r < m.rows_; ++r) {
+    const float* row = dense.row(r);
+    for (int c = 0; c < m.cols_; ++c) {
+      if (std::fabs(row[c]) > tol) {
+        m.col_idx_.push_back(c);
+        m.values_.push_back(row[c]);
+      }
+    }
+    m.row_ptr_[r + 1] = static_cast<int64_t>(m.col_idx_.size());
+  }
+  return m;
+}
+
+float SparseMatrix::At(int r, int c) const {
+  REPRO_CHECK_GE(r, 0);
+  REPRO_CHECK_LT(r, rows_);
+  const int* begin = col_idx_.data() + row_ptr_[r];
+  const int* end = col_idx_.data() + row_ptr_[r + 1];
+  const int* it = std::lower_bound(begin, end, c);
+  if (it == end || *it != c) return 0.0f;
+  return values_[it - col_idx_.data()];
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix dense(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      dense(r, col_idx_[k]) += values_[k];
+    }
+  }
+  return dense;
+}
+
+SparseMatrix SparseMatrix::Transposed() const {
+  std::vector<std::tuple<int, int, float>> triplets;
+  triplets.reserve(values_.size());
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      triplets.emplace_back(col_idx_[k], r, values_[k]);
+    }
+  }
+  return FromTriplets(cols_, rows_, triplets);
+}
+
+}  // namespace repro::linalg

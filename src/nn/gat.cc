@@ -1,0 +1,93 @@
+#include "nn/gat.h"
+
+#include "linalg/check.h"
+#include "linalg/ops.h"
+#include "nn/init.h"
+
+namespace repro::nn {
+
+using autograd::Tape;
+using autograd::Var;
+using linalg::Matrix;
+
+Gat::Gat(int in_dim, int num_classes, const Options& options,
+         linalg::Rng* rng)
+    : options_(options) {
+  REPRO_CHECK_GE(options.num_heads, 1);
+  for (int h = 0; h < options.num_heads; ++h) {
+    w1_.push_back(GlorotUniform(in_dim, options.hidden_dim, rng));
+    a1_src_.push_back(GlorotUniform(options.hidden_dim, 1, rng));
+    a1_dst_.push_back(GlorotUniform(options.hidden_dim, 1, rng));
+  }
+  w2_ = GlorotUniform(options.hidden_dim, num_classes, rng);
+  a2_src_ = GlorotUniform(num_classes, 1, rng);
+  a2_dst_ = GlorotUniform(num_classes, 1, rng);
+}
+
+void Gat::Prepare(const graph::Graph& g) {
+  mask_ = g.adjacency.ToDense();
+  for (int i = 0; i < g.num_nodes; ++i) mask_(i, i) = 1.0f;
+}
+
+Var Gat::AttentionHead(Tape* tape, Var x, Var w, Var a_src, Var a_dst) {
+  Var hw = tape->MatMul(x, w);                       // N x d
+  Var s_src = tape->MatMul(hw, a_src);               // N x 1
+  Var s_dst = tape->MatMul(hw, a_dst);               // N x 1
+  const int n = hw.rows();
+  Var e = tape->Add(tape->BroadcastCol(s_src, n),
+                    tape->BroadcastRow(tape->Transpose(s_dst), n));
+  e = tape->LeakyRelu(e, options_.leaky_slope);
+  Var alpha = tape->MaskedRowSoftmax(e, mask_);
+  return tape->MatMul(alpha, hw);
+}
+
+Gat::Forwarded Gat::Forward(Tape* tape, const graph::Graph& g,
+                            bool training, linalg::Rng* rng) {
+  Forwarded result;
+  auto bind = [&](Matrix* m) {
+    Var v = tape->Input(*m, /*requires_grad=*/true);
+    result.bound.emplace_back(m, v);
+    return v;
+  };
+  Var x = tape->Input(g.features, /*requires_grad=*/false);
+  if (training && options_.dropout > 0.0f) {
+    x = tape->Dropout(x, DropoutMask(x.rows(), x.cols(), options_.dropout,
+                                     rng));
+  }
+  // Layer 1: average the heads, then ELU-ish nonlinearity (ReLU here).
+  Var h;
+  for (int head = 0; head < options_.num_heads; ++head) {
+    Var w = bind(&w1_[head]);
+    Var as = bind(&a1_src_[head]);
+    Var ad = bind(&a1_dst_[head]);
+    Var out = AttentionHead(tape, x, w, as, ad);
+    h = head == 0 ? out : tape->Add(h, out);
+  }
+  if (options_.num_heads > 1) {
+    h = tape->Scale(h, 1.0f / static_cast<float>(options_.num_heads));
+  }
+  h = tape->Relu(h);
+  if (training && options_.dropout > 0.0f) {
+    h = tape->Dropout(h, DropoutMask(h.rows(), h.cols(), options_.dropout,
+                                     rng));
+  }
+  // Layer 2: single head producing class logits.
+  Var w2 = bind(&w2_);
+  Var as2 = bind(&a2_src_);
+  Var ad2 = bind(&a2_dst_);
+  result.logits = AttentionHead(tape, h, w2, as2, ad2);
+  return result;
+}
+
+std::vector<Matrix*> Gat::Parameters() {
+  std::vector<Matrix*> params;
+  for (auto& m : w1_) params.push_back(&m);
+  for (auto& m : a1_src_) params.push_back(&m);
+  for (auto& m : a1_dst_) params.push_back(&m);
+  params.push_back(&w2_);
+  params.push_back(&a2_src_);
+  params.push_back(&a2_dst_);
+  return params;
+}
+
+}  // namespace repro::nn

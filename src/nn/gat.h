@@ -1,0 +1,50 @@
+#ifndef PEEGA_NN_GAT_H_
+#define PEEGA_NN_GAT_H_
+
+#include <vector>
+
+#include "nn/model.h"
+
+namespace repro::nn {
+
+/// Graph Attention Network (Velickovic et al., 2018).
+///
+/// Each layer computes HW = H W, per-edge attention logits
+/// e_ij = LeakyReLU(a_src . (HW)_i + a_dst . (HW)_j), a softmax over each
+/// node's masked neighborhood (A + I), and H' = alpha HW. Attention is
+/// realized densely (N x N) which is exact and fast at the graph sizes we
+/// run. Multi-head support averages head outputs.
+class Gat : public Model {
+ public:
+  struct Options {
+    int hidden_dim = 32;
+    int num_heads = 2;
+    float dropout = 0.3f;
+    float leaky_slope = 0.2f;
+  };
+
+  Gat(int in_dim, int num_classes, const Options& options,
+      linalg::Rng* rng);
+
+  void Prepare(const graph::Graph& g) override;
+  Forwarded Forward(autograd::Tape* tape, const graph::Graph& g,
+                    bool training, linalg::Rng* rng) override;
+  std::vector<linalg::Matrix*> Parameters() override;
+
+ private:
+  /// One attention head: returns alpha * (x W).
+  autograd::Var AttentionHead(autograd::Tape* tape, autograd::Var x,
+                              autograd::Var w, autograd::Var a_src,
+                              autograd::Var a_dst);
+
+  Options options_;
+  // Layer 1: per-head W (in x hidden), a_src/a_dst (hidden x 1).
+  std::vector<linalg::Matrix> w1_, a1_src_, a1_dst_;
+  // Layer 2: single head to classes.
+  linalg::Matrix w2_, a2_src_, a2_dst_;
+  linalg::Matrix mask_;  // dense A + I mask, cached by Prepare
+};
+
+}  // namespace repro::nn
+
+#endif  // PEEGA_NN_GAT_H_

@@ -1,0 +1,29 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "linalg/ops.h"
+
+namespace repro::nn {
+
+linalg::Matrix GlorotUniform(int rows, int cols, linalg::Rng* rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  return linalg::RandomUniform(rows, cols, -a, a, rng);
+}
+
+linalg::Matrix DropoutMask(int rows, int cols, float drop,
+                           linalg::Rng* rng) {
+  linalg::Matrix mask(rows, cols, 0.0f);
+  if (drop <= 0.0f) {
+    mask.Fill(1.0f);
+    return mask;
+  }
+  const float keep_scale = 1.0f / (1.0f - drop);
+  float* p = mask.data();
+  for (int64_t i = 0; i < mask.size(); ++i) {
+    p[i] = rng->Bernoulli(drop) ? 0.0f : keep_scale;
+  }
+  return mask;
+}
+
+}  // namespace repro::nn

@@ -1,0 +1,20 @@
+#ifndef PEEGA_NN_INIT_H_
+#define PEEGA_NN_INIT_H_
+
+#include "linalg/matrix.h"
+#include "linalg/random.h"
+
+namespace repro::nn {
+
+/// Glorot (Xavier) uniform initialization: U(-a, a) with
+/// a = sqrt(6 / (fan_in + fan_out)).
+linalg::Matrix GlorotUniform(int rows, int cols, linalg::Rng* rng);
+
+/// Inverted-dropout multiplier mask: each entry is 0 with probability
+/// `drop` and 1/(1-drop) otherwise.
+linalg::Matrix DropoutMask(int rows, int cols, float drop,
+                           linalg::Rng* rng);
+
+}  // namespace repro::nn
+
+#endif  // PEEGA_NN_INIT_H_

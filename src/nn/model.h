@@ -1,0 +1,45 @@
+#ifndef PEEGA_NN_MODEL_H_
+#define PEEGA_NN_MODEL_H_
+
+#include <utility>
+#include <vector>
+
+#include "autograd/tape.h"
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+#include "linalg/random.h"
+
+namespace repro::nn {
+
+/// Interface of trainable node classifiers.
+///
+/// A model owns its parameter matrices. Each forward pass binds them onto
+/// a fresh `Tape` (returning `Forwarded::bound`) so the trainer can read
+/// the per-parameter gradients back after `Tape::Backward`.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  struct Forwarded {
+    autograd::Var logits;
+    /// (parameter, its tape handle) pairs for gradient retrieval.
+    std::vector<std::pair<linalg::Matrix*, autograd::Var>> bound;
+  };
+
+  /// Precomputes propagation structures for `g` (normalized adjacency,
+  /// feature kNN graph, ...). Called once before training or prediction
+  /// on a given graph.
+  virtual void Prepare(const graph::Graph& g) = 0;
+
+  /// Records one forward pass on `tape`. `training` enables dropout and
+  /// stochastic components; `rng` supplies their randomness.
+  virtual Forwarded Forward(autograd::Tape* tape, const graph::Graph& g,
+                            bool training, linalg::Rng* rng) = 0;
+
+  /// All trainable parameters (stable addresses for optimizer state).
+  virtual std::vector<linalg::Matrix*> Parameters() = 0;
+};
+
+}  // namespace repro::nn
+
+#endif  // PEEGA_NN_MODEL_H_

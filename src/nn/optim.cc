@@ -1,0 +1,45 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "linalg/check.h"
+
+namespace repro::nn {
+
+void Adam::Step(linalg::Matrix* param, const linalg::Matrix& grad) {
+  REPRO_CHECK(param->SameShape(grad));
+  State& s = state_[param];
+  if (s.t == 0) {
+    s.m = linalg::Matrix(param->rows(), param->cols());
+    s.v = linalg::Matrix(param->rows(), param->cols());
+  }
+  ++s.t;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(s.t));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(s.t));
+  float* p = param->data();
+  float* m = s.m.data();
+  float* v = s.v.data();
+  const float* g = grad.data();
+  const int64_t n = param->size();
+  for (int64_t i = 0; i < n; ++i) {
+    const float gi = g[i] + weight_decay_ * p[i];
+    m[i] = beta1_ * m[i] + (1.0f - beta1_) * gi;
+    v[i] = beta2_ * v[i] + (1.0f - beta2_) * gi * gi;
+    const float m_hat = m[i] / bc1;
+    const float v_hat = v[i] / bc2;
+    p[i] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+  }
+}
+
+void SgdStep(linalg::Matrix* param, const linalg::Matrix& grad, float lr,
+             float weight_decay) {
+  REPRO_CHECK(param->SameShape(grad));
+  float* p = param->data();
+  const float* g = grad.data();
+  const int64_t n = param->size();
+  for (int64_t i = 0; i < n; ++i) {
+    p[i] -= lr * (g[i] + weight_decay * p[i]);
+  }
+}
+
+}  // namespace repro::nn

@@ -1,0 +1,55 @@
+#ifndef PEEGA_NN_OPTIM_H_
+#define PEEGA_NN_OPTIM_H_
+
+#include <unordered_map>
+
+#include "linalg/matrix.h"
+
+namespace repro::nn {
+
+/// Adam optimizer with decoupled L2 weight decay (the classic
+/// loss-gradient formulation used by the GCN reference implementation:
+/// the decay term is added to the gradient before the moment updates).
+///
+/// State (first/second moments and step counter) is keyed by the
+/// parameter's address; a parameter matrix must stay at a stable address
+/// for the optimizer's lifetime.
+class Adam {
+ public:
+  explicit Adam(float lr = 0.01f, float weight_decay = 5e-4f,
+                float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f)
+      : lr_(lr), weight_decay_(weight_decay), beta1_(beta1), beta2_(beta2),
+        eps_(eps) {}
+
+  /// Applies one Adam update of `param` using `grad`.
+  void Step(linalg::Matrix* param, const linalg::Matrix& grad);
+
+  /// Drops all accumulated state (e.g. when restarting training).
+  void Reset() { state_.clear(); }
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  struct State {
+    linalg::Matrix m;
+    linalg::Matrix v;
+    int64_t t = 0;
+  };
+
+  float lr_;
+  float weight_decay_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  std::unordered_map<linalg::Matrix*, State> state_;
+};
+
+/// Plain SGD step: param -= lr * (grad + weight_decay * param).
+void SgdStep(linalg::Matrix* param, const linalg::Matrix& grad, float lr,
+             float weight_decay = 0.0f);
+
+}  // namespace repro::nn
+
+#endif  // PEEGA_NN_OPTIM_H_

@@ -1,0 +1,43 @@
+#include "nn/sgc.h"
+
+#include "linalg/ops.h"
+#include "nn/init.h"
+
+namespace repro::nn {
+
+using autograd::Tape;
+using autograd::Var;
+using linalg::Matrix;
+
+Sgc::Sgc(int in_dim, int num_classes, const Options& options,
+         linalg::Rng* rng)
+    : options_(options) {
+  w_ = GlorotUniform(in_dim, num_classes, rng);
+}
+
+void Sgc::Prepare(const graph::Graph& g) {
+  const auto a_n = graph::GcnNormalize(g.adjacency);
+  propagated_ = g.features;
+  for (int k = 0; k < options_.hops; ++k) {
+    propagated_ = linalg::SpMM(a_n, propagated_);
+  }
+}
+
+Sgc::Forwarded Sgc::Forward(Tape* tape, const graph::Graph& g,
+                            bool training, linalg::Rng* rng) {
+  (void)g;
+  Forwarded result;
+  Var w = tape->Input(w_, /*requires_grad=*/true);
+  result.bound.emplace_back(&w_, w);
+  Var x = tape->Input(propagated_, /*requires_grad=*/false);
+  if (training && options_.dropout > 0.0f) {
+    x = tape->Dropout(x, DropoutMask(x.rows(), x.cols(), options_.dropout,
+                                     rng));
+  }
+  result.logits = tape->MatMul(x, w);
+  return result;
+}
+
+std::vector<Matrix*> Sgc::Parameters() { return {&w_}; }
+
+}  // namespace repro::nn

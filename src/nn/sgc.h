@@ -1,0 +1,39 @@
+#ifndef PEEGA_NN_SGC_H_
+#define PEEGA_NN_SGC_H_
+
+#include <vector>
+
+#include "nn/model.h"
+
+namespace repro::nn {
+
+/// Simple Graph Convolution (Wu et al., ICML 2019): the nonlinearity-
+/// free GCN Z = softmax(A_n^K X W). This is exactly the linearized
+/// surrogate PEEGA's Eq. 7 and Metattack's inner model assume, so SGC
+/// serves two roles here: a cheap victim model, and a direct check that
+/// the attackers' surrogate view of GCNs is faithful (their poison
+/// graphs should transfer from SGC to GCN and back).
+class Sgc : public Model {
+ public:
+  struct Options {
+    int hops = 2;
+    float dropout = 0.0f;
+  };
+
+  Sgc(int in_dim, int num_classes, const Options& options,
+      linalg::Rng* rng);
+
+  void Prepare(const graph::Graph& g) override;
+  Forwarded Forward(autograd::Tape* tape, const graph::Graph& g,
+                    bool training, linalg::Rng* rng) override;
+  std::vector<linalg::Matrix*> Parameters() override;
+
+ private:
+  Options options_;
+  linalg::Matrix w_;
+  linalg::Matrix propagated_;  // A_n^K X, cached by Prepare
+};
+
+}  // namespace repro::nn
+
+#endif  // PEEGA_NN_SGC_H_

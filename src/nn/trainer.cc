@@ -1,0 +1,94 @@
+#include "nn/trainer.h"
+
+#include <limits>
+
+#include "autograd/tape.h"
+#include "graph/metrics.h"
+#include "linalg/ops.h"
+#include "nn/gcn.h"
+#include "nn/optim.h"
+
+namespace repro::nn {
+
+using autograd::Tape;
+using autograd::Var;
+using linalg::Matrix;
+
+TrainReport TrainNodeClassifier(Model* model, const graph::Graph& g,
+                                const TrainOptions& options,
+                                linalg::Rng* rng) {
+  model->Prepare(g);
+  Adam optimizer(options.lr, options.weight_decay);
+  const Matrix labels = g.OneHotLabels();
+  const std::vector<float> train_mask = g.NodeMask(g.train_nodes);
+
+  TrainReport report;
+  double best_val = -1.0;
+  int since_best = 0;
+  std::vector<Matrix> best_params;
+  auto snapshot = [&]() {
+    best_params.clear();
+    for (Matrix* p : model->Parameters()) best_params.push_back(*p);
+  };
+  auto restore = [&]() {
+    if (best_params.empty()) return;
+    auto params = model->Parameters();
+    for (size_t i = 0; i < params.size(); ++i) *params[i] = best_params[i];
+  };
+
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    Tape tape;
+    Model::Forwarded fwd = model->Forward(&tape, g, /*training=*/true, rng);
+    Var loss = tape.SoftmaxCrossEntropy(fwd.logits, labels, train_mask);
+    tape.Backward(loss);
+    for (auto& [param, var] : fwd.bound) {
+      optimizer.Step(param, var.grad());
+    }
+    report.final_loss = loss.value()(0, 0);
+    ++report.epochs_run;
+
+    if (options.patience > 0) {
+      const std::vector<int> preds = PredictLabels(model, g, rng);
+      const double val_acc =
+          graph::Accuracy(preds, g.labels, g.val_nodes);
+      if (val_acc > best_val) {
+        best_val = val_acc;
+        since_best = 0;
+        snapshot();
+      } else if (++since_best >= options.patience) {
+        break;
+      }
+    }
+  }
+  restore();
+
+  const std::vector<int> preds = PredictLabels(model, g, rng);
+  report.train_accuracy = graph::Accuracy(preds, g.labels, g.train_nodes);
+  report.val_accuracy = graph::Accuracy(preds, g.labels, g.val_nodes);
+  report.test_accuracy = graph::Accuracy(preds, g.labels, g.test_nodes);
+  return report;
+}
+
+Matrix PredictLogits(Model* model, const graph::Graph& g,
+                     linalg::Rng* rng) {
+  Tape tape;
+  Model::Forwarded fwd = model->Forward(&tape, g, /*training=*/false, rng);
+  return fwd.logits.value();
+}
+
+std::vector<int> PredictLabels(Model* model, const graph::Graph& g,
+                               linalg::Rng* rng) {
+  return linalg::RowArgmax(PredictLogits(model, g, rng));
+}
+
+std::vector<int> SelfTrainLabels(const graph::Graph& g, linalg::Rng* rng) {
+  Gcn::Options gcn_options;
+  Gcn gcn(g.features.cols(), g.num_classes, gcn_options, rng);
+  TrainOptions train_options;
+  TrainNodeClassifier(&gcn, g, train_options, rng);
+  std::vector<int> pseudo = PredictLabels(&gcn, g, rng);
+  for (int v : g.train_nodes) pseudo[v] = g.labels[v];
+  return pseudo;
+}
+
+}  // namespace repro::nn

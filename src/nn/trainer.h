@@ -1,0 +1,55 @@
+#ifndef PEEGA_NN_TRAINER_H_
+#define PEEGA_NN_TRAINER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/random.h"
+#include "nn/model.h"
+
+namespace repro::nn {
+
+/// Training configuration following the GCN reference setup used by the
+/// paper (Adam, lr 0.01, weight decay 5e-4, early stopping on validation
+/// accuracy).
+struct TrainOptions {
+  int max_epochs = 200;
+  float lr = 0.01f;
+  float weight_decay = 5e-4f;
+  /// Epochs without validation improvement before stopping (<=0 disables).
+  int patience = 30;
+};
+
+struct TrainReport {
+  double train_accuracy = 0.0;
+  double val_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  double final_loss = 0.0;
+  int epochs_run = 0;
+};
+
+/// Trains `model` on `g`'s training nodes with cross-entropy, early
+/// stopping on validation accuracy (best weights restored). `Prepare` is
+/// called internally.
+TrainReport TrainNodeClassifier(Model* model, const graph::Graph& g,
+                                const TrainOptions& options,
+                                linalg::Rng* rng);
+
+/// Eval-mode logits for all nodes.
+linalg::Matrix PredictLogits(Model* model, const graph::Graph& g,
+                             linalg::Rng* rng);
+
+/// Eval-mode argmax class per node (calls `Prepare`).
+std::vector<int> PredictLabels(Model* model, const graph::Graph& g,
+                               linalg::Rng* rng);
+
+/// Pseudo-labels for every node obtained by training a fresh 2-layer GCN
+/// on `g`'s labeled training nodes and predicting the rest; training
+/// labels are kept as-is. This is the "self-training" step that gray-box
+/// attackers (Metattack Meta-Self) use in place of unknown test labels.
+std::vector<int> SelfTrainLabels(const graph::Graph& g,
+                                 linalg::Rng* rng);
+
+}  // namespace repro::nn
+
+#endif  // PEEGA_NN_TRAINER_H_

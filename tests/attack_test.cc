@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "attack/common.h"
+#include "attack/gf_attack.h"
+#include "attack/metattack.h"
+#include "attack/pgd.h"
+#include "attack/random_attack.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "linalg/ops.h"
+#include "nn/gcn.h"
+#include "nn/trainer.h"
+
+namespace repro::attack {
+namespace {
+
+using graph::Graph;
+using linalg::Matrix;
+using linalg::Rng;
+
+Graph SmallGraph(uint64_t seed = 1, double scale = 0.3) {
+  Rng rng(seed);
+  return graph::MakeCoraLike(&rng, scale);
+}
+
+int TotalModifications(const Graph& clean, const AttackResult& result) {
+  return graph::ComputeEdgeDiff(clean, result.poisoned).total() / 1 +
+         static_cast<int>(
+             graph::FeatureDiffCount(clean, result.poisoned));
+}
+
+double GcnAccuracyOn(const Graph& g, uint64_t seed) {
+  Rng rng(seed);
+  nn::Gcn gcn(g.features.cols(), g.num_classes, nn::Gcn::Options(), &rng);
+  nn::TrainOptions options;
+  return nn::TrainNodeClassifier(&gcn, g, options, &rng).test_accuracy;
+}
+
+TEST(CommonTest, ComputeBudget) {
+  const Graph g = SmallGraph();
+  EXPECT_EQ(ComputeBudget(g, 0.0), 0);
+  EXPECT_EQ(ComputeBudget(g, 0.1),
+            static_cast<int>(0.1 * g.NumEdges()));
+  EXPECT_GE(ComputeBudget(g, 1e-9), 1);  // at least one when positive
+}
+
+TEST(CommonTest, AccessControlAllNodes) {
+  const AccessControl access(5, {});
+  EXPECT_TRUE(access.all_nodes());
+  EXPECT_TRUE(access.EdgeAllowed(0, 4));
+  EXPECT_TRUE(access.FeatureAllowed(3));
+}
+
+TEST(CommonTest, AccessControlSubset) {
+  const AccessControl access(5, {1, 2});
+  EXPECT_FALSE(access.all_nodes());
+  EXPECT_TRUE(access.EdgeAllowed(1, 4));   // one controlled endpoint
+  EXPECT_TRUE(access.EdgeAllowed(0, 2));
+  EXPECT_FALSE(access.EdgeAllowed(0, 4));  // neither controlled
+  EXPECT_TRUE(access.FeatureAllowed(2));
+  EXPECT_FALSE(access.FeatureAllowed(0));
+}
+
+TEST(CommonTest, FlipEdgeIsSymmetricToggle) {
+  Matrix a(3, 3);
+  FlipEdge(&a, 0, 2);
+  EXPECT_FLOAT_EQ(a(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(a(2, 0), 1.0f);
+  FlipEdge(&a, 2, 0);
+  EXPECT_FLOAT_EQ(a(0, 2), 0.0f);
+}
+
+TEST(CommonTest, BestEdgeFlipPrefersHighScore) {
+  // Gradient favors adding (0, 2) (both directions contribute).
+  Matrix a(3, 3);
+  a(0, 1) = a(1, 0) = 1.0f;  // existing edge
+  Matrix grad(3, 3);
+  grad(0, 2) = 5.0f;
+  grad(2, 0) = 1.0f;
+  grad(0, 1) = -10.0f;  // deleting (0,1) scores +20 > 6
+  grad(1, 0) = -10.0f;
+  const AccessControl access(3, {});
+  const EdgeCandidate best = BestEdgeFlip(grad, a, access);
+  EXPECT_EQ(best.u, 0);
+  EXPECT_EQ(best.v, 1);
+  EXPECT_FLOAT_EQ(best.score, 20.0f);
+}
+
+TEST(CommonTest, BestEdgeFlipRespectsAccess) {
+  Matrix a(3, 3);
+  Matrix grad(3, 3);
+  grad(0, 2) = 100.0f;
+  grad(1, 2) = 1.0f;
+  const AccessControl access(3, {1});
+  const EdgeCandidate best = BestEdgeFlip(grad, a, access);
+  EXPECT_EQ(best.u, 1);  // (0,2) not allowed: neither endpoint controlled
+  EXPECT_EQ(best.v, 2);
+}
+
+TEST(CommonTest, BestFeatureFlipDirectionality) {
+  Matrix x(2, 2);
+  x(0, 0) = 1.0f;
+  Matrix grad(2, 2);
+  grad(0, 0) = -3.0f;  // flipping 1 -> 0 gives score +3
+  grad(1, 1) = 2.0f;   // flipping 0 -> 1 gives score +2
+  const AccessControl access(2, {});
+  const FeatureCandidate best = BestFeatureFlip(grad, x, access);
+  EXPECT_EQ(best.node, 0);
+  EXPECT_EQ(best.dim, 0);
+  EXPECT_FLOAT_EQ(best.score, 3.0f);
+}
+
+TEST(CommonTest, DenseToAdjacencyDropsDiagonal) {
+  Matrix a(2, 2, 1.0f);
+  const auto sparse = DenseToAdjacency(a);
+  EXPECT_EQ(sparse.nnz(), 2);
+  EXPECT_FLOAT_EQ(sparse.At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(sparse.At(0, 1), 1.0f);
+}
+
+class AttackerContract : public ::testing::Test {
+ protected:
+  void ExpectValidPoison(const Graph& clean, const AttackResult& result,
+                         int budget) {
+    result.poisoned.CheckInvariants();
+    const auto diff = graph::ComputeEdgeDiff(clean, result.poisoned);
+    const int64_t feature_diff =
+        graph::FeatureDiffCount(clean, result.poisoned);
+    EXPECT_LE(diff.total() + feature_diff, budget);
+    EXPECT_EQ(diff.total(), result.edge_modifications);
+    EXPECT_EQ(feature_diff, result.feature_modifications);
+    EXPECT_GT(diff.total() + feature_diff, 0);
+  }
+};
+
+TEST_F(AttackerContract, RandomAttackBudgetAndInvariants) {
+  const Graph g = SmallGraph(2);
+  RandomAttack attacker;
+  AttackOptions options;
+  options.perturbation_rate = 0.1;
+  Rng rng(3);
+  const AttackResult result = attacker.Attack(g, options, &rng);
+  ExpectValidPoison(g, result, ComputeBudget(g, 0.1));
+}
+
+TEST_F(AttackerContract, PgdBudgetAndInvariants) {
+  const Graph g = SmallGraph(3);
+  PgdAttack::Options fast;
+  fast.steps = 20;
+  fast.victim_epochs = 40;
+  PgdAttack attacker(fast);
+  AttackOptions options;
+  options.perturbation_rate = 0.1;
+  Rng rng(4);
+  const AttackResult result = attacker.Attack(g, options, &rng);
+  ExpectValidPoison(g, result, ComputeBudget(g, 0.1));
+}
+
+TEST_F(AttackerContract, MinMaxBudgetAndInvariants) {
+  const Graph g = SmallGraph(4);
+  PgdAttack::Options fast;
+  fast.steps = 15;
+  fast.victim_epochs = 40;
+  fast.inner_steps = 2;
+  MinMaxAttack attacker(fast);
+  AttackOptions options;
+  options.perturbation_rate = 0.1;
+  Rng rng(5);
+  const AttackResult result = attacker.Attack(g, options, &rng);
+  ExpectValidPoison(g, result, ComputeBudget(g, 0.1));
+}
+
+TEST_F(AttackerContract, MetattackBudgetAndInvariants) {
+  const Graph g = SmallGraph(5, 0.25);
+  Metattack::Options fast;
+  fast.inner_steps = 10;
+  Metattack attacker(fast);
+  AttackOptions options;
+  options.perturbation_rate = 0.05;
+  Rng rng(6);
+  const AttackResult result = attacker.Attack(g, options, &rng);
+  ExpectValidPoison(g, result, ComputeBudget(g, 0.05));
+}
+
+TEST_F(AttackerContract, GfAttackBudgetAndInvariants) {
+  const Graph g = SmallGraph(6, 0.25);
+  GfAttack::Options fast;
+  fast.rank = 16;
+  fast.pool_factor = 10;
+  fast.refine_factor = 1;
+  GfAttack attacker(fast);
+  AttackOptions options;
+  options.perturbation_rate = 0.1;
+  Rng rng(7);
+  const AttackResult result = attacker.Attack(g, options, &rng);
+  ExpectValidPoison(g, result, ComputeBudget(g, 0.1));
+}
+
+TEST_F(AttackerContract, AttackerNodeSubsetRespected) {
+  const Graph g = SmallGraph(7, 0.25);
+  Rng subset_rng(8);
+  AttackOptions options;
+  options.perturbation_rate = 0.08;
+  options.attacker_nodes = subset_rng.Sample(g.num_nodes, g.num_nodes / 5);
+  std::vector<char> controlled(g.num_nodes, 0);
+  for (int v : options.attacker_nodes) controlled[v] = 1;
+
+  RandomAttack attacker;
+  Rng rng(9);
+  const AttackResult result = attacker.Attack(g, options, &rng);
+  // Every modified edge must touch a controlled node.
+  const Graph& p = result.poisoned;
+  for (const auto& [u, v] : p.EdgeList()) {
+    if (!g.HasEdge(u, v)) EXPECT_TRUE(controlled[u] || controlled[v]);
+  }
+  for (const auto& [u, v] : g.EdgeList()) {
+    if (!p.HasEdge(u, v)) EXPECT_TRUE(controlled[u] || controlled[v]);
+  }
+}
+
+TEST(AttackEffectTest, MetattackNeverOscillatesOnOneEdge) {
+  // Regression: once the greedy objective plateaus, the attacker used to
+  // flip one edge back and forth, so the net diff stalled below the
+  // budget. With flip-freezing, every committed modification is real.
+  const Graph g = SmallGraph(20, 0.25);
+  Metattack::Options fast;
+  fast.inner_steps = 10;
+  Metattack attacker(fast);
+  AttackOptions options;
+  options.perturbation_rate = 0.25;
+  Rng rng(21);
+  const AttackResult result = attacker.Attack(g, options, &rng);
+  const auto diff = graph::ComputeEdgeDiff(g, result.poisoned);
+  const int64_t feature_diff =
+      graph::FeatureDiffCount(g, result.poisoned);
+  EXPECT_EQ(diff.total() + feature_diff,
+            result.edge_modifications + result.feature_modifications);
+}
+
+TEST(AttackEffectTest, MetattackBeatsRandomAttack) {
+  const Graph g = SmallGraph(10, 0.35);
+  AttackOptions options;
+  options.perturbation_rate = 0.15;
+
+  Metattack::Options fast;
+  fast.inner_steps = 15;
+  Metattack metattack(fast);
+  Rng rng1(11);
+  const AttackResult meta_result = metattack.Attack(g, options, &rng1);
+
+  RandomAttack random_attack;
+  Rng rng2(12);
+  const AttackResult random_result = random_attack.Attack(g, options, &rng2);
+
+  const double clean_acc = GcnAccuracyOn(g, 100);
+  const double meta_acc = GcnAccuracyOn(meta_result.poisoned, 100);
+  const double random_acc = GcnAccuracyOn(random_result.poisoned, 100);
+  EXPECT_LT(meta_acc, clean_acc);
+  EXPECT_LT(meta_acc, random_acc + 0.02);  // allow small noise margin
+}
+
+TEST(AttackEffectTest, MetattackAddsMostlyInterClassEdges) {
+  // The Sec. IV-A insight: attackers blur node context by adding edges
+  // between differently labeled nodes.
+  const Graph g = SmallGraph(13, 0.3);
+  AttackOptions options;
+  options.perturbation_rate = 0.15;
+  Metattack::Options fast;
+  fast.inner_steps = 15;
+  Metattack attacker(fast);
+  Rng rng(14);
+  const AttackResult result = attacker.Attack(g, options, &rng);
+  const auto diff = graph::ComputeEdgeDiff(g, result.poisoned);
+  EXPECT_GT(diff.add_diff, diff.add_same);
+}
+
+}  // namespace
+}  // namespace repro::attack

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/peega.h"
+#include "defense/gnnguard.h"
+#include "defense/jaccard.h"
+#include "defense/model_defenders.h"
+#include "defense/prognn.h"
+#include "defense/svd.h"
+#include "graph/generators.h"
+#include "linalg/ops.h"
+
+namespace repro::defense {
+namespace {
+
+using graph::Graph;
+using linalg::Matrix;
+using linalg::Rng;
+
+Graph SmallGraph(uint64_t seed = 1, double scale = 0.3) {
+  Rng rng(seed);
+  return graph::MakeCoraLike(&rng, scale);
+}
+
+Graph PoisonedGraph(const Graph& g, double rate = 0.15) {
+  core::PeegaAttack attacker;
+  attack::AttackOptions options;
+  options.perturbation_rate = rate;
+  Rng rng(55);
+  return attacker.Attack(g, options, &rng).poisoned;
+}
+
+TEST(JaccardTest, PurifyRemovesOnlyDissimilarEdges) {
+  Graph g;
+  g.num_nodes = 4;
+  g.num_classes = 2;
+  g.adjacency = graph::AdjacencyFromEdges(4, {{0, 1}, {0, 2}, {2, 3}});
+  g.features = Matrix::FromRows(
+      {{1, 1, 0, 0}, {1, 1, 0, 0}, {0, 0, 1, 1}, {0, 0, 1, 1}});
+  g.labels = {0, 0, 1, 1};
+  g.train_nodes = {0, 2};
+  g.val_nodes = {1};
+  g.test_nodes = {3};
+
+  JaccardDefender::Options options;
+  options.threshold = 0.1f;
+  JaccardDefender defender(options);
+  const Graph purified = defender.Purify(g);
+  EXPECT_TRUE(purified.HasEdge(0, 1));   // similar: kept
+  EXPECT_TRUE(purified.HasEdge(2, 3));   // similar: kept
+  EXPECT_FALSE(purified.HasEdge(0, 2));  // dissimilar: removed
+}
+
+TEST(JaccardTest, ZeroThresholdKeepsEverything) {
+  const Graph g = SmallGraph(2, 0.2);
+  JaccardDefender::Options options;
+  options.threshold = 0.0f;
+  JaccardDefender defender(options);
+  EXPECT_EQ(defender.Purify(g).NumEdges(), g.NumEdges());
+}
+
+TEST(SvdTest, PurifiedAdjacencyIsNonNegativeWithoutSelfLoops) {
+  const Graph g = SmallGraph(3, 0.25);
+  SvdDefender defender;
+  Rng rng(4);
+  const auto purified = defender.Purify(g, &rng);
+  for (float v : purified.values()) EXPECT_GE(v, 0.0f);
+  for (int i = 0; i < g.num_nodes; ++i) {
+    EXPECT_FLOAT_EQ(purified.At(i, i), 0.0f);
+  }
+}
+
+TEST(SvdTest, LowRankFiltersRandomNoiseEdges) {
+  // A dense 2-block community graph is near rank-2; random cross edges
+  // should be attenuated in the reconstruction relative to block edges.
+  Rng rng(5);
+  const Graph g = graph::MakePolblogsLike(&rng, 0.4);
+  SvdDefender::Options options;
+  options.rank = 8;
+  SvdDefender defender(options);
+  Rng rng2(6);
+  const auto purified = defender.Purify(g, &rng2);
+  EXPECT_GT(purified.nnz(), 0);
+}
+
+TEST(DefenderContract, AllDefendersBeatChanceOnPoisonedGraph) {
+  const Graph g = SmallGraph(7, 0.3);
+  const Graph poisoned = PoisonedGraph(g, 0.1);
+  nn::TrainOptions train;
+  train.max_epochs = 100;
+  const double chance = 1.0 / g.num_classes;
+
+  GcnDefender gcn;
+  GatDefender gat;
+  JaccardDefender jaccard;
+  SvdDefender svd;
+  RGcnDefender rgcn;
+  SimPGcnDefender simpgcn;
+  std::vector<Defender*> defenders = {&gcn,  &gat,  &jaccard,
+                                      &svd,  &rgcn, &simpgcn};
+  for (Defender* d : defenders) {
+    Rng rng(8);
+    const DefenseReport report = d->Run(poisoned, train, &rng);
+    EXPECT_GT(report.test_accuracy, chance + 0.1) << d->name();
+    EXPECT_GT(report.train_seconds, 0.0) << d->name();
+  }
+}
+
+TEST(ProGnnTest, RunsAndBeatsChance) {
+  const Graph g = SmallGraph(9, 0.2);
+  const Graph poisoned = PoisonedGraph(g, 0.1);
+  ProGnnDefender::Options options;
+  options.outer_epochs = 25;
+  options.lowrank_every = 10;
+  ProGnnDefender defender(options);
+  nn::TrainOptions train;
+  train.max_epochs = 80;
+  Rng rng(10);
+  const DefenseReport report = defender.Run(poisoned, train, &rng);
+  EXPECT_GT(report.test_accuracy, 1.0 / g.num_classes + 0.1);
+}
+
+TEST(GnnGuardTest, WeightsEdgesBySimilarityAndPrunes) {
+  Graph g;
+  g.num_nodes = 4;
+  g.num_classes = 2;
+  g.adjacency = graph::AdjacencyFromEdges(4, {{0, 1}, {0, 2}, {2, 3}});
+  g.features = Matrix::FromRows(
+      {{1, 1, 0, 0}, {1, 1, 0, 0}, {0, 0, 1, 1}, {0, 0, 1, 1}});
+  g.labels = {0, 0, 1, 1};
+  g.train_nodes = {0, 2};
+  g.val_nodes = {1};
+  g.test_nodes = {3};
+  GnnGuardDefender defender;
+  const auto weighted = defender.WeightedAdjacency(g);
+  EXPECT_NEAR(weighted.At(0, 1), 1.0f, 1e-5f);   // identical features
+  EXPECT_FLOAT_EQ(weighted.At(0, 2), 0.0f);      // orthogonal: pruned
+  EXPECT_NEAR(weighted.At(3, 2), 1.0f, 1e-5f);
+  // Symmetric.
+  EXPECT_FLOAT_EQ(weighted.At(1, 0), weighted.At(0, 1));
+}
+
+TEST(GnnGuardTest, FallsBackOnIdentityFeatures) {
+  Rng rng(30);
+  const Graph g = graph::MakePolblogsLike(&rng, 0.4);
+  GnnGuardDefender defender;
+  const auto weighted = defender.WeightedAdjacency(g);
+  // Identity features zero all similarities; topology must survive.
+  EXPECT_EQ(weighted.nnz(), g.adjacency.nnz());
+}
+
+TEST(GnnGuardTest, BeatsChanceOnPoisonedGraph) {
+  const Graph g = SmallGraph(31, 0.3);
+  const Graph poisoned = PoisonedGraph(g, 0.1);
+  GnnGuardDefender defender;
+  nn::TrainOptions train;
+  train.max_epochs = 100;
+  Rng rng(32);
+  const DefenseReport report = defender.Run(poisoned, train, &rng);
+  EXPECT_GT(report.test_accuracy, 1.0 / g.num_classes + 0.2);
+}
+
+TEST(DefenderContract, NamesAreStable) {
+  EXPECT_EQ(GcnDefender().name(), "GCN");
+  EXPECT_EQ(GatDefender().name(), "GAT");
+  EXPECT_EQ(JaccardDefender().name(), "GCN-Jaccard");
+  EXPECT_EQ(SvdDefender().name(), "GCN-SVD");
+  EXPECT_EQ(RGcnDefender().name(), "RGCN");
+  EXPECT_EQ(ProGnnDefender().name(), "Pro-GNN");
+  EXPECT_EQ(SimPGcnDefender().name(), "SimPGCN");
+  EXPECT_EQ(GnnGuardDefender().name(), "GNNGuard");
+}
+
+}  // namespace
+}  // namespace repro::defense

@@ -1,0 +1,193 @@
+// Tests for the paper's conclusion extensions (PEEGA-Batch parallel
+// selection, GNAT edge pruning) and the extra baselines (DICE, SGC).
+#include <gtest/gtest.h>
+
+#include "attack/dice.h"
+#include "core/gnat.h"
+#include "core/peega.h"
+#include "core/peega_batch.h"
+#include "defense/model_defenders.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "linalg/ops.h"
+#include "nn/sgc.h"
+#include "nn/trainer.h"
+
+namespace repro {
+namespace {
+
+using attack::AttackOptions;
+using attack::AttackResult;
+using graph::Graph;
+using linalg::Rng;
+
+Graph SmallGraph(uint64_t seed = 1, double scale = 0.3) {
+  Rng rng(seed);
+  return graph::MakeCoraLike(&rng, scale);
+}
+
+TEST(DiceTest, BudgetRespectedAndInvariantsHold) {
+  const Graph g = SmallGraph(2);
+  attack::DiceAttack attacker;
+  AttackOptions options;
+  options.perturbation_rate = 0.1;
+  Rng rng(3);
+  const AttackResult result = attacker.Attack(g, options, &rng);
+  result.poisoned.CheckInvariants();
+  EXPECT_LE(graph::ComputeEdgeDiff(g, result.poisoned).total(),
+            attack::ComputeBudget(g, 0.1));
+}
+
+TEST(DiceTest, FollowsItsNamesake) {
+  // All additions are inter-class, all deletions intra-class.
+  const Graph g = SmallGraph(4);
+  attack::DiceAttack attacker;
+  AttackOptions options;
+  options.perturbation_rate = 0.15;
+  Rng rng(5);
+  const AttackResult result = attacker.Attack(g, options, &rng);
+  const auto diff = graph::ComputeEdgeDiff(g, result.poisoned);
+  EXPECT_EQ(diff.add_same, 0);
+  EXPECT_EQ(diff.del_diff, 0);
+  EXPECT_GT(diff.add_diff, 0);
+  EXPECT_GT(diff.del_same, 0);
+}
+
+TEST(SgcTest, TrainsCloseToGcn) {
+  Rng gen_rng(6);
+  const Graph g = graph::MakeCoraLike(&gen_rng, 0.5);
+  Rng rng(7);
+  nn::Sgc sgc(g.features.cols(), g.num_classes, nn::Sgc::Options(), &rng);
+  nn::TrainOptions train;
+  const auto sgc_report = nn::TrainNodeClassifier(&sgc, g, train, &rng);
+  EXPECT_GT(sgc_report.test_accuracy, 0.6);
+}
+
+TEST(SgcTest, PoisonTransfersBetweenSgcAndGcn) {
+  // The PEEGA surrogate is exactly SGC; a PEEGA poison graph must hurt
+  // SGC at least as clearly as GCN (transfer sanity).
+  Rng gen_rng(8);
+  const Graph g = graph::MakeCoraLike(&gen_rng, 0.5);
+  core::PeegaAttack attacker;
+  AttackOptions options;
+  options.perturbation_rate = 0.15;
+  Rng attack_rng(9);
+  const Graph poisoned = attacker.Attack(g, options, &attack_rng).poisoned;
+
+  nn::TrainOptions train;
+  Rng rng1(10), rng2(10);
+  nn::Sgc clean_sgc(g.features.cols(), g.num_classes, nn::Sgc::Options(),
+                    &rng1);
+  nn::Sgc poison_sgc(g.features.cols(), g.num_classes, nn::Sgc::Options(),
+                     &rng2);
+  const double clean_acc =
+      nn::TrainNodeClassifier(&clean_sgc, g, train, &rng1).test_accuracy;
+  const double poison_acc =
+      nn::TrainNodeClassifier(&poison_sgc, poisoned, train, &rng2)
+          .test_accuracy;
+  EXPECT_LT(poison_acc, clean_acc);
+}
+
+TEST(PeegaBatchTest, BudgetAndInvariants) {
+  const Graph g = SmallGraph(11);
+  core::PeegaBatchAttack attacker;
+  AttackOptions options;
+  options.perturbation_rate = 0.1;
+  Rng rng(12);
+  const AttackResult result = attacker.Attack(g, options, &rng);
+  result.poisoned.CheckInvariants();
+  const auto diff = graph::ComputeEdgeDiff(g, result.poisoned);
+  const int64_t feature_diff =
+      graph::FeatureDiffCount(g, result.poisoned);
+  EXPECT_LE(diff.total() + feature_diff, attack::ComputeBudget(g, 0.1));
+  EXPECT_EQ(diff.total() + feature_diff,
+            result.edge_modifications + result.feature_modifications);
+}
+
+TEST(PeegaBatchTest, BatchOneMatchesSequentialPeega) {
+  // With batch_size = 1 and no Gumbel noise the batched variant IS
+  // Alg. 1; the poison graphs must coincide.
+  const Graph g = SmallGraph(13, 0.25);
+  AttackOptions options;
+  options.perturbation_rate = 0.08;
+  core::PeegaBatchAttack::Options batch_options;
+  batch_options.batch_size = 1;
+  core::PeegaBatchAttack batched(batch_options);
+  core::PeegaAttack sequential;
+  Rng rng1(14), rng2(14);
+  const AttackResult a = batched.Attack(g, options, &rng1);
+  const AttackResult b = sequential.Attack(g, options, &rng2);
+  EXPECT_EQ(a.poisoned.EdgeList(), b.poisoned.EdgeList());
+  EXPECT_LT(linalg::MaxAbsDiff(a.poisoned.features, b.poisoned.features),
+            1e-6f);
+}
+
+TEST(PeegaBatchTest, FasterThanSequentialAtSameBudget) {
+  const Graph g = SmallGraph(15, 0.4);
+  AttackOptions options;
+  options.perturbation_rate = 0.15;
+  core::PeegaBatchAttack::Options batch_options;
+  batch_options.batch_size = 16;
+  core::PeegaBatchAttack batched(batch_options);
+  core::PeegaAttack sequential;
+  Rng rng1(16), rng2(16);
+  const AttackResult fast = batched.Attack(g, options, &rng1);
+  const AttackResult slow = sequential.Attack(g, options, &rng2);
+  EXPECT_LT(fast.elapsed_seconds, slow.elapsed_seconds);
+  // Still a real attack: objective clearly above zero.
+  core::PeegaAttack probe;
+  EXPECT_GT(probe.Objective(g, fast.poisoned.adjacency.ToDense(),
+                            fast.poisoned.features),
+            0.0);
+}
+
+TEST(PeegaBatchTest, GumbelNoiseDiversifiesAttacks) {
+  const Graph g = SmallGraph(17, 0.25);
+  AttackOptions options;
+  options.perturbation_rate = 0.08;
+  core::PeegaBatchAttack::Options noisy;
+  noisy.gumbel_scale = 5.0f;
+  core::PeegaBatchAttack attacker(noisy);
+  Rng rng1(18), rng2(19);
+  const AttackResult a = attacker.Attack(g, options, &rng1);
+  const AttackResult b = attacker.Attack(g, options, &rng2);
+  EXPECT_NE(a.poisoned.EdgeList(), b.poisoned.EdgeList());
+}
+
+TEST(GnatPruneTest, PruningRemovesDissimilarEdgesFromViews) {
+  const Graph g = SmallGraph(20, 0.3);
+  core::PeegaAttack attacker;
+  AttackOptions options;
+  options.perturbation_rate = 0.15;
+  Rng attack_rng(21);
+  const Graph poisoned = attacker.Attack(g, options, &attack_rng).poisoned;
+
+  nn::TrainOptions train;
+  train.max_epochs = 80;
+  core::GnatDefender::Options plain;
+  core::GnatDefender::Options pruned = plain;
+  pruned.prune_threshold = 0.02f;
+  Rng rng1(22), rng2(22);
+  const double plain_acc =
+      core::GnatDefender(plain).Run(poisoned, train, &rng1).test_accuracy;
+  const double pruned_acc =
+      core::GnatDefender(pruned).Run(poisoned, train, &rng2).test_accuracy;
+  // Pruning must not collapse the defense (and usually helps).
+  EXPECT_GT(pruned_acc, plain_acc - 0.05);
+}
+
+TEST(GnatPruneTest, ZeroThresholdIsIdentical) {
+  const Graph g = SmallGraph(23, 0.2);
+  nn::TrainOptions train;
+  train.max_epochs = 40;
+  core::GnatDefender::Options off;
+  off.prune_threshold = 0.0f;
+  Rng rng1(24), rng2(24);
+  const double a =
+      core::GnatDefender(off).Run(g, train, &rng1).test_accuracy;
+  const double b = core::GnatDefender().Run(g, train, &rng2).test_accuracy;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,274 @@
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/metrics.h"
+#include "linalg/ops.h"
+
+namespace repro::graph {
+namespace {
+
+using linalg::Matrix;
+using linalg::Rng;
+using linalg::SparseMatrix;
+
+Graph TinyPathGraph() {
+  // 0 - 1 - 2 - 3, labels {0, 0, 1, 1}, one feature per class.
+  Graph g;
+  g.num_nodes = 4;
+  g.num_classes = 2;
+  g.adjacency = AdjacencyFromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  g.features = Matrix::FromRows({{1, 0}, {1, 0}, {0, 1}, {0, 1}});
+  g.labels = {0, 0, 1, 1};
+  g.train_nodes = {0, 3};
+  g.val_nodes = {1};
+  g.test_nodes = {2};
+  return g;
+}
+
+TEST(GraphTest, NeighborsAndEdges) {
+  const Graph g = TinyPathGraph();
+  EXPECT_EQ(g.NumEdges(), 3);
+  EXPECT_EQ(g.Neighbors(1), (std::vector<int>{0, 2}));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+  const auto edges = g.EdgeList();
+  EXPECT_EQ(edges.size(), 3u);
+  for (const auto& [u, v] : edges) EXPECT_LT(u, v);
+}
+
+TEST(GraphTest, OneHotLabels) {
+  const Graph g = TinyPathGraph();
+  const Matrix y = g.OneHotLabels();
+  EXPECT_FLOAT_EQ(y(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(y(2, 1), 1.0f);
+  EXPECT_FLOAT_EQ(y(2, 0), 0.0f);
+}
+
+TEST(GraphTest, NodeMask) {
+  const Graph g = TinyPathGraph();
+  const std::vector<float> mask = g.NodeMask({0, 2});
+  EXPECT_FLOAT_EQ(mask[0], 1.0f);
+  EXPECT_FLOAT_EQ(mask[1], 0.0f);
+  EXPECT_FLOAT_EQ(mask[2], 1.0f);
+}
+
+TEST(GraphTest, CheckInvariantsAcceptsValidGraph) {
+  TinyPathGraph().CheckInvariants();
+}
+
+TEST(GraphTest, WithAdjacencyKeepsOtherFields) {
+  const Graph g = TinyPathGraph();
+  const Graph g2 = g.WithAdjacency(AdjacencyFromEdges(4, {{0, 3}}));
+  EXPECT_EQ(g2.num_nodes, 4);
+  EXPECT_EQ(g2.NumEdges(), 1);
+  EXPECT_EQ(g2.labels, g.labels);
+  EXPECT_LT(linalg::MaxAbsDiff(g2.features, g.features), 1e-6f);
+}
+
+TEST(NormalizeTest, GcnNormalizeRowValues) {
+  // Path 0-1-2: degrees with self-loop 2, 3, 2.
+  const SparseMatrix adj = AdjacencyFromEdges(3, {{0, 1}, {1, 2}});
+  const SparseMatrix a_n = GcnNormalize(adj);
+  EXPECT_NEAR(a_n.At(0, 0), 0.5f, 1e-5f);
+  EXPECT_NEAR(a_n.At(0, 1), 1.0f / std::sqrt(6.0f), 1e-5f);
+  EXPECT_NEAR(a_n.At(1, 1), 1.0f / 3.0f, 1e-5f);
+  EXPECT_NEAR(a_n.At(2, 0), 0.0f, 1e-5f);
+}
+
+TEST(NormalizeTest, NormalizedMatrixIsSymmetric) {
+  Rng rng(1);
+  const Graph g = MakeCoraLike(&rng, 0.3);
+  const SparseMatrix a_n = GcnNormalize(g.adjacency);
+  const SparseMatrix a_n_t = a_n.Transposed();
+  EXPECT_LT(linalg::MaxAbsDiff(a_n.ToDense(), a_n_t.ToDense()), 1e-5f);
+}
+
+TEST(NormalizeTest, WeightedSelfLoopIncreasesDiagonal) {
+  const SparseMatrix adj = AdjacencyFromEdges(3, {{0, 1}, {1, 2}});
+  const SparseMatrix plain = GcnNormalize(adj);
+  const SparseMatrix heavy = GcnNormalizeWeighted(adj, 11.0f);
+  EXPECT_GT(heavy.At(0, 0), plain.At(0, 0));
+  EXPECT_LT(heavy.At(0, 1), plain.At(0, 1));
+}
+
+TEST(NormalizeTest, IsolatedNodeHandled) {
+  const SparseMatrix adj = AdjacencyFromEdges(3, {{0, 1}});
+  const SparseMatrix a_n = GcnNormalize(adj);
+  EXPECT_NEAR(a_n.At(2, 2), 1.0f, 1e-5f);  // only its self-loop
+}
+
+TEST(KHopTest, TwoHopReachability) {
+  // Path 0-1-2-3: 2-hop neighbors of 0 are {1, 2}.
+  const SparseMatrix adj =
+      AdjacencyFromEdges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const SparseMatrix two_hop = KHopAdjacency(adj, 2);
+  EXPECT_GT(two_hop.At(0, 1), 0.0f);
+  EXPECT_GT(two_hop.At(0, 2), 0.0f);
+  EXPECT_FLOAT_EQ(two_hop.At(0, 3), 0.0f);
+  EXPECT_FLOAT_EQ(two_hop.At(0, 0), 0.0f);  // no self loops
+}
+
+TEST(KHopTest, OneHopIsIdentityTransform) {
+  const SparseMatrix adj = AdjacencyFromEdges(4, {{0, 1}, {2, 3}});
+  const SparseMatrix one_hop = KHopAdjacency(adj, 1);
+  EXPECT_LT(linalg::MaxAbsDiff(one_hop.ToDense(), adj.ToDense()), 1e-6f);
+}
+
+TEST(GeneratorTest, CoraLikeMatchesConfiguredShape) {
+  Rng rng(2);
+  const Graph g = MakeCoraLike(&rng);
+  EXPECT_EQ(g.num_nodes, 500);
+  EXPECT_EQ(g.num_classes, 7);
+  g.CheckInvariants();
+  // Splits partition the node set.
+  EXPECT_EQ(g.train_nodes.size() + g.val_nodes.size() +
+                g.test_nodes.size(),
+            static_cast<size_t>(g.num_nodes));
+  // Average degree close to config (4.1).
+  const double avg_degree = 2.0 * g.NumEdges() / g.num_nodes;
+  EXPECT_NEAR(avg_degree, 4.1, 0.8);
+}
+
+TEST(GeneratorTest, HomophilyIsCalibrated) {
+  Rng rng(3);
+  const Graph cora = MakeCoraLike(&rng);
+  EXPECT_GT(HomophilyRatio(cora), 0.70);  // paper Fig. 1: >= 70.43%
+  const Graph polblogs = MakePolblogsLike(&rng);
+  EXPECT_GT(HomophilyRatio(polblogs), 0.85);
+}
+
+TEST(GeneratorTest, FeaturesCorrelateWithClasses) {
+  Rng rng(4);
+  const Graph g = MakeCiteseerLike(&rng);
+  // Mean intra-class cosine similarity must exceed inter-class.
+  double intra = 0.0, inter = 0.0;
+  int n_intra = 0, n_inter = 0;
+  for (int i = 0; i < 200; ++i) {
+    for (int j = i + 1; j < 200; ++j) {
+      const float s = linalg::CosineSimilarity(g.features, i, j);
+      if (g.labels[i] == g.labels[j]) {
+        intra += s;
+        ++n_intra;
+      } else {
+        inter += s;
+        ++n_inter;
+      }
+    }
+  }
+  EXPECT_GT(intra / n_intra, 1.5 * (inter / n_inter));
+}
+
+TEST(GeneratorTest, PolblogsHasIdentityFeatures) {
+  Rng rng(5);
+  const Graph g = MakePolblogsLike(&rng);
+  EXPECT_EQ(g.features.cols(), g.num_nodes);
+  EXPECT_LT(linalg::MaxAbsDiff(g.features,
+                               Matrix::Identity(g.num_nodes)),
+            1e-6f);
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  Rng rng1(6), rng2(6);
+  const Graph a = MakeCoraLike(&rng1, 0.4);
+  const Graph b = MakeCoraLike(&rng2, 0.4);
+  EXPECT_EQ(a.EdgeList(), b.EdgeList());
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_LT(linalg::MaxAbsDiff(a.features, b.features), 1e-6f);
+}
+
+TEST(MetricsTest, HomophilyOnKnownGraph) {
+  const Graph g = TinyPathGraph();
+  // Edges: (0,1) same, (1,2) diff, (2,3) same -> 2/3.
+  EXPECT_NEAR(HomophilyRatio(g), 2.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, CrossLabelSimilarityIdentifiesCleanStructure) {
+  Rng rng(7);
+  const Graph g = MakeCoraLike(&rng);
+  const Matrix sim = CrossLabelSimilarity(g);
+  const LabelSimilaritySummary s = SummarizeLabelSimilarity(sim);
+  EXPECT_GT(s.intra, s.inter);  // clean graphs: intra >> inter (Fig. 3)
+}
+
+TEST(MetricsTest, EdgeDiffCountsAllFourBuckets) {
+  const Graph clean = TinyPathGraph();
+  // Add (0,3): labels differ -> add_diff. Add (0,2): differ -> add_diff.
+  // Remove (0,1): same -> del_same.
+  Graph poisoned = clean.WithAdjacency(
+      AdjacencyFromEdges(4, {{1, 2}, {2, 3}, {0, 3}, {0, 2}}));
+  const EdgeDiffStats stats = ComputeEdgeDiff(clean, poisoned);
+  EXPECT_EQ(stats.add_diff, 2);
+  EXPECT_EQ(stats.add_same, 0);
+  EXPECT_EQ(stats.del_same, 1);
+  EXPECT_EQ(stats.del_diff, 0);
+  EXPECT_EQ(stats.total(), 3);
+}
+
+TEST(MetricsTest, FeatureDiffCount) {
+  const Graph clean = TinyPathGraph();
+  Graph poisoned = clean;
+  poisoned.features(0, 1) = 1.0f;
+  poisoned.features(3, 0) = 1.0f;
+  EXPECT_EQ(FeatureDiffCount(clean, poisoned), 2);
+}
+
+TEST(MetricsTest, AccuracyComputation) {
+  const std::vector<int> preds = {0, 1, 1, 0};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(Accuracy(preds, labels, {0, 1, 2, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(Accuracy(preds, labels, {0, 2}), 1.0);
+}
+
+TEST(IoTest, SaveLoadRoundTrip) {
+  Rng rng(8);
+  const Graph g = MakeCiteseerLike(&rng, 0.2);
+  const std::string path = ::testing::TempDir() + "/graph_roundtrip.txt";
+  ASSERT_TRUE(SaveGraph(g, path));
+  Graph loaded;
+  ASSERT_TRUE(LoadGraph(path, &loaded));
+  EXPECT_EQ(loaded.num_nodes, g.num_nodes);
+  EXPECT_EQ(loaded.num_classes, g.num_classes);
+  EXPECT_EQ(loaded.labels, g.labels);
+  EXPECT_EQ(loaded.train_nodes, g.train_nodes);
+  EXPECT_EQ(loaded.EdgeList(), g.EdgeList());
+  EXPECT_LT(linalg::MaxAbsDiff(loaded.features, g.features), 1e-6f);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadRejectsMissingFile) {
+  Graph g;
+  EXPECT_FALSE(LoadGraph("/nonexistent/path/graph.txt", &g));
+}
+
+TEST(IoTest, LoadRejectsCorruptHeader) {
+  const std::string path = ::testing::TempDir() + "/bad_graph.txt";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("not-a-graph 9\n", f);
+  fclose(f);
+  Graph g;
+  EXPECT_FALSE(LoadGraph(path, &g));
+  std::remove(path.c_str());
+}
+
+TEST(SplitTest, FractionsRespected) {
+  Rng rng(9);
+  Graph g = MakeCoraLike(&rng, 0.5);
+  AssignSplits(&g, 0.2, 0.3, &rng);
+  EXPECT_EQ(g.train_nodes.size(), 50u);
+  EXPECT_EQ(g.val_nodes.size(), 75u);
+  EXPECT_EQ(g.test_nodes.size(), 125u);
+  std::set<int> all;
+  for (int v : g.train_nodes) all.insert(v);
+  for (int v : g.val_nodes) all.insert(v);
+  for (int v : g.test_nodes) all.insert(v);
+  EXPECT_EQ(all.size(), 250u);  // disjoint cover
+}
+
+}  // namespace
+}  // namespace repro::graph

@@ -1,0 +1,300 @@
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "linalg/eigen.h"
+#include "linalg/matrix.h"
+#include "linalg/ops.h"
+#include "linalg/random.h"
+#include "linalg/sparse.h"
+
+namespace repro::linalg {
+namespace {
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  EXPECT_FLOAT_EQ(m(1, 2), 1.5f);
+  m(0, 1) = -2.0f;
+  EXPECT_FLOAT_EQ(m(0, 1), -2.0f);
+}
+
+TEST(MatrixTest, IdentityHasOnesOnDiagonal) {
+  const Matrix id = Matrix::Identity(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(id(i, j), i == j ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(MatrixTest, FromRowsMatchesInput) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_FLOAT_EQ(m(2, 1), 6.0f);
+}
+
+TEST(MatrixTest, FillOverwritesEverything) {
+  Matrix m(3, 3, 1.0f);
+  m.Fill(7.0f);
+  EXPECT_FLOAT_EQ(m(2, 2), 7.0f);
+  EXPECT_DOUBLE_EQ(Sum(m), 63.0);
+}
+
+TEST(OpsTest, MatMulMatchesManual) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 50.0f);
+}
+
+TEST(OpsTest, MatMulTransVariantsAgreeWithExplicitTranspose) {
+  Rng rng(1);
+  const Matrix a = RandomNormal(7, 5, 1.0f, &rng);
+  const Matrix b = RandomNormal(7, 4, 1.0f, &rng);
+  const Matrix expected = MatMul(Transpose(a), b);
+  EXPECT_LT(MaxAbsDiff(MatMulTransA(a, b), expected), 1e-4f);
+
+  const Matrix c = RandomNormal(6, 5, 1.0f, &rng);
+  const Matrix d = RandomNormal(3, 5, 1.0f, &rng);
+  const Matrix expected2 = MatMul(c, Transpose(d));
+  EXPECT_LT(MaxAbsDiff(MatMulTransB(c, d), expected2), 1e-4f);
+}
+
+TEST(OpsTest, ElementwiseOps) {
+  const Matrix a = Matrix::FromRows({{1, -2}, {3, 0}});
+  const Matrix b = Matrix::FromRows({{2, 2}, {-1, 5}});
+  EXPECT_FLOAT_EQ(Add(a, b)(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(Sub(a, b)(1, 0), 4.0f);
+  EXPECT_FLOAT_EQ(Mul(a, b)(0, 1), -4.0f);
+  EXPECT_FLOAT_EQ(Affine(a, 2.0f, 1.0f)(0, 1), -3.0f);
+}
+
+TEST(OpsTest, ReluAndLeakyRelu) {
+  const Matrix a = Matrix::FromRows({{-1, 2}});
+  EXPECT_FLOAT_EQ(Relu(a)(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(Relu(a)(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(LeakyRelu(a, 0.1f)(0, 0), -0.1f);
+}
+
+TEST(OpsTest, RowSoftmaxRowsSumToOne) {
+  Rng rng(2);
+  const Matrix a = RandomNormal(5, 7, 3.0f, &rng);
+  const Matrix s = RowSoftmax(a);
+  for (int i = 0; i < 5; ++i) {
+    float total = 0.0f;
+    for (int j = 0; j < 7; ++j) {
+      EXPECT_GE(s(i, j), 0.0f);
+      total += s(i, j);
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, RowSoftmaxIsShiftInvariant) {
+  const Matrix a = Matrix::FromRows({{1000.0f, 1001.0f, 999.0f}});
+  const Matrix s = RowSoftmax(a);
+  EXPECT_FALSE(std::isnan(s(0, 0)));
+  EXPECT_GT(s(0, 1), s(0, 0));
+  EXPECT_GT(s(0, 0), s(0, 2));
+}
+
+TEST(OpsTest, RowArgmaxPicksLargest) {
+  const Matrix a = Matrix::FromRows({{0.1f, 0.9f, 0.3f}, {5, 1, 2}});
+  const std::vector<int> argmax = RowArgmax(a);
+  EXPECT_EQ(argmax[0], 1);
+  EXPECT_EQ(argmax[1], 0);
+}
+
+TEST(OpsTest, ScaleRowsAndCols) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix r = ScaleRows(a, {2.0f, 0.5f});
+  EXPECT_FLOAT_EQ(r(0, 1), 4.0f);
+  EXPECT_FLOAT_EQ(r(1, 0), 1.5f);
+  const Matrix c = ScaleCols(a, {10.0f, 0.0f});
+  EXPECT_FLOAT_EQ(c(1, 0), 30.0f);
+  EXPECT_FLOAT_EQ(c(1, 1), 0.0f);
+}
+
+TEST(OpsTest, CountNonZeroUsesTolerance) {
+  const Matrix a = Matrix::FromRows({{0.0f, 0.4f, 0.6f, 1.0f}});
+  EXPECT_EQ(CountNonZero(a), 2);  // default tol 0.5
+  EXPECT_EQ(CountNonZero(a, 0.0f), 3);
+}
+
+TEST(OpsTest, CosineSimilarityProperties) {
+  const Matrix x = Matrix::FromRows({{1, 0, 1}, {1, 0, 1}, {0, 1, 0}});
+  EXPECT_NEAR(CosineSimilarity(x, 0, 1), 1.0f, 1e-6f);
+  EXPECT_NEAR(CosineSimilarity(x, 0, 2), 0.0f, 1e-6f);
+}
+
+TEST(OpsTest, CosineSimilarityZeroRowIsZero) {
+  const Matrix x = Matrix::FromRows({{0, 0}, {1, 1}});
+  EXPECT_FLOAT_EQ(CosineSimilarity(x, 0, 1), 0.0f);
+}
+
+TEST(OpsTest, JaccardSimilarity) {
+  const Matrix x = Matrix::FromRows({{1, 1, 0, 0}, {1, 0, 1, 0}});
+  EXPECT_NEAR(JaccardSimilarity(x, 0, 1), 1.0f / 3.0f, 1e-6f);
+  EXPECT_NEAR(JaccardSimilarity(x, 0, 0), 1.0f, 1e-6f);
+}
+
+TEST(OpsTest, RSqrtMapsZeroToZero) {
+  const std::vector<float> y = RSqrt({4.0f, 0.0f, 0.25f});
+  EXPECT_FLOAT_EQ(y[0], 0.5f);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+}
+
+TEST(SparseTest, FromTripletsSumsDuplicates) {
+  const SparseMatrix m = SparseMatrix::FromTriplets(
+      3, 3, {{0, 1, 1.0f}, {0, 1, 2.0f}, {2, 0, 5.0f}});
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_FLOAT_EQ(m.At(0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(m.At(2, 0), 5.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 1), 0.0f);
+}
+
+TEST(SparseTest, EmptyRowsHaveValidRowPtr) {
+  const SparseMatrix m =
+      SparseMatrix::FromTriplets(4, 4, {{3, 0, 1.0f}});
+  EXPECT_EQ(m.RowNnz(0), 0);
+  EXPECT_EQ(m.RowNnz(3), 1);
+}
+
+TEST(SparseTest, DenseRoundTrip) {
+  Rng rng(3);
+  Matrix dense = RandomUniform(6, 5, 0.0f, 1.0f, &rng);
+  // Sparsify ~half.
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      if (dense(i, j) < 0.5f) dense(i, j) = 0.0f;
+    }
+  }
+  const SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  EXPECT_LT(MaxAbsDiff(sparse.ToDense(), dense), 1e-6f);
+}
+
+TEST(SparseTest, TransposeIsInvolution) {
+  const SparseMatrix m = SparseMatrix::FromTriplets(
+      3, 4, {{0, 3, 2.0f}, {1, 0, -1.0f}, {2, 2, 4.0f}});
+  const SparseMatrix tt = m.Transposed().Transposed();
+  EXPECT_LT(MaxAbsDiff(tt.ToDense(), m.ToDense()), 1e-6f);
+  EXPECT_FLOAT_EQ(m.Transposed().At(3, 0), 2.0f);
+}
+
+TEST(SparseTest, SpMMMatchesDense) {
+  Rng rng(4);
+  Matrix dense = RandomNormal(8, 8, 1.0f, &rng);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      if (std::fabs(dense(i, j)) < 0.8f) dense(i, j) = 0.0f;
+    }
+  }
+  const SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  const Matrix b = RandomNormal(8, 3, 1.0f, &rng);
+  EXPECT_LT(MaxAbsDiff(SpMM(sparse, b), MatMul(dense, b)), 1e-4f);
+}
+
+TEST(SparseTest, SpMVMatchesDense) {
+  const SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 3, {{0, 0, 1.0f}, {0, 2, 2.0f}, {1, 1, 3.0f}});
+  const std::vector<float> y = SpMV(m, {1.0f, 2.0f, 3.0f});
+  EXPECT_FLOAT_EQ(y[0], 7.0f);
+  EXPECT_FLOAT_EQ(y[1], 6.0f);
+}
+
+TEST(EigenTest, RecoverKnownSpectrum) {
+  // Diagonal matrix: eigenvalues are the diagonal.
+  Matrix d(5, 5);
+  const std::vector<float> diag = {9.0f, -6.0f, 3.0f, 1.0f, 0.5f};
+  for (int i = 0; i < 5; ++i) d(i, i) = diag[i];
+  Rng rng(5);
+  const EigenResult eig = TopKEigenSymmetricDense(d, 3, &rng, 60);
+  EXPECT_NEAR(eig.values[0], 9.0f, 1e-3f);
+  EXPECT_NEAR(std::fabs(eig.values[1]), 6.0f, 1e-3f);
+  EXPECT_NEAR(eig.values[2], 3.0f, 1e-3f);
+}
+
+TEST(EigenTest, ReconstructionApproximatesLowRankMatrix) {
+  // Build an exactly rank-2 symmetric matrix.
+  Rng rng(6);
+  const Matrix u = RandomNormal(10, 2, 1.0f, &rng);
+  const Matrix a = MatMulTransB(u, u);  // u u^T, PSD rank 2
+  const EigenResult eig = TopKEigenSymmetricDense(a, 2, &rng, 60);
+  const Matrix rec = LowRankReconstruct(eig);
+  EXPECT_LT(MaxAbsDiff(rec, a), 1e-2f);
+}
+
+TEST(EigenTest, SparseAndDensePathsAgree) {
+  Rng rng(7);
+  Matrix sym(12, 12);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = i; j < 12; ++j) {
+      if (rng.Bernoulli(0.3)) {
+        const float v = static_cast<float>(rng.Normal());
+        sym(i, j) = v;
+        sym(j, i) = v;
+      }
+    }
+  }
+  const EigenResult dense_eig = TopKEigenSymmetricDense(sym, 4, &rng, 60);
+  Rng rng2(7);
+  const EigenResult sparse_eig =
+      TopKEigenSymmetric(SparseMatrix::FromDense(sym), 4, &rng2, 60);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::fabs(dense_eig.values[i]),
+                std::fabs(sparse_eig.values[i]), 1e-2f);
+  }
+}
+
+TEST(EigenTest, OrthonormalizeProducesOrthonormalColumns) {
+  Rng rng(8);
+  Matrix m = RandomNormal(10, 4, 1.0f, &rng);
+  OrthonormalizeColumns(&m);
+  const Matrix gram = MatMulTransA(m, m);
+  EXPECT_LT(MaxAbsDiff(gram, Matrix::Identity(4)), 1e-4f);
+}
+
+TEST(RandomTest, PermutationIsAPermutation) {
+  Rng rng(9);
+  const std::vector<int> perm = rng.Permutation(100);
+  std::vector<int> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RandomTest, SampleIsDistinctAndInRange) {
+  Rng rng(10);
+  const std::vector<int> sample = rng.Sample(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::vector<int> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+  EXPECT_GE(sorted.front(), 0);
+  EXPECT_LT(sorted.back(), 50);
+}
+
+TEST(RandomTest, SeedDeterminism) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RandomTest, BernoulliRespectsProbabilityRoughly) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace repro::linalg

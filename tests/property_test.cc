@@ -1,0 +1,306 @@
+// Cross-cutting property suites: every attacker must uphold the same
+// contract at every budget; normalization and propagation identities
+// must hold on random graphs; training must be deterministic given a
+// seed. These parameterized tests sweep configurations the per-module
+// unit tests spot-check.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "attack/common.h"
+#include "attack/dice.h"
+#include "attack/gf_attack.h"
+#include "attack/metattack.h"
+#include "attack/pgd.h"
+#include "attack/random_attack.h"
+#include "core/peega.h"
+#include "core/peega_batch.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "linalg/ops.h"
+#include "nn/gcn.h"
+#include "nn/trainer.h"
+
+namespace repro {
+namespace {
+
+using attack::AttackOptions;
+using attack::AttackResult;
+using attack::Attacker;
+using graph::Graph;
+using linalg::Matrix;
+using linalg::Rng;
+using linalg::SparseMatrix;
+
+Graph TestGraph(uint64_t seed = 100) {
+  Rng rng(seed);
+  return graph::MakeCoraLike(&rng, 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// Attacker contract sweep: every attacker x every rate.
+// ---------------------------------------------------------------------------
+
+struct AttackerCase {
+  std::string name;
+  std::function<std::unique_ptr<Attacker>()> make;
+  double rate;
+};
+
+class AttackerProperty : public ::testing::TestWithParam<AttackerCase> {};
+
+TEST_P(AttackerProperty, BudgetSymmetryAndBinaryInvariants) {
+  const AttackerCase& param = GetParam();
+  const Graph g = TestGraph();
+  auto attacker = param.make();
+  AttackOptions options;
+  options.perturbation_rate = param.rate;
+  Rng rng(7);
+  const AttackResult result = attacker->Attack(g, options, &rng);
+
+  // Structural invariants: symmetric, binary, no self loops.
+  result.poisoned.CheckInvariants();
+  // Budget: total modifications bounded by delta.
+  const auto diff = graph::ComputeEdgeDiff(g, result.poisoned);
+  const int64_t feature_diff =
+      graph::FeatureDiffCount(g, result.poisoned);
+  EXPECT_LE(diff.total() + feature_diff,
+            attack::ComputeBudget(g, param.rate));
+  // Labels and splits untouched.
+  EXPECT_EQ(result.poisoned.labels, g.labels);
+  EXPECT_EQ(result.poisoned.train_nodes, g.train_nodes);
+  // Node count preserved.
+  EXPECT_EQ(result.poisoned.num_nodes, g.num_nodes);
+}
+
+std::vector<AttackerCase> AttackerCases() {
+  std::vector<AttackerCase> cases;
+  const std::vector<double> rates = {0.05, 0.1, 0.2};
+  for (const double rate : rates) {
+    const std::string suffix =
+        "_r" + std::to_string(static_cast<int>(rate * 100));
+    cases.push_back({"Random" + suffix,
+                     [] { return std::make_unique<attack::RandomAttack>(); },
+                     rate});
+    cases.push_back({"Dice" + suffix,
+                     [] { return std::make_unique<attack::DiceAttack>(); },
+                     rate});
+    cases.push_back({"Peega" + suffix,
+                     [] { return std::make_unique<core::PeegaAttack>(); },
+                     rate});
+    cases.push_back(
+        {"PeegaBatch" + suffix,
+         [] { return std::make_unique<core::PeegaBatchAttack>(); }, rate});
+  }
+  // Expensive attackers once at the default rate.
+  cases.push_back({"Pgd_r10",
+                   [] {
+                     attack::PgdAttack::Options fast;
+                     fast.steps = 15;
+                     fast.victim_epochs = 30;
+                     return std::make_unique<attack::PgdAttack>(fast);
+                   },
+                   0.1});
+  cases.push_back({"Metattack_r10",
+                   [] {
+                     attack::Metattack::Options fast;
+                     fast.inner_steps = 8;
+                     return std::make_unique<attack::Metattack>(fast);
+                   },
+                   0.1});
+  cases.push_back({"GfAttack_r10",
+                   [] {
+                     attack::GfAttack::Options fast;
+                     fast.rank = 12;
+                     fast.pool_factor = 8;
+                     fast.refine_factor = 1;
+                     return std::make_unique<attack::GfAttack>(fast);
+                   },
+                   0.1});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAttackers, AttackerProperty, ::testing::ValuesIn(AttackerCases()),
+    [](const ::testing::TestParamInfo<AttackerCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Normalization identities on random graphs.
+// ---------------------------------------------------------------------------
+
+class NormalizationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalizationProperty, SymmetricWithUnitSpectralRadiusBound) {
+  Rng rng(GetParam());
+  graph::SyntheticConfig config;
+  config.num_nodes = 60 + GetParam() * 7;
+  config.num_classes = 4;
+  config.feature_dim = 40;
+  config.avg_degree = 3.0 + GetParam();
+  const Graph g = graph::MakeSynthetic(config, &rng);
+  const SparseMatrix a_n = graph::GcnNormalize(g.adjacency);
+  // Symmetry.
+  EXPECT_LT(linalg::MaxAbsDiff(a_n.ToDense(),
+                               a_n.Transposed().ToDense()),
+            1e-5f);
+  // The GCN normalization has spectral radius <= 1, so repeated
+  // application must be non-expansive in L2.
+  std::vector<float> x(g.num_nodes, 1.0f);
+  auto norm2 = [](const std::vector<float>& v) {
+    double acc = 0.0;
+    for (float e : v) acc += static_cast<double>(e) * e;
+    return std::sqrt(acc);
+  };
+  const double initial_norm = norm2(x);
+  for (int it = 0; it < 20; ++it) {
+    x = linalg::SpMV(a_n, x);
+    EXPECT_LE(norm2(x), initial_norm * (1.0 + 1e-4));
+    for (float v : x) EXPECT_FALSE(std::isnan(v));
+  }
+}
+
+TEST_P(NormalizationProperty, KHopMonotoneInK) {
+  Rng rng(200 + GetParam());
+  graph::SyntheticConfig config;
+  config.num_nodes = 50;
+  config.num_classes = 3;
+  config.feature_dim = 30;
+  config.avg_degree = 2.5;
+  const Graph g = graph::MakeSynthetic(config, &rng);
+  const auto one = graph::KHopAdjacency(g.adjacency, 1);
+  const auto two = graph::KHopAdjacency(g.adjacency, 2);
+  const auto three = graph::KHopAdjacency(g.adjacency, 3);
+  EXPECT_LE(one.nnz(), two.nnz());
+  EXPECT_LE(two.nnz(), three.nnz());
+  // Every 1-hop edge survives in the 2-hop closure.
+  const auto& row_ptr = one.row_ptr();
+  const auto& col_idx = one.col_idx();
+  for (int u = 0; u < g.num_nodes; ++u) {
+    for (int64_t k = row_ptr[u]; k < row_ptr[u + 1]; ++k) {
+      EXPECT_GT(two.At(u, col_idx[k]), 0.0f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormalizationProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Determinism and training properties.
+// ---------------------------------------------------------------------------
+
+TEST(DeterminismProperty, TrainingIsBitReproducibleGivenSeed) {
+  const Graph g = TestGraph(300);
+  auto run = [&]() {
+    Rng rng(9);
+    nn::Gcn gcn(g.features.cols(), g.num_classes, nn::Gcn::Options(),
+                &rng);
+    nn::TrainOptions train;
+    train.max_epochs = 40;
+    nn::TrainNodeClassifier(&gcn, g, train, &rng);
+    return nn::PredictLogits(&gcn, g, &rng);
+  };
+  EXPECT_LT(linalg::MaxAbsDiff(run(), run()), 1e-7f);
+}
+
+TEST(DeterminismProperty, PeegaIsDeterministic) {
+  const Graph g = TestGraph(301);
+  AttackOptions options;
+  options.perturbation_rate = 0.1;
+  core::PeegaAttack attacker;
+  Rng rng1(1), rng2(999);  // PEEGA ignores the RNG entirely
+  const auto a = attacker.Attack(g, options, &rng1);
+  const auto b = attacker.Attack(g, options, &rng2);
+  EXPECT_EQ(a.poisoned.EdgeList(), b.poisoned.EdgeList());
+}
+
+TEST(TrainerProperty, BestValidationWeightsAreRestored) {
+  // After training with patience, the reported val accuracy must equal
+  // the best seen during training — i.e. restore actually happened.
+  const Graph g = TestGraph(302);
+  Rng rng(10);
+  nn::Gcn gcn(g.features.cols(), g.num_classes, nn::Gcn::Options(), &rng);
+  nn::TrainOptions train;
+  train.max_epochs = 120;
+  train.patience = 15;
+  const auto report = nn::TrainNodeClassifier(&gcn, g, train, &rng);
+  // Re-evaluate with the restored weights: must match the report.
+  const auto preds = nn::PredictLabels(&gcn, g, &rng);
+  EXPECT_DOUBLE_EQ(graph::Accuracy(preds, g.labels, g.val_nodes),
+                   report.val_accuracy);
+}
+
+// ---------------------------------------------------------------------------
+// PEEGA objective properties.
+// ---------------------------------------------------------------------------
+
+class PeegaObjectiveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PeegaObjectiveProperty, GreedyBudgetBeatsRandomBudget) {
+  // Note the Lp norm is non-differentiable at 0 (the clean graph), so
+  // the VERY FIRST greedy flip is only subgradient-guided; the robust
+  // property is that a greedy *budget* of flips reaches a higher
+  // objective than random budgets of equal size almost always.
+  const int p = GetParam();
+  Rng rng(400 + p);
+  const Graph g = graph::MakeCoraLike(&rng, 0.15);
+  core::PeegaAttack::Options options;
+  options.norm_p = p;
+  options.mode = core::PeegaAttack::Mode::kTopologyOnly;
+  core::PeegaAttack attacker(options);
+  AttackOptions attack_options;
+  attack_options.perturbation_rate = 0.05;
+  Rng attack_rng(1);
+  const auto result = attacker.Attack(g, attack_options, &attack_rng);
+  const int budget = result.edge_modifications;
+  ASSERT_GT(budget, 0);
+  const double greedy_obj = attacker.Objective(
+      g, result.poisoned.adjacency.ToDense(), result.poisoned.features);
+
+  // Gradient greedy is a linearization heuristic: single random trials
+  // can get lucky on this nonlinear objective (degree renormalization
+  // makes flips interact), but the greedy result must beat the MEAN of
+  // random budgets.
+  double random_sum = 0.0;
+  const int trials = 10;
+  for (int trial = 0; trial < trials; ++trial) {
+    Matrix base = g.adjacency.ToDense();
+    for (int flip = 0; flip < budget; ++flip) {
+      int u, v;
+      do {
+        u = static_cast<int>(rng.UniformInt(0, g.num_nodes - 1));
+        v = static_cast<int>(rng.UniformInt(0, g.num_nodes - 1));
+      } while (u == v);
+      attack::FlipEdge(&base, u, v);
+    }
+    random_sum += attacker.Objective(g, base, g.features);
+  }
+  EXPECT_GT(greedy_obj, random_sum / trials) << "p=" << p;
+}
+
+// p = 1 is excluded: its sign-based subgradient is magnitude-blind, so
+// gradient greedy is not reliably better than random at maximizing the
+// p = 1 objective (the paper also finds p = 1 helpful only on the
+// identity-feature dataset); a separate smoke test covers it.
+INSTANTIATE_TEST_SUITE_P(Norms, PeegaObjectiveProperty,
+                         ::testing::Values(2, 3));
+
+TEST(PeegaObjectiveProperty, P1ObjectiveIsPositiveAndBudgeted) {
+  Rng rng(500);
+  const Graph g = graph::MakeCoraLike(&rng, 0.2);
+  core::PeegaAttack::Options options;
+  options.norm_p = 1;
+  core::PeegaAttack attacker(options);
+  AttackOptions attack_options;
+  attack_options.perturbation_rate = 0.05;
+  Rng attack_rng(2);
+  const auto result = attacker.Attack(g, attack_options, &attack_rng);
+  EXPECT_GT(attacker.Objective(g, result.poisoned.adjacency.ToDense(),
+                               result.poisoned.features),
+            0.0);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,205 @@
+// graphguard — command-line front end to the library.
+//
+//   graphguard generate --dataset cora --scale 1.0 --seed 42 --out g.txt
+//   graphguard attack   --in g.txt --out poisoned.txt --attacker peega
+//                       --rate 0.1 [--lambda 0.01 --p 2 --layers 2]
+//   graphguard defend   --in poisoned.txt --defender gnat [--runs 3]
+//   graphguard inspect  --in g.txt [--clean g_clean.txt]
+//
+// `defend` prints mean±std test accuracy; `inspect` prints homophily and
+// (given a clean reference) the Add/Del x Same/Diff forensics of Fig. 2.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "attack/dice.h"
+#include "attack/gf_attack.h"
+#include "attack/metattack.h"
+#include "attack/pgd.h"
+#include "attack/random_attack.h"
+#include "core/gnat.h"
+#include "core/peega.h"
+#include "core/peega_batch.h"
+#include "defense/gnnguard.h"
+#include "defense/jaccard.h"
+#include "defense/model_defenders.h"
+#include "defense/prognn.h"
+#include "defense/svd.h"
+#include "eval/args.h"
+#include "eval/pipeline.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/metrics.h"
+
+namespace {
+
+using namespace repro;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: graphguard <generate|attack|defend|inspect> [--flags]\n"
+      "  generate --dataset cora|citeseer|polblogs|pubmed|blog\n"
+      "           [--scale S] [--seed N] --out FILE\n"
+      "  attack   --in FILE --out FILE\n"
+      "           [--attacker peega|peega-batch|metattack|pgd|minmax|\n"
+      "            gf|dice|random] [--rate R] [--lambda L] [--p P]\n"
+      "           [--layers K] [--mode both|tm|fp] [--seed N]\n"
+      "  defend   --in FILE [--defender gnat|gcn|gat|jaccard|svd|rgcn|\n"
+      "            prognn|simpgcn|gnnguard] [--runs N] [--seed N]\n"
+      "  inspect  --in FILE [--clean FILE]\n");
+  return 2;
+}
+
+std::unique_ptr<attack::Attacker> MakeAttacker(const eval::Args& args) {
+  const std::string name = args.GetString("attacker", "peega");
+  if (name == "peega" || name == "peega-batch") {
+    core::PeegaAttack::Options options;
+    options.lambda = static_cast<float>(args.GetDouble("lambda", 0.01));
+    options.norm_p = args.GetInt("p", 2);
+    options.layers = args.GetInt("layers", 2);
+    const std::string mode = args.GetString("mode", "both");
+    if (mode == "tm") options.mode = core::PeegaAttack::Mode::kTopologyOnly;
+    if (mode == "fp") options.mode = core::PeegaAttack::Mode::kFeaturesOnly;
+    if (name == "peega-batch") {
+      core::PeegaBatchAttack::Options batch;
+      batch.peega = options;
+      batch.batch_size = args.GetInt("batch", 16);
+      return std::make_unique<core::PeegaBatchAttack>(batch);
+    }
+    return std::make_unique<core::PeegaAttack>(options);
+  }
+  if (name == "metattack") return std::make_unique<attack::Metattack>();
+  if (name == "pgd") return std::make_unique<attack::PgdAttack>();
+  if (name == "minmax") return std::make_unique<attack::MinMaxAttack>();
+  if (name == "gf") return std::make_unique<attack::GfAttack>();
+  if (name == "dice") return std::make_unique<attack::DiceAttack>();
+  if (name == "random") return std::make_unique<attack::RandomAttack>();
+  return nullptr;
+}
+
+std::unique_ptr<defense::Defender> MakeDefender(const eval::Args& args) {
+  const std::string name = args.GetString("defender", "gnat");
+  if (name == "gnat") return std::make_unique<core::GnatDefender>();
+  if (name == "gcn") return std::make_unique<defense::GcnDefender>();
+  if (name == "gat") return std::make_unique<defense::GatDefender>();
+  if (name == "jaccard") return std::make_unique<defense::JaccardDefender>();
+  if (name == "svd") return std::make_unique<defense::SvdDefender>();
+  if (name == "rgcn") return std::make_unique<defense::RGcnDefender>();
+  if (name == "prognn") return std::make_unique<defense::ProGnnDefender>();
+  if (name == "gnnguard") {
+    return std::make_unique<defense::GnnGuardDefender>();
+  }
+  if (name == "simpgcn") {
+    return std::make_unique<defense::SimPGcnDefender>();
+  }
+  return nullptr;
+}
+
+int Generate(const eval::Args& args) {
+  const std::string dataset = args.GetString("dataset", "cora");
+  const double scale = args.GetDouble("scale", 1.0);
+  linalg::Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
+  graph::Graph g;
+  if (dataset == "cora") g = graph::MakeCoraLike(&rng, scale);
+  else if (dataset == "citeseer") g = graph::MakeCiteseerLike(&rng, scale);
+  else if (dataset == "polblogs") g = graph::MakePolblogsLike(&rng, scale);
+  else if (dataset == "pubmed") g = graph::MakePubmedLike(&rng, scale);
+  else if (dataset == "blog") g = graph::MakeBlogLike(&rng, scale);
+  else return Usage();
+  const std::string out = args.GetString("out");
+  if (out.empty() || !graph::SaveGraph(g, out)) {
+    std::fprintf(stderr, "error: cannot write --out file\n");
+    return 1;
+  }
+  std::printf("wrote %s: %d nodes, %lld edges, homophily %.3f\n",
+              out.c_str(), g.num_nodes,
+              static_cast<long long>(g.NumEdges()),
+              graph::HomophilyRatio(g));
+  return 0;
+}
+
+int AttackCmd(const eval::Args& args) {
+  graph::Graph g;
+  if (!graph::LoadGraph(args.GetString("in"), &g)) {
+    std::fprintf(stderr, "error: cannot read --in file\n");
+    return 1;
+  }
+  auto attacker = MakeAttacker(args);
+  if (attacker == nullptr) return Usage();
+  attack::AttackOptions options;
+  options.perturbation_rate = args.GetDouble("rate", 0.1);
+  linalg::Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
+  const auto result = attacker->Attack(g, options, &rng);
+  const std::string out = args.GetString("out");
+  if (out.empty() || !graph::SaveGraph(result.poisoned, out)) {
+    std::fprintf(stderr, "error: cannot write --out file\n");
+    return 1;
+  }
+  std::printf("%s: %d edge flips, %d feature flips in %.2fs -> %s\n",
+              attacker->name().c_str(), result.edge_modifications,
+              result.feature_modifications, result.elapsed_seconds,
+              out.c_str());
+  return 0;
+}
+
+int Defend(const eval::Args& args) {
+  graph::Graph g;
+  if (!graph::LoadGraph(args.GetString("in"), &g)) {
+    std::fprintf(stderr, "error: cannot read --in file\n");
+    return 1;
+  }
+  auto defender = MakeDefender(args);
+  if (defender == nullptr) return Usage();
+  eval::PipelineOptions pipeline;
+  pipeline.runs = args.GetInt("runs", 3);
+  pipeline.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const auto result =
+      eval::EvaluateDefense(defender.get(), g, pipeline);
+  std::printf("%s on %s: %s test accuracy (%.2fs/run)\n",
+              defender->name().c_str(), g.name.c_str(),
+              eval::FormatMeanStd(result.accuracy).c_str(),
+              result.mean_train_seconds);
+  return 0;
+}
+
+int Inspect(const eval::Args& args) {
+  graph::Graph g;
+  if (!graph::LoadGraph(args.GetString("in"), &g)) {
+    std::fprintf(stderr, "error: cannot read --in file\n");
+    return 1;
+  }
+  std::printf("%s: %d nodes, %lld edges, %d classes, homophily %.3f\n",
+              g.name.c_str(), g.num_nodes,
+              static_cast<long long>(g.NumEdges()), g.num_classes,
+              graph::HomophilyRatio(g));
+  const auto sim =
+      graph::SummarizeLabelSimilarity(graph::CrossLabelSimilarity(g));
+  std::printf("context similarity: intra %.3f, inter %.3f\n", sim.intra,
+              sim.inter);
+  if (args.Has("clean")) {
+    graph::Graph clean;
+    if (!graph::LoadGraph(args.GetString("clean"), &clean)) {
+      std::fprintf(stderr, "error: cannot read --clean file\n");
+      return 1;
+    }
+    const auto diff = graph::ComputeEdgeDiff(clean, g);
+    std::printf("vs clean: +same %d, +diff %d, -same %d, -diff %d, "
+                "feature edits %lld\n",
+                diff.add_same, diff.add_diff, diff.del_same,
+                diff.del_diff,
+                static_cast<long long>(graph::FeatureDiffCount(clean, g)));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const eval::Args args = eval::Args::Parse(argc, argv);
+  if (args.command() == "generate") return Generate(args);
+  if (args.command() == "attack") return AttackCmd(args);
+  if (args.command() == "defend") return Defend(args);
+  if (args.command() == "inspect") return Inspect(args);
+  return Usage();
+}
