@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_homophily.dir/fig1_homophily.cc.o"
+  "CMakeFiles/fig1_homophily.dir/fig1_homophily.cc.o.d"
+  "fig1_homophily"
+  "fig1_homophily.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_homophily.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_edge_diff.dir/fig2_edge_diff.cc.o"
+  "CMakeFiles/fig2_edge_diff.dir/fig2_edge_diff.cc.o.d"
+  "fig2_edge_diff"
+  "fig2_edge_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_edge_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

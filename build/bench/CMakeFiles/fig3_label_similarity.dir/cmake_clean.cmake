@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_label_similarity.dir/fig3_label_similarity.cc.o"
+  "CMakeFiles/fig3_label_similarity.dir/fig3_label_similarity.cc.o.d"
+  "fig3_label_similarity"
+  "fig3_label_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_label_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_attack_ablation.dir/fig5_attack_ablation.cc.o"
+  "CMakeFiles/fig5_attack_ablation.dir/fig5_attack_ablation.cc.o.d"
+  "fig5_attack_ablation"
+  "fig5_attack_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_attack_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_ptb_rate.dir/fig6_ptb_rate.cc.o"
+  "CMakeFiles/fig6_ptb_rate.dir/fig6_ptb_rate.cc.o.d"
+  "fig6_ptb_rate"
+  "fig6_ptb_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ptb_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_lambda_p.dir/fig8_lambda_p.cc.o"
+  "CMakeFiles/fig8_lambda_p.dir/fig8_lambda_p.cc.o.d"
+  "fig8_lambda_p"
+  "fig8_lambda_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_lambda_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_gnat_params.dir/fig9_gnat_params.cc.o"
+  "CMakeFiles/fig9_gnat_params.dir/fig9_gnat_params.cc.o.d"
+  "fig9_gnat_params"
+  "fig9_gnat_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_gnat_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

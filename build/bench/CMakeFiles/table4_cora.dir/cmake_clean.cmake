@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_cora.dir/table4_cora.cc.o"
+  "CMakeFiles/table4_cora.dir/table4_cora.cc.o.d"
+  "table4_cora"
+  "table4_cora.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_cora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

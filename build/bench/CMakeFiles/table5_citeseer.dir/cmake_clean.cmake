@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_citeseer.dir/table5_citeseer.cc.o"
+  "CMakeFiles/table5_citeseer.dir/table5_citeseer.cc.o.d"
+  "table5_citeseer"
+  "table5_citeseer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_citeseer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

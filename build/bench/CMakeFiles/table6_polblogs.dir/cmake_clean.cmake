@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_polblogs.dir/table6_polblogs.cc.o"
+  "CMakeFiles/table6_polblogs.dir/table6_polblogs.cc.o.d"
+  "table6_polblogs"
+  "table6_polblogs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_polblogs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

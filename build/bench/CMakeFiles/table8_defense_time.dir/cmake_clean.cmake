@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_defense_time.dir/table8_defense_time.cc.o"
+  "CMakeFiles/table8_defense_time.dir/table8_defense_time.cc.o.d"
+  "table8_defense_time"
+  "table8_defense_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_defense_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_defense_ablation.dir/table9_defense_ablation.cc.o"
+  "CMakeFiles/table9_defense_ablation.dir/table9_defense_ablation.cc.o.d"
+  "table9_defense_ablation"
+  "table9_defense_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_defense_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

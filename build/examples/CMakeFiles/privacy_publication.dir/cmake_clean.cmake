@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_publication.dir/privacy_publication.cpp.o"
+  "CMakeFiles/privacy_publication.dir/privacy_publication.cpp.o.d"
+  "privacy_publication"
+  "privacy_publication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_publication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_training.dir/robust_training.cpp.o"
+  "CMakeFiles/robust_training.dir/robust_training.cpp.o.d"
+  "robust_training"
+  "robust_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

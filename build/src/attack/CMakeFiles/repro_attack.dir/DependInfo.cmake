@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/common.cc" "src/attack/CMakeFiles/repro_attack.dir/common.cc.o" "gcc" "src/attack/CMakeFiles/repro_attack.dir/common.cc.o.d"
+  "/root/repo/src/attack/dice.cc" "src/attack/CMakeFiles/repro_attack.dir/dice.cc.o" "gcc" "src/attack/CMakeFiles/repro_attack.dir/dice.cc.o.d"
+  "/root/repo/src/attack/gf_attack.cc" "src/attack/CMakeFiles/repro_attack.dir/gf_attack.cc.o" "gcc" "src/attack/CMakeFiles/repro_attack.dir/gf_attack.cc.o.d"
+  "/root/repo/src/attack/metattack.cc" "src/attack/CMakeFiles/repro_attack.dir/metattack.cc.o" "gcc" "src/attack/CMakeFiles/repro_attack.dir/metattack.cc.o.d"
+  "/root/repo/src/attack/pgd.cc" "src/attack/CMakeFiles/repro_attack.dir/pgd.cc.o" "gcc" "src/attack/CMakeFiles/repro_attack.dir/pgd.cc.o.d"
+  "/root/repo/src/attack/random_attack.cc" "src/attack/CMakeFiles/repro_attack.dir/random_attack.cc.o" "gcc" "src/attack/CMakeFiles/repro_attack.dir/random_attack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/repro_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/repro_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/repro_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/repro_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

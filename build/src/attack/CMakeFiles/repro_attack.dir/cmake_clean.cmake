@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_attack.dir/common.cc.o"
+  "CMakeFiles/repro_attack.dir/common.cc.o.d"
+  "CMakeFiles/repro_attack.dir/dice.cc.o"
+  "CMakeFiles/repro_attack.dir/dice.cc.o.d"
+  "CMakeFiles/repro_attack.dir/gf_attack.cc.o"
+  "CMakeFiles/repro_attack.dir/gf_attack.cc.o.d"
+  "CMakeFiles/repro_attack.dir/metattack.cc.o"
+  "CMakeFiles/repro_attack.dir/metattack.cc.o.d"
+  "CMakeFiles/repro_attack.dir/pgd.cc.o"
+  "CMakeFiles/repro_attack.dir/pgd.cc.o.d"
+  "CMakeFiles/repro_attack.dir/random_attack.cc.o"
+  "CMakeFiles/repro_attack.dir/random_attack.cc.o.d"
+  "librepro_attack.a"
+  "librepro_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_autograd.dir/tape.cc.o"
+  "CMakeFiles/repro_autograd.dir/tape.cc.o.d"
+  "librepro_autograd.a"
+  "librepro_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/gnat.cc" "src/core/CMakeFiles/repro_core.dir/gnat.cc.o" "gcc" "src/core/CMakeFiles/repro_core.dir/gnat.cc.o.d"
+  "/root/repo/src/core/peega.cc" "src/core/CMakeFiles/repro_core.dir/peega.cc.o" "gcc" "src/core/CMakeFiles/repro_core.dir/peega.cc.o.d"
+  "/root/repo/src/core/peega_batch.cc" "src/core/CMakeFiles/repro_core.dir/peega_batch.cc.o" "gcc" "src/core/CMakeFiles/repro_core.dir/peega_batch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/repro_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/repro_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/repro_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/repro_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/repro_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_core.dir/gnat.cc.o"
+  "CMakeFiles/repro_core.dir/gnat.cc.o.d"
+  "CMakeFiles/repro_core.dir/peega.cc.o"
+  "CMakeFiles/repro_core.dir/peega.cc.o.d"
+  "CMakeFiles/repro_core.dir/peega_batch.cc.o"
+  "CMakeFiles/repro_core.dir/peega_batch.cc.o.d"
+  "librepro_core.a"
+  "librepro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

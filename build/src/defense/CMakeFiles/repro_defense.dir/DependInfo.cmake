@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/defense/gnnguard.cc" "src/defense/CMakeFiles/repro_defense.dir/gnnguard.cc.o" "gcc" "src/defense/CMakeFiles/repro_defense.dir/gnnguard.cc.o.d"
+  "/root/repo/src/defense/jaccard.cc" "src/defense/CMakeFiles/repro_defense.dir/jaccard.cc.o" "gcc" "src/defense/CMakeFiles/repro_defense.dir/jaccard.cc.o.d"
+  "/root/repo/src/defense/model_defenders.cc" "src/defense/CMakeFiles/repro_defense.dir/model_defenders.cc.o" "gcc" "src/defense/CMakeFiles/repro_defense.dir/model_defenders.cc.o.d"
+  "/root/repo/src/defense/prognn.cc" "src/defense/CMakeFiles/repro_defense.dir/prognn.cc.o" "gcc" "src/defense/CMakeFiles/repro_defense.dir/prognn.cc.o.d"
+  "/root/repo/src/defense/svd.cc" "src/defense/CMakeFiles/repro_defense.dir/svd.cc.o" "gcc" "src/defense/CMakeFiles/repro_defense.dir/svd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/repro_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/repro_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/repro_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/repro_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_defense.dir/gnnguard.cc.o"
+  "CMakeFiles/repro_defense.dir/gnnguard.cc.o.d"
+  "CMakeFiles/repro_defense.dir/jaccard.cc.o"
+  "CMakeFiles/repro_defense.dir/jaccard.cc.o.d"
+  "CMakeFiles/repro_defense.dir/model_defenders.cc.o"
+  "CMakeFiles/repro_defense.dir/model_defenders.cc.o.d"
+  "CMakeFiles/repro_defense.dir/prognn.cc.o"
+  "CMakeFiles/repro_defense.dir/prognn.cc.o.d"
+  "CMakeFiles/repro_defense.dir/svd.cc.o"
+  "CMakeFiles/repro_defense.dir/svd.cc.o.d"
+  "librepro_defense.a"
+  "librepro_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

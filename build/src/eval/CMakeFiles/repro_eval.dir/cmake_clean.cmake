@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_eval.dir/args.cc.o"
+  "CMakeFiles/repro_eval.dir/args.cc.o.d"
+  "CMakeFiles/repro_eval.dir/pipeline.cc.o"
+  "CMakeFiles/repro_eval.dir/pipeline.cc.o.d"
+  "CMakeFiles/repro_eval.dir/stats.cc.o"
+  "CMakeFiles/repro_eval.dir/stats.cc.o.d"
+  "CMakeFiles/repro_eval.dir/table.cc.o"
+  "CMakeFiles/repro_eval.dir/table.cc.o.d"
+  "librepro_eval.a"
+  "librepro_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_graph.dir/generators.cc.o"
+  "CMakeFiles/repro_graph.dir/generators.cc.o.d"
+  "CMakeFiles/repro_graph.dir/graph.cc.o"
+  "CMakeFiles/repro_graph.dir/graph.cc.o.d"
+  "CMakeFiles/repro_graph.dir/io.cc.o"
+  "CMakeFiles/repro_graph.dir/io.cc.o.d"
+  "CMakeFiles/repro_graph.dir/metrics.cc.o"
+  "CMakeFiles/repro_graph.dir/metrics.cc.o.d"
+  "librepro_graph.a"
+  "librepro_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_linalg.dir/eigen.cc.o"
+  "CMakeFiles/repro_linalg.dir/eigen.cc.o.d"
+  "CMakeFiles/repro_linalg.dir/matrix.cc.o"
+  "CMakeFiles/repro_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/repro_linalg.dir/ops.cc.o"
+  "CMakeFiles/repro_linalg.dir/ops.cc.o.d"
+  "CMakeFiles/repro_linalg.dir/random.cc.o"
+  "CMakeFiles/repro_linalg.dir/random.cc.o.d"
+  "CMakeFiles/repro_linalg.dir/sparse.cc.o"
+  "CMakeFiles/repro_linalg.dir/sparse.cc.o.d"
+  "librepro_linalg.a"
+  "librepro_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

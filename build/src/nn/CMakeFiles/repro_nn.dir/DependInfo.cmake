@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/gat.cc" "src/nn/CMakeFiles/repro_nn.dir/gat.cc.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/gat.cc.o.d"
+  "/root/repo/src/nn/gcn.cc" "src/nn/CMakeFiles/repro_nn.dir/gcn.cc.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/gcn.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/repro_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/optim.cc" "src/nn/CMakeFiles/repro_nn.dir/optim.cc.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/optim.cc.o.d"
+  "/root/repo/src/nn/rgcn.cc" "src/nn/CMakeFiles/repro_nn.dir/rgcn.cc.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/rgcn.cc.o.d"
+  "/root/repo/src/nn/sgc.cc" "src/nn/CMakeFiles/repro_nn.dir/sgc.cc.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/sgc.cc.o.d"
+  "/root/repo/src/nn/simpgcn.cc" "src/nn/CMakeFiles/repro_nn.dir/simpgcn.cc.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/simpgcn.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/repro_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/repro_nn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/repro_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/repro_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/repro_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

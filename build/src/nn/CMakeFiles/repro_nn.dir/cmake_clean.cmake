@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_nn.dir/gat.cc.o"
+  "CMakeFiles/repro_nn.dir/gat.cc.o.d"
+  "CMakeFiles/repro_nn.dir/gcn.cc.o"
+  "CMakeFiles/repro_nn.dir/gcn.cc.o.d"
+  "CMakeFiles/repro_nn.dir/init.cc.o"
+  "CMakeFiles/repro_nn.dir/init.cc.o.d"
+  "CMakeFiles/repro_nn.dir/optim.cc.o"
+  "CMakeFiles/repro_nn.dir/optim.cc.o.d"
+  "CMakeFiles/repro_nn.dir/rgcn.cc.o"
+  "CMakeFiles/repro_nn.dir/rgcn.cc.o.d"
+  "CMakeFiles/repro_nn.dir/sgc.cc.o"
+  "CMakeFiles/repro_nn.dir/sgc.cc.o.d"
+  "CMakeFiles/repro_nn.dir/simpgcn.cc.o"
+  "CMakeFiles/repro_nn.dir/simpgcn.cc.o.d"
+  "CMakeFiles/repro_nn.dir/trainer.cc.o"
+  "CMakeFiles/repro_nn.dir/trainer.cc.o.d"
+  "librepro_nn.a"
+  "librepro_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gnat_test.cc" "tests/CMakeFiles/gnat_test.dir/gnat_test.cc.o" "gcc" "tests/CMakeFiles/gnat_test.dir/gnat_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/repro_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/repro_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/repro_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/repro_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/repro_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/repro_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/repro_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnat_test.dir/gnat_test.cc.o"
+  "CMakeFiles/gnat_test.dir/gnat_test.cc.o.d"
+  "gnat_test"
+  "gnat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peega_test.dir/peega_test.cc.o"
+  "CMakeFiles/peega_test.dir/peega_test.cc.o.d"
+  "peega_test"
+  "peega_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peega_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(linalg_test "/root/repo/build/tests/linalg_test")
+set_tests_properties(linalg_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(autograd_test "/root/repo/build/tests/autograd_test")
+set_tests_properties(autograd_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(graph_test "/root/repo/build/tests/graph_test")
+set_tests_properties(graph_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nn_test "/root/repo/build/tests/nn_test")
+set_tests_properties(nn_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(attack_test "/root/repo/build/tests/attack_test")
+set_tests_properties(attack_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(peega_test "/root/repo/build/tests/peega_test")
+set_tests_properties(peega_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(gnat_test "/root/repo/build/tests/gnat_test")
+set_tests_properties(gnat_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(defense_test "/root/repo/build/tests/defense_test")
+set_tests_properties(defense_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(eval_test "/root/repo/build/tests/eval_test")
+set_tests_properties(eval_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(extensions_test "/root/repo/build/tests/extensions_test")
+set_tests_properties(extensions_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;repro_add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphguard.dir/graphguard.cc.o"
+  "CMakeFiles/graphguard.dir/graphguard.cc.o.d"
+  "graphguard"
+  "graphguard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphguard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
