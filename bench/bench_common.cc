@@ -1,5 +1,6 @@
 #include "bench_common.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "defense/jaccard.h"
@@ -104,6 +105,12 @@ eval::PipelineOptions BenchPipeline() {
   options.seed = 917;
   options.train = BenchTrainOptions();
   return options;
+}
+
+void PrintRunMetadata() {
+  const std::string line =
+      eval::FormatRunMetadata(eval::CollectRunMetadata(BenchPipeline()));
+  std::printf("%s\n", line.c_str());
 }
 
 }  // namespace repro::bench

@@ -60,6 +60,12 @@ nn::TrainOptions BenchTrainOptions();
 /// Pipeline options seeded deterministically.
 eval::PipelineOptions BenchPipeline();
 
+/// Prints the eval run-metadata line (thread count, runs, seed) so every
+/// bench log records the threading configuration its numbers came from —
+/// timing cells are only comparable at a known thread count, while
+/// accuracy cells must be identical at every thread count.
+void PrintRunMetadata();
+
 }  // namespace repro::bench
 
 #endif  // PEEGA_BENCH_BENCH_COMMON_H_

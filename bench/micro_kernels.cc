@@ -2,21 +2,50 @@
 // matmul, SpMM, GCN normalization, truncated eigendecomposition, one
 // autodiff train step, and one PEEGA greedy step. These bound the cost
 // of everything the experiment harnesses do.
+//
+// The *Threads variants sweep the pool size (1/2/4/8) through
+// parallel::SetNumThreads so the speedup of the row-parallel kernels is
+// measured in one run; the per-benchmark label records the count.
+// Record results as JSON for EXPERIMENTS.md with e.g.
+//   ./build/bench/micro_kernels --benchmark_filter=Threads
+//       --benchmark_out=BENCH_threads.json --benchmark_out_format=json
+// (one command line; wrapped here for width)
+// Speedup requires real cores; on a 1-core machine the sweep instead
+// demonstrates the determinism contract (identical outputs, no gain).
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "autograd/tape.h"
+#include "bench_common.h"
 #include "core/peega.h"
 #include "graph/generators.h"
 #include "linalg/eigen.h"
 #include "linalg/ops.h"
 #include "nn/gcn.h"
 #include "nn/optim.h"
+#include "parallel/thread_pool.h"
 
 namespace {
 
 using namespace repro;
 using linalg::Matrix;
 using linalg::Rng;
+
+// RAII pool-size override so a sweep benchmark can't leak its thread
+// count into later benchmarks (registration order is not a contract).
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(benchmark::State& state, int threads)
+      : state_(state) {
+    parallel::SetNumThreads(threads);
+    state_.SetLabel("threads=" + std::to_string(parallel::NumThreads()));
+  }
+  ~ScopedThreads() { parallel::SetNumThreads(0); }
+
+ private:
+  benchmark::State& state_;
+};
 
 void BM_DenseMatMul(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -96,6 +125,59 @@ void BM_PeegaGreedyStep(benchmark::State& state) {
 }
 BENCHMARK(BM_PeegaGreedyStep);
 
+// --------------------------------------------------------------------------
+// Thread-count sweeps of the parallel hot paths (see file comment for
+// how to record these as BENCH_*.json).
+// --------------------------------------------------------------------------
+
+void BM_DenseMatMulThreads(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const ScopedThreads scope(state, static_cast<int>(state.range(1)));
+  Rng rng(1);
+  const Matrix a = linalg::RandomNormal(n, n, 1.0f, &rng);
+  const Matrix b = linalg::RandomNormal(n, n, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_DenseMatMulThreads)->ArgsProduct({{512}, {1, 2, 4, 8}});
+
+void BM_SpMMThreads(benchmark::State& state) {
+  const ScopedThreads scope(state, static_cast<int>(state.range(0)));
+  Rng rng(2);
+  const graph::Graph g = graph::MakeCoraLike(&rng, 2.0);
+  const auto a_n = graph::GcnNormalize(g.adjacency);
+  const Matrix x = g.features;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::SpMM(a_n, x));
+  }
+}
+BENCHMARK(BM_SpMMThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_PeegaGreedyStepThreads(benchmark::State& state) {
+  const ScopedThreads scope(state, static_cast<int>(state.range(0)));
+  Rng rng(7);
+  const graph::Graph g = graph::MakeCoraLike(&rng, 0.5);
+  for (auto _ : state) {
+    core::PeegaAttack attacker;
+    attack::AttackOptions options;
+    options.perturbation_rate = 1e-9;  // clamps to budget 1
+    Rng step_rng(8);
+    benchmark::DoNotOptimize(attacker.Attack(g, options, &step_rng));
+  }
+}
+BENCHMARK(BM_PeegaGreedyStepThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the run-metadata line —
+// including the default thread count — lands in every saved bench log.
+int main(int argc, char** argv) {
+  repro::bench::PrintRunMetadata();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

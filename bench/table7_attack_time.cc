@@ -12,6 +12,7 @@
 
 int main() {
   using namespace repro;
+  bench::PrintRunMetadata();
   const std::vector<std::string> names = {"cora", "citeseer", "polblogs"};
   attack::AttackOptions options;
   options.perturbation_rate = 0.1;

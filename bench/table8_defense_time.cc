@@ -11,6 +11,7 @@
 
 int main() {
   using namespace repro;
+  bench::PrintRunMetadata();
   const std::vector<std::string> names = {"cora", "citeseer", "polblogs"};
   const int runs = bench::Runs();
 

@@ -10,6 +10,7 @@
 namespace repro::bench {
 
 void RunAccuracyTable(const Dataset& dataset, double perturbation_rate) {
+  PrintRunMetadata();
   const auto attackers = MakeAttackers(dataset);
   const auto defenders = MakeDefenders(dataset);
   const eval::PipelineOptions pipeline = BenchPipeline();

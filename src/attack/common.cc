@@ -7,6 +7,7 @@
 
 #include "attack/attacker.h"
 #include "linalg/check.h"
+#include "parallel/thread_pool.h"
 
 namespace repro::attack {
 
@@ -42,27 +43,49 @@ void FlipFeature(Matrix* features, int v, int j) {
   (*features)(v, j) = (*features)(v, j) > 0.5f ? 0.0f : 1.0f;
 }
 
+namespace {
+
+// Rows (u) per chunk of the parallel candidate scans. Any partition is
+// deterministic here: per-chunk argmax keeps the lowest (u, v) on ties
+// (strict '>'), and the ordered chunk merge keeps the earlier chunk on
+// ties, which together reproduce the serial scan's lowest-index winner
+// at any thread count (the greedy commit order must not depend on the
+// machine — see DESIGN.md, "Determinism & threading").
+constexpr int64_t kScanRowGrain = 32;
+
+}  // namespace
+
 EdgeCandidate BestEdgeFlip(const Matrix& grad,
                            const Matrix& dense_adjacency,
                            const AccessControl& access,
                            const Matrix* exclude) {
   const int n = dense_adjacency.rows();
-  EdgeCandidate best;
-  best.score = -std::numeric_limits<float>::infinity();
-  for (int u = 0; u < n; ++u) {
-    const float* grow = grad.row(u);
-    const float* arow = dense_adjacency.row(u);
-    const float* erow = exclude != nullptr ? exclude->row(u) : nullptr;
-    for (int v = u + 1; v < n; ++v) {
-      if (!access.EdgeAllowed(u, v)) continue;
-      if (erow != nullptr && erow[v] > 0.0f) continue;
-      const float direction = 1.0f - 2.0f * arow[v];  // +1 add, -1 delete
-      const float score = direction * (grow[v] + grad(v, u));
-      if (score > best.score) {
-        best = {u, v, score};
-      }
-    }
-  }
+  EdgeCandidate identity;
+  identity.score = -std::numeric_limits<float>::infinity();
+  EdgeCandidate best = parallel::ParallelReduce<EdgeCandidate>(
+      0, n, kScanRowGrain, identity,
+      [&](int64_t u0, int64_t u1) {
+        EdgeCandidate local;
+        local.score = -std::numeric_limits<float>::infinity();
+        for (int u = static_cast<int>(u0); u < static_cast<int>(u1); ++u) {
+          const float* grow = grad.row(u);
+          const float* arow = dense_adjacency.row(u);
+          const float* erow = exclude != nullptr ? exclude->row(u) : nullptr;
+          for (int v = u + 1; v < n; ++v) {
+            if (!access.EdgeAllowed(u, v)) continue;
+            if (erow != nullptr && erow[v] > 0.0f) continue;
+            const float direction = 1.0f - 2.0f * arow[v];  // +1 add, -1 del
+            const float score = direction * (grow[v] + grad(v, u));
+            if (score > local.score) {
+              local = {u, v, score};
+            }
+          }
+        }
+        return local;
+      },
+      [](const EdgeCandidate& acc, const EdgeCandidate& chunk) {
+        return chunk.score > acc.score ? chunk : acc;
+      });
   if (best.u < 0) best.score = -std::numeric_limits<float>::infinity();
   return best;
 }
@@ -70,22 +93,32 @@ EdgeCandidate BestEdgeFlip(const Matrix& grad,
 FeatureCandidate BestFeatureFlip(const Matrix& grad, const Matrix& features,
                                  const AccessControl& access,
                                  const Matrix* exclude) {
-  FeatureCandidate best;
-  best.score = -std::numeric_limits<float>::infinity();
-  for (int v = 0; v < features.rows(); ++v) {
-    if (!access.FeatureAllowed(v)) continue;
-    const float* grow = grad.row(v);
-    const float* xrow = features.row(v);
-    const float* erow = exclude != nullptr ? exclude->row(v) : nullptr;
-    for (int j = 0; j < features.cols(); ++j) {
-      if (erow != nullptr && erow[j] > 0.0f) continue;
-      const float direction = 1.0f - 2.0f * xrow[j];
-      const float score = direction * grow[j];
-      if (score > best.score) {
-        best = {v, j, score};
-      }
-    }
-  }
+  FeatureCandidate identity;
+  identity.score = -std::numeric_limits<float>::infinity();
+  FeatureCandidate best = parallel::ParallelReduce<FeatureCandidate>(
+      0, features.rows(), kScanRowGrain, identity,
+      [&](int64_t v0, int64_t v1) {
+        FeatureCandidate local;
+        local.score = -std::numeric_limits<float>::infinity();
+        for (int v = static_cast<int>(v0); v < static_cast<int>(v1); ++v) {
+          if (!access.FeatureAllowed(v)) continue;
+          const float* grow = grad.row(v);
+          const float* xrow = features.row(v);
+          const float* erow = exclude != nullptr ? exclude->row(v) : nullptr;
+          for (int j = 0; j < features.cols(); ++j) {
+            if (erow != nullptr && erow[j] > 0.0f) continue;
+            const float direction = 1.0f - 2.0f * xrow[j];
+            const float score = direction * grow[j];
+            if (score > local.score) {
+              local = {v, j, score};
+            }
+          }
+        }
+        return local;
+      },
+      [](const FeatureCandidate& acc, const FeatureCandidate& chunk) {
+        return chunk.score > acc.score ? chunk : acc;
+      });
   if (best.node < 0) best.score = -std::numeric_limits<float>::infinity();
   return best;
 }

@@ -41,6 +41,11 @@ void FlipFeature(linalg::Matrix* features, int v, int j);
 /// greedy attackers would otherwise oscillate on a single edge after
 /// reaching a local optimum. Returns {-1, -1, -inf} when no pair is
 /// allowed.
+///
+/// Parallelized over row chunks with a per-chunk argmax merged in chunk
+/// order; ties resolve to the lowest (u, v), so the returned flip — and
+/// hence the greedy commit order of every attacker built on it — is
+/// bitwise-identical at any thread count.
 struct EdgeCandidate {
   int u = -1;
   int v = -1;
@@ -52,7 +57,8 @@ EdgeCandidate BestEdgeFlip(const linalg::Matrix& grad,
                            const linalg::Matrix* exclude = nullptr);
 
 /// Best allowed feature flip: score = grad[v][j] * (1 - 2 X[v][j]);
-/// entries with `exclude`(v,j) > 0 are skipped.
+/// entries with `exclude`(v,j) > 0 are skipped. Parallelized like
+/// `BestEdgeFlip` with the same lowest-index tie-break guarantee.
 struct FeatureCandidate {
   int node = -1;
   int dim = -1;

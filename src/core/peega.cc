@@ -110,7 +110,10 @@ double PeegaAttack::Objective(const graph::Graph& clean,
 AttackResult PeegaAttack::Attack(const graph::Graph& g,
                                  const AttackOptions& attack_options,
                                  linalg::Rng* rng) {
-  (void)rng;  // PEEGA is deterministic: greedy over exact gradient scores.
+  // PEEGA is deterministic: greedy over exact gradient scores, and the
+  // parallel scans below (BestEdgeFlip/BestFeatureFlip plus the tape's
+  // row-parallel kernels) are bitwise-reproducible at any thread count.
+  (void)rng;
   const auto start = std::chrono::steady_clock::now();
   const int budget = attack::ComputeBudget(g, attack_options.perturbation_rate);
   const AccessControl access(g.num_nodes, attack_options.attacker_nodes);

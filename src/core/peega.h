@@ -24,6 +24,12 @@ namespace repro::core {
 /// each step scores all candidate flips by S = grad ⊙ (-2Â + 1)
 /// (gradients through the differentiable dense GCN normalization) and
 /// commits the best edge or feature flip.
+///
+/// Threading: the per-step O(n²) candidate scans and all underlying
+/// kernels run on the `src/parallel` pool with deterministic static
+/// chunking and a lowest-index tie-break, so the full greedy flip
+/// sequence — and hence the poisoned graph — is bitwise-identical at
+/// any thread count (asserted in tests/parallel_test.cc).
 class PeegaAttack : public attack::Attacker {
  public:
   /// Which attack surfaces are enabled (Fig. 5a ablation).

@@ -8,6 +8,7 @@
 #include "attack/common.h"
 #include "autograd/tape.h"
 #include "linalg/ops.h"
+#include "parallel/thread_pool.h"
 
 namespace repro::core {
 
@@ -30,6 +31,12 @@ struct Candidate {
   int a;  // node u / node
   int b;  // node v / feature dim
 };
+
+// Rows per chunk of the parallel candidate scans. Per-chunk results are
+// concatenated in ascending chunk order, so the candidate list — and
+// therefore the (unstable) partial_sort over it and the committed batch
+// — is identical to the serial scan at any thread count.
+constexpr int64_t kScanRowGrain = 32;
 
 float GumbelNoise(float scale, linalg::Rng* rng) {
   if (scale <= 0.0f) return 0.0f;
@@ -90,32 +97,65 @@ AttackResult PeegaBatchAttack::Attack(const graph::Graph& g,
     }
     tape.Backward(obj);
 
-    // Collect all positive-score candidates, rank, commit top-k.
+    // Collect all candidates (row-chunked scans concatenated in chunk
+    // order = serial order), rank, commit top-k.
     std::vector<Candidate> candidates;
     if (attack_topology) {
       const Matrix& grad = a.grad();
-      for (int u = 0; u < g.num_nodes; ++u) {
-        for (int v = u + 1; v < g.num_nodes; ++v) {
-          if (edge_done(u, v) > 0.0f || !access.EdgeAllowed(u, v)) continue;
-          const float direction = 1.0f - 2.0f * dense(u, v);
-          const float score = direction * (grad(u, v) + grad(v, u)) +
-                              GumbelNoise(options_.gumbel_scale, rng);
-          candidates.push_back({score, false, u, v});
-        }
+      const int64_t chunks =
+          parallel::NumChunks(g.num_nodes, kScanRowGrain);
+      std::vector<std::vector<Candidate>> per_chunk(
+          static_cast<size_t>(chunks));
+      parallel::ParallelForChunked(
+          0, g.num_nodes, kScanRowGrain,
+          [&](int64_t u0, int64_t u1, int64_t chunk) {
+            auto& out = per_chunk[static_cast<size_t>(chunk)];
+            for (int u = static_cast<int>(u0); u < static_cast<int>(u1);
+                 ++u) {
+              for (int v = u + 1; v < g.num_nodes; ++v) {
+                if (edge_done(u, v) > 0.0f || !access.EdgeAllowed(u, v)) {
+                  continue;
+                }
+                const float direction = 1.0f - 2.0f * dense(u, v);
+                const float score = direction * (grad(u, v) + grad(v, u));
+                out.push_back({score, false, u, v});
+              }
+            }
+          });
+      for (const auto& chunk : per_chunk) {
+        candidates.insert(candidates.end(), chunk.begin(), chunk.end());
       }
     }
     if (attack_features && beta > 0.0f) {
       const Matrix& grad = x.grad();
-      for (int v = 0; v < g.num_nodes; ++v) {
-        if (!access.FeatureAllowed(v)) continue;
-        for (int j = 0; j < features.cols(); ++j) {
-          if (feature_done(v, j) > 0.0f) continue;
-          const float direction = 1.0f - 2.0f * features(v, j);
-          const float score =
-              direction * grad(v, j) / beta +
-              GumbelNoise(options_.gumbel_scale, rng);
-          candidates.push_back({score, true, v, j});
-        }
+      const int64_t chunks =
+          parallel::NumChunks(g.num_nodes, kScanRowGrain);
+      std::vector<std::vector<Candidate>> per_chunk(
+          static_cast<size_t>(chunks));
+      parallel::ParallelForChunked(
+          0, g.num_nodes, kScanRowGrain,
+          [&](int64_t v0, int64_t v1, int64_t chunk) {
+            auto& out = per_chunk[static_cast<size_t>(chunk)];
+            for (int v = static_cast<int>(v0); v < static_cast<int>(v1);
+                 ++v) {
+              if (!access.FeatureAllowed(v)) continue;
+              for (int j = 0; j < features.cols(); ++j) {
+                if (feature_done(v, j) > 0.0f) continue;
+                const float direction = 1.0f - 2.0f * features(v, j);
+                out.push_back({direction * grad(v, j) / beta, true, v, j});
+              }
+            }
+          });
+      for (const auto& chunk : per_chunk) {
+        candidates.insert(candidates.end(), chunk.begin(), chunk.end());
+      }
+    }
+    // Gumbel noise draws stay on the calling thread, in candidate-list
+    // order — the same sequence of RNG draws as a serial scan, so seeded
+    // runs reproduce at any thread count.
+    if (options_.gumbel_scale > 0.0f) {
+      for (Candidate& c : candidates) {
+        c.score += GumbelNoise(options_.gumbel_scale, rng);
       }
     }
     if (candidates.empty()) break;

@@ -1,5 +1,9 @@
 #include "eval/pipeline.h"
 
+#include <sstream>
+
+#include "parallel/thread_pool.h"
+
 namespace repro::eval {
 
 DefenseEvaluation EvaluateDefense(defense::Defender* defender,
@@ -36,6 +40,21 @@ DefenseEvaluation EvaluateAttackDefense(
   const attack::AttackResult attacked =
       RunAttack(attacker, g, attack_options, options.seed);
   return EvaluateDefense(defender, attacked.poisoned, options);
+}
+
+RunMetadata CollectRunMetadata(const PipelineOptions& options) {
+  RunMetadata metadata;
+  metadata.threads = parallel::NumThreads();
+  metadata.runs = options.runs;
+  metadata.seed = options.seed;
+  return metadata;
+}
+
+std::string FormatRunMetadata(const RunMetadata& metadata) {
+  std::ostringstream out;
+  out << "run-metadata: threads=" << metadata.threads
+      << " runs=" << metadata.runs << " seed=" << metadata.seed;
+  return out.str();
 }
 
 }  // namespace repro::eval

@@ -1,6 +1,7 @@
 #ifndef PEEGA_EVAL_PIPELINE_H_
 #define PEEGA_EVAL_PIPELINE_H_
 
+#include <string>
 #include <vector>
 
 #include "attack/attacker.h"
@@ -42,6 +43,25 @@ DefenseEvaluation EvaluateAttackDefense(
     attack::Attacker* attacker, defense::Defender* defender,
     const graph::Graph& g, const attack::AttackOptions& attack_options,
     const PipelineOptions& options);
+
+/// Reproducibility metadata every experiment run should record next to
+/// its numbers. Timing cells (Tab. VII/VIII) are only comparable at a
+/// known thread count, and the determinism contract (DESIGN.md,
+/// "Determinism & threading") promises accuracy cells are IDENTICAL at
+/// any thread count — emitting `threads` makes both claims checkable
+/// from the logs alone.
+struct RunMetadata {
+  int threads = 1;       ///< parallel::NumThreads() at collection time
+  int runs = 0;          ///< repetitions behind mean±std cells
+  uint64_t seed = 0;     ///< pipeline base seed
+};
+
+/// Captures the current metadata for `options`.
+RunMetadata CollectRunMetadata(const PipelineOptions& options);
+
+/// One-line "run-metadata: threads=4 runs=2 seed=917" header; benches
+/// print it above their tables.
+std::string FormatRunMetadata(const RunMetadata& metadata);
 
 }  // namespace repro::eval
 

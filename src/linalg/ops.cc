@@ -4,19 +4,38 @@
 #include <cmath>
 
 #include "linalg/check.h"
+#include "parallel/thread_pool.h"
 
 namespace repro::linalg {
+
+namespace {
+
+// Static-chunk grains for the parallel kernels. For row-parallel ops the
+// grain only affects load balance (outputs are disjoint per row, so any
+// partition is bitwise-deterministic); for the ordered-chunk reductions
+// at the bottom of this file the grain also FIXES the floating-point
+// association, so changing kReduceGrain changes low-order bits of Sum /
+// FrobeniusNorm on large inputs (never their determinism).
+constexpr int64_t kMatMulRowGrain = 8;    // rows per chunk, O(k*n) work/row
+constexpr int64_t kRowGrain = 64;         // rows per chunk, O(n) work/row
+constexpr int64_t kElemGrain = 1 << 14;   // flat elements per chunk
+constexpr int64_t kReduceGrain = 1 << 15; // flat elements per reduce chunk
+
+}  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   REPRO_CHECK_EQ(a.cols(), b.rows());
   Matrix c(a.rows(), b.cols());
-  const int m = a.rows(), k = a.cols(), n = b.cols();
+  const int k = a.cols(), n = b.cols();
   constexpr int kBlock = 64;
-  for (int i0 = 0; i0 < m; i0 += kBlock) {
-    const int i1 = std::min(i0 + kBlock, m);
+  // Row-parallel: each chunk owns rows [r0, r1) of C outright, and the
+  // per-row accumulation order (k-blocks ascending, kk ascending within
+  // a block) matches the serial kernel exactly.
+  parallel::ParallelFor(0, a.rows(), kMatMulRowGrain, [&](int64_t r0,
+                                                          int64_t r1) {
     for (int k0 = 0; k0 < k; k0 += kBlock) {
       const int k1 = std::min(k0 + kBlock, k);
-      for (int i = i0; i < i1; ++i) {
+      for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
         const float* arow = a.row(i);
         float* crow = c.row(i);
         for (int kk = k0; kk < k1; ++kk) {
@@ -27,50 +46,64 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
         }
       }
     }
-  }
+  });
   return c;
 }
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   REPRO_CHECK_EQ(a.rows(), b.rows());
   Matrix c(a.cols(), b.cols());
-  const int m = a.cols(), n = b.cols(), k = a.rows();
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = a.row(kk);
-    const float* brow = b.row(kk);
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c.row(i);
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+  const int m = a.cols(), k = a.rows();
+  // Column-parallel: each chunk owns the column slice [j0, j1) of every
+  // row of C, keeping the cache-friendly kk-outer streaming order and
+  // the serial per-element accumulation order (kk ascending).
+  parallel::ParallelFor(0, b.cols(), kMatMulRowGrain * 4, [&](int64_t j0,
+                                                              int64_t j1) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float* arow = a.row(kk);
+      const float* brow = b.row(kk);
+      for (int i = 0; i < m; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* crow = c.row(i);
+        for (int j = static_cast<int>(j0); j < static_cast<int>(j1); ++j) {
+          crow[j] += av * brow[j];
+        }
+      }
     }
-  }
+  });
   return c;
 }
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   REPRO_CHECK_EQ(a.cols(), b.cols());
   Matrix c(a.rows(), b.rows());
-  const int m = a.rows(), n = b.rows(), k = a.cols();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a.row(i);
-    float* crow = c.row(i);
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b.row(j);
-      float dot = 0.0f;
-      for (int kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
-      crow[j] = dot;
+  const int n = b.rows(), k = a.cols();
+  parallel::ParallelFor(0, a.rows(), kMatMulRowGrain, [&](int64_t r0,
+                                                          int64_t r1) {
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      const float* arow = a.row(i);
+      float* crow = c.row(i);
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b.row(j);
+        float dot = 0.0f;
+        for (int kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
+        crow[j] = dot;
+      }
     }
-  }
+  });
   return c;
 }
 
 Matrix Transpose(const Matrix& a) {
   Matrix t(a.cols(), a.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* arow = a.row(i);
-    for (int j = 0; j < a.cols(); ++j) t(j, i) = arow[j];
-  }
+  // Chunks own rows of T (= columns of A) outright.
+  parallel::ParallelFor(0, a.cols(), kRowGrain, [&](int64_t j0, int64_t j1) {
+    for (int j = static_cast<int>(j0); j < static_cast<int>(j1); ++j) {
+      float* trow = t.row(j);
+      for (int i = 0; i < a.rows(); ++i) trow[i] = a(i, j);
+    }
+  });
   return t;
 }
 
@@ -83,8 +116,9 @@ Matrix Elementwise(const Matrix& a, const Matrix& b, F f) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) pc[i] = f(pa[i], pb[i]);
+  parallel::ParallelFor(0, a.size(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pc[i] = f(pa[i], pb[i]);
+  });
   return c;
 }
 
@@ -93,8 +127,9 @@ Matrix Map(const Matrix& a, F f) {
   Matrix c(a.rows(), a.cols());
   const float* pa = a.data();
   float* pc = c.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) pc[i] = f(pa[i]);
+  parallel::ParallelFor(0, a.size(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pc[i] = f(pa[i]);
+  });
   return c;
 }
 
@@ -120,91 +155,119 @@ void Axpy(Matrix* a, const Matrix& b, float scale) {
   REPRO_CHECK(a->SameShape(b));
   float* pa = a->data();
   const float* pb = b.data();
-  const int64_t n = a->size();
-  for (int64_t i = 0; i < n; ++i) pa[i] += scale * pb[i];
+  parallel::ParallelFor(0, a->size(), kElemGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) pa[i] += scale * pb[i];
+  });
 }
 
 Matrix AddRowVector(const Matrix& a, const std::vector<float>& v) {
   REPRO_CHECK_EQ(static_cast<int>(v.size()), a.cols());
   Matrix c(a.rows(), a.cols());
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* arow = a.row(i);
-    float* crow = c.row(i);
-    for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] + v[j];
-  }
+  parallel::ParallelFor(0, a.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      const float* arow = a.row(i);
+      float* crow = c.row(i);
+      for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] + v[j];
+    }
+  });
   return c;
 }
 
 Matrix ScaleRows(const Matrix& a, const std::vector<float>& s) {
   REPRO_CHECK_EQ(static_cast<int>(s.size()), a.rows());
   Matrix c(a.rows(), a.cols());
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* arow = a.row(i);
-    float* crow = c.row(i);
-    const float sv = s[i];
-    for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] * sv;
-  }
+  parallel::ParallelFor(0, a.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      const float* arow = a.row(i);
+      float* crow = c.row(i);
+      const float sv = s[i];
+      for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] * sv;
+    }
+  });
   return c;
 }
 
 Matrix ScaleCols(const Matrix& a, const std::vector<float>& s) {
   REPRO_CHECK_EQ(static_cast<int>(s.size()), a.cols());
   Matrix c(a.rows(), a.cols());
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* arow = a.row(i);
-    float* crow = c.row(i);
-    for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] * s[j];
-  }
+  parallel::ParallelFor(0, a.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      const float* arow = a.row(i);
+      float* crow = c.row(i);
+      for (int j = 0; j < a.cols(); ++j) crow[j] = arow[j] * s[j];
+    }
+  });
   return c;
 }
 
 std::vector<float> RowSums(const Matrix& a) {
   std::vector<float> sums(a.rows(), 0.0f);
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* arow = a.row(i);
-    float acc = 0.0f;
-    for (int j = 0; j < a.cols(); ++j) acc += arow[j];
-    sums[i] = acc;
-  }
+  parallel::ParallelFor(0, a.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      const float* arow = a.row(i);
+      float acc = 0.0f;
+      for (int j = 0; j < a.cols(); ++j) acc += arow[j];
+      sums[i] = acc;
+    }
+  });
   return sums;
 }
 
 double Sum(const Matrix& a) {
-  double acc = 0.0;
   const float* p = a.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) acc += p[i];
-  return acc;
+  return parallel::ParallelReduce<double>(
+      0, a.size(), kReduceGrain, 0.0,
+      [&](int64_t lo, int64_t hi) {
+        double acc = 0.0;
+        for (int64_t i = lo; i < hi; ++i) acc += p[i];
+        return acc;
+      },
+      [](double x, double y) { return x + y; });
 }
 
 double FrobeniusNorm(const Matrix& a) {
-  double acc = 0.0;
   const float* p = a.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) acc += static_cast<double>(p[i]) * p[i];
-  return std::sqrt(acc);
+  const double sq = parallel::ParallelReduce<double>(
+      0, a.size(), kReduceGrain, 0.0,
+      [&](int64_t lo, int64_t hi) {
+        double acc = 0.0;
+        for (int64_t i = lo; i < hi; ++i) {
+          acc += static_cast<double>(p[i]) * p[i];
+        }
+        return acc;
+      },
+      [](double x, double y) { return x + y; });
+  return std::sqrt(sq);
 }
 
 int64_t CountNonZero(const Matrix& a, float tol) {
-  int64_t count = 0;
   const float* p = a.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) {
-    if (std::fabs(p[i]) > tol) ++count;
-  }
-  return count;
+  return parallel::ParallelReduce<int64_t>(
+      0, a.size(), kReduceGrain, int64_t{0},
+      [&](int64_t lo, int64_t hi) {
+        int64_t count = 0;
+        for (int64_t i = lo; i < hi; ++i) {
+          if (std::fabs(p[i]) > tol) ++count;
+        }
+        return count;
+      },
+      [](int64_t x, int64_t y) { return x + y; });
 }
 
 float MaxAbsDiff(const Matrix& a, const Matrix& b) {
   REPRO_CHECK(a.SameShape(b));
-  float max_diff = 0.0f;
   const float* pa = a.data();
   const float* pb = b.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) {
-    max_diff = std::max(max_diff, std::fabs(pa[i] - pb[i]));
-  }
-  return max_diff;
+  return parallel::ParallelReduce<float>(
+      0, a.size(), kReduceGrain, 0.0f,
+      [&](int64_t lo, int64_t hi) {
+        float max_diff = 0.0f;
+        for (int64_t i = lo; i < hi; ++i) {
+          max_diff = std::max(max_diff, std::fabs(pa[i] - pb[i]));
+        }
+        return max_diff;
+      },
+      [](float x, float y) { return std::max(x, y); });
 }
 
 Matrix Relu(const Matrix& a) {
@@ -221,36 +284,41 @@ Matrix Sigmoid(const Matrix& a) {
 
 Matrix RowSoftmax(const Matrix& a) {
   Matrix c(a.rows(), a.cols());
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* arow = a.row(i);
-    float* crow = c.row(i);
-    float row_max = arow[0];
-    for (int j = 1; j < a.cols(); ++j) row_max = std::max(row_max, arow[j]);
-    float denom = 0.0f;
-    for (int j = 0; j < a.cols(); ++j) {
-      crow[j] = std::exp(arow[j] - row_max);
-      denom += crow[j];
+  parallel::ParallelFor(0, a.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      const float* arow = a.row(i);
+      float* crow = c.row(i);
+      float row_max = arow[0];
+      for (int j = 1; j < a.cols(); ++j) row_max = std::max(row_max, arow[j]);
+      float denom = 0.0f;
+      for (int j = 0; j < a.cols(); ++j) {
+        crow[j] = std::exp(arow[j] - row_max);
+        denom += crow[j];
+      }
+      const float inv = 1.0f / denom;
+      for (int j = 0; j < a.cols(); ++j) crow[j] *= inv;
     }
-    const float inv = 1.0f / denom;
-    for (int j = 0; j < a.cols(); ++j) crow[j] *= inv;
-  }
+  });
   return c;
 }
 
 std::vector<int> RowArgmax(const Matrix& a) {
   std::vector<int> result(a.rows(), 0);
-  for (int i = 0; i < a.rows(); ++i) {
-    const float* arow = a.row(i);
-    int best = 0;
-    for (int j = 1; j < a.cols(); ++j) {
-      if (arow[j] > arow[best]) best = j;
+  parallel::ParallelFor(0, a.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      const float* arow = a.row(i);
+      int best = 0;
+      for (int j = 1; j < a.cols(); ++j) {
+        if (arow[j] > arow[best]) best = j;
+      }
+      result[i] = best;
     }
-    result[i] = best;
-  }
+  });
   return result;
 }
 
 Matrix RandomNormal(int rows, int cols, float stddev, Rng* rng) {
+  // Serial by contract: the RNG stream is sequential state.
   Matrix m(rows, cols);
   float* p = m.data();
   const int64_t n = m.size();
@@ -261,6 +329,7 @@ Matrix RandomNormal(int rows, int cols, float stddev, Rng* rng) {
 }
 
 Matrix RandomUniform(int rows, int cols, float lo, float hi, Rng* rng) {
+  // Serial by contract: the RNG stream is sequential state.
   Matrix m(rows, cols);
   float* p = m.data();
   const int64_t n = m.size();
@@ -277,14 +346,19 @@ Matrix SpMM(const SparseMatrix& s, const Matrix& b) {
   const auto& col_idx = s.col_idx();
   const auto& values = s.values();
   const int n = b.cols();
-  for (int i = 0; i < s.rows(); ++i) {
-    float* crow = c.row(i);
-    for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
-      const float v = values[k];
-      const float* brow = b.row(col_idx[k]);
-      for (int j = 0; j < n; ++j) crow[j] += v * brow[j];
+  // Row-parallel over CSR rows: chunk [r0, r1) owns rows [r0, r1) of C,
+  // and each row's nonzeros are accumulated in stored (ascending column)
+  // order exactly as in the serial kernel.
+  parallel::ParallelFor(0, s.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      float* crow = c.row(i);
+      for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        const float v = values[k];
+        const float* brow = b.row(col_idx[k]);
+        for (int j = 0; j < n; ++j) crow[j] += v * brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -294,13 +368,16 @@ std::vector<float> SpMV(const SparseMatrix& s, const std::vector<float>& x) {
   const auto& row_ptr = s.row_ptr();
   const auto& col_idx = s.col_idx();
   const auto& values = s.values();
-  for (int i = 0; i < s.rows(); ++i) {
-    float acc = 0.0f;
-    for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
-      acc += values[k] * x[col_idx[k]];
+  parallel::ParallelFor(0, s.rows(), kRowGrain * 4, [&](int64_t r0,
+                                                        int64_t r1) {
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      float acc = 0.0f;
+      for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
+        acc += values[k] * x[col_idx[k]];
+      }
+      y[i] = acc;
     }
-    y[i] = acc;
-  }
+  });
   return y;
 }
 

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "linalg/check.h"
+#include "parallel/thread_pool.h"
 
 namespace repro::linalg {
 
@@ -75,11 +76,14 @@ float SparseMatrix::At(int r, int c) const {
 
 Matrix SparseMatrix::ToDense() const {
   Matrix dense(rows_, cols_);
-  for (int r = 0; r < rows_; ++r) {
-    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      dense(r, col_idx_[k]) += values_[k];
+  parallel::ParallelFor(0, rows_, 64, [&](int64_t r0, int64_t r1) {
+    for (int r = static_cast<int>(r0); r < static_cast<int>(r1); ++r) {
+      float* drow = dense.row(r);
+      for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        drow[col_idx_[k]] += values_[k];
+      }
     }
-  }
+  });
   return dense;
 }
 

@@ -17,17 +17,23 @@ namespace repro::linalg {
 /// (`FromTriplets`) or a dense matrix; once built the structure is
 /// immutable (graph edits build a new `SparseMatrix`, which mirrors how
 /// the attackers produce a new poisoned graph per step).
+///
+/// Thread-safety: a built `SparseMatrix` is effectively immutable, so
+/// concurrent reads (the row-parallel SpMM/SpMV kernels in
+/// `linalg/ops.h` rely on this) are safe. `mutable_values()` is the one
+/// escape hatch and must not be used while kernels are running.
 class SparseMatrix {
  public:
   SparseMatrix() : rows_(0), cols_(0) {}
 
   /// Builds from (row, col, value) triplets. Duplicate coordinates are
-  /// summed. Triplets need not be sorted.
+  /// summed. Triplets need not be sorted. Serial; O(nnz log nnz).
   static SparseMatrix FromTriplets(
       int rows, int cols,
       const std::vector<std::tuple<int, int, float>>& triplets);
 
   /// Converts a dense matrix, keeping entries with |v| > `tol`.
+  /// Serial; O(rows · cols).
   static SparseMatrix FromDense(const Matrix& dense, float tol = 0.0f);
 
   int rows() const { return rows_; }
@@ -48,10 +54,12 @@ class SparseMatrix {
   /// Returns the stored value at (r, c), or 0 if absent. O(log nnz(r)).
   float At(int r, int c) const;
 
-  /// Densifies; intended for small matrices and tests.
+  /// Densifies; intended for small matrices and tests. Row-parallel
+  /// (disjoint output rows); O(rows · cols + nnz);
+  /// bitwise-deterministic at any thread count.
   Matrix ToDense() const;
 
-  /// Transposed copy.
+  /// Transposed copy. Serial; O(nnz log nnz) via `FromTriplets`.
   SparseMatrix Transposed() const;
 
  private:

@@ -1,0 +1,98 @@
+#ifndef PEEGA_PARALLEL_THREAD_POOL_H_
+#define PEEGA_PARALLEL_THREAD_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace repro::parallel {
+
+/// Deterministic fork-join parallelism for the numerical kernels.
+///
+/// The design goal is NOT maximum throughput but *bitwise-identical
+/// results at any thread count*, so that every number in the paper's
+/// reproduced tables is independent of the machine it ran on. The
+/// contract that delivers this is **static chunking**:
+///
+///  * `ParallelFor(begin, end, grain, fn)` splits `[begin, end)` into
+///    fixed chunks of exactly `grain` iterations (the last chunk may be
+///    ragged). The partition depends ONLY on `(end - begin, grain)` —
+///    never on the thread count — and each chunk is executed exactly
+///    once, with its internal iteration order unchanged from the serial
+///    loop.
+///  * Reductions (`ParallelReduce`) combine per-chunk partial results
+///    sequentially in ascending chunk order on the calling thread, so
+///    floating-point association is also a function of `(n, grain)`
+///    alone.
+///
+/// Consequently a kernel whose chunks write disjoint outputs (all the
+/// row-parallel kernels in `linalg/ops.cc`) produces bitwise-identical
+/// output at 1, 2, or 64 threads, and a reduction produces
+/// bitwise-identical output as long as `grain` is unchanged.
+///
+/// Pool lifecycle: one process-wide pool, lazily created on the first
+/// parallel call. The worker count comes from, in priority order,
+/// `SetNumThreads()` (runtime override), the `PEEGA_NUM_THREADS`
+/// environment variable, then `std::thread::hardware_concurrency()`.
+/// With an effective count of 1 every call degenerates to the plain
+/// serial loop on the calling thread — zero threads are spawned and
+/// there is no synchronization overhead.
+///
+/// Thread-safety: `ParallelFor`/`ParallelReduce` may be called from any
+/// single orchestrating thread at a time (the library's kernels are
+/// driven by one experiment thread). Calls issued from *inside* a
+/// parallel region (nesting) are detected and run serially on the
+/// worker, which preserves both correctness and determinism.
+
+/// Number of chunks the static partition of `n` iterations at grain
+/// `grain` produces: ceil(n / max(grain, 1)); 0 when n <= 0.
+int64_t NumChunks(int64_t n, int64_t grain);
+
+/// Effective thread count the next parallel region will use (>= 1).
+int NumThreads();
+
+/// Overrides the pool size at runtime. `n <= 0` resets to the
+/// environment/hardware default. Growing the pool spawns workers
+/// lazily on the next parallel call; shrinking leaves the extra
+/// workers parked (they are reused if the count grows again).
+/// Must not be called from inside a parallel region.
+void SetNumThreads(int n);
+
+/// Runs `fn(chunk_begin, chunk_end)` for every chunk of the static
+/// partition of `[begin, end)` at grain `grain`. Chunks may run on any
+/// worker and in any order; outputs must therefore be disjoint per
+/// chunk (row-parallel kernels satisfy this by construction). Blocks
+/// until all chunks finish. Empty ranges return immediately.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// Like `ParallelFor` but `fn` also receives the chunk index
+/// (0-based, ascending with `chunk_begin`), for kernels that keep
+/// per-chunk scratch state (e.g. per-chunk argmax candidates).
+void ParallelForChunked(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t, int64_t)>& fn);
+
+/// Deterministic map-reduce: `map(chunk_begin, chunk_end)` produces one
+/// partial result per chunk (in parallel); `combine(acc, partial)` folds
+/// the partials into `identity` in ascending chunk order on the calling
+/// thread. The result is bitwise-reproducible at any thread count and
+/// changes only if `grain` (and hence the partition) changes.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(int64_t begin, int64_t end, int64_t grain, T identity,
+                 const MapFn& map, const CombineFn& combine) {
+  const int64_t chunks = NumChunks(end - begin, grain);
+  if (chunks <= 0) return identity;
+  std::vector<T> partials(static_cast<size_t>(chunks), identity);
+  ParallelForChunked(begin, end, grain,
+                     [&](int64_t b, int64_t e, int64_t chunk) {
+                       partials[static_cast<size_t>(chunk)] = map(b, e);
+                     });
+  T acc = identity;
+  for (const T& partial : partials) acc = combine(acc, partial);
+  return acc;
+}
+
+}  // namespace repro::parallel
+
+#endif  // PEEGA_PARALLEL_THREAD_POOL_H_
