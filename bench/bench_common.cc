@@ -7,7 +7,7 @@
 #include "defense/model_defenders.h"
 #include "defense/prognn.h"
 #include "defense/svd.h"
-#include "linalg/check.h"
+#include "debug/check.h"
 
 namespace repro::bench {
 
@@ -52,7 +52,7 @@ Dataset MakeDataset(const std::string& name, double extra_scale) {
     dataset.gnat.k_t = 2;
     dataset.gnat.k_e = 20;
   } else {
-    REPRO_CHECK(false);
+    PEEGA_CHECK(false);
   }
   return dataset;
 }

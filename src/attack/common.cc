@@ -6,7 +6,7 @@
 #include <tuple>
 
 #include "attack/attacker.h"
-#include "linalg/check.h"
+#include "debug/check.h"
 #include "parallel/thread_pool.h"
 
 namespace repro::attack {
@@ -26,20 +26,29 @@ AccessControl::AccessControl(int num_nodes,
     : controlled_(num_nodes, attacker_nodes.empty() ? 1 : 0),
       all_nodes_(attacker_nodes.empty()) {
   for (int v : attacker_nodes) {
-    REPRO_CHECK_GE(v, 0);
-    REPRO_CHECK_LT(v, num_nodes);
+    PEEGA_CHECK_GE(v, 0);
+    PEEGA_CHECK_LT(v, num_nodes);
     controlled_[v] = 1;
   }
 }
 
 void FlipEdge(Matrix* dense_adjacency, int u, int v) {
-  REPRO_CHECK_NE(u, v);
+  const int n = dense_adjacency->rows();
+  PEEGA_CHECK_NE(u, v) << " — self-loop flips are not valid perturbations";
+  PEEGA_CHECK_GE(u, 0) << " in FlipEdge";
+  PEEGA_CHECK_LT(u, n) << " in FlipEdge on " << n << " nodes";
+  PEEGA_CHECK_GE(v, 0) << " in FlipEdge";
+  PEEGA_CHECK_LT(v, n) << " in FlipEdge on " << n << " nodes";
   const float flipped = (*dense_adjacency)(u, v) > 0.5f ? 0.0f : 1.0f;
   (*dense_adjacency)(u, v) = flipped;
   (*dense_adjacency)(v, u) = flipped;
 }
 
 void FlipFeature(Matrix* features, int v, int j) {
+  PEEGA_CHECK_GE(v, 0) << " in FlipFeature";
+  PEEGA_CHECK_LT(v, features->rows()) << " in FlipFeature";
+  PEEGA_CHECK_GE(j, 0) << " in FlipFeature";
+  PEEGA_CHECK_LT(j, features->cols()) << " in FlipFeature";
   (*features)(v, j) = (*features)(v, j) > 0.5f ? 0.0f : 1.0f;
 }
 
@@ -124,7 +133,7 @@ FeatureCandidate BestFeatureFlip(const Matrix& grad, const Matrix& features,
 }
 
 SparseMatrix DenseToAdjacency(const Matrix& dense) {
-  REPRO_CHECK_EQ(dense.rows(), dense.cols());
+  PEEGA_CHECK_EQ(dense.rows(), dense.cols());
   std::vector<std::tuple<int, int, float>> triplets;
   for (int u = 0; u < dense.rows(); ++u) {
     const float* row = dense.row(u);

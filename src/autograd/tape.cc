@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <limits>
+#include <sstream>
 
-#include "linalg/check.h"
+#include "debug/check.h"
+#include "debug/numerics.h"
 #include "linalg/ops.h"
 
 namespace repro::autograd {
@@ -23,23 +25,30 @@ void Accumulate(internal::Node* parent, const Matrix& delta,
 
 }  // namespace
 
-internal::Node* Tape::NewNode(Matrix value, bool requires_grad) {
+internal::Node* Tape::NewNode(Matrix value, bool requires_grad,
+                              const char* op,
+                              std::initializer_list<internal::Node*> parents) {
   nodes_.push_back(std::make_unique<internal::Node>());
   internal::Node* node = nodes_.back().get();
   node->value = std::move(value);
   node->requires_grad = requires_grad;
+  node->op = op;
+  node->index = static_cast<int>(nodes_.size()) - 1;
+  node->recorded_rows = node->value.rows();
+  node->recorded_cols = node->value.cols();
+  node->parents.assign(parents.begin(), parents.end());
   return node;
 }
 
 Var Tape::Input(Matrix value, bool requires_grad) {
-  return Var(NewNode(std::move(value), requires_grad));
+  return Var(NewNode(std::move(value), requires_grad, "Input", {}));
 }
 
 Var Tape::MatMul(Var a, Var b) {
   internal::Node* na = a.node_;
   internal::Node* nb = b.node_;
   internal::Node* out = NewNode(linalg::MatMul(na->value, nb->value),
-                                na->requires_grad || nb->requires_grad);
+                                na->requires_grad || nb->requires_grad, "MatMul", {na, nb});
   out->backward = [na, nb](internal::Node* self) {
     if (na->requires_grad) {
       Accumulate(na, linalg::MatMulTransB(self->grad, nb->value));
@@ -54,7 +63,7 @@ Var Tape::MatMul(Var a, Var b) {
 Var Tape::SpMMConst(const SparseMatrix& s, Var b) {
   internal::Node* nb = b.node_;
   internal::Node* out =
-      NewNode(linalg::SpMM(s, nb->value), nb->requires_grad);
+      NewNode(linalg::SpMM(s, nb->value), nb->requires_grad, "SpMMConst", {nb});
   if (nb->requires_grad) {
     // Capture the transpose once; S is immutable for the tape's lifetime.
     auto st = std::make_shared<SparseMatrix>(s.Transposed());
@@ -68,7 +77,7 @@ Var Tape::SpMMConst(const SparseMatrix& s, Var b) {
 Var Tape::Transpose(Var a) {
   internal::Node* na = a.node_;
   internal::Node* out =
-      NewNode(linalg::Transpose(na->value), na->requires_grad);
+      NewNode(linalg::Transpose(na->value), na->requires_grad, "Transpose", {na});
   out->backward = [na](internal::Node* self) {
     if (na->requires_grad) Accumulate(na, linalg::Transpose(self->grad));
   };
@@ -79,7 +88,7 @@ Var Tape::Add(Var a, Var b) {
   internal::Node* na = a.node_;
   internal::Node* nb = b.node_;
   internal::Node* out = NewNode(linalg::Add(na->value, nb->value),
-                                na->requires_grad || nb->requires_grad);
+                                na->requires_grad || nb->requires_grad, "Add", {na, nb});
   out->backward = [na, nb](internal::Node* self) {
     if (na->requires_grad) Accumulate(na, self->grad);
     if (nb->requires_grad) Accumulate(nb, self->grad);
@@ -91,7 +100,7 @@ Var Tape::Sub(Var a, Var b) {
   internal::Node* na = a.node_;
   internal::Node* nb = b.node_;
   internal::Node* out = NewNode(linalg::Sub(na->value, nb->value),
-                                na->requires_grad || nb->requires_grad);
+                                na->requires_grad || nb->requires_grad, "Sub", {na, nb});
   out->backward = [na, nb](internal::Node* self) {
     if (na->requires_grad) Accumulate(na, self->grad);
     if (nb->requires_grad) Accumulate(nb, self->grad, -1.0f);
@@ -103,7 +112,7 @@ Var Tape::Mul(Var a, Var b) {
   internal::Node* na = a.node_;
   internal::Node* nb = b.node_;
   internal::Node* out = NewNode(linalg::Mul(na->value, nb->value),
-                                na->requires_grad || nb->requires_grad);
+                                na->requires_grad || nb->requires_grad, "Mul", {na, nb});
   out->backward = [na, nb](internal::Node* self) {
     if (na->requires_grad) {
       Accumulate(na, linalg::Mul(self->grad, nb->value));
@@ -118,7 +127,7 @@ Var Tape::Mul(Var a, Var b) {
 Var Tape::Scale(Var a, float s) {
   internal::Node* na = a.node_;
   internal::Node* out =
-      NewNode(linalg::Affine(na->value, s), na->requires_grad);
+      NewNode(linalg::Affine(na->value, s), na->requires_grad, "Scale", {na});
   out->backward = [na, s](internal::Node* self) {
     if (na->requires_grad) Accumulate(na, self->grad, s);
   };
@@ -128,7 +137,7 @@ Var Tape::Scale(Var a, float s) {
 Var Tape::AddConst(Var a, const Matrix& c) {
   internal::Node* na = a.node_;
   internal::Node* out =
-      NewNode(linalg::Add(na->value, c), na->requires_grad);
+      NewNode(linalg::Add(na->value, c), na->requires_grad, "AddConst", {na});
   out->backward = [na](internal::Node* self) {
     if (na->requires_grad) Accumulate(na, self->grad);
   };
@@ -138,7 +147,7 @@ Var Tape::AddConst(Var a, const Matrix& c) {
 Var Tape::MulConst(Var a, const Matrix& c) {
   internal::Node* na = a.node_;
   internal::Node* out =
-      NewNode(linalg::Mul(na->value, c), na->requires_grad);
+      NewNode(linalg::Mul(na->value, c), na->requires_grad, "MulConst", {na});
   // The constant must outlive backward; copy it into the closure.
   Matrix c_copy = c;
   out->backward = [na, c_copy](internal::Node* self) {
@@ -149,7 +158,7 @@ Var Tape::MulConst(Var a, const Matrix& c) {
 
 Var Tape::Relu(Var a) {
   internal::Node* na = a.node_;
-  internal::Node* out = NewNode(linalg::Relu(na->value), na->requires_grad);
+  internal::Node* out = NewNode(linalg::Relu(na->value), na->requires_grad, "Relu", {na});
   out->backward = [na](internal::Node* self) {
     if (!na->requires_grad) return;
     Matrix masked = self->grad;
@@ -166,7 +175,7 @@ Var Tape::Relu(Var a) {
 Var Tape::LeakyRelu(Var a, float slope) {
   internal::Node* na = a.node_;
   internal::Node* out =
-      NewNode(linalg::LeakyRelu(na->value, slope), na->requires_grad);
+      NewNode(linalg::LeakyRelu(na->value, slope), na->requires_grad, "LeakyRelu", {na});
   out->backward = [na, slope](internal::Node* self) {
     if (!na->requires_grad) return;
     Matrix scaled = self->grad;
@@ -183,7 +192,7 @@ Var Tape::LeakyRelu(Var a, float slope) {
 Var Tape::Sigmoid(Var a) {
   internal::Node* na = a.node_;
   internal::Node* out =
-      NewNode(linalg::Sigmoid(na->value), na->requires_grad);
+      NewNode(linalg::Sigmoid(na->value), na->requires_grad, "Sigmoid", {na});
   out->backward = [na](internal::Node* self) {
     if (!na->requires_grad) return;
     Matrix d = self->grad;
@@ -203,7 +212,7 @@ Var Tape::Exp(Var a) {
     float* o = value.data();
     for (int64_t i = 0; i < value.size(); ++i) o[i] = std::exp(v[i]);
   }
-  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  internal::Node* out = NewNode(std::move(value), na->requires_grad, "Exp", {na});
   out->backward = [na](internal::Node* self) {
     if (!na->requires_grad) return;
     Accumulate(na, linalg::Mul(self->grad, self->value));
@@ -219,7 +228,7 @@ Var Tape::Log(Var a, float eps) {
     float* o = value.data();
     for (int64_t i = 0; i < value.size(); ++i) o[i] = std::log(v[i] + eps);
   }
-  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  internal::Node* out = NewNode(std::move(value), na->requires_grad, "Log", {na});
   out->backward = [na, eps](internal::Node* self) {
     if (!na->requires_grad) return;
     Matrix d = self->grad;
@@ -241,7 +250,7 @@ Var Tape::PowNonNeg(Var a, float exponent) {
       o[i] = v[i] > 0.0f ? std::pow(v[i], exponent) : 0.0f;
     }
   }
-  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  internal::Node* out = NewNode(std::move(value), na->requires_grad, "PowNonNeg", {na});
   out->backward = [na, exponent](internal::Node* self) {
     if (!na->requires_grad) return;
     Matrix d = self->grad;
@@ -264,7 +273,7 @@ Var Tape::RowSums(Var a) {
   const std::vector<float> sums = linalg::RowSums(na->value);
   Matrix value(na->value.rows(), 1);
   for (int i = 0; i < value.rows(); ++i) value(i, 0) = sums[i];
-  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  internal::Node* out = NewNode(std::move(value), na->requires_grad, "RowSums", {na});
   out->backward = [na](internal::Node* self) {
     if (!na->requires_grad) return;
     Matrix d(na->value.rows(), na->value.cols());
@@ -285,7 +294,7 @@ Var Tape::ColSums(Var a) {
     const float* arow = na->value.row(i);
     for (int j = 0; j < na->value.cols(); ++j) value(0, j) += arow[j];
   }
-  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  internal::Node* out = NewNode(std::move(value), na->requires_grad, "ColSums", {na});
   out->backward = [na](internal::Node* self) {
     if (!na->requires_grad) return;
     Matrix d(na->value.rows(), na->value.cols());
@@ -302,7 +311,7 @@ Var Tape::Sum(Var a) {
   internal::Node* na = a.node_;
   Matrix value(1, 1);
   value(0, 0) = static_cast<float>(linalg::Sum(na->value));
-  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  internal::Node* out = NewNode(std::move(value), na->requires_grad, "Sum", {na});
   out->backward = [na](internal::Node* self) {
     if (!na->requires_grad) return;
     Matrix d(na->value.rows(), na->value.cols(), self->grad(0, 0));
@@ -313,14 +322,14 @@ Var Tape::Sum(Var a) {
 
 Var Tape::BroadcastCol(Var a, int cols) {
   internal::Node* na = a.node_;
-  REPRO_CHECK_EQ(na->value.cols(), 1);
+  PEEGA_CHECK_EQ(na->value.cols(), 1);
   Matrix value(na->value.rows(), cols);
   for (int i = 0; i < value.rows(); ++i) {
     const float v = na->value(i, 0);
     float* row = value.row(i);
     for (int j = 0; j < cols; ++j) row[j] = v;
   }
-  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  internal::Node* out = NewNode(std::move(value), na->requires_grad, "BroadcastCol", {na});
   out->backward = [na](internal::Node* self) {
     if (!na->requires_grad) return;
     Matrix d(na->value.rows(), 1);
@@ -337,13 +346,13 @@ Var Tape::BroadcastCol(Var a, int cols) {
 
 Var Tape::BroadcastRow(Var a, int rows) {
   internal::Node* na = a.node_;
-  REPRO_CHECK_EQ(na->value.rows(), 1);
+  PEEGA_CHECK_EQ(na->value.rows(), 1);
   Matrix value(rows, na->value.cols());
   for (int i = 0; i < rows; ++i) {
     float* row = value.row(i);
     for (int j = 0; j < value.cols(); ++j) row[j] = na->value(0, j);
   }
-  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  internal::Node* out = NewNode(std::move(value), na->requires_grad, "BroadcastRow", {na});
   out->backward = [na](internal::Node* self) {
     if (!na->requires_grad) return;
     Matrix d(1, na->value.cols());
@@ -359,8 +368,8 @@ Var Tape::BroadcastRow(Var a, int rows) {
 Var Tape::ScaleRowsVar(Var a, Var s) {
   internal::Node* na = a.node_;
   internal::Node* ns = s.node_;
-  REPRO_CHECK_EQ(ns->value.cols(), 1);
-  REPRO_CHECK_EQ(ns->value.rows(), na->value.rows());
+  PEEGA_CHECK_EQ(ns->value.cols(), 1);
+  PEEGA_CHECK_EQ(ns->value.rows(), na->value.rows());
   Matrix value(na->value.rows(), na->value.cols());
   for (int i = 0; i < value.rows(); ++i) {
     const float sv = ns->value(i, 0);
@@ -369,7 +378,7 @@ Var Tape::ScaleRowsVar(Var a, Var s) {
     for (int j = 0; j < value.cols(); ++j) vrow[j] = arow[j] * sv;
   }
   internal::Node* out = NewNode(std::move(value),
-                                na->requires_grad || ns->requires_grad);
+                                na->requires_grad || ns->requires_grad, "ScaleRowsVar", {na, ns});
   out->backward = [na, ns](internal::Node* self) {
     if (na->requires_grad) {
       Matrix d(na->value.rows(), na->value.cols());
@@ -399,8 +408,8 @@ Var Tape::ScaleRowsVar(Var a, Var s) {
 Var Tape::ScaleColsVar(Var a, Var s) {
   internal::Node* na = a.node_;
   internal::Node* ns = s.node_;
-  REPRO_CHECK_EQ(ns->value.cols(), 1);
-  REPRO_CHECK_EQ(ns->value.rows(), na->value.cols());
+  PEEGA_CHECK_EQ(ns->value.cols(), 1);
+  PEEGA_CHECK_EQ(ns->value.rows(), na->value.cols());
   Matrix value(na->value.rows(), na->value.cols());
   for (int i = 0; i < value.rows(); ++i) {
     const float* arow = na->value.row(i);
@@ -410,7 +419,7 @@ Var Tape::ScaleColsVar(Var a, Var s) {
     }
   }
   internal::Node* out = NewNode(std::move(value),
-                                na->requires_grad || ns->requires_grad);
+                                na->requires_grad || ns->requires_grad, "ScaleColsVar", {na, ns});
   out->backward = [na, ns](internal::Node* self) {
     if (na->requires_grad) {
       Matrix d(na->value.rows(), na->value.cols());
@@ -446,7 +455,7 @@ Var Tape::AddRowVector(Var a, Var bias) {
 Var Tape::RowSoftmax(Var a) {
   internal::Node* na = a.node_;
   internal::Node* out =
-      NewNode(linalg::RowSoftmax(na->value), na->requires_grad);
+      NewNode(linalg::RowSoftmax(na->value), na->requires_grad, "RowSoftmax", {na});
   out->backward = [na](internal::Node* self) {
     if (!na->requires_grad) return;
     // d a = (g - (g . s) 1) ⊙ s  row-wise.
@@ -468,7 +477,7 @@ Var Tape::RowSoftmax(Var a) {
 
 Var Tape::MaskedRowSoftmax(Var a, const Matrix& mask) {
   internal::Node* na = a.node_;
-  REPRO_CHECK(na->value.SameShape(mask));
+  PEEGA_CHECK(na->value.SameShape(mask));
   Matrix value(na->value.rows(), na->value.cols());
   for (int i = 0; i < value.rows(); ++i) {
     const float* arow = na->value.row(i);
@@ -489,7 +498,7 @@ Var Tape::MaskedRowSoftmax(Var a, const Matrix& mask) {
     const float inv = 1.0f / denom;
     for (int j = 0; j < value.cols(); ++j) vrow[j] *= inv;
   }
-  internal::Node* out = NewNode(std::move(value), na->requires_grad);
+  internal::Node* out = NewNode(std::move(value), na->requires_grad, "MaskedRowSoftmax", {na});
   Matrix mask_copy = mask;
   out->backward = [na, mask_copy](internal::Node* self) {
     if (!na->requires_grad) return;
@@ -513,8 +522,8 @@ Var Tape::MaskedRowSoftmax(Var a, const Matrix& mask) {
 Var Tape::SoftmaxCrossEntropy(Var logits, const Matrix& labels,
                               const std::vector<float>& row_mask) {
   internal::Node* nl = logits.node_;
-  REPRO_CHECK(nl->value.SameShape(labels));
-  REPRO_CHECK_EQ(static_cast<int>(row_mask.size()), nl->value.rows());
+  PEEGA_CHECK(nl->value.SameShape(labels));
+  PEEGA_CHECK_EQ(static_cast<int>(row_mask.size()), nl->value.rows());
   Matrix probs = linalg::RowSoftmax(nl->value);
   double loss = 0.0;
   double count = 0.0;
@@ -532,7 +541,8 @@ Var Tape::SoftmaxCrossEntropy(Var logits, const Matrix& labels,
   if (count > 0.0) loss /= count;
   Matrix value(1, 1);
   value(0, 0) = static_cast<float>(loss);
-  internal::Node* out = NewNode(std::move(value), nl->requires_grad);
+  internal::Node* out = NewNode(std::move(value), nl->requires_grad, "SoftmaxCrossEntropy", {nl});
+  PEEGA_CHECK_FINITE_MAT(out->value, "SoftmaxCrossEntropy");
   if (nl->requires_grad) {
     auto probs_ptr = std::make_shared<Matrix>(std::move(probs));
     Matrix labels_copy = labels;
@@ -571,7 +581,7 @@ struct PNormPair {
 }  // namespace
 
 Var Tape::SumRowPNorm(Var x, const Matrix& ref, int p) {
-  REPRO_CHECK(x.value().SameShape(ref));
+  PEEGA_CHECK(x.value().SameShape(ref));
   std::vector<std::pair<int, int>> pairs;
   pairs.reserve(x.rows());
   for (int v = 0; v < x.rows(); ++v) pairs.emplace_back(v, v);
@@ -582,8 +592,8 @@ Var Tape::SumEdgePNorm(Var x, const Matrix& ref,
                        const std::vector<std::pair<int, int>>& edges,
                        int p) {
   internal::Node* nx = x.node_;
-  REPRO_CHECK_EQ(nx->value.cols(), ref.cols());
-  REPRO_CHECK_GE(p, 1);
+  PEEGA_CHECK_EQ(nx->value.cols(), ref.cols());
+  PEEGA_CHECK_GE(p, 1);
   const int d = nx->value.cols();
   double total = 0.0;
   // Cache per-pair norms for backward.
@@ -603,7 +613,7 @@ Var Tape::SumEdgePNorm(Var x, const Matrix& ref,
   }
   Matrix value(1, 1);
   value(0, 0) = static_cast<float>(total);
-  internal::Node* out = NewNode(std::move(value), nx->requires_grad);
+  internal::Node* out = NewNode(std::move(value), nx->requires_grad, "SumEdgePNorm", {nx});
   if (nx->requires_grad) {
     Matrix ref_copy = ref;
     std::vector<std::pair<int, int>> edges_copy = edges;
@@ -639,7 +649,7 @@ Var Tape::SumEdgePNorm(Var x, const Matrix& ref,
 
 Var Tape::GcnNormalizeDense(Var a) {
   const int n = a.rows();
-  REPRO_CHECK_EQ(n, a.cols());
+  PEEGA_CHECK_EQ(n, a.cols());
   Var a_hat = AddConst(a, Matrix::Identity(n));
   Var deg = RowSums(a_hat);                 // (n x 1)
   Var inv_sqrt = PowNonNeg(deg, -0.5f);     // D^{-1/2} diagonal as column
@@ -647,11 +657,106 @@ Var Tape::GcnNormalizeDense(Var a) {
   return ScaleColsVar(scaled_rows, inv_sqrt);
 }
 
+namespace {
+
+// "#12 MatMul[3x4]" — one node in an op-trace line.
+void AppendNodeDesc(std::ostream& os, const internal::Node* n) {
+  os << "#" << n->index << " " << n->op << "[" << n->value.rows() << "x"
+     << n->value.cols() << "]";
+}
+
+// Renders `node` and up to `depth` generations of its ancestors, one line
+// per node, so a validation failure names the op chain that produced the
+// malformed region instead of a bare pointer.
+void AppendOpTrace(std::ostream& os, const internal::Node* node, int depth) {
+  os << "\n    ";
+  AppendNodeDesc(os, node);
+  if (!node->parents.empty()) {
+    os << " <- ";
+    bool first = true;
+    for (const internal::Node* p : node->parents) {
+      if (!first) os << ", ";
+      first = false;
+      AppendNodeDesc(os, p);
+    }
+  }
+  if (depth > 0) {
+    for (const internal::Node* p : node->parents) {
+      AppendOpTrace(os, p, depth - 1);
+    }
+  }
+}
+
+[[noreturn]] void FailValidation(const char* file, int line,
+                                 const std::string& why,
+                                 const internal::Node* node) {
+  std::ostringstream os;
+  os << "CHECK failed: tape graph validation: " << why;
+  if (node != nullptr) {
+    os << "\n  op-trace (offending node, then ancestors):";
+    AppendOpTrace(os, node, 3);
+  }
+  { debug::internal::CheckMessage message(file, line, os.str()); }
+  std::abort();  // unreachable: CheckMessage aborts in its destructor
+}
+
+}  // namespace
+
+void Tape::ValidateForBackward(Var loss) const {
+  if (!loss.valid()) {
+    FailValidation(__FILE__, __LINE__,
+                   "Backward called on a default-constructed Var", nullptr);
+  }
+  const internal::Node* root = loss.node_;
+  const bool owned = root->index >= 0 &&
+                     root->index < static_cast<int>(nodes_.size()) &&
+                     nodes_[root->index].get() == root;
+  if (!owned) {
+    FailValidation(__FILE__, __LINE__,
+                   "loss Var does not belong to this tape", nullptr);
+  }
+  for (int i = 0; i <= root->index; ++i) {
+    const internal::Node* n = nodes_[i].get();
+    if (n->value.rows() != n->recorded_rows ||
+        n->value.cols() != n->recorded_cols) {
+      std::ostringstream why;
+      why << "node value shape " << n->value.rows() << "x" << n->value.cols()
+          << " diverged from the " << n->recorded_rows << "x"
+          << n->recorded_cols << " recorded at creation";
+      FailValidation(__FILE__, __LINE__, why.str(), n);
+    }
+    for (const internal::Node* p : n->parents) {
+      if (p->index < 0 || p->index >= i || nodes_[p->index].get() != p) {
+        FailValidation(__FILE__, __LINE__,
+                       "parent is not an earlier node of this tape "
+                       "(topological order broken)",
+                       n);
+      }
+    }
+    if (n->grad_initialized && !n->grad.SameShape(n->value)) {
+      std::ostringstream why;
+      why << "gradient shape " << n->grad.rows() << "x" << n->grad.cols()
+          << " does not match value shape " << n->value.rows() << "x"
+          << n->value.cols();
+      FailValidation(__FILE__, __LINE__, why.str(), n);
+    }
+  }
+  if (root->value.rows() != 1 || root->value.cols() != 1) {
+    std::ostringstream why;
+    why << "loss must be 1x1, got " << root->value.rows() << "x"
+        << root->value.cols();
+    FailValidation(__FILE__, __LINE__, why.str(), root);
+  }
+}
+
+void Tape::CorruptValueShapeForTest(Var v, int rows, int cols) {
+  PEEGA_CHECK(v.valid());
+  v.node_->value = Matrix(rows, cols);
+}
+
 void Tape::Backward(Var loss) {
+  ValidateForBackward(loss);
   internal::Node* root = loss.node_;
-  REPRO_CHECK(root != nullptr);
-  REPRO_CHECK_EQ(root->value.rows(), 1);
-  REPRO_CHECK_EQ(root->value.cols(), 1);
   root->EnsureGrad()(0, 0) = 1.0f;
   // Nodes were appended in topological order; reverse order is valid for
   // reverse-mode accumulation. Stop at the root's position.
@@ -664,6 +769,17 @@ void Tape::Backward(Var loss) {
     }
     if (node->backward && node->grad_initialized) {
       node->backward(node);
+#ifdef PEEGA_DEBUG_NUMERICS
+      // Poison-check every gradient this backward node just produced; a
+      // NaN is reported at the op that created it, not steps later.
+      for (internal::Node* parent : node->parents) {
+        if (!parent->grad_initialized) continue;
+        const std::string what = std::string("backward of ") + node->op;
+        debug::CheckFiniteArray(parent->grad.data(), parent->grad.size(),
+                                parent->grad.cols(), what.c_str(), __FILE__,
+                                __LINE__);
+      }
+#endif
     }
   }
 }

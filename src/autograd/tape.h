@@ -2,6 +2,7 @@
 #define PEEGA_AUTOGRAD_TAPE_H_
 
 #include <functional>
+#include <initializer_list>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -17,12 +18,20 @@ namespace internal {
 
 /// One entry on the tape: a value, its (lazily allocated) gradient, and a
 /// backward closure that scatters this node's gradient into its parents.
+/// `op`, `parents`, and the shapes recorded at creation exist for the
+/// pre-Backward graph validation pass and its op-trace diagnostics.
 struct Node {
   linalg::Matrix value;
   linalg::Matrix grad;
   bool requires_grad = false;
   bool grad_initialized = false;
   std::function<void(Node*)> backward;
+
+  const char* op = "?";
+  int index = -1;               // position on the tape
+  int recorded_rows = 0;        // value shape captured at creation
+  int recorded_cols = 0;
+  std::vector<Node*> parents;   // tape nodes this op consumed
 
   linalg::Matrix& EnsureGrad() {
     if (!grad_initialized) {
@@ -148,13 +157,33 @@ class Tape {
   Var GcnNormalizeDense(Var a);
 
   /// Runs reverse-mode accumulation from `loss` (must be 1x1) with seed 1.
+  /// Calls `ValidateForBackward(loss)` first; a malformed graph aborts with
+  /// an op-trace instead of silently producing wrong gradients. When the
+  /// build has PEEGA_DEBUG_NUMERICS on, every gradient produced by a
+  /// backward node is additionally poison-checked for NaN/Inf.
   void Backward(Var loss);
+
+  /// Structural validation of the recorded graph, run by `Backward` before
+  /// any closure executes. Rejects (with a readable op-trace of the
+  /// offending node and its ancestors): an invalid/foreign root Var, a
+  /// non-1x1 loss, nodes whose value shape changed since recording, parents
+  /// recorded out of topological order, and gradients whose shape diverged
+  /// from their value. Exposed separately so tests can drive it directly.
+  void ValidateForBackward(Var loss) const;
 
   /// Number of recorded nodes (for tests).
   size_t node_count() const { return nodes_.size(); }
 
+  /// Test-only back door: overwrites the node's value with a `rows` x
+  /// `cols` zero matrix WITHOUT updating the shape recorded at creation,
+  /// manufacturing exactly the malformed graph `ValidateForBackward` must
+  /// reject. Never call outside tests.
+  void CorruptValueShapeForTest(Var v, int rows, int cols);
+
  private:
-  internal::Node* NewNode(linalg::Matrix value, bool requires_grad);
+  internal::Node* NewNode(linalg::Matrix value, bool requires_grad,
+                          const char* op,
+                          std::initializer_list<internal::Node*> parents);
 
   std::vector<std::unique_ptr<internal::Node>> nodes_;
 };

@@ -6,7 +6,7 @@
 
 #include "autograd/tape.h"
 #include "graph/metrics.h"
-#include "linalg/check.h"
+#include "debug/check.h"
 #include "linalg/ops.h"
 #include "nn/optim.h"
 
@@ -145,7 +145,7 @@ defense::DefenseReport GnatDefender::Run(
     linalg::Rng* rng) {
   const auto start = std::chrono::steady_clock::now();
   const std::vector<SparseMatrix> views = BuildViews(g);
-  REPRO_CHECK_GT(views.size(), 0u);
+  PEEGA_CHECK_GT(views.size(), 0u);
   const float inv_views = 1.0f / static_cast<float>(views.size());
 
   nn::Gcn gcn(g.features.cols(), g.num_classes, options_.gcn, rng);

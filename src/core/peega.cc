@@ -7,7 +7,7 @@
 #include "attack/common.h"
 #include "autograd/tape.h"
 #include "graph/graph.h"
-#include "linalg/check.h"
+#include "debug/check.h"
 #include "linalg/ops.h"
 
 namespace repro::core {
@@ -29,7 +29,7 @@ PeegaAttack::PeegaAttack(const Options& options) : options_(options) {}
 
 Matrix PeegaAttack::SurrogateRepresentation(const SparseMatrix& adjacency,
                                             const Matrix& x, int layers) {
-  REPRO_CHECK_GE(layers, 1);
+  PEEGA_CHECK_GE(layers, 1);
   const SparseMatrix a_n = graph::GcnNormalize(adjacency);
   Matrix h = x;
   for (int l = 0; l < layers; ++l) h = linalg::SpMM(a_n, h);

@@ -1,0 +1,24 @@
+#include "debug/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace repro::debug::internal {
+
+CheckMessage::CheckMessage(const char* file, int line,
+                           const std::string& head)
+    : file_(file), line_(line) {
+  stream_ << head;
+}
+
+CheckMessage::~CheckMessage() {
+  // Streamed context (if any) has accumulated after the head by now; the
+  // source location goes last so the message reads
+  //   CHECK failed: a == b (3 vs. 4) <context> at file.cc:42
+  const std::string message = stream_.str();
+  std::fprintf(stderr, "%s at %s:%d\n", message.c_str(), file_, line_);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace repro::debug::internal

@@ -1,0 +1,133 @@
+#ifndef PEEGA_DEBUG_CHECK_H_
+#define PEEGA_DEBUG_CHECK_H_
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+// Invariant-checking macros for the whole library.
+//
+//   PEEGA_CHECK(cond)            always on; aborts with the condition text
+//   PEEGA_CHECK_EQ/NE/LT/LE/GT/GE(a, b)
+//                                always on; prints BOTH operand values on
+//                                failure ("a == b (3 vs. 4)")
+//   PEEGA_DCHECK / PEEGA_DCHECK_* same contracts, but compiled out when
+//                                NDEBUG is defined (Release builds)
+//
+// Every macro is an abort point, not an error channel: a failed check means
+// API misuse or a broken internal invariant (shape mismatch, out-of-range
+// index, malformed tape), never a recoverable runtime condition.
+//
+// All of them accept streamed context that is printed after the failure:
+//
+//   PEEGA_CHECK_EQ(a.cols(), b.rows()) << "in MatMul of " << a.ShapeString();
+//
+// The message always starts with "CHECK failed:" so death tests can match a
+// stable prefix regardless of which macro fired.
+
+namespace repro::debug::internal {
+
+/// Collects a failure message. The destructor prints the message (with its
+/// source location) to stderr and aborts, so a temporary `CheckMessage`
+/// terminates the program at the end of the full expression that created
+/// it — after any extra context has been streamed in.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const std::string& head);
+  ~CheckMessage();
+  CheckMessage(const CheckMessage&) = delete;
+  CheckMessage& operator=(const CheckMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed context in compiled-out PEEGA_DCHECK expansions.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+template <typename A, typename B>
+std::unique_ptr<std::string> FormatFailedOp(const char* expr, const A& a,
+                                            const B& b) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " (" << a << " vs. " << b << ")";
+  return std::make_unique<std::string>(os.str());
+}
+
+// One helper per comparison so each operand is evaluated exactly once and
+// its value can be captured for the failure message.
+#define PEEGA_DEBUG_INTERNAL_DEFINE_CHECK_OP(name, op)                     \
+  template <typename A, typename B>                                        \
+  std::unique_ptr<std::string> Check##name(const A& a, const B& b,         \
+                                           const char* expr) {             \
+    if (a op b) return nullptr;                                            \
+    return FormatFailedOp(expr, a, b);                                     \
+  }
+PEEGA_DEBUG_INTERNAL_DEFINE_CHECK_OP(EQ, ==)
+PEEGA_DEBUG_INTERNAL_DEFINE_CHECK_OP(NE, !=)
+PEEGA_DEBUG_INTERNAL_DEFINE_CHECK_OP(LT, <)
+PEEGA_DEBUG_INTERNAL_DEFINE_CHECK_OP(LE, <=)
+PEEGA_DEBUG_INTERNAL_DEFINE_CHECK_OP(GT, >)
+PEEGA_DEBUG_INTERNAL_DEFINE_CHECK_OP(GE, >=)
+#undef PEEGA_DEBUG_INTERNAL_DEFINE_CHECK_OP
+
+}  // namespace repro::debug::internal
+
+// The `while` form makes the macro a single statement that is safe in
+// unbraced if/else branches and lets callers stream context onto the
+// returned ostream; the CheckMessage destructor aborts at the end of the
+// full expression, so the loop body runs at most once.
+#define PEEGA_CHECK(cond)                                           \
+  while (!(cond))                                                   \
+  ::repro::debug::internal::CheckMessage(                           \
+      __FILE__, __LINE__, std::string("CHECK failed: ") + #cond)    \
+      .stream()
+
+#define PEEGA_CHECK_OP_IMPL(name, op, a, b)                         \
+  while (auto peega_internal_check_result =                         \
+             ::repro::debug::internal::Check##name(                 \
+                 (a), (b), #a " " #op " " #b))                      \
+  ::repro::debug::internal::CheckMessage(__FILE__, __LINE__,        \
+                                         *peega_internal_check_result) \
+      .stream()
+
+#define PEEGA_CHECK_EQ(a, b) PEEGA_CHECK_OP_IMPL(EQ, ==, a, b)
+#define PEEGA_CHECK_NE(a, b) PEEGA_CHECK_OP_IMPL(NE, !=, a, b)
+#define PEEGA_CHECK_LT(a, b) PEEGA_CHECK_OP_IMPL(LT, <, a, b)
+#define PEEGA_CHECK_LE(a, b) PEEGA_CHECK_OP_IMPL(LE, <=, a, b)
+#define PEEGA_CHECK_GT(a, b) PEEGA_CHECK_OP_IMPL(GT, >, a, b)
+#define PEEGA_CHECK_GE(a, b) PEEGA_CHECK_OP_IMPL(GE, >=, a, b)
+
+// Debug-only checks: active whenever NDEBUG is not defined (Debug builds,
+// sanitizer builds configured without NDEBUG). In Release the condition is
+// kept inside a `false && ...` so the operands stay name-checked by the
+// compiler (no unused-variable warnings, no bit-rot) but are never
+// evaluated at runtime.
+#ifdef NDEBUG
+#define PEEGA_DCHECK(cond) \
+  while (false && (cond)) ::repro::debug::internal::NullStream()
+#define PEEGA_DCHECK_EQ(a, b) PEEGA_DCHECK((a) == (b))
+#define PEEGA_DCHECK_NE(a, b) PEEGA_DCHECK((a) != (b))
+#define PEEGA_DCHECK_LT(a, b) PEEGA_DCHECK((a) < (b))
+#define PEEGA_DCHECK_LE(a, b) PEEGA_DCHECK((a) <= (b))
+#define PEEGA_DCHECK_GT(a, b) PEEGA_DCHECK((a) > (b))
+#define PEEGA_DCHECK_GE(a, b) PEEGA_DCHECK((a) >= (b))
+#else
+#define PEEGA_DCHECK(cond) PEEGA_CHECK(cond)
+#define PEEGA_DCHECK_EQ(a, b) PEEGA_CHECK_EQ(a, b)
+#define PEEGA_DCHECK_NE(a, b) PEEGA_CHECK_NE(a, b)
+#define PEEGA_DCHECK_LT(a, b) PEEGA_CHECK_LT(a, b)
+#define PEEGA_DCHECK_LE(a, b) PEEGA_CHECK_LE(a, b)
+#define PEEGA_DCHECK_GT(a, b) PEEGA_CHECK_GT(a, b)
+#define PEEGA_DCHECK_GE(a, b) PEEGA_CHECK_GE(a, b)
+#endif
+
+#endif  // PEEGA_DEBUG_CHECK_H_

@@ -1,0 +1,24 @@
+#include "debug/numerics.h"
+
+#include <cmath>
+
+#include "debug/check.h"
+
+namespace repro::debug {
+
+void CheckFiniteArray(const float* data, int64_t size, int64_t cols,
+                      const char* what, const char* file, int line) {
+  for (int64_t i = 0; i < size; ++i) {
+    if (std::isfinite(data[i])) continue;
+    internal::CheckMessage message(
+        file, line, "CHECK failed: non-finite value in " + std::string(what));
+    message.stream() << ": " << data[i] << " at flat index " << i;
+    if (cols > 0) {
+      message.stream() << " (row " << i / cols << ", col " << i % cols << ")";
+    }
+    // CheckMessage aborts in its destructor at the end of this scope.
+    return;
+  }
+}
+
+}  // namespace repro::debug

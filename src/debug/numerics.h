@@ -1,0 +1,59 @@
+#ifndef PEEGA_DEBUG_NUMERICS_H_
+#define PEEGA_DEBUG_NUMERICS_H_
+
+#include <cstdint>
+
+// NaN/Inf poison checks for kernel outputs.
+//
+// Configure with -DPEEGA_DEBUG_NUMERICS=ON (a CMake option that defines the
+// PEEGA_DEBUG_NUMERICS compile macro). When enabled, the outputs of the
+// dense/sparse matmul family, row softmax, softmax cross-entropy, and every
+// gradient produced during `Tape::Backward` are scanned for non-finite
+// values; the first offending entry aborts with its (row, col) position and
+// the name of the producing op. A silent NaN in the `A_n^2 X` score matrix
+// would otherwise corrupt PEEGA's greedy argmax (Alg. 1) without any test
+// noticing — the poison check turns that drift into a hard failure at the
+// op that created it.
+//
+// The scan helpers live below the macro so tests can exercise them
+// unconditionally; the PEEGA_CHECK_FINITE* macros compile to no-ops when
+// the option is off, keeping zero overhead on release hot paths.
+
+namespace repro::debug {
+
+/// Returns true when the build was configured with PEEGA_DEBUG_NUMERICS=ON.
+constexpr bool NumericsGuardEnabled() {
+#ifdef PEEGA_DEBUG_NUMERICS
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Scans `data[0..size)` for NaN/Inf. On the first non-finite entry, aborts
+/// with a "CHECK failed" message naming `what` (the producing op), the flat
+/// index, and — when `cols > 0` — the (row, col) position. Works on any
+/// row-major float buffer so the debug module needs no dependency on
+/// linalg::Matrix; pass `cols = 0` for flat vectors.
+void CheckFiniteArray(const float* data, int64_t size, int64_t cols,
+                      const char* what, const char* file, int line);
+
+}  // namespace repro::debug
+
+#ifdef PEEGA_DEBUG_NUMERICS
+// `mat` is any type with data()/size()/cols() (linalg::Matrix).
+#define PEEGA_CHECK_FINITE_MAT(mat, what)                               \
+  ::repro::debug::CheckFiniteArray((mat).data(), (mat).size(),          \
+                                   (mat).cols(), (what), __FILE__,      \
+                                   __LINE__)
+// `vec` is any contiguous float container with data()/size().
+#define PEEGA_CHECK_FINITE_VEC(vec, what)                               \
+  ::repro::debug::CheckFiniteArray(                                     \
+      (vec).data(), static_cast<int64_t>((vec).size()), 0, (what),      \
+      __FILE__, __LINE__)
+#else
+#define PEEGA_CHECK_FINITE_MAT(mat, what) ((void)0)
+#define PEEGA_CHECK_FINITE_VEC(vec, what) ((void)0)
+#endif
+
+#endif  // PEEGA_DEBUG_NUMERICS_H_

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "debug/check.h"
 #include "linalg/ops.h"
 #include "nn/trainer.h"
 
@@ -12,6 +13,10 @@ JaccardDefender::JaccardDefender(const Options& options)
     : options_(options) {}
 
 graph::Graph JaccardDefender::Purify(const graph::Graph& g) const {
+  PEEGA_CHECK_GE(options_.threshold, 0.0f)
+      << " — Jaccard similarity is bounded to [0, 1]";
+  PEEGA_CHECK_LE(options_.threshold, 1.0f)
+      << " — Jaccard similarity is bounded to [0, 1]";
   std::vector<std::pair<int, int>> kept;
   for (const auto& [u, v] : g.EdgeList()) {
     if (linalg::JaccardSimilarity(g.features, u, v) >= options_.threshold) {

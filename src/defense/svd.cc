@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "debug/check.h"
 #include "linalg/eigen.h"
 #include "linalg/ops.h"
 #include "nn/trainer.h"
@@ -17,6 +18,7 @@ SvdDefender::SvdDefender(const Options& options) : options_(options) {}
 
 SparseMatrix SvdDefender::Purify(const graph::Graph& g,
                                  linalg::Rng* rng) const {
+  PEEGA_CHECK_GT(options_.rank, 0) << " — SVD defense needs a positive rank";
   const int rank = std::min(options_.rank, g.num_nodes);
   const linalg::EigenResult eig =
       linalg::TopKEigenSymmetric(g.adjacency, rank, rng);

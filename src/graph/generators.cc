@@ -5,7 +5,7 @@
 #include <set>
 #include <utility>
 
-#include "linalg/check.h"
+#include "debug/check.h"
 
 namespace repro::graph {
 
@@ -94,7 +94,7 @@ Matrix SampleTopicFeatures(int num_nodes, int num_classes, int feature_dim,
                            double feature_confusion, Rng* rng) {
   Matrix x(num_nodes, feature_dim);
   const int block = feature_dim / num_classes;
-  REPRO_CHECK_GT(block, 0);
+  PEEGA_CHECK_GT(block, 0);
   for (int v = 0; v < num_nodes; ++v) {
     // Confused nodes emit the topic of a random class.
     int topic = labels[v];
@@ -118,7 +118,7 @@ Matrix SampleTopicFeatures(int num_nodes, int num_classes, int feature_dim,
 }  // namespace
 
 Graph MakeSynthetic(const SyntheticConfig& config, Rng* rng) {
-  REPRO_CHECK_GT(config.num_nodes, config.num_classes);
+  PEEGA_CHECK_GT(config.num_nodes, config.num_classes);
   Graph g;
   g.name = config.name;
   g.num_nodes = config.num_nodes;

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <queue>
 
-#include "linalg/check.h"
+#include "debug/check.h"
 #include "linalg/ops.h"
 #include "linalg/random.h"
 
@@ -14,8 +14,8 @@ using linalg::Matrix;
 using linalg::SparseMatrix;
 
 std::vector<int> Graph::Neighbors(int v) const {
-  REPRO_CHECK_GE(v, 0);
-  REPRO_CHECK_LT(v, num_nodes);
+  PEEGA_CHECK_GE(v, 0);
+  PEEGA_CHECK_LT(v, num_nodes);
   const auto& row_ptr = adjacency.row_ptr();
   const auto& col_idx = adjacency.col_idx();
   return std::vector<int>(col_idx.begin() + row_ptr[v],
@@ -47,8 +47,8 @@ Matrix Graph::OneHotLabels() const {
 std::vector<float> Graph::NodeMask(const std::vector<int>& nodes) const {
   std::vector<float> mask(num_nodes, 0.0f);
   for (int v : nodes) {
-    REPRO_CHECK_GE(v, 0);
-    REPRO_CHECK_LT(v, num_nodes);
+    PEEGA_CHECK_GE(v, 0);
+    PEEGA_CHECK_LT(v, num_nodes);
     mask[v] = 1.0f;
   }
   return mask;
@@ -67,24 +67,24 @@ Graph Graph::WithFeatures(Matrix new_features) const {
 }
 
 void Graph::CheckInvariants() const {
-  REPRO_CHECK_EQ(adjacency.rows(), num_nodes);
-  REPRO_CHECK_EQ(adjacency.cols(), num_nodes);
-  REPRO_CHECK_EQ(features.rows(), num_nodes);
-  REPRO_CHECK_EQ(static_cast<int>(labels.size()), num_nodes);
+  PEEGA_CHECK_EQ(adjacency.rows(), num_nodes);
+  PEEGA_CHECK_EQ(adjacency.cols(), num_nodes);
+  PEEGA_CHECK_EQ(features.rows(), num_nodes);
+  PEEGA_CHECK_EQ(static_cast<int>(labels.size()), num_nodes);
   const auto& row_ptr = adjacency.row_ptr();
   const auto& col_idx = adjacency.col_idx();
   const auto& values = adjacency.values();
   for (int u = 0; u < num_nodes; ++u) {
     for (int64_t k = row_ptr[u]; k < row_ptr[u + 1]; ++k) {
       const int v = col_idx[k];
-      REPRO_CHECK_NE(u, v);                          // no self-loops
-      REPRO_CHECK(std::fabs(values[k] - 1.0f) < 1e-6);  // binary
-      REPRO_CHECK(adjacency.At(v, u) > 0.0f);        // symmetric
+      PEEGA_CHECK_NE(u, v);                          // no self-loops
+      PEEGA_CHECK(std::fabs(values[k] - 1.0f) < 1e-6);  // binary
+      PEEGA_CHECK(adjacency.At(v, u) > 0.0f);        // symmetric
     }
   }
   for (int v = 0; v < num_nodes; ++v) {
-    REPRO_CHECK_GE(labels[v], -1);
-    REPRO_CHECK_LT(labels[v], num_classes);
+    PEEGA_CHECK_GE(labels[v], -1);
+    PEEGA_CHECK_LT(labels[v], num_classes);
   }
 }
 
@@ -95,7 +95,7 @@ SparseMatrix GcnNormalize(const SparseMatrix& adjacency) {
 SparseMatrix GcnNormalizeWeighted(const SparseMatrix& adjacency,
                                   float self_loop_weight) {
   const int n = adjacency.rows();
-  REPRO_CHECK_EQ(n, adjacency.cols());
+  PEEGA_CHECK_EQ(n, adjacency.cols());
   std::vector<float> degree(n, self_loop_weight);
   const auto& row_ptr = adjacency.row_ptr();
   const auto& values = adjacency.values();
@@ -145,7 +145,7 @@ SparseMatrix RowNormalize(const SparseMatrix& adjacency) {
 }
 
 SparseMatrix KHopAdjacency(const SparseMatrix& adjacency, int k) {
-  REPRO_CHECK_GE(k, 1);
+  PEEGA_CHECK_GE(k, 1);
   const int n = adjacency.rows();
   std::vector<std::tuple<int, int, float>> triplets;
   std::vector<int> dist(n, -1);
@@ -182,7 +182,7 @@ SparseMatrix AdjacencyFromEdges(
   std::vector<std::tuple<int, int, float>> triplets;
   triplets.reserve(edges.size() * 2);
   for (const auto& [u, v] : edges) {
-    REPRO_CHECK_NE(u, v);
+    PEEGA_CHECK_NE(u, v);
     triplets.emplace_back(u, v, 1.0f);
     triplets.emplace_back(v, u, 1.0f);
   }

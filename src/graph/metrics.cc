@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "linalg/check.h"
+#include "debug/check.h"
 
 namespace repro::graph {
 
@@ -74,7 +74,7 @@ Matrix CrossLabelSimilarity(const Graph& g) {
 LabelSimilaritySummary SummarizeLabelSimilarity(const Matrix& sim) {
   LabelSimilaritySummary s;
   const int c = sim.rows();
-  REPRO_CHECK_EQ(c, sim.cols());
+  PEEGA_CHECK_EQ(c, sim.cols());
   double intra = 0.0, inter = 0.0;
   int n_inter = 0;
   for (int i = 0; i < c; ++i) {
@@ -92,7 +92,7 @@ LabelSimilaritySummary SummarizeLabelSimilarity(const Matrix& sim) {
 }
 
 EdgeDiffStats ComputeEdgeDiff(const Graph& clean, const Graph& poisoned) {
-  REPRO_CHECK_EQ(clean.num_nodes, poisoned.num_nodes);
+  PEEGA_CHECK_EQ(clean.num_nodes, poisoned.num_nodes);
   EdgeDiffStats stats;
   for (const auto& [u, v] : poisoned.EdgeList()) {
     if (!clean.HasEdge(u, v)) {
@@ -110,7 +110,7 @@ EdgeDiffStats ComputeEdgeDiff(const Graph& clean, const Graph& poisoned) {
 }
 
 int64_t FeatureDiffCount(const Graph& clean, const Graph& poisoned) {
-  REPRO_CHECK(clean.features.SameShape(poisoned.features));
+  PEEGA_CHECK(clean.features.SameShape(poisoned.features));
   int64_t count = 0;
   const float* a = clean.features.data();
   const float* b = poisoned.features.data();
@@ -126,7 +126,7 @@ double Accuracy(const std::vector<int>& predictions,
   if (nodes.empty()) return 0.0;
   int correct = 0;
   for (int v : nodes) {
-    REPRO_CHECK_LT(v, static_cast<int>(predictions.size()));
+    PEEGA_CHECK_LT(v, static_cast<int>(predictions.size()));
     if (predictions[v] == labels[v]) ++correct;
   }
   return static_cast<double>(correct) / static_cast<double>(nodes.size());

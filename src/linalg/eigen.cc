@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "linalg/check.h"
+#include "debug/check.h"
 #include "linalg/ops.h"
 
 namespace repro::linalg {
@@ -50,7 +50,7 @@ namespace {
 /// Returns eigenvalues (descending |value|) and eigenvectors as columns.
 EigenResult JacobiEigen(Matrix a) {
   const int n = a.rows();
-  REPRO_CHECK_EQ(n, a.cols());
+  PEEGA_CHECK_EQ(n, a.cols());
   Matrix v = Matrix::Identity(n);
   for (int sweep = 0; sweep < 100; ++sweep) {
     double off = 0.0;
@@ -103,8 +103,8 @@ EigenResult JacobiEigen(Matrix a) {
 template <typename MultiplyFn>
 EigenResult SubspaceIteration(int n, int k, MultiplyFn multiply, Rng* rng,
                               int iters) {
-  REPRO_CHECK_GT(k, 0);
-  REPRO_CHECK_LE(k, n);
+  PEEGA_CHECK_GT(k, 0);
+  PEEGA_CHECK_LE(k, n);
   // Over-sample the subspace a little for faster convergence.
   const int kb = std::min(n, k + 4);
   Matrix q = RandomNormal(n, kb, 1.0f, rng);
@@ -139,14 +139,14 @@ EigenResult SubspaceIteration(int n, int k, MultiplyFn multiply, Rng* rng,
 
 EigenResult TopKEigenSymmetric(const SparseMatrix& a, int k, Rng* rng,
                                int iters) {
-  REPRO_CHECK_EQ(a.rows(), a.cols());
+  PEEGA_CHECK_EQ(a.rows(), a.cols());
   return SubspaceIteration(
       a.rows(), k, [&a](const Matrix& q) { return SpMM(a, q); }, rng, iters);
 }
 
 EigenResult TopKEigenSymmetricDense(const Matrix& a, int k, Rng* rng,
                                     int iters) {
-  REPRO_CHECK_EQ(a.rows(), a.cols());
+  PEEGA_CHECK_EQ(a.rows(), a.cols());
   return SubspaceIteration(
       a.rows(), k, [&a](const Matrix& q) { return MatMul(a, q); }, rng,
       iters);
@@ -154,7 +154,7 @@ EigenResult TopKEigenSymmetricDense(const Matrix& a, int k, Rng* rng,
 
 Matrix LowRankReconstruct(const EigenResult& eig) {
   const int k = static_cast<int>(eig.values.size());
-  REPRO_CHECK_EQ(k, eig.vectors.cols());
+  PEEGA_CHECK_EQ(k, eig.vectors.cols());
   Matrix scaled = ScaleCols(eig.vectors, eig.values);
   return MatMulTransB(scaled, eig.vectors);
 }

@@ -20,7 +20,7 @@ Matrix Matrix::FromRows(const std::vector<std::vector<float>>& rows) {
   const int c = static_cast<int>(rows[0].size());
   Matrix m(r, c);
   for (int i = 0; i < r; ++i) {
-    REPRO_CHECK_EQ(static_cast<int>(rows[i].size()), c);
+    PEEGA_CHECK_EQ(static_cast<int>(rows[i].size()), c);
     std::copy(rows[i].begin(), rows[i].end(), m.row(i));
   }
   return m;

@@ -5,7 +5,7 @@
 #include <string>
 #include <vector>
 
-#include "linalg/check.h"
+#include "debug/check.h"
 
 namespace repro::linalg {
 
@@ -23,14 +23,14 @@ class Matrix {
   Matrix(int rows, int cols, float fill = 0.0f)
       : rows_(rows), cols_(cols),
         data_(static_cast<size_t>(rows) * cols, fill) {
-    REPRO_CHECK_GE(rows, 0);
-    REPRO_CHECK_GE(cols, 0);
+    PEEGA_CHECK_GE(rows, 0);
+    PEEGA_CHECK_GE(cols, 0);
   }
 
   /// Creates a matrix taking ownership of an existing flat buffer.
   Matrix(int rows, int cols, std::vector<float> data)
       : rows_(rows), cols_(cols), data_(std::move(data)) {
-    REPRO_CHECK_EQ(static_cast<size_t>(rows) * cols, data_.size());
+    PEEGA_CHECK_EQ(static_cast<size_t>(rows) * cols, data_.size());
   }
 
   /// Identity matrix of size n.
@@ -48,25 +48,32 @@ class Matrix {
   bool empty() const { return data_.empty(); }
 
   float& operator()(int r, int c) {
-    REPRO_CHECK_GE(r, 0);
-    REPRO_CHECK_LT(r, rows_);
-    REPRO_CHECK_GE(c, 0);
-    REPRO_CHECK_LT(c, cols_);
+    PEEGA_CHECK_GE(r, 0);
+    PEEGA_CHECK_LT(r, rows_);
+    PEEGA_CHECK_GE(c, 0);
+    PEEGA_CHECK_LT(c, cols_);
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
   float operator()(int r, int c) const {
-    REPRO_CHECK_GE(r, 0);
-    REPRO_CHECK_LT(r, rows_);
-    REPRO_CHECK_GE(c, 0);
-    REPRO_CHECK_LT(c, cols_);
+    PEEGA_CHECK_GE(r, 0);
+    PEEGA_CHECK_LT(r, rows_);
+    PEEGA_CHECK_GE(c, 0);
+    PEEGA_CHECK_LT(c, cols_);
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
 
-  /// Unchecked flat access for hot loops.
+  /// Flat access for hot loops: unchecked in Release, bounds-checked in
+  /// Debug builds via PEEGA_DCHECK (compiled out under NDEBUG).
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  float* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  float* row(int r) {
+    PEEGA_DCHECK_GE(r, 0);
+    PEEGA_DCHECK_LT(r, rows_);
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
   const float* row(int r) const {
+    PEEGA_DCHECK_GE(r, 0);
+    PEEGA_DCHECK_LT(r, rows_);
     return data_.data() + static_cast<size_t>(r) * cols_;
   }
 

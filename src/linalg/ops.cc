@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include "linalg/check.h"
+#include "debug/check.h"
+#include "debug/numerics.h"
 #include "parallel/thread_pool.h"
 
 namespace repro::linalg {
@@ -24,7 +25,7 @@ constexpr int64_t kReduceGrain = 1 << 15; // flat elements per reduce chunk
 }  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
-  REPRO_CHECK_EQ(a.cols(), b.rows());
+  PEEGA_CHECK_EQ(a.cols(), b.rows());
   Matrix c(a.rows(), b.cols());
   const int k = a.cols(), n = b.cols();
   constexpr int kBlock = 64;
@@ -47,11 +48,12 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
       }
     }
   });
+  PEEGA_CHECK_FINITE_MAT(c, "MatMul");
   return c;
 }
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
-  REPRO_CHECK_EQ(a.rows(), b.rows());
+  PEEGA_CHECK_EQ(a.rows(), b.rows());
   Matrix c(a.cols(), b.cols());
   const int m = a.cols(), k = a.rows();
   // Column-parallel: each chunk owns the column slice [j0, j1) of every
@@ -72,11 +74,12 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
       }
     }
   });
+  PEEGA_CHECK_FINITE_MAT(c, "MatMulTransA");
   return c;
 }
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
-  REPRO_CHECK_EQ(a.cols(), b.cols());
+  PEEGA_CHECK_EQ(a.cols(), b.cols());
   Matrix c(a.rows(), b.rows());
   const int n = b.rows(), k = a.cols();
   parallel::ParallelFor(0, a.rows(), kMatMulRowGrain, [&](int64_t r0,
@@ -92,6 +95,7 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
       }
     }
   });
+  PEEGA_CHECK_FINITE_MAT(c, "MatMulTransB");
   return c;
 }
 
@@ -111,7 +115,7 @@ namespace {
 
 template <typename F>
 Matrix Elementwise(const Matrix& a, const Matrix& b, F f) {
-  REPRO_CHECK(a.SameShape(b));
+  PEEGA_CHECK(a.SameShape(b));
   Matrix c(a.rows(), a.cols());
   const float* pa = a.data();
   const float* pb = b.data();
@@ -152,7 +156,7 @@ Matrix Affine(const Matrix& a, float scale, float offset) {
 }
 
 void Axpy(Matrix* a, const Matrix& b, float scale) {
-  REPRO_CHECK(a->SameShape(b));
+  PEEGA_CHECK(a->SameShape(b));
   float* pa = a->data();
   const float* pb = b.data();
   parallel::ParallelFor(0, a->size(), kElemGrain, [&](int64_t lo, int64_t hi) {
@@ -161,7 +165,7 @@ void Axpy(Matrix* a, const Matrix& b, float scale) {
 }
 
 Matrix AddRowVector(const Matrix& a, const std::vector<float>& v) {
-  REPRO_CHECK_EQ(static_cast<int>(v.size()), a.cols());
+  PEEGA_CHECK_EQ(static_cast<int>(v.size()), a.cols());
   Matrix c(a.rows(), a.cols());
   parallel::ParallelFor(0, a.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
     for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
@@ -174,7 +178,7 @@ Matrix AddRowVector(const Matrix& a, const std::vector<float>& v) {
 }
 
 Matrix ScaleRows(const Matrix& a, const std::vector<float>& s) {
-  REPRO_CHECK_EQ(static_cast<int>(s.size()), a.rows());
+  PEEGA_CHECK_EQ(static_cast<int>(s.size()), a.rows());
   Matrix c(a.rows(), a.cols());
   parallel::ParallelFor(0, a.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
     for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
@@ -188,7 +192,7 @@ Matrix ScaleRows(const Matrix& a, const std::vector<float>& s) {
 }
 
 Matrix ScaleCols(const Matrix& a, const std::vector<float>& s) {
-  REPRO_CHECK_EQ(static_cast<int>(s.size()), a.cols());
+  PEEGA_CHECK_EQ(static_cast<int>(s.size()), a.cols());
   Matrix c(a.rows(), a.cols());
   parallel::ParallelFor(0, a.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
     for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
@@ -255,7 +259,7 @@ int64_t CountNonZero(const Matrix& a, float tol) {
 }
 
 float MaxAbsDiff(const Matrix& a, const Matrix& b) {
-  REPRO_CHECK(a.SameShape(b));
+  PEEGA_CHECK(a.SameShape(b));
   const float* pa = a.data();
   const float* pb = b.data();
   return parallel::ParallelReduce<float>(
@@ -299,6 +303,7 @@ Matrix RowSoftmax(const Matrix& a) {
       for (int j = 0; j < a.cols(); ++j) crow[j] *= inv;
     }
   });
+  PEEGA_CHECK_FINITE_MAT(c, "RowSoftmax");
   return c;
 }
 
@@ -340,7 +345,7 @@ Matrix RandomUniform(int rows, int cols, float lo, float hi, Rng* rng) {
 }
 
 Matrix SpMM(const SparseMatrix& s, const Matrix& b) {
-  REPRO_CHECK_EQ(s.cols(), b.rows());
+  PEEGA_CHECK_EQ(s.cols(), b.rows());
   Matrix c(s.rows(), b.cols());
   const auto& row_ptr = s.row_ptr();
   const auto& col_idx = s.col_idx();
@@ -359,11 +364,12 @@ Matrix SpMM(const SparseMatrix& s, const Matrix& b) {
       }
     }
   });
+  PEEGA_CHECK_FINITE_MAT(c, "SpMM");
   return c;
 }
 
 std::vector<float> SpMV(const SparseMatrix& s, const std::vector<float>& x) {
-  REPRO_CHECK_EQ(s.cols(), static_cast<int>(x.size()));
+  PEEGA_CHECK_EQ(s.cols(), static_cast<int>(x.size()));
   std::vector<float> y(s.rows(), 0.0f);
   const auto& row_ptr = s.row_ptr();
   const auto& col_idx = s.col_idx();
@@ -378,6 +384,7 @@ std::vector<float> SpMV(const SparseMatrix& s, const std::vector<float>& x) {
       y[i] = acc;
     }
   });
+  PEEGA_CHECK_FINITE_VEC(y, "SpMV");
   return y;
 }
 

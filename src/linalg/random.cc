@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <numeric>
 
-#include "linalg/check.h"
+#include "debug/check.h"
 
 namespace repro::linalg {
 
 std::vector<int> Rng::Permutation(int n) {
-  REPRO_CHECK_GE(n, 0);
+  PEEGA_CHECK_GE(n, 0);
   std::vector<int> perm(n);
   std::iota(perm.begin(), perm.end(), 0);
   std::shuffle(perm.begin(), perm.end(), engine_);
@@ -16,8 +16,8 @@ std::vector<int> Rng::Permutation(int n) {
 }
 
 std::vector<int> Rng::Sample(int n, int k) {
-  REPRO_CHECK_GE(k, 0);
-  REPRO_CHECK_LE(k, n);
+  PEEGA_CHECK_GE(k, 0);
+  PEEGA_CHECK_LE(k, n);
   // Partial Fisher-Yates: O(n) memory but only k swaps.
   std::vector<int> pool(n);
   std::iota(pool.begin(), pool.end(), 0);

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <tuple>
 
-#include "linalg/check.h"
+#include "debug/check.h"
 #include "parallel/thread_pool.h"
 
 namespace repro::linalg {
@@ -25,10 +25,10 @@ SparseMatrix SparseMatrix::FromTriplets(
   int prev_r = -1;
   int prev_c = -1;
   for (const auto& [r, c, v] : sorted) {
-    REPRO_CHECK_GE(r, 0);
-    REPRO_CHECK_LT(r, rows);
-    REPRO_CHECK_GE(c, 0);
-    REPRO_CHECK_LT(c, cols);
+    PEEGA_CHECK_GE(r, 0);
+    PEEGA_CHECK_LT(r, rows);
+    PEEGA_CHECK_GE(c, 0);
+    PEEGA_CHECK_LT(c, cols);
     if (r == prev_r && c == prev_c) {
       m.values_.back() += v;  // duplicate coordinate: accumulate
       continue;
@@ -65,8 +65,8 @@ SparseMatrix SparseMatrix::FromDense(const Matrix& dense, float tol) {
 }
 
 float SparseMatrix::At(int r, int c) const {
-  REPRO_CHECK_GE(r, 0);
-  REPRO_CHECK_LT(r, rows_);
+  PEEGA_CHECK_GE(r, 0);
+  PEEGA_CHECK_LT(r, rows_);
   const int* begin = col_idx_.data() + row_ptr_[r];
   const int* end = col_idx_.data() + row_ptr_[r + 1];
   const int* it = std::lower_bound(begin, end, c);

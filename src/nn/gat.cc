@@ -1,6 +1,6 @@
 #include "nn/gat.h"
 
-#include "linalg/check.h"
+#include "debug/check.h"
 #include "linalg/ops.h"
 #include "nn/init.h"
 
@@ -13,7 +13,7 @@ using linalg::Matrix;
 Gat::Gat(int in_dim, int num_classes, const Options& options,
          linalg::Rng* rng)
     : options_(options) {
-  REPRO_CHECK_GE(options.num_heads, 1);
+  PEEGA_CHECK_GE(options.num_heads, 1);
   for (int h = 0; h < options.num_heads; ++h) {
     w1_.push_back(GlorotUniform(in_dim, options.hidden_dim, rng));
     a1_src_.push_back(GlorotUniform(options.hidden_dim, 1, rng));

@@ -1,6 +1,6 @@
 #include "nn/gcn.h"
 
-#include "linalg/check.h"
+#include "debug/check.h"
 #include "nn/init.h"
 
 namespace repro::nn {
@@ -13,7 +13,7 @@ using linalg::SparseMatrix;
 Gcn::Gcn(int in_dim, int num_classes, const Options& options,
          linalg::Rng* rng)
     : options_(options) {
-  REPRO_CHECK_GE(options.num_layers, 1);
+  PEEGA_CHECK_GE(options.num_layers, 1);
   int dim = in_dim;
   for (int l = 0; l < options.num_layers; ++l) {
     const int out_dim =

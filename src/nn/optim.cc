@@ -2,12 +2,12 @@
 
 #include <cmath>
 
-#include "linalg/check.h"
+#include "debug/check.h"
 
 namespace repro::nn {
 
 void Adam::Step(linalg::Matrix* param, const linalg::Matrix& grad) {
-  REPRO_CHECK(param->SameShape(grad));
+  PEEGA_CHECK(param->SameShape(grad));
   State& s = state_[param];
   if (s.t == 0) {
     s.m = linalg::Matrix(param->rows(), param->cols());
@@ -33,7 +33,7 @@ void Adam::Step(linalg::Matrix* param, const linalg::Matrix& grad) {
 
 void SgdStep(linalg::Matrix* param, const linalg::Matrix& grad, float lr,
              float weight_decay) {
-  REPRO_CHECK(param->SameShape(grad));
+  PEEGA_CHECK(param->SameShape(grad));
   float* p = param->data();
   const float* g = grad.data();
   const int64_t n = param->size();

@@ -57,7 +57,13 @@ class Pool {
       ++generation_;
       work_cv_.notify_all();
     }
+    // Executor 0 (the calling thread) must carry the in-parallel-region
+    // flag exactly like the workers do: a nested ParallelFor issued from
+    // inside `executor` would otherwise re-enter Run() and clobber the
+    // in-flight task_/pending_/generation_ state.
+    t_in_parallel_region = true;
     executor(0);
+    t_in_parallel_region = false;
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] { return pending_ == 0; });
     task_ = nullptr;

@@ -23,7 +23,8 @@ Graph SmallGraph(uint64_t seed = 1, double scale = 0.3) {
   return graph::MakeCoraLike(&rng, scale);
 }
 
-int TotalModifications(const Graph& clean, const AttackResult& result) {
+[[maybe_unused]] int TotalModifications(const Graph& clean,
+                                        const AttackResult& result) {
   return graph::ComputeEdgeDiff(clean, result.poisoned).total() / 1 +
          static_cast<int>(
              graph::FeatureDiffCount(clean, result.poisoned));
@@ -211,10 +212,14 @@ TEST_F(AttackerContract, AttackerNodeSubsetRespected) {
   // Every modified edge must touch a controlled node.
   const Graph& p = result.poisoned;
   for (const auto& [u, v] : p.EdgeList()) {
-    if (!g.HasEdge(u, v)) EXPECT_TRUE(controlled[u] || controlled[v]);
+    if (!g.HasEdge(u, v)) {
+      EXPECT_TRUE(controlled[u] || controlled[v]);
+    }
   }
   for (const auto& [u, v] : g.EdgeList()) {
-    if (!p.HasEdge(u, v)) EXPECT_TRUE(controlled[u] || controlled[v]);
+    if (!p.HasEdge(u, v)) {
+      EXPECT_TRUE(controlled[u] || controlled[v]);
+    }
   }
 }
 

@@ -165,7 +165,9 @@ TEST_F(PeegaContract, AttackerNodeSubsetRespected) {
   const AttackResult result = Run(g, PeegaAttack::Options(), options);
   const Graph& p = result.poisoned;
   for (const auto& [u, v] : p.EdgeList()) {
-    if (!g.HasEdge(u, v)) EXPECT_TRUE(controlled[u] || controlled[v]);
+    if (!g.HasEdge(u, v)) {
+      EXPECT_TRUE(controlled[u] || controlled[v]);
+    }
   }
   for (int v = 0; v < g.num_nodes; ++v) {
     if (controlled[v]) continue;

@@ -1,0 +1,538 @@
+// peega_lint — project-specific static checks for the src/ tree.
+//
+// The determinism guarantee (bitwise-identical attack/defense runs at any
+// thread count, any machine) rests on conventions no compiler enforces:
+// all threading goes through src/parallel, all randomness through the
+// seeded linalg::Rng in src/linalg/random, and libraries never write to
+// stdout (tables/benches own the output format). This tool turns those
+// conventions into machine-checked rules and runs as a ctest, so a stray
+// `std::mt19937 rng;` fails CI instead of silently skewing Table 4.
+//
+// Usage:
+//   peega_lint <repo_root>   lint <repo_root>/src, exit 1 on any violation
+//   peega_lint --self-test   plant violations of every rule in a temp tree
+//                            and verify each one is caught (and that code
+//                            in comments/strings is NOT flagged)
+//
+// Rules (token rules are data in kTokenRules; two structural passes):
+//   no-raw-thread   std::thread/std::jthread/std::async outside src/parallel
+//   no-unseeded-rng std::random_device/std::mt19937/rand()/srand() outside
+//                   src/linalg/random
+//   no-stdout       std::cout anywhere in src/ libraries
+//   header-guard    headers must guard with PEEGA_<PATH>_H_
+//   include-cycle   no #include cycles among src/ headers
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string file;  // path relative to src/
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Token rules as data
+// ---------------------------------------------------------------------------
+
+enum class MatchKind {
+  kToken,  // needle preceded by a non-identifier char (catches std::x forms)
+  kCall,   // identifier needle with word boundaries, followed by '('
+};
+
+struct TokenRule {
+  const char* name;
+  const char* needle;
+  MatchKind kind;
+  // Files whose src/-relative path starts with this prefix are exempt
+  // (empty = no exemption).
+  const char* exempt_prefix;
+  const char* message;
+};
+
+constexpr TokenRule kTokenRules[] = {
+    {"no-raw-thread", "std::thread", MatchKind::kToken, "parallel/",
+     "raw std::thread outside src/parallel breaks the deterministic "
+     "thread-pool contract; use parallel::ParallelFor"},
+    {"no-raw-thread", "std::jthread", MatchKind::kToken, "parallel/",
+     "raw std::jthread outside src/parallel; use parallel::ParallelFor"},
+    {"no-raw-thread", "std::async", MatchKind::kToken, "parallel/",
+     "std::async outside src/parallel; use parallel::ParallelFor"},
+    {"no-unseeded-rng", "std::random_device", MatchKind::kToken,
+     "linalg/random",
+     "std::random_device is nondeterministic; all randomness must flow "
+     "through the seeded linalg::Rng"},
+    {"no-unseeded-rng", "std::mt19937", MatchKind::kToken, "linalg/random",
+     "raw std::mt19937 outside src/linalg/random; construct a linalg::Rng "
+     "with an explicit seed instead"},
+    {"no-unseeded-rng", "rand", MatchKind::kCall, "linalg/random",
+     "rand() is unseeded global state; use the seeded linalg::Rng"},
+    {"no-unseeded-rng", "srand", MatchKind::kCall, "linalg/random",
+     "srand() mutates global RNG state; use the seeded linalg::Rng"},
+    {"no-stdout", "std::cout", MatchKind::kToken, "",
+     "libraries must not write to stdout; return strings or take an "
+     "std::ostream& so the eval/table layer owns the output format"},
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// ---------------------------------------------------------------------------
+// Comment / string stripping
+// ---------------------------------------------------------------------------
+
+// Replaces the contents of comments, string literals, and char literals
+// with spaces so token rules never fire on documentation or messages.
+// Newlines are preserved, keeping line numbers stable. Handles //, /* */,
+// "..." (with escapes), '...', and R"delim(...)delim".
+std::string StripCommentsAndStrings(const std::string& text) {
+  std::string out = text;
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsIdentChar(text[i - 1]))) {
+          const size_t open = text.find('(', i + 2);
+          if (open != std::string::npos) {
+            raw_delim = ")" + text.substr(i + 2, open - (i + 2)) + "\"";
+            state = State::kRaw;
+            for (size_t j = i; j <= open && j < text.size(); ++j) {
+              if (out[j] != '\n') out[j] = ' ';
+            }
+            i = open;
+          }
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t j = i; j < i + raw_delim.size(); ++j) out[j] = ' ';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+int LineOfOffset(const std::string& text, size_t offset) {
+  return 1 + static_cast<int>(std::count(text.begin(), text.begin() +
+                                         static_cast<long>(offset), '\n'));
+}
+
+// ---------------------------------------------------------------------------
+// Per-file scanning
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+  std::string rel;       // path relative to the src root, '/'-separated
+  std::string raw;       // original contents
+  std::string stripped;  // comments/strings blanked
+};
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+void ScanTokenRules(const SourceFile& file, std::vector<Violation>* out) {
+  for (const TokenRule& rule : kTokenRules) {
+    if (rule.exempt_prefix[0] != '\0' &&
+        file.rel.rfind(rule.exempt_prefix, 0) == 0) {
+      continue;
+    }
+    const std::string needle = rule.needle;
+    size_t pos = 0;
+    while ((pos = file.stripped.find(needle, pos)) != std::string::npos) {
+      const size_t end = pos + needle.size();
+      const char prev = pos > 0 ? file.stripped[pos - 1] : '\0';
+      const char after = end < file.stripped.size() ? file.stripped[end] : '\0';
+      bool hit = false;
+      if (rule.kind == MatchKind::kToken) {
+        // "std::mt19937" must not be part of a longer identifier on the
+        // left; suffixes like "_64" ARE a match.
+        hit = !IsIdentChar(prev);
+      } else {
+        // Bare or std:: qualified call: word boundaries and a '(' next.
+        // A preceding '.', '->', or identifier char means a member or a
+        // longer name (grad(...), rng.rand(...)) — not the C library call.
+        const bool member =
+            prev == '.' || (pos >= 2 && file.stripped.compare(pos - 2, 2,
+                                                              "->") == 0);
+        size_t paren = end;
+        while (paren < file.stripped.size() &&
+               (file.stripped[paren] == ' ' || file.stripped[paren] == '\t')) {
+          ++paren;
+        }
+        hit = !IsIdentChar(prev) && !member && !IsIdentChar(after) &&
+              paren < file.stripped.size() && file.stripped[paren] == '(';
+      }
+      if (hit) {
+        out->push_back({file.rel, LineOfOffset(file.stripped, pos), rule.name,
+                        std::string(rule.needle) + ": " + rule.message});
+      }
+      pos = end;
+    }
+  }
+}
+
+std::string ExpectedGuard(const std::string& rel) {
+  std::string guard = "PEEGA_";
+  for (char c : rel) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      guard += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+void ScanHeaderGuard(const SourceFile& file, std::vector<Violation>* out) {
+  if (file.rel.size() < 2 ||
+      file.rel.compare(file.rel.size() - 2, 2, ".h") != 0) {
+    return;
+  }
+  const std::string expected = ExpectedGuard(file.rel);
+  std::istringstream lines(file.stripped);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    std::istringstream tokens(line);
+    std::string directive, symbol;
+    tokens >> directive >> symbol;
+    if (directive == "#ifndef") {
+      if (symbol != expected) {
+        out->push_back({file.rel, line_no, "header-guard",
+                        "guard '" + symbol + "' should be '" + expected +
+                            "' (PEEGA_ + path under src/)"});
+      }
+      return;
+    }
+    if (!directive.empty() && directive != "#pragma") break;
+  }
+  out->push_back({file.rel, 1, "header-guard",
+                  "missing include guard; expected #ifndef " + expected});
+}
+
+std::vector<std::string> QuotedIncludes(const std::string& raw) {
+  std::vector<std::string> includes;
+  std::istringstream lines(raw);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const size_t hash = line.find_first_not_of(" \t");
+    if (hash == std::string::npos || line[hash] != '#') continue;
+    const size_t inc = line.find("include", hash);
+    if (inc == std::string::npos) continue;
+    const size_t open = line.find('"', inc);
+    if (open == std::string::npos) continue;
+    const size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    includes.push_back(line.substr(open + 1, close - open - 1));
+  }
+  return includes;
+}
+
+// DFS three-color cycle detection over the quoted-include graph of src/
+// headers. Reports each cycle once, with the full path in the message.
+void ScanIncludeCycles(const std::vector<SourceFile>& files,
+                       std::vector<Violation>* out) {
+  std::map<std::string, std::vector<std::string>> edges;
+  std::set<std::string> headers;
+  for (const SourceFile& f : files) {
+    if (f.rel.size() < 2 || f.rel.compare(f.rel.size() - 2, 2, ".h") != 0) {
+      continue;
+    }
+    headers.insert(f.rel);
+  }
+  for (const SourceFile& f : files) {
+    if (headers.count(f.rel) == 0) continue;
+    for (const std::string& inc : QuotedIncludes(f.raw)) {
+      if (headers.count(inc) != 0) edges[f.rel].push_back(inc);
+    }
+  }
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+
+  struct Dfs {
+    std::map<std::string, std::vector<std::string>>& edges;
+    std::map<std::string, int>& color;
+    std::vector<std::string>& stack;
+    std::set<std::string>& reported;
+    std::vector<Violation>* out;
+
+    void Visit(const std::string& node) {
+      color[node] = 1;
+      stack.push_back(node);
+      for (const std::string& next : edges[node]) {
+        if (color[next] == 1) {
+          auto begin = std::find(stack.begin(), stack.end(), next);
+          std::string path;
+          for (auto it = begin; it != stack.end(); ++it) path += *it + " -> ";
+          path += next;
+          if (reported.insert(path).second) {
+            // Attribute the violation to the head of the cycle, the first
+            // node on the printed path.
+            out->push_back({next, 1, "include-cycle",
+                            "#include cycle: " + path});
+          }
+        } else if (color[next] == 0) {
+          Visit(next);
+        }
+      }
+      stack.pop_back();
+      color[node] = 2;
+    }
+  };
+  Dfs dfs{edges, color, stack, reported, out};
+  for (const std::string& h : headers) {
+    if (color[h] == 0) dfs.Visit(h);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+std::vector<Violation> LintTree(const fs::path& src_root,
+                                size_t* scanned = nullptr) {
+  std::vector<SourceFile> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src_root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    SourceFile file;
+    file.rel = fs::relative(entry.path(), src_root).generic_string();
+    if (!ReadFile(entry.path(), &file.raw)) continue;
+    file.stripped = StripCommentsAndStrings(file.raw);
+    files.push_back(std::move(file));
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  if (scanned != nullptr) *scanned = files.size();
+  std::vector<Violation> violations;
+  for (const SourceFile& f : files) {
+    ScanTokenRules(f, &violations);
+    ScanHeaderGuard(f, &violations);
+  }
+  ScanIncludeCycles(files, &violations);
+  return violations;
+}
+
+int ReportAndExit(const std::vector<Violation>& violations, size_t scanned) {
+  for (const Violation& v : violations) {
+    std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+  if (scanned == 0) {
+    std::cout << "peega_lint: no source files found — wrong root?\n";
+    return 2;
+  }
+  if (violations.empty()) {
+    std::cout << "peega_lint: clean (" << scanned << " files)\n";
+    return 0;
+  }
+  std::cout << "peega_lint: " << violations.size() << " violation(s)\n";
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test: plant one violation per rule, plus decoys that must NOT fire.
+// ---------------------------------------------------------------------------
+
+void WriteFile(const fs::path& path, const std::string& contents) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  out << contents;
+}
+
+int RunSelfTest() {
+  const fs::path root =
+      fs::temp_directory_path() / "peega_lint_selftest" / "src";
+  fs::remove_all(root.parent_path());
+
+  // One planted violation per rule.
+  WriteFile(root / "core/bad_thread.cc",
+            "#include <thread>\nvoid F() { std::thread t([]{}); }\n");
+  WriteFile(root / "core/bad_rng.cc",
+            "#include <random>\nstd::mt19937 rng;\n"
+            "int R() { return rand(); }\n");
+  WriteFile(root / "core/bad_cout.cc",
+            "#include <iostream>\nvoid P() { std::cout << 1; }\n");
+  WriteFile(root / "core/bad_guard.h",
+            "#ifndef WRONG_GUARD_H_\n#define WRONG_GUARD_H_\n#endif\n");
+  WriteFile(root / "core/cycle_a.h",
+            "#ifndef PEEGA_CORE_CYCLE_A_H_\n#define PEEGA_CORE_CYCLE_A_H_\n"
+            "#include \"core/cycle_b.h\"\n#endif  // PEEGA_CORE_CYCLE_A_H_\n");
+  WriteFile(root / "core/cycle_b.h",
+            "#ifndef PEEGA_CORE_CYCLE_B_H_\n#define PEEGA_CORE_CYCLE_B_H_\n"
+            "#include \"core/cycle_a.h\"\n#endif  // PEEGA_CORE_CYCLE_B_H_\n");
+  // Decoys that must NOT be flagged: exempt directories, and forbidden
+  // tokens that appear only inside comments or string literals.
+  WriteFile(root / "parallel/pool.cc",
+            "#include <thread>\nvoid G() { std::thread t([]{}); }\n");
+  WriteFile(root / "linalg/random.cc",
+            "#include <random>\nstd::mt19937 engine(42);\n");
+  WriteFile(root / "core/decoy.cc",
+            "// std::thread and std::cout and rand() in a comment\n"
+            "/* std::mt19937 in a block comment */\n"
+            "const char* kMsg = \"std::cout << rand()\";\n"
+            "int Grad(int g) { return g; }\nint Use() { return Grad(1); }\n");
+
+  const std::vector<Violation> violations = LintTree(root);
+  for (const Violation& v : violations) {
+    std::cout << "  (self-test) " << v.file << ":" << v.line << ": ["
+              << v.rule << "] " << v.message << "\n";
+  }
+
+  struct Expect {
+    const char* file;
+    const char* rule;
+  };
+  const Expect expected[] = {
+      {"core/bad_thread.cc", "no-raw-thread"},
+      {"core/bad_rng.cc", "no-unseeded-rng"},
+      {"core/bad_cout.cc", "no-stdout"},
+      {"core/bad_guard.h", "header-guard"},
+      {"core/cycle_a.h", "include-cycle"},
+  };
+  int failures = 0;
+  for (const Expect& e : expected) {
+    const bool found =
+        std::any_of(violations.begin(), violations.end(),
+                    [&](const Violation& v) {
+                      return v.file == e.file && v.rule == e.rule;
+                    });
+    if (!found) {
+      std::cout << "SELF-TEST FAIL: expected [" << e.rule << "] in "
+                << e.file << "\n";
+      ++failures;
+    }
+  }
+  for (const char* clean_file :
+       {"parallel/pool.cc", "linalg/random.cc", "core/decoy.cc"}) {
+    const bool flagged =
+        std::any_of(violations.begin(), violations.end(),
+                    [&](const Violation& v) { return v.file == clean_file; });
+    if (flagged) {
+      std::cout << "SELF-TEST FAIL: false positive in " << clean_file << "\n";
+      ++failures;
+    }
+  }
+  // bad_rng.cc plants both std::mt19937 and rand(); both must fire.
+  const auto rng_hits = std::count_if(
+      violations.begin(), violations.end(), [](const Violation& v) {
+        return v.file == "core/bad_rng.cc" && v.rule == "no-unseeded-rng";
+      });
+  if (rng_hits < 2) {
+    std::cout << "SELF-TEST FAIL: expected both mt19937 and rand() hits in "
+                 "core/bad_rng.cc\n";
+    ++failures;
+  }
+
+  fs::remove_all(root.parent_path());
+  if (failures == 0) {
+    std::cout << "peega_lint self-test: all rules fire, no false positives\n";
+    return 0;
+  }
+  std::cout << "peega_lint self-test: " << failures << " failure(s)\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--self-test") {
+    return RunSelfTest();
+  }
+  const fs::path root = argc >= 2 ? fs::path(argv[1]) : fs::path(".");
+  const fs::path src = root / "src";
+  if (!fs::is_directory(src)) {
+    std::cout << "peega_lint: no src/ directory under " << root << "\n";
+    return 2;
+  }
+  size_t scanned = 0;
+  const std::vector<Violation> violations = LintTree(src, &scanned);
+  return ReportAndExit(violations, scanned);
+}
