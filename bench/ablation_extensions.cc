@@ -14,8 +14,9 @@
 #include "defense/model_defenders.h"
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::BenchReporter reporter("ablation_extensions", &argc, argv);
   const auto dataset = bench::MakeDataset("cora");
   const eval::PipelineOptions pipeline = bench::BenchPipeline();
   attack::AttackOptions attack_options;

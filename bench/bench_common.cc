@@ -1,13 +1,20 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <numeric>
+#include <sstream>
 
 #include "defense/jaccard.h"
 #include "defense/model_defenders.h"
 #include "defense/prognn.h"
 #include "defense/svd.h"
 #include "debug/check.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace repro::bench {
 
@@ -111,6 +118,187 @@ void PrintRunMetadata() {
   const std::string line =
       eval::FormatRunMetadata(eval::CollectRunMetadata(BenchPipeline()));
   std::printf("%s\n", line.c_str());
+}
+
+namespace {
+
+// Removes argv[i] (and argv[i + 1] when `takes_value`) in place,
+// returning the flag's value or "" when the flag is absent. Keeps
+// argv[argc] == nullptr as main() guarantees.
+std::string ConsumeFlag(const char* flag, int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) != flag) continue;
+    PEEGA_CHECK_LT(i + 1, *argc) << " — " << flag << " needs a path";
+    const std::string value = argv[i + 1];
+    for (int j = i; j + 2 <= *argc; ++j) argv[j] = argv[j + 2];
+    *argc -= 2;
+    argv[*argc] = nullptr;
+    return value;
+  }
+  return "";
+}
+
+// The summary line buckets phases by the prefix before ':' so e.g. all
+// "attack:<name>" phases print as one attack=...s total.
+std::string PhasePrefix(const std::string& name) {
+  const size_t colon = name.find(':');
+  return colon == std::string::npos ? name : name.substr(0, colon);
+}
+
+}  // namespace
+
+BenchReporter::BenchReporter(const std::string& bench, int* argc,
+                             char** argv)
+    : bench_(bench) {
+  json_path_ = ConsumeFlag("--json", argc, argv);
+  trace_path_ = ConsumeFlag("--trace", argc, argv);
+  if (!trace_path_.empty()) obs::SetTracing(true);
+  PrintRunMetadata();
+}
+
+BenchReporter::~BenchReporter() { Finish(); }
+
+void BenchReporter::Config(const std::string& key, const std::string& value) {
+  string_config_.emplace_back(key, value);
+}
+
+void BenchReporter::Config(const std::string& key, double value) {
+  number_config_.emplace_back(key, value);
+}
+
+BenchReporter::Phase* BenchReporter::GetPhase(const std::string& name) {
+  const auto it = phase_index_.find(name);
+  if (it != phase_index_.end()) return &phases_[it->second];
+  phase_index_[name] = phases_.size();
+  Phase phase;
+  phase.name = name;
+  phases_.push_back(std::move(phase));
+  return &phases_.back();
+}
+
+void BenchReporter::RecordPhase(const std::string& name, double seconds,
+                                uint64_t count) {
+  Phase* phase = GetPhase(name);
+  phase->wall_ms += seconds * 1e3;
+  phase->count += count;
+}
+
+RepeatStats BenchReporter::MeasureRepeats(const std::string& name,
+                                          int warmup, int repeats,
+                                          const std::function<void()>& fn) {
+  // Warm-up runs populate caches, spin up pool workers, and trigger
+  // lazy one-time work (static metric lookups, allocator growth); their
+  // timings are discarded so the recorded stats cover steady state only.
+  for (int i = 0; i < warmup; ++i) fn();
+  repeats = std::max(repeats, 1);
+  std::vector<double> ms;
+  ms.reserve(static_cast<size_t>(repeats));
+  for (int i = 0; i < repeats; ++i) {
+    const obs::StopWatch watch;
+    fn();
+    ms.push_back(watch.Millis());
+  }
+  std::vector<double> sorted = ms;
+  std::sort(sorted.begin(), sorted.end());
+  RepeatStats stats;
+  stats.repeats = repeats;
+  stats.min_ms = sorted.front();
+  stats.median_ms = repeats % 2 == 1
+                        ? sorted[static_cast<size_t>(repeats / 2)]
+                        : 0.5 * (sorted[static_cast<size_t>(repeats / 2) - 1] +
+                                 sorted[static_cast<size_t>(repeats / 2)]);
+  stats.mean_ms = std::accumulate(ms.begin(), ms.end(), 0.0) /
+                  static_cast<double>(repeats);
+
+  const double total_seconds =
+      std::accumulate(ms.begin(), ms.end(), 0.0) / 1e3;
+  RecordPhase(name, total_seconds, static_cast<uint64_t>(repeats));
+  Phase* phase = GetPhase(name);
+  phase->has_stats = true;
+  phase->stats = stats;
+  return stats;
+}
+
+void BenchReporter::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  RecordPhase("total", total_.Seconds());
+
+  const eval::RunMetadata metadata =
+      eval::CollectRunMetadata(BenchPipeline());
+
+  // One-line phase summary, buckets in first-appearance order.
+  std::vector<std::string> prefix_order;
+  std::map<std::string, double> prefix_ms;
+  for (const Phase& phase : phases_) {
+    const std::string prefix = PhasePrefix(phase.name);
+    if (prefix_ms.insert({prefix, 0.0}).second) {
+      prefix_order.push_back(prefix);
+    }
+    prefix_ms[prefix] += phase.wall_ms;
+  }
+  std::ostringstream summary;
+  summary << "phase-summary:";
+  for (const std::string& prefix : prefix_order) {
+    summary << ' ' << prefix << '=';
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.3fs", prefix_ms[prefix] / 1e3);
+    summary << buffer;
+  }
+  std::printf("%s\n", summary.str().c_str());
+
+  if (!json_path_.empty()) {
+    obs::Json root = obs::Json::MakeObject();
+    root.object["bench"] = obs::Json::MakeString(bench_);
+    obs::Json config = obs::Json::MakeObject();
+    for (const auto& [key, value] : string_config_) {
+      config.object[key] = obs::Json::MakeString(value);
+    }
+    for (const auto& [key, value] : number_config_) {
+      config.object[key] = obs::Json::MakeNumber(value);
+    }
+    root.object["config"] = std::move(config);
+    root.object["threads"] =
+        obs::Json::MakeNumber(static_cast<double>(metadata.threads));
+
+    obs::Json metrics;
+    std::string error;
+    PEEGA_CHECK(obs::Json::Parse(obs::MetricsToJson(metadata.metrics),
+                                 &metrics, &error))
+        << " — metrics snapshot must round-trip: " << error;
+    root.object["metrics"] = std::move(metrics);
+
+    obs::Json phases = obs::Json::MakeArray();
+    for (const Phase& phase : phases_) {
+      obs::Json entry = obs::Json::MakeObject();
+      entry.object["name"] = obs::Json::MakeString(phase.name);
+      entry.object["wall_ms"] = obs::Json::MakeNumber(phase.wall_ms);
+      entry.object["count"] =
+          obs::Json::MakeNumber(static_cast<double>(phase.count));
+      if (phase.has_stats) {
+        entry.object["min_ms"] = obs::Json::MakeNumber(phase.stats.min_ms);
+        entry.object["median_ms"] =
+            obs::Json::MakeNumber(phase.stats.median_ms);
+        entry.object["mean_ms"] = obs::Json::MakeNumber(phase.stats.mean_ms);
+        entry.object["repeats"] =
+            obs::Json::MakeNumber(static_cast<double>(phase.stats.repeats));
+      }
+      phases.array.push_back(std::move(entry));
+    }
+    root.object["phases"] = std::move(phases);
+
+    std::ofstream out(json_path_);
+    PEEGA_CHECK(out.good()) << " — cannot open " << json_path_;
+    root.Write(out);
+    out << '\n';
+    std::printf("bench-json: %s\n", json_path_.c_str());
+  }
+
+  if (!trace_path_.empty()) {
+    PEEGA_CHECK(obs::WriteTrace(trace_path_))
+        << " — cannot write " << trace_path_;
+    std::printf("bench-trace: %s\n", trace_path_.c_str());
+  }
 }
 
 }  // namespace repro::bench

@@ -1,6 +1,8 @@
 #ifndef PEEGA_BENCH_BENCH_COMMON_H_
 #define PEEGA_BENCH_BENCH_COMMON_H_
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,6 +16,7 @@
 #include "defense/defender.h"
 #include "eval/pipeline.h"
 #include "graph/generators.h"
+#include "obs/stopwatch.h"
 
 namespace repro::bench {
 
@@ -65,6 +68,85 @@ eval::PipelineOptions BenchPipeline();
 /// timing cells are only comparable at a known thread count, while
 /// accuracy cells must be identical at every thread count.
 void PrintRunMetadata();
+
+/// Timing statistics over the measured repeats of one phase; warm-up
+/// iterations are run first and never enter these numbers.
+struct RepeatStats {
+  double min_ms = 0.0;
+  double median_ms = 0.0;
+  double mean_ms = 0.0;
+  int repeats = 0;
+};
+
+/// Machine-readable output for every bench binary.
+///
+/// Construction parses (and strips from argv) two flags:
+///   --json <path>    write a BENCH_*.json report on Finish()
+///   --trace <path>   enable tracing, write a Chrome trace on Finish()
+/// and prints the run-metadata line. `Finish()` — called at the latest
+/// by the destructor — always records a "total" phase spanning the
+/// reporter's lifetime, prints a one-line `phase-summary:` (wall time
+/// aggregated by the prefix before ':', e.g. all "attack:*" phases in
+/// one bucket), and, with --json, writes the stable schema
+///   {"bench":..., "config":{...}, "threads":N,
+///    "metrics":{counters,gauges,histograms},
+///    "phases":[{"name":..., "wall_ms":..., "count":...,
+///               ("min_ms"/"median_ms"/"mean_ms" with MeasureRepeats)]}
+/// The embedded metrics snapshot is taken at Finish() time, so counter
+/// totals cover exactly the bench's work.
+class BenchReporter {
+ public:
+  /// `argc`/`argv` are adjusted in place (consumed flags removed) so a
+  /// later argument parser — e.g. benchmark::Initialize — sees only
+  /// what this reporter did not handle.
+  BenchReporter(const std::string& bench, int* argc, char** argv);
+  ~BenchReporter();
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  /// Records a config key echoed verbatim into the JSON "config" object.
+  void Config(const std::string& key, const std::string& value);
+  void Config(const std::string& key, double value);
+
+  /// Accumulates `seconds` of wall time under phase `name`; repeated
+  /// calls with one name add up (wall_ms sums, count grows by `count`).
+  void RecordPhase(const std::string& name, double seconds,
+                   uint64_t count = 1);
+
+  /// Runs `fn` `warmup` times unmeasured, then `repeats` measured times;
+  /// records the measured total under `name` with min/median/mean stats.
+  RepeatStats MeasureRepeats(const std::string& name, int warmup,
+                             int repeats, const std::function<void()>& fn);
+
+  /// Writes the JSON/trace artifacts and the phase-summary line.
+  /// Idempotent; runs at destruction when not called explicitly.
+  void Finish();
+
+  const std::string& json_path() const { return json_path_; }
+  const std::string& trace_path() const { return trace_path_; }
+
+ private:
+  struct Phase {
+    std::string name;
+    double wall_ms = 0.0;
+    uint64_t count = 0;
+    bool has_stats = false;
+    RepeatStats stats;
+  };
+
+  Phase* GetPhase(const std::string& name);
+
+  std::string bench_;
+  std::string json_path_;
+  std::string trace_path_;
+  std::vector<std::pair<std::string, std::string>> string_config_;
+  std::vector<std::pair<std::string, double>> number_config_;
+  std::vector<Phase> phases_;  // insertion order = JSON order
+  std::map<std::string, size_t> phase_index_;
+  obs::StopWatch total_;  // construction → Finish() = the "total" phase
+  bool finished_ = false;
+};
 
 }  // namespace repro::bench
 

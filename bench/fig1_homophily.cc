@@ -9,8 +9,9 @@
 #include "eval/table.h"
 #include "graph/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::BenchReporter reporter("fig1_homophily", &argc, argv);
   const double scale = bench::Scale();
   linalg::Rng rng(20220901);
   const std::vector<graph::Graph> graphs = {

@@ -9,8 +9,9 @@
 #include "eval/table.h"
 #include "graph/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::BenchReporter reporter("fig2_edge_diff", &argc, argv);
   const auto dataset = bench::MakeDataset("cora");
   const auto attackers = bench::MakeAttackers(dataset);
   attack::AttackOptions options;

@@ -11,8 +11,9 @@
 #include "eval/table.h"
 #include "graph/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::BenchReporter reporter("fig3_label_similarity", &argc, argv);
   // Metattack is greedy per-edge, so large r is expensive; the bench
   // sweeps smaller rates than the paper's {0, 0.5, 1, 5} on a reduced
   // graph — the monotone trend is the reproduced shape.

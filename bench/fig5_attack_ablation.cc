@@ -13,8 +13,9 @@
 #include "eval/table.h"
 #include "graph/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::BenchReporter reporter("fig5_attack_ablation", &argc, argv);
   const auto dataset = bench::MakeDataset("cora");
   const eval::PipelineOptions pipeline = bench::BenchPipeline();
 

@@ -10,8 +10,9 @@
 #include "defense/prognn.h"
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::BenchReporter reporter("fig6_ptb_rate", &argc, argv);
   const std::vector<std::string> names = {"cora", "citeseer", "polblogs"};
   const std::vector<double> rates = {0.0, 0.05, 0.1, 0.15, 0.2};
   // Reduced graphs: this bench runs 2 attackers x 4 nonzero rates per
@@ -35,18 +36,26 @@ int main() {
         attack::Metattack::Options meta_options;
         meta_options.attack_features = dataset.features_usable;
         attack::Metattack metattack(meta_options);
-        meta_poison = eval::RunAttack(&metattack, dataset.graph, options,
-                                      pipeline.seed)
-                          .poisoned;
+        const auto meta_result = eval::RunAttack(&metattack, dataset.graph,
+                                                 options, pipeline.seed);
+        reporter.RecordPhase("attack:" + metattack.name(),
+                             meta_result.elapsed_seconds);
+        meta_poison = meta_result.poisoned;
         core::PeegaAttack peega(dataset.peega);
-        peega_poison = eval::RunAttack(&peega, dataset.graph, options,
-                                       pipeline.seed)
-                           .poisoned;
+        const auto peega_result = eval::RunAttack(&peega, dataset.graph,
+                                                  options, pipeline.seed);
+        reporter.RecordPhase("attack:" + peega.name(),
+                             peega_result.elapsed_seconds);
+        peega_poison = peega_result.poisoned;
       }
       auto cell = [&](defense::Defender* defender,
                       const graph::Graph& g) {
-        return eval::FormatMeanStd(
-            eval::EvaluateDefense(defender, g, pipeline).accuracy);
+        const eval::DefenseEvaluation evaluation =
+            eval::EvaluateDefense(defender, g, pipeline);
+        reporter.RecordPhase("defense:" + defender->name(),
+                             evaluation.mean_train_seconds * pipeline.runs,
+                             static_cast<uint64_t>(pipeline.runs));
+        return eval::FormatMeanStd(evaluation.accuracy);
       };
       defense::GcnDefender gcn;
       defense::ProGnnDefender::Options prognn_options;

@@ -11,8 +11,9 @@
 #include "defense/model_defenders.h"
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::BenchReporter reporter("fig7_sensitivity", &argc, argv);
   const auto dataset = bench::MakeDataset("cora");
   eval::PipelineOptions pipeline = bench::BenchPipeline();
   pipeline.runs = 1;

@@ -9,8 +9,9 @@
 #include "defense/model_defenders.h"
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::BenchReporter reporter("fig8_lambda_p", &argc, argv);
   const std::vector<std::string> names = {"cora", "citeseer", "polblogs"};
   eval::PipelineOptions pipeline = bench::BenchPipeline();
   pipeline.runs = 1;

@@ -9,8 +9,9 @@
 #include "bench_common.h"
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::BenchReporter reporter("fig9_gnat_params", &argc, argv);
   const auto dataset = bench::MakeDataset("citeseer");
   const eval::PipelineOptions pipeline = bench::BenchPipeline();
 

@@ -171,13 +171,38 @@ BENCHMARK(BM_PeegaGreedyStepThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 
+// Forwards every google-benchmark result into the BenchReporter so
+// `--json` emits the same {bench, config, threads, metrics, phases}
+// schema as the table/fig benches: one phase per benchmark, wall_ms =
+// accumulated real time, count = iterations.
+class PhaseForwardingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit PhaseForwardingReporter(repro::bench::BenchReporter* out)
+      : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      out_->RecordPhase(run.benchmark_name(), run.real_accumulated_time,
+                        static_cast<uint64_t>(run.iterations));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  repro::bench::BenchReporter* out_;
+};
+
 // Custom main (instead of BENCHMARK_MAIN) so the run-metadata line —
-// including the default thread count — lands in every saved bench log.
+// including the default thread count — lands in every saved bench log,
+// and --json/--trace work exactly as in the table benches. The reporter
+// consumes its flags before benchmark::Initialize sees argv.
 int main(int argc, char** argv) {
-  repro::bench::PrintRunMetadata();
+  repro::bench::BenchReporter reporter("micro_kernels", &argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  PhaseForwardingReporter display(&reporter);
+  benchmark::RunSpecifiedBenchmarks(&display);
   benchmark::Shutdown();
   return 0;
 }

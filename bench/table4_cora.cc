@@ -2,8 +2,9 @@
 // dataset under a 0.1 perturbation rate, for every attacker x defender.
 #include "table_accuracy.h"
 
-int main() {
+int main(int argc, char** argv) {
+  repro::bench::BenchReporter reporter("table4_cora", &argc, argv);
   const auto dataset = repro::bench::MakeDataset("cora");
-  repro::bench::RunAccuracyTable(dataset, 0.1);
+  repro::bench::RunAccuracyTable(&reporter, dataset, 0.1);
   return 0;
 }

@@ -3,8 +3,9 @@
 // view are dropped (identity features), as in the paper's footnote.
 #include "table_accuracy.h"
 
-int main() {
+int main(int argc, char** argv) {
+  repro::bench::BenchReporter reporter("table6_polblogs", &argc, argv);
   const auto dataset = repro::bench::MakeDataset("polblogs");
-  repro::bench::RunAccuracyTable(dataset, 0.1);
+  repro::bench::RunAccuracyTable(&reporter, dataset, 0.1);
   return 0;
 }

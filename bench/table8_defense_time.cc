@@ -9,9 +9,9 @@
 #include "eval/stats.h"
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
-  bench::PrintRunMetadata();
+  bench::BenchReporter reporter("table8_defense_time", &argc, argv);
   const std::vector<std::string> names = {"cora", "citeseer", "polblogs"};
   const int runs = bench::Runs();
 
@@ -49,6 +49,9 @@ int main() {
       pipeline.runs = runs;
       const auto result =
           eval::EvaluateDefense(match, dataset.graph, pipeline);
+      reporter.RecordPhase("defense:" + match->name(),
+                           result.mean_train_seconds * runs,
+                           static_cast<uint64_t>(runs));
       char buffer[32];
       std::snprintf(buffer, sizeof(buffer), "%.2f",
                     result.mean_train_seconds);

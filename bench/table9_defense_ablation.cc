@@ -8,8 +8,9 @@
 #include "bench_common.h"
 #include "eval/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace repro;
+  bench::BenchReporter reporter("table9_defense_ablation", &argc, argv);
   const std::vector<std::string> names = {"cora", "citeseer", "polblogs"};
   const eval::PipelineOptions pipeline = bench::BenchPipeline();
 

@@ -9,8 +9,10 @@
 
 namespace repro::bench {
 
-void RunAccuracyTable(const Dataset& dataset, double perturbation_rate) {
-  PrintRunMetadata();
+void RunAccuracyTable(BenchReporter* reporter, const Dataset& dataset,
+                      double perturbation_rate) {
+  reporter->Config("dataset", dataset.graph.name);
+  reporter->Config("perturbation_rate", perturbation_rate);
   const auto attackers = MakeAttackers(dataset);
   const auto defenders = MakeDefenders(dataset);
   const eval::PipelineOptions pipeline = BenchPipeline();
@@ -32,6 +34,8 @@ void RunAccuracyTable(const Dataset& dataset, double perturbation_rate) {
                                         attack_options, pipeline.seed);
     row_names.push_back(attacker->name());
     graphs.push_back(result.poisoned);
+    reporter->RecordPhase("attack:" + attacker->name(),
+                          result.elapsed_seconds);
     std::printf("  [attack] %-10s edges=%d features=%d (%.1fs)\n",
                 attacker->name().c_str(), result.edge_modifications,
                 result.feature_modifications, result.elapsed_seconds);
@@ -41,9 +45,13 @@ void RunAccuracyTable(const Dataset& dataset, double perturbation_rate) {
       graphs.size(), std::vector<eval::MeanStd>(defenders.size()));
   for (size_t r = 0; r < graphs.size(); ++r) {
     for (size_t c = 0; c < defenders.size(); ++c) {
-      cells[r][c] =
-          eval::EvaluateDefense(defenders[c].get(), graphs[r], pipeline)
-              .accuracy;
+      const eval::DefenseEvaluation evaluation =
+          eval::EvaluateDefense(defenders[c].get(), graphs[r], pipeline);
+      cells[r][c] = evaluation.accuracy;
+      reporter->RecordPhase(
+          "defense:" + defenders[c]->name(),
+          evaluation.mean_train_seconds * pipeline.runs,
+          static_cast<uint64_t>(pipeline.runs));
     }
   }
 

@@ -9,8 +9,11 @@ namespace repro::bench {
 /// the graph at `perturbation_rate`, every defender trains on each
 /// poison graph (plus the clean row), and the accuracy table is printed
 /// in the paper's layout. The best defender per row is marked with (),
-/// the strongest attacker per column with *.
-void RunAccuracyTable(const Dataset& dataset, double perturbation_rate);
+/// the strongest attacker per column with *. Attack and defense wall
+/// time land in `reporter` as "attack:<name>"/"defense:<name>" phases,
+/// so the phase-summary line splits attack from defense cost.
+void RunAccuracyTable(BenchReporter* reporter, const Dataset& dataset,
+                      double perturbation_rate);
 
 }  // namespace repro::bench
 

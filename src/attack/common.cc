@@ -7,6 +7,8 @@
 
 #include "attack/attacker.h"
 #include "debug/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 namespace repro::attack {
@@ -68,6 +70,11 @@ EdgeCandidate BestEdgeFlip(const Matrix& grad,
                            const Matrix& dense_adjacency,
                            const AccessControl& access,
                            const Matrix* exclude) {
+  const obs::TraceSpan span("attack.best_edge_flip");
+  static obs::Counter* const scans = obs::GetCounter("attack.edge_scans");
+  static obs::Counter* const scanned =
+      obs::GetCounter("attack.edges_scanned");
+  scans->Add(1);
   const int n = dense_adjacency.rows();
   EdgeCandidate identity;
   identity.score = -std::numeric_limits<float>::infinity();
@@ -76,6 +83,11 @@ EdgeCandidate BestEdgeFlip(const Matrix& grad,
       [&](int64_t u0, int64_t u1) {
         EdgeCandidate local;
         local.score = -std::numeric_limits<float>::infinity();
+        // Candidate count accumulated per chunk, published once: the
+        // total is a function of the scan inputs alone (deterministic
+        // at any thread count) and the atomic add stays off the inner
+        // loop.
+        uint64_t considered = 0;
         for (int u = static_cast<int>(u0); u < static_cast<int>(u1); ++u) {
           const float* grow = grad.row(u);
           const float* arow = dense_adjacency.row(u);
@@ -83,6 +95,7 @@ EdgeCandidate BestEdgeFlip(const Matrix& grad,
           for (int v = u + 1; v < n; ++v) {
             if (!access.EdgeAllowed(u, v)) continue;
             if (erow != nullptr && erow[v] > 0.0f) continue;
+            ++considered;
             const float direction = 1.0f - 2.0f * arow[v];  // +1 add, -1 del
             const float score = direction * (grow[v] + grad(v, u));
             if (score > local.score) {
@@ -90,6 +103,7 @@ EdgeCandidate BestEdgeFlip(const Matrix& grad,
             }
           }
         }
+        scanned->Add(considered);
         return local;
       },
       [](const EdgeCandidate& acc, const EdgeCandidate& chunk) {
@@ -102,6 +116,11 @@ EdgeCandidate BestEdgeFlip(const Matrix& grad,
 FeatureCandidate BestFeatureFlip(const Matrix& grad, const Matrix& features,
                                  const AccessControl& access,
                                  const Matrix* exclude) {
+  const obs::TraceSpan span("attack.best_feature_flip");
+  static obs::Counter* const scans = obs::GetCounter("attack.feature_scans");
+  static obs::Counter* const scanned =
+      obs::GetCounter("attack.features_scanned");
+  scans->Add(1);
   FeatureCandidate identity;
   identity.score = -std::numeric_limits<float>::infinity();
   FeatureCandidate best = parallel::ParallelReduce<FeatureCandidate>(
@@ -109,6 +128,7 @@ FeatureCandidate BestFeatureFlip(const Matrix& grad, const Matrix& features,
       [&](int64_t v0, int64_t v1) {
         FeatureCandidate local;
         local.score = -std::numeric_limits<float>::infinity();
+        uint64_t considered = 0;
         for (int v = static_cast<int>(v0); v < static_cast<int>(v1); ++v) {
           if (!access.FeatureAllowed(v)) continue;
           const float* grow = grad.row(v);
@@ -116,6 +136,7 @@ FeatureCandidate BestFeatureFlip(const Matrix& grad, const Matrix& features,
           const float* erow = exclude != nullptr ? exclude->row(v) : nullptr;
           for (int j = 0; j < features.cols(); ++j) {
             if (erow != nullptr && erow[j] > 0.0f) continue;
+            ++considered;
             const float direction = 1.0f - 2.0f * xrow[j];
             const float score = direction * grow[j];
             if (score > local.score) {
@@ -123,6 +144,7 @@ FeatureCandidate BestFeatureFlip(const Matrix& grad, const Matrix& features,
             }
           }
         }
+        scanned->Add(considered);
         return local;
       },
       [](const FeatureCandidate& acc, const FeatureCandidate& chunk) {

@@ -1,8 +1,7 @@
 #include "attack/dice.h"
 
-#include <chrono>
-
 #include "attack/common.h"
+#include "obs/stopwatch.h"
 
 namespace repro::attack {
 
@@ -12,7 +11,7 @@ DiceAttack::DiceAttack(const Options& options) : options_(options) {}
 AttackResult DiceAttack::Attack(const graph::Graph& g,
                                 const AttackOptions& attack_options,
                                 linalg::Rng* rng) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::StopWatch watch;
   const int budget = ComputeBudget(g, attack_options.perturbation_rate);
   const AccessControl access(g.num_nodes, attack_options.attacker_nodes);
   linalg::Matrix dense = g.adjacency.ToDense();
@@ -44,9 +43,7 @@ AttackResult DiceAttack::Attack(const graph::Graph& g,
     ++spent;
   }
   result.poisoned = g.WithAdjacency(DenseToAdjacency(dense));
-  result.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.elapsed_seconds = watch.Seconds();
   return result;
 }
 

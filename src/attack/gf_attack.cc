@@ -1,13 +1,13 @@
 #include "attack/gf_attack.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <set>
 
 #include "attack/common.h"
 #include "linalg/eigen.h"
 #include "linalg/ops.h"
+#include "obs/stopwatch.h"
 
 namespace repro::attack {
 
@@ -33,7 +33,7 @@ double FilterEnergy(const std::vector<float>& lambda,
 AttackResult GfAttack::Attack(const graph::Graph& g,
                               const AttackOptions& attack_options,
                               linalg::Rng* rng) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::StopWatch watch;
   const int budget = ComputeBudget(g, attack_options.perturbation_rate);
   const AccessControl access(g.num_nodes, attack_options.attacker_nodes);
   const int n = g.num_nodes;
@@ -136,9 +136,7 @@ AttackResult GfAttack::Attack(const graph::Graph& g,
     ++result.edge_modifications;
   }
   result.poisoned = g.WithAdjacency(DenseToAdjacency(dense));
-  result.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.elapsed_seconds = watch.Seconds();
   return result;
 }
 

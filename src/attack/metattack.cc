@@ -1,12 +1,11 @@
 #include "attack/metattack.h"
 
-#include <chrono>
-
 #include "attack/common.h"
 #include "autograd/tape.h"
 #include "linalg/ops.h"
 #include "nn/init.h"
 #include "nn/trainer.h"
+#include "obs/stopwatch.h"
 
 namespace repro::attack {
 
@@ -17,7 +16,7 @@ using linalg::Matrix;
 AttackResult Metattack::Attack(const graph::Graph& g,
                                const AttackOptions& attack_options,
                                linalg::Rng* rng) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::StopWatch watch;
   const int budget = ComputeBudget(g, attack_options.perturbation_rate);
   const AccessControl access(g.num_nodes, attack_options.attacker_nodes);
 
@@ -107,9 +106,7 @@ AttackResult Metattack::Attack(const graph::Graph& g,
 
   result.poisoned =
       g.WithAdjacency(DenseToAdjacency(dense)).WithFeatures(features);
-  result.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.elapsed_seconds = watch.Seconds();
   return result;
 }
 

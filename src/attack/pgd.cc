@@ -1,7 +1,6 @@
 #include "attack/pgd.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <vector>
 
@@ -11,6 +10,7 @@
 #include "nn/gcn.h"
 #include "nn/optim.h"
 #include "nn/trainer.h"
+#include "obs/stopwatch.h"
 
 namespace repro::attack {
 
@@ -59,7 +59,7 @@ void ProjectPerturbation(Matrix* p, double budget) {
 AttackResult PgdAttack::Attack(const graph::Graph& g,
                                const AttackOptions& attack_options,
                                linalg::Rng* rng) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::StopWatch watch;
   const int budget = ComputeBudget(g, attack_options.perturbation_rate);
   const AccessControl access(g.num_nodes, attack_options.attacker_nodes);
 
@@ -141,9 +141,7 @@ AttackResult PgdAttack::Attack(const graph::Graph& g,
     ++result.edge_modifications;
   }
   result.poisoned = g.WithAdjacency(DenseToAdjacency(dense));
-  result.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.elapsed_seconds = watch.Seconds();
   return result;
 }
 

@@ -1,15 +1,14 @@
 #include "attack/random_attack.h"
 
-#include <chrono>
-
 #include "attack/common.h"
+#include "obs/stopwatch.h"
 
 namespace repro::attack {
 
 AttackResult RandomAttack::Attack(const graph::Graph& g,
                                   const AttackOptions& options,
                                   linalg::Rng* rng) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::StopWatch watch;
   const int budget = ComputeBudget(g, options.perturbation_rate);
   const AccessControl access(g.num_nodes, options.attacker_nodes);
   linalg::Matrix dense = g.adjacency.ToDense();
@@ -26,9 +25,7 @@ AttackResult RandomAttack::Attack(const graph::Graph& g,
     ++spent;
   }
   result.poisoned = g.WithAdjacency(DenseToAdjacency(dense));
-  result.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.elapsed_seconds = watch.Seconds();
   return result;
 }
 

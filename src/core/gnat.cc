@@ -1,7 +1,6 @@
 #include "core/gnat.h"
 
 #include <algorithm>
-#include <chrono>
 #include <tuple>
 
 #include "autograd/tape.h"
@@ -9,6 +8,9 @@
 #include "debug/check.h"
 #include "linalg/ops.h"
 #include "nn/optim.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 
 namespace repro::core {
 
@@ -34,11 +36,13 @@ std::string GnatDefender::name() const {
 
 SparseMatrix GnatDefender::BuildTopologyGraph(const SparseMatrix& adjacency,
                                               int k_t) {
+  const obs::TraceSpan span("gnat.build_topology_graph");
   if (k_t <= 1) return adjacency;
   return graph::KHopAdjacency(adjacency, k_t);
 }
 
 SparseMatrix GnatDefender::BuildFeatureGraph(const Matrix& x, int k_f) {
+  const obs::TraceSpan span("gnat.build_feature_graph");
   const int n = x.rows();
   std::vector<std::tuple<int, int, float>> triplets;
   if (k_f > 0) {
@@ -68,6 +72,7 @@ SparseMatrix GnatDefender::BuildFeatureGraph(const Matrix& x, int k_f) {
 
 std::vector<SparseMatrix> GnatDefender::BuildViews(
     const graph::Graph& input) const {
+  const obs::TraceSpan span("gnat.build_views");
   // Optional pruning pass (conclusion extension): drop edges whose
   // endpoints look feature-dissimilar — candidates for adversarial
   // inter-class additions.
@@ -143,7 +148,8 @@ std::vector<SparseMatrix> GnatDefender::BuildViews(
 defense::DefenseReport GnatDefender::Run(
     const graph::Graph& g, const nn::TrainOptions& train_options,
     linalg::Rng* rng) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::TraceSpan run_span("gnat.run");
+  const obs::StopWatch watch;
   const std::vector<SparseMatrix> views = BuildViews(g);
   PEEGA_CHECK_GT(views.size(), 0u);
   const float inv_views = 1.0f / static_cast<float>(views.size());
@@ -154,6 +160,7 @@ defense::DefenseReport GnatDefender::Run(
   const std::vector<float> train_mask = g.NodeMask(g.train_nodes);
 
   auto forward_views = [&](Tape* tape, bool training) {
+    const obs::TraceSpan forward_span("gnat.forward_views");
     auto bound = gcn.BindParameters(tape);
     Var x = tape->Input(g.features, false);
     Var avg;
@@ -171,15 +178,23 @@ defense::DefenseReport GnatDefender::Run(
     return linalg::RowArgmax(logits.value());
   };
 
+  static obs::Counter* const epochs_counter = obs::GetCounter("gnat.epochs");
+  static obs::Histogram* const epoch_ms = obs::GetHistogram(
+      "gnat.epoch_ms", obs::LatencyBucketsMs());
+
   double best_val = -1.0;
   int since_best = 0;
   std::vector<Matrix> best_params;
   for (int epoch = 0; epoch < train_options.max_epochs; ++epoch) {
+    const obs::TraceSpan epoch_span("gnat.epoch");
+    const obs::StopWatch epoch_watch;
+    epochs_counter->Add(1);
     Tape tape;
     auto [logits, bound] = forward_views(&tape, /*training=*/true);
     Var loss = tape.SoftmaxCrossEntropy(logits, labels, train_mask);
     tape.Backward(loss);
     for (auto& [param, var] : bound) optimizer.Step(param, var.grad());
+    epoch_ms->Observe(epoch_watch.Millis());
 
     if (train_options.patience > 0) {
       const double val_acc =
@@ -203,9 +218,7 @@ defense::DefenseReport GnatDefender::Run(
   const std::vector<int> preds = predict();
   report.test_accuracy = graph::Accuracy(preds, g.labels, g.test_nodes);
   report.val_accuracy = graph::Accuracy(preds, g.labels, g.val_nodes);
-  report.train_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  report.train_seconds = watch.Seconds();
   return report;
 }
 

@@ -1,6 +1,5 @@
 #include "core/peega.h"
 
-#include <chrono>
 #include <cmath>
 #include <vector>
 
@@ -9,6 +8,9 @@
 #include "graph/graph.h"
 #include "debug/check.h"
 #include "linalg/ops.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 
 namespace repro::core {
 
@@ -114,7 +116,8 @@ AttackResult PeegaAttack::Attack(const graph::Graph& g,
   // parallel scans below (BestEdgeFlip/BestFeatureFlip plus the tape's
   // row-parallel kernels) are bitwise-reproducible at any thread count.
   (void)rng;
-  const auto start = std::chrono::steady_clock::now();
+  const obs::TraceSpan attack_span("peega.attack");
+  const obs::StopWatch watch;
   const int budget = attack::ComputeBudget(g, attack_options.perturbation_rate);
   const AccessControl access(g.num_nodes, attack_options.attacker_nodes);
 
@@ -137,54 +140,71 @@ AttackResult PeegaAttack::Attack(const graph::Graph& g,
   AttackResult result;
   double spent = 0.0;
 
+  // Alg. 1 phase instrumentation: score = objective forward+backward on
+  // the tape, scan = greedy candidate search, flip = commit. These are
+  // the rows of the paper's Tab. VII cost breakdown.
+  static obs::Counter* const iterations = obs::GetCounter("peega.iterations");
+  static obs::Counter* const edge_flips = obs::GetCounter("peega.edge_flips");
+  static obs::Counter* const feature_flips =
+      obs::GetCounter("peega.feature_flips");
+
   while (true) {
     const bool can_edge = attack_topology && spent + 1.0 <= budget + 1e-9;
     const bool can_feature =
         attack_features && beta > 0.0f && spent + beta <= budget + 1e-9;
     if (!can_edge && !can_feature) break;
 
+    const obs::TraceSpan iteration_span("peega.iteration");
+    iterations->Add(1);
     Tape tape;
     Var a = tape.Input(dense, /*requires_grad=*/attack_topology);
     Var x = tape.Input(features, /*requires_grad=*/attack_features);
-    Var obj =
-        ObjectiveOnTape(&tape, a, x, reference, self_pairs, neighbor_pairs,
-                        options_.layers, options_.norm_p, options_.lambda);
-    tape.Backward(obj);
+    {
+      const obs::TraceSpan score_span("peega.score");
+      Var obj =
+          ObjectiveOnTape(&tape, a, x, reference, self_pairs, neighbor_pairs,
+                          options_.layers, options_.norm_p, options_.lambda);
+      tape.Backward(obj);
+    }
 
     EdgeCandidate edge;
-    if (can_edge) {
-      edge = BestEdgeFlip(a.grad(), dense, access, &edge_done);
-    }
     FeatureCandidate feature;
-    if (can_feature) {
-      feature = BestFeatureFlip(x.grad(), features, access, &feature_done);
-      // Normalized feature score S_f / beta (Sec. V-D1).
-      feature.score /= beta;
+    {
+      const obs::TraceSpan scan_span("peega.scan");
+      if (can_edge) {
+        edge = BestEdgeFlip(a.grad(), dense, access, &edge_done);
+      }
+      if (can_feature) {
+        feature = BestFeatureFlip(x.grad(), features, access, &feature_done);
+        // Normalized feature score S_f / beta (Sec. V-D1).
+        feature.score /= beta;
+      }
     }
     if (edge.u < 0 && feature.node < 0) break;
 
     // Alg. 1 lines 9-12: commit whichever candidate scores higher.
+    const obs::TraceSpan flip_span("peega.flip");
     const bool pick_feature =
         feature.node >= 0 && (edge.u < 0 || edge.score < feature.score);
     if (pick_feature) {
       attack::FlipFeature(&features, feature.node, feature.dim);
       feature_done(feature.node, feature.dim) = 1.0f;
       ++result.feature_modifications;
+      feature_flips->Add(1);
       spent += beta;
     } else {
       attack::FlipEdge(&dense, edge.u, edge.v);
       edge_done(edge.u, edge.v) = 1.0f;
       edge_done(edge.v, edge.u) = 1.0f;
       ++result.edge_modifications;
+      edge_flips->Add(1);
       spent += 1.0;
     }
   }
 
   result.poisoned = g.WithAdjacency(attack::DenseToAdjacency(dense))
                         .WithFeatures(features);
-  result.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.elapsed_seconds = watch.Seconds();
   return result;
 }
 

@@ -1,13 +1,15 @@
 #include "core/peega_batch.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <vector>
 
 #include "attack/common.h"
 #include "autograd/tape.h"
 #include "linalg/ops.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 namespace repro::core {
@@ -49,7 +51,8 @@ float GumbelNoise(float scale, linalg::Rng* rng) {
 AttackResult PeegaBatchAttack::Attack(const graph::Graph& g,
                                       const AttackOptions& attack_options,
                                       linalg::Rng* rng) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::TraceSpan attack_span("peega_batch.attack");
+  const obs::StopWatch watch;
   const int budget =
       attack::ComputeBudget(g, attack_options.perturbation_rate);
   const AccessControl access(g.num_nodes, attack_options.attacker_nodes);
@@ -81,25 +84,37 @@ AttackResult PeegaBatchAttack::Attack(const graph::Graph& g,
   AttackResult result;
   double spent = 0.0;
 
+  static obs::Counter* const iterations =
+      obs::GetCounter("peega_batch.iterations");
+  static obs::Counter* const collected =
+      obs::GetCounter("peega_batch.candidates");
+
   while (spent + std::min<double>(1.0, beta) <= budget + 1e-9) {
+    const obs::TraceSpan iteration_span("peega_batch.iteration");
+    iterations->Add(1);
     Tape tape;
     Var a = tape.Input(dense, attack_topology);
     Var x = tape.Input(features, attack_features);
-    Var a_n = tape.GcnNormalizeDense(a);
-    Var m_hat = x;
-    for (int l = 0; l < peega.layers; ++l) m_hat = tape.MatMul(a_n, m_hat);
-    Var obj = tape.SumRowPNorm(m_hat, reference, peega.norm_p);
-    if (peega.lambda != 0.0f) {
-      obj = tape.Add(obj, tape.Scale(tape.SumEdgePNorm(m_hat, reference,
-                                                       neighbor_pairs,
-                                                       peega.norm_p),
-                                     peega.lambda));
+    {
+      const obs::TraceSpan score_span("peega_batch.score");
+      Var a_n = tape.GcnNormalizeDense(a);
+      Var m_hat = x;
+      for (int l = 0; l < peega.layers; ++l) m_hat = tape.MatMul(a_n, m_hat);
+      Var obj = tape.SumRowPNorm(m_hat, reference, peega.norm_p);
+      if (peega.lambda != 0.0f) {
+        obj = tape.Add(obj, tape.Scale(tape.SumEdgePNorm(m_hat, reference,
+                                                         neighbor_pairs,
+                                                         peega.norm_p),
+                                       peega.lambda));
+      }
+      tape.Backward(obj);
     }
-    tape.Backward(obj);
 
     // Collect all candidates (row-chunked scans concatenated in chunk
     // order = serial order), rank, commit top-k.
     std::vector<Candidate> candidates;
+    {
+    const obs::TraceSpan collect_span("peega_batch.collect");
     if (attack_topology) {
       const Matrix& grad = a.grad();
       const int64_t chunks =
@@ -150,6 +165,9 @@ AttackResult PeegaBatchAttack::Attack(const graph::Graph& g,
         candidates.insert(candidates.end(), chunk.begin(), chunk.end());
       }
     }
+    }  // collect_span
+    collected->Add(candidates.size());
+    const obs::TraceSpan commit_span("peega_batch.commit");
     // Gumbel noise draws stay on the calling thread, in candidate-list
     // order — the same sequence of RNG draws as a serial scan, so seeded
     // runs reproduce at any thread count.
@@ -189,9 +207,7 @@ AttackResult PeegaBatchAttack::Attack(const graph::Graph& g,
 
   result.poisoned = g.WithAdjacency(attack::DenseToAdjacency(dense))
                         .WithFeatures(features);
-  result.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  result.elapsed_seconds = watch.Seconds();
   return result;
 }
 

@@ -1,11 +1,11 @@
 #include "defense/gnnguard.h"
 
 #include <algorithm>
-#include <chrono>
 #include <tuple>
 
 #include "linalg/ops.h"
 #include "nn/trainer.h"
+#include "obs/stopwatch.h"
 
 namespace repro::defense {
 
@@ -36,7 +36,7 @@ SparseMatrix GnnGuardDefender::WeightedAdjacency(
 DefenseReport GnnGuardDefender::Run(const graph::Graph& g,
                                     const nn::TrainOptions& train_options,
                                     linalg::Rng* rng) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::StopWatch watch;
   graph::Graph guarded = g;
   guarded.adjacency = WeightedAdjacency(g);
   nn::Gcn model(g.features.cols(), g.num_classes, options_.gcn, rng);
@@ -45,9 +45,7 @@ DefenseReport GnnGuardDefender::Run(const graph::Graph& g,
   DefenseReport report;
   report.test_accuracy = train.test_accuracy;
   report.val_accuracy = train.val_accuracy;
-  report.train_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  report.train_seconds = watch.Seconds();
   return report;
 }
 

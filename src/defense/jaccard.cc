@@ -1,10 +1,9 @@
 #include "defense/jaccard.h"
 
-#include <chrono>
-
 #include "debug/check.h"
 #include "linalg/ops.h"
 #include "nn/trainer.h"
+#include "obs/stopwatch.h"
 
 namespace repro::defense {
 
@@ -29,7 +28,7 @@ graph::Graph JaccardDefender::Purify(const graph::Graph& g) const {
 DefenseReport JaccardDefender::Run(const graph::Graph& g,
                                    const nn::TrainOptions& train_options,
                                    linalg::Rng* rng) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::StopWatch watch;
   const graph::Graph purified = Purify(g);
   nn::Gcn model(g.features.cols(), g.num_classes, options_.gcn, rng);
   const nn::TrainReport train =
@@ -37,9 +36,7 @@ DefenseReport JaccardDefender::Run(const graph::Graph& g,
   DefenseReport report;
   report.test_accuracy = train.test_accuracy;
   report.val_accuracy = train.val_accuracy;
-  report.train_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  report.train_seconds = watch.Seconds();
   return report;
 }
 

@@ -1,7 +1,8 @@
 #include "defense/model_defenders.h"
 
 #include <algorithm>
-#include <chrono>
+
+#include "obs/stopwatch.h"
 
 namespace repro::defense {
 
@@ -10,15 +11,13 @@ namespace {
 DefenseReport TrainAndReport(nn::Model* model, const graph::Graph& g,
                              const nn::TrainOptions& train_options,
                              linalg::Rng* rng) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::StopWatch watch;
   const nn::TrainReport train =
       nn::TrainNodeClassifier(model, g, train_options, rng);
   DefenseReport report;
   report.test_accuracy = train.test_accuracy;
   report.val_accuracy = train.val_accuracy;
-  report.train_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  report.train_seconds = watch.Seconds();
   return report;
 }
 

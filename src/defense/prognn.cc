@@ -1,7 +1,6 @@
 #include "defense/prognn.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
 #include "autograd/tape.h"
@@ -10,6 +9,7 @@
 #include "linalg/ops.h"
 #include "nn/optim.h"
 #include "nn/trainer.h"
+#include "obs/stopwatch.h"
 
 namespace repro::defense {
 
@@ -62,7 +62,7 @@ void SymmetrizeClamp(Matrix* s) {
 DefenseReport ProGnnDefender::Run(const graph::Graph& g,
                                   const nn::TrainOptions& train_options,
                                   linalg::Rng* rng) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::StopWatch watch;
   const Matrix a_hat = g.adjacency.ToDense();
   Matrix s = a_hat;  // learned structure, initialized at the poison graph
   const Matrix feature_dist = PairwiseSquaredDistances(g.features);
@@ -122,9 +122,7 @@ DefenseReport ProGnnDefender::Run(const graph::Graph& g,
   DefenseReport report;
   report.test_accuracy = train.test_accuracy;
   report.val_accuracy = train.val_accuracy;
-  report.train_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  report.train_seconds = watch.Seconds();
   return report;
 }
 

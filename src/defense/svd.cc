@@ -1,12 +1,12 @@
 #include "defense/svd.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "debug/check.h"
 #include "linalg/eigen.h"
 #include "linalg/ops.h"
 #include "nn/trainer.h"
+#include "obs/stopwatch.h"
 
 namespace repro::defense {
 
@@ -35,7 +35,7 @@ SparseMatrix SvdDefender::Purify(const graph::Graph& g,
 DefenseReport SvdDefender::Run(const graph::Graph& g,
                                const nn::TrainOptions& train_options,
                                linalg::Rng* rng) {
-  const auto start = std::chrono::steady_clock::now();
+  const obs::StopWatch watch;
   graph::Graph purified = g;
   purified.adjacency = Purify(g, rng);
   nn::Gcn model(g.features.cols(), g.num_classes, options_.gcn, rng);
@@ -44,9 +44,7 @@ DefenseReport SvdDefender::Run(const graph::Graph& g,
   DefenseReport report;
   report.test_accuracy = train.test_accuracy;
   report.val_accuracy = train.val_accuracy;
-  report.train_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  report.train_seconds = watch.Seconds();
   return report;
 }
 

@@ -47,6 +47,7 @@ RunMetadata CollectRunMetadata(const PipelineOptions& options) {
   metadata.threads = parallel::NumThreads();
   metadata.runs = options.runs;
   metadata.seed = options.seed;
+  metadata.metrics = obs::SnapshotMetrics();
   return metadata;
 }
 

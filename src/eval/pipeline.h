@@ -9,6 +9,7 @@
 #include "eval/stats.h"
 #include "graph/graph.h"
 #include "nn/trainer.h"
+#include "obs/metrics.h"
 
 namespace repro::eval {
 
@@ -54,6 +55,11 @@ struct RunMetadata {
   int threads = 1;       ///< parallel::NumThreads() at collection time
   int runs = 0;          ///< repetitions behind mean±std cells
   uint64_t seed = 0;     ///< pipeline base seed
+  /// Point-in-time copy of every obs instrument at collection time; the
+  /// bench reporter embeds it in BENCH_*.json so counter-level
+  /// determinism (identical counts at any thread count) is checkable
+  /// from the artifacts alone.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Captures the current metadata for `options`.

@@ -5,6 +5,8 @@
 
 #include "debug/check.h"
 #include "debug/numerics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 namespace repro::linalg {
@@ -26,6 +28,13 @@ constexpr int64_t kReduceGrain = 1 << 15; // flat elements per reduce chunk
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   PEEGA_CHECK_EQ(a.cols(), b.rows());
+  const obs::TraceSpan span("linalg.matmul");
+  static obs::Counter* const calls = obs::GetCounter("linalg.matmul.calls");
+  static obs::Counter* const flops = obs::GetCounter("linalg.matmul.flops");
+  calls->Add(1);
+  flops->Add(2ull * static_cast<uint64_t>(a.rows()) *
+             static_cast<uint64_t>(a.cols()) *
+             static_cast<uint64_t>(b.cols()));
   Matrix c(a.rows(), b.cols());
   const int k = a.cols(), n = b.cols();
   constexpr int kBlock = 64;
@@ -54,6 +63,11 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   PEEGA_CHECK_EQ(a.rows(), b.rows());
+  const obs::TraceSpan span("linalg.matmul_ta");
+  static obs::Counter* const flops = obs::GetCounter("linalg.matmul.flops");
+  flops->Add(2ull * static_cast<uint64_t>(a.rows()) *
+             static_cast<uint64_t>(a.cols()) *
+             static_cast<uint64_t>(b.cols()));
   Matrix c(a.cols(), b.cols());
   const int m = a.cols(), k = a.rows();
   // Column-parallel: each chunk owns the column slice [j0, j1) of every
@@ -80,6 +94,11 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   PEEGA_CHECK_EQ(a.cols(), b.cols());
+  const obs::TraceSpan span("linalg.matmul_tb");
+  static obs::Counter* const flops = obs::GetCounter("linalg.matmul.flops");
+  flops->Add(2ull * static_cast<uint64_t>(a.rows()) *
+             static_cast<uint64_t>(a.cols()) *
+             static_cast<uint64_t>(b.rows()));
   Matrix c(a.rows(), b.rows());
   const int n = b.rows(), k = a.cols();
   parallel::ParallelFor(0, a.rows(), kMatMulRowGrain, [&](int64_t r0,
@@ -346,6 +365,12 @@ Matrix RandomUniform(int rows, int cols, float lo, float hi, Rng* rng) {
 
 Matrix SpMM(const SparseMatrix& s, const Matrix& b) {
   PEEGA_CHECK_EQ(s.cols(), b.rows());
+  const obs::TraceSpan span("linalg.spmm");
+  static obs::Counter* const calls = obs::GetCounter("linalg.spmm.calls");
+  static obs::Counter* const flops = obs::GetCounter("linalg.spmm.flops");
+  calls->Add(1);
+  flops->Add(2ull * static_cast<uint64_t>(s.nnz()) *
+             static_cast<uint64_t>(b.cols()));
   Matrix c(s.rows(), b.cols());
   const auto& row_ptr = s.row_ptr();
   const auto& col_idx = s.col_idx();
@@ -370,6 +395,9 @@ Matrix SpMM(const SparseMatrix& s, const Matrix& b) {
 
 std::vector<float> SpMV(const SparseMatrix& s, const std::vector<float>& x) {
   PEEGA_CHECK_EQ(s.cols(), static_cast<int>(x.size()));
+  const obs::TraceSpan span("linalg.spmv");
+  static obs::Counter* const flops = obs::GetCounter("linalg.spmm.flops");
+  flops->Add(2ull * static_cast<uint64_t>(s.nnz()));
   std::vector<float> y(s.rows(), 0.0f);
   const auto& row_ptr = s.row_ptr();
   const auto& col_idx = s.col_idx();

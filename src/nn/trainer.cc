@@ -7,6 +7,9 @@
 #include "linalg/ops.h"
 #include "nn/gcn.h"
 #include "nn/optim.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
 
 namespace repro::nn {
 
@@ -36,7 +39,14 @@ TrainReport TrainNodeClassifier(Model* model, const graph::Graph& g,
     for (size_t i = 0; i < params.size(); ++i) *params[i] = best_params[i];
   };
 
+  static obs::Counter* const epochs_counter = obs::GetCounter("nn.epochs");
+  static obs::Histogram* const epoch_ms = obs::GetHistogram(
+      "nn.epoch_ms", obs::LatencyBucketsMs());
+
   for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    const obs::TraceSpan epoch_span("nn.train_epoch");
+    const obs::StopWatch epoch_watch;
+    epochs_counter->Add(1);
     Tape tape;
     Model::Forwarded fwd = model->Forward(&tape, g, /*training=*/true, rng);
     Var loss = tape.SoftmaxCrossEntropy(fwd.logits, labels, train_mask);
@@ -46,6 +56,7 @@ TrainReport TrainNodeClassifier(Model* model, const graph::Graph& g,
     }
     report.final_loss = loss.value()(0, 0);
     ++report.epochs_run;
+    epoch_ms->Observe(epoch_watch.Millis());
 
     if (options.patience > 0) {
       const std::vector<int> preds = PredictLabels(model, g, rng);

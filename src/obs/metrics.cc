@@ -1,0 +1,174 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+
+#include "debug/check.h"
+#include "obs/json.h"
+
+namespace repro::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  PEEGA_CHECK(!bounds_.empty());
+  PEEGA_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+  PEEGA_CHECK(std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+              bounds_.end())
+      << " — histogram bounds must be strictly increasing";
+}
+
+void Histogram::Observe(double v) {
+  // First bucket whose upper bound admits v; everything past the last
+  // bound lands in the overflow bucket. Bucket lists are short (~a
+  // dozen), so a linear scan beats binary search in practice.
+  size_t bucket = bounds_.size();
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::total_count() const {
+  uint64_t total = 0;
+  for (const auto& count : counts_) {
+    total += count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  for (auto& count : counts_) count.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& LatencyBucketsMs() {
+  static const std::vector<double>* const buckets = new std::vector<double>{
+      0.1, 0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0,
+      1e3, 3e3, 1e4, 3e4, 1e5};
+  return *buckets;
+}
+
+namespace {
+
+// Instruments live forever so cached pointers never dangle; the leaked
+// static keeps them reachable (and LeakSanitizer quiet) after main.
+struct MetricsRegistry {
+  std::mutex mu;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+MetricsRegistry& GetMetricsRegistry() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace
+
+Counter* GetCounter(const std::string& name) {
+  MetricsRegistry& registry = GetMetricsRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto& slot = registry.counters[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* GetGauge(const std::string& name) {
+  MetricsRegistry& registry = GetMetricsRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto& slot = registry.gauges[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* GetHistogram(const std::string& name, std::vector<double> bounds) {
+  MetricsRegistry& registry = GetMetricsRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto& slot = registry.histograms[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  } else {
+    PEEGA_CHECK(slot->bounds() == bounds)
+        << " — histogram '" << name << "' re-registered with different bounds";
+  }
+  return slot.get();
+}
+
+MetricsSnapshot SnapshotMetrics() {
+  MetricsRegistry& registry = GetMetricsRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : registry.counters) {
+    snapshot.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : registry.gauges) {
+    snapshot.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : registry.histograms) {
+    HistogramSnapshot h;
+    h.bounds = histogram->bounds();
+    h.counts.resize(h.bounds.size() + 1);
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      h.counts[i] = histogram->bucket_count(i);
+      h.total += h.counts[i];
+    }
+    h.sum = histogram->sum();
+    snapshot.histograms[name] = std::move(h);
+  }
+  return snapshot;
+}
+
+void ResetMetrics() {
+  MetricsRegistry& registry = GetMetricsRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& [name, counter] : registry.counters) counter->Reset();
+  for (const auto& [name, gauge] : registry.gauges) gauge->Reset();
+  for (const auto& [name, histogram] : registry.histograms) {
+    histogram->Reset();
+  }
+}
+
+std::string MetricsToJson(const MetricsSnapshot& snapshot) {
+  Json root = Json::MakeObject();
+  Json counters = Json::MakeObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.object[name] = Json::MakeNumber(static_cast<double>(value));
+  }
+  Json gauges = Json::MakeObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.object[name] = Json::MakeNumber(value);
+  }
+  Json histograms = Json::MakeObject();
+  for (const auto& [name, h] : snapshot.histograms) {
+    Json entry = Json::MakeObject();
+    entry.object["count"] = Json::MakeNumber(static_cast<double>(h.total));
+    entry.object["sum"] = Json::MakeNumber(h.sum);
+    Json buckets = Json::MakeArray();
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      Json bucket = Json::MakeObject();
+      bucket.object["le"] = i < h.bounds.size()
+                                ? Json::MakeNumber(h.bounds[i])
+                                : Json::MakeString("inf");
+      bucket.object["count"] =
+          Json::MakeNumber(static_cast<double>(h.counts[i]));
+      buckets.array.push_back(std::move(bucket));
+    }
+    entry.object["buckets"] = std::move(buckets);
+    histograms.object[name] = std::move(entry);
+  }
+  root.object["counters"] = std::move(counters);
+  root.object["gauges"] = std::move(gauges);
+  root.object["histograms"] = std::move(histograms);
+  return root.Dump();
+}
+
+}  // namespace repro::obs

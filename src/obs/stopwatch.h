@@ -1,0 +1,39 @@
+#ifndef PEEGA_OBS_STOPWATCH_H_
+#define PEEGA_OBS_STOPWATCH_H_
+
+#include <chrono>
+
+namespace repro::obs {
+
+/// Monotonic wall-clock timer. This is the ONLY sanctioned way to time
+/// anything under src/ — `peega_lint` rejects raw `std::chrono` outside
+/// `src/obs/` so that every duration in the tree flows through one
+/// clock (steady, immune to wall-clock adjustments) and can be found,
+/// swapped, or mocked in a single place. For scoped timings that should
+/// land in the process trace, prefer `obs::TraceSpan` (trace.h).
+class StopWatch {
+ public:
+  StopWatch() : start_(Clock::now()) {}
+
+  /// Re-arms the timer; subsequent readings measure from this instant.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Nanoseconds since the first call in this process (a fixed steady-
+/// clock epoch). All trace timestamps share this epoch so events from
+/// different threads line up on one timeline.
+uint64_t NowNanos();
+
+}  // namespace repro::obs
+
+#endif  // PEEGA_OBS_STOPWATCH_H_

@@ -1,0 +1,96 @@
+#ifndef PEEGA_OBS_TRACE_H_
+#define PEEGA_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace repro::obs {
+
+/// Scoped tracing with Chrome `trace_event` export.
+///
+/// A `TraceSpan` marks one timed region; spans nest naturally (the
+/// viewer reconstructs the hierarchy from timestamps per thread) and
+/// may be opened from any thread, including the pool workers in
+/// src/parallel. Collection is designed around two constraints:
+///
+///  * **Near-zero cost when disabled.** The constructor is a single
+///    relaxed atomic load; no clock is read, nothing is allocated, and
+///    the destructor sees a null name and returns. The hot kernels in
+///    src/linalg keep their spans compiled in at all times for this
+///    reason.
+///  * **Lock-free append when enabled.** Each thread owns a chunked
+///    event buffer; recording a span writes one slot and publishes it
+///    with a release store of the chunk's count. No lock is taken on
+///    the recording path, so worker threads never serialize on the
+///    tracer. Buffers are merged (and timestamp-sorted per thread
+///    registration order) only at flush time.
+///
+/// Switching: tracing starts disabled unless the `PEEGA_TRACE`
+/// environment variable is set — `PEEGA_TRACE=1` enables collection
+/// (the program must call `WriteTrace`/`FlushTraceTo` itself, as the
+/// bench harness does for `--trace`), while any other non-empty,
+/// non-"0" value is treated as an output path that is written
+/// automatically at process exit. `SetTracing()` toggles at runtime.
+///
+/// The exported JSON loads directly in `chrome://tracing` and
+/// https://ui.perfetto.dev (trace_event "X" complete events).
+
+namespace internal {
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace internal
+
+/// True when spans are being collected. Relaxed load — callers may
+/// cache the answer only within one span's lifetime.
+inline bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns collection on or off at runtime. Spans already open keep
+/// recording; spans constructed while disabled stay inert.
+void SetTracing(bool enabled);
+
+/// RAII span: records [construction, destruction) on the current
+/// thread's buffer under `name`. `name` must outlive the process trace
+/// (string literals only — the tracer stores the pointer, not a copy).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TracingEnabled()) Begin(name);
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) End();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Begin(const char* name);
+  void End();
+
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+};
+
+/// Merges every thread's buffer and writes the Chrome trace_event JSON
+/// document. Safe to call while spans are still being recorded on other
+/// threads (a consistent prefix of each buffer is exported); for a
+/// complete trace, call it after parallel work has quiesced. Does not
+/// clear the collected events.
+void FlushTraceTo(std::ostream& out);
+
+/// FlushTraceTo into `path`; false if the file cannot be written.
+bool WriteTrace(const std::string& path);
+
+/// Number of finished spans currently buffered (all threads).
+size_t TraceEventCount();
+
+/// Drops all buffered events. Must only be called while no span is
+/// being destroyed concurrently (tests and bench setup call this from
+/// a quiescent point).
+void ClearTrace();
+
+}  // namespace repro::obs
+
+#endif  // PEEGA_OBS_TRACE_H_

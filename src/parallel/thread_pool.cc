@@ -7,6 +7,9 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace repro::parallel {
 
 namespace {
@@ -131,9 +134,20 @@ void ParallelForChunked(
   const int64_t n = end - begin;
   const int64_t chunks = NumChunks(n, grain);
   if (chunks <= 0) return;
+  // Dispatch observability: the chunk count depends only on (n, grain)
+  // — never on the worker assignment — so both counters are part of the
+  // determinism contract checked by tests/obs_test.cc.
+  static obs::Counter* const region_count =
+      obs::GetCounter("parallel.regions");
+  static obs::Counter* const chunk_count = obs::GetCounter("parallel.chunks");
+  region_count->Add(1);
+  chunk_count->Add(static_cast<uint64_t>(chunks));
+  const obs::TraceSpan span("parallel.region");
   grain = std::max<int64_t>(grain, 1);
   const int threads = static_cast<int>(std::min<int64_t>(
       t_in_parallel_region ? 1 : NumThreads(), chunks));
+  static obs::Gauge* const thread_gauge = obs::GetGauge("parallel.threads");
+  thread_gauge->Set(static_cast<double>(threads));
   if (threads <= 1) {
     for (int64_t c = 0; c < chunks; ++c) {
       const int64_t b = begin + c * grain;

@@ -19,6 +19,10 @@
 //   no-unseeded-rng std::random_device/std::mt19937/rand()/srand() outside
 //                   src/linalg/random
 //   no-stdout       std::cout anywhere in src/ libraries
+//   no-raw-chrono   std::chrono outside src/obs — all timing goes through
+//                   obs::StopWatch / obs::TraceSpan so instrumented time
+//                   lands in one place (bench/ is outside src/ and exempt
+//                   by construction)
 //   header-guard    headers must guard with PEEGA_<PATH>_H_
 //   include-cycle   no #include cycles among src/ headers
 
@@ -85,6 +89,9 @@ constexpr TokenRule kTokenRules[] = {
     {"no-stdout", "std::cout", MatchKind::kToken, "",
      "libraries must not write to stdout; return strings or take an "
      "std::ostream& so the eval/table layer owns the output format"},
+    {"no-raw-chrono", "std::chrono", MatchKind::kToken, "obs/",
+     "raw std::chrono outside src/obs; time with obs::StopWatch (or an "
+     "obs::TraceSpan) so every duration is observable in one place"},
 };
 
 bool IsIdentChar(char c) {
@@ -440,6 +447,13 @@ int RunSelfTest() {
             "int R() { return rand(); }\n");
   WriteFile(root / "core/bad_cout.cc",
             "#include <iostream>\nvoid P() { std::cout << 1; }\n");
+  WriteFile(root / "core/bad_chrono.cc",
+            "#include <chrono>\n"
+            "double Now() {\n"
+            "  return std::chrono::duration<double>(\n"
+            "      std::chrono::steady_clock::now().time_since_epoch())\n"
+            "      .count();\n"
+            "}\n");
   WriteFile(root / "core/bad_guard.h",
             "#ifndef WRONG_GUARD_H_\n#define WRONG_GUARD_H_\n#endif\n");
   WriteFile(root / "core/cycle_a.h",
@@ -454,10 +468,17 @@ int RunSelfTest() {
             "#include <thread>\nvoid G() { std::thread t([]{}); }\n");
   WriteFile(root / "linalg/random.cc",
             "#include <random>\nstd::mt19937 engine(42);\n");
+  WriteFile(root / "obs/stopwatch.cc",
+            "#include <chrono>\n"
+            "double Tick() {\n"
+            "  return std::chrono::duration<double>(\n"
+            "      std::chrono::steady_clock::now().time_since_epoch())\n"
+            "      .count();\n"
+            "}\n");
   WriteFile(root / "core/decoy.cc",
             "// std::thread and std::cout and rand() in a comment\n"
-            "/* std::mt19937 in a block comment */\n"
-            "const char* kMsg = \"std::cout << rand()\";\n"
+            "/* std::mt19937 and std::chrono in a block comment */\n"
+            "const char* kMsg = \"std::cout << rand() std::chrono\";\n"
             "int Grad(int g) { return g; }\nint Use() { return Grad(1); }\n");
 
   const std::vector<Violation> violations = LintTree(root);
@@ -474,6 +495,7 @@ int RunSelfTest() {
       {"core/bad_thread.cc", "no-raw-thread"},
       {"core/bad_rng.cc", "no-unseeded-rng"},
       {"core/bad_cout.cc", "no-stdout"},
+      {"core/bad_chrono.cc", "no-raw-chrono"},
       {"core/bad_guard.h", "header-guard"},
       {"core/cycle_a.h", "include-cycle"},
   };
@@ -491,7 +513,8 @@ int RunSelfTest() {
     }
   }
   for (const char* clean_file :
-       {"parallel/pool.cc", "linalg/random.cc", "core/decoy.cc"}) {
+       {"parallel/pool.cc", "linalg/random.cc", "obs/stopwatch.cc",
+        "core/decoy.cc"}) {
     const bool flagged =
         std::any_of(violations.begin(), violations.end(),
                     [&](const Violation& v) { return v.file == clean_file; });
