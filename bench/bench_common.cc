@@ -120,15 +120,10 @@ void PrintRunMetadata() {
   std::printf("%s\n", line.c_str());
 }
 
-namespace {
-
-// Removes argv[i] (and argv[i + 1] when `takes_value`) in place,
-// returning the flag's value or "" when the flag is absent. Keeps
-// argv[argc] == nullptr as main() guarantees.
 std::string ConsumeFlag(const char* flag, int* argc, char** argv) {
   for (int i = 1; i < *argc; ++i) {
     if (std::string(argv[i]) != flag) continue;
-    PEEGA_CHECK_LT(i + 1, *argc) << " — " << flag << " needs a path";
+    PEEGA_CHECK_LT(i + 1, *argc) << " — " << flag << " needs a value";
     const std::string value = argv[i + 1];
     for (int j = i; j + 2 <= *argc; ++j) argv[j] = argv[j + 2];
     *argc -= 2;
@@ -137,6 +132,8 @@ std::string ConsumeFlag(const char* flag, int* argc, char** argv) {
   }
   return "";
 }
+
+namespace {
 
 // The summary line buckets phases by the prefix before ':' so e.g. all
 // "attack:<name>" phases print as one attack=...s total.

@@ -69,6 +69,11 @@ eval::PipelineOptions BenchPipeline();
 /// accuracy cells must be identical at every thread count.
 void PrintRunMetadata();
 
+/// Removes `flag` and its value from argv in place, returning the value
+/// or "" when the flag is absent (argv[argc] stays nullptr). Used for
+/// bench-specific flags like table7's `--engine {tape,incremental}`.
+std::string ConsumeFlag(const char* flag, int* argc, char** argv);
+
 /// Timing statistics over the measured repeats of one phase; warm-up
 /// iterations are run first and never enter these numbers.
 struct RepeatStats {

@@ -3,17 +3,37 @@
 // PEEGA is the fastest designed attacker (single-level objective, no
 // inner model training); PGD < MinMax < Metattack; GF-Attack pays for
 // per-candidate spectral recomputation.
+//
+// Flags (beyond the common --json/--trace):
+//   --engine {tape,incremental}   objective engine PEEGA uses in the
+//     main table (default incremental; see EXPERIMENTS.md).
+//
+// After the table the bench runs both engines head-to-head on a fixed
+// n=1000 cora-like graph and records the speedup (and a flip-sequence
+// equality check) under "engine:*" phases and the
+// "engine_speedup_n1000" config key of BENCH_table7.json.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
 
 #include "bench_common.h"
+#include "core/peega.h"
+#include "debug/check.h"
 #include "eval/stats.h"
 #include "eval/table.h"
 
 int main(int argc, char** argv) {
   using namespace repro;
   bench::BenchReporter reporter("table7_attack_time", &argc, argv);
+  const std::string engine_flag = bench::ConsumeFlag("--engine", &argc, argv);
+  PEEGA_CHECK(engine_flag.empty() || engine_flag == "tape" ||
+              engine_flag == "incremental")
+      << " — --engine takes tape or incremental, got " << engine_flag;
+  const core::PeegaAttack::Engine engine =
+      engine_flag == "tape" ? core::PeegaAttack::Engine::kTape
+                            : core::PeegaAttack::Engine::kIncremental;
+  reporter.Config("engine", engine_flag.empty() ? "incremental" : engine_flag);
+
   const std::vector<std::string> names = {"cora", "citeseer", "polblogs"};
   attack::AttackOptions options;
   options.perturbation_rate = 0.1;
@@ -26,6 +46,7 @@ int main(int argc, char** argv) {
   std::vector<bench::Dataset> datasets;
   for (const auto& name : names) {
     datasets.push_back(bench::MakeDataset(name));
+    datasets.back().peega.engine = engine;
     header.push_back(datasets.back().graph.name);
   }
   eval::TablePrinter table(header);
@@ -61,5 +82,56 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
   std::printf("paper: PEEGA fastest on Cora/Citeseer; bi-level attackers "
               "(Metattack) and spectral scoring (GF-Attack) slowest\n");
+
+  // --- Incremental vs tape engine, fixed n = 1000 -------------------------
+  // Same PEEGA attack through both objective engines on one cora-like
+  // graph of exactly 1000 nodes (independent of REPRO_SCALE, so the
+  // recorded speedup is comparable across runs). Small rate keeps the
+  // tape side affordable; both engines must commit the identical flip
+  // sequence — the bench double-checks the differential contract before
+  // reporting a speedup.
+  {
+    linalg::Rng graph_rng(20220901);
+    const graph::Graph g = graph::MakeCoraLike(&graph_rng, 2.0);  // n = 1000
+    PEEGA_CHECK_EQ(g.num_nodes, 1000);
+    attack::AttackOptions compare;
+    compare.perturbation_rate = 0.01;
+    reporter.Config("engine_compare_nodes",
+                    static_cast<double>(g.num_nodes));
+    reporter.Config("engine_compare_rate", compare.perturbation_rate);
+
+    double wall_ms[2] = {0.0, 0.0};
+    attack::AttackResult results[2];
+    const core::PeegaAttack::Engine engines[2] = {
+        core::PeegaAttack::Engine::kTape,
+        core::PeegaAttack::Engine::kIncremental};
+    const char* engine_names[2] = {"tape", "incremental"};
+    for (int e = 0; e < 2; ++e) {
+      core::PeegaAttack::Options peega;
+      peega.engine = engines[e];
+      core::PeegaAttack attacker(peega);
+      const auto stats = reporter.MeasureRepeats(
+          std::string("engine:") + engine_names[e] + ":n1000",
+          /*warmup=*/0, /*repeats=*/1, [&] {
+            linalg::Rng rng(917);
+            results[e] = attacker.Attack(g, compare, &rng);
+          });
+      wall_ms[e] = stats.min_ms;
+    }
+    PEEGA_CHECK_EQ(results[0].flips.size(), results[1].flips.size());
+    for (size_t i = 0; i < results[0].flips.size(); ++i) {
+      const attack::Flip& t = results[0].flips[i];
+      const attack::Flip& n = results[1].flips[i];
+      PEEGA_CHECK(t.is_feature == n.is_feature && t.a == n.a && t.b == n.b)
+          << " — engines diverged at flip " << i;
+    }
+    const double speedup = wall_ms[0] / std::max(wall_ms[1], 1e-9);
+    reporter.Config("engine_speedup_n1000", speedup);
+    std::printf("engine comparison (n=%d, r=%.2f, %zu flips): tape %.2fs, "
+                "incremental %.2fs, speedup %.1fx\n",
+                g.num_nodes, compare.perturbation_rate,
+                results[0].flips.size(), wall_ms[0] / 1e3, wall_ms[1] / 1e3,
+                speedup);
+  }
   return 0;
 }

@@ -24,12 +24,33 @@ struct AttackOptions {
   std::vector<int> attacker_nodes;
 };
 
+/// One committed perturbation. For an edge flip `a`/`b` are the endpoints
+/// (a < b); for a feature flip `a` is the node and `b` the dimension.
+struct Flip {
+  bool is_feature = false;
+  int a = -1;
+  int b = -1;
+
+  friend bool operator==(const Flip& x, const Flip& y) {
+    return x.is_feature == y.is_feature && x.a == y.a && x.b == y.b;
+  }
+  friend bool operator!=(const Flip& x, const Flip& y) { return !(x == y); }
+};
+
 struct AttackResult {
   graph::Graph poisoned;
   int edge_modifications = 0;
   int feature_modifications = 0;
   /// Wall-clock seconds spent inside Attack() (Tab. VII).
   double elapsed_seconds = 0.0;
+  /// Committed perturbations in commit order. Filled by the PEEGA
+  /// attackers (both engines); the differential tests diff these
+  /// sequences between the tape and incremental engines. Baseline
+  /// attackers may leave it empty.
+  std::vector<Flip> flips;
+  /// Final value of the attacker's objective on the poisoned graph, when
+  /// the attacker has one (PEEGA: the Def. 3 objective). 0 otherwise.
+  double final_objective = 0.0;
 };
 
 /// Interface of graph adversarial attackers.

@@ -54,104 +54,26 @@ void FlipFeature(Matrix* features, int v, int j) {
   (*features)(v, j) = (*features)(v, j) > 0.5f ? 0.0f : 1.0f;
 }
 
-namespace {
-
-// Rows (u) per chunk of the parallel candidate scans. Any partition is
-// deterministic here: per-chunk argmax keeps the lowest (u, v) on ties
-// (strict '>'), and the ordered chunk merge keeps the earlier chunk on
-// ties, which together reproduce the serial scan's lowest-index winner
-// at any thread count (the greedy commit order must not depend on the
-// machine — see DESIGN.md, "Determinism & threading").
-constexpr int64_t kScanRowGrain = 32;
-
-}  // namespace
-
 EdgeCandidate BestEdgeFlip(const Matrix& grad,
                            const Matrix& dense_adjacency,
                            const AccessControl& access,
                            const Matrix* exclude) {
-  const obs::TraceSpan span("attack.best_edge_flip");
-  static obs::Counter* const scans = obs::GetCounter("attack.edge_scans");
-  static obs::Counter* const scanned =
-      obs::GetCounter("attack.edges_scanned");
-  scans->Add(1);
-  const int n = dense_adjacency.rows();
-  EdgeCandidate identity;
-  identity.score = -std::numeric_limits<float>::infinity();
-  EdgeCandidate best = parallel::ParallelReduce<EdgeCandidate>(
-      0, n, kScanRowGrain, identity,
-      [&](int64_t u0, int64_t u1) {
-        EdgeCandidate local;
-        local.score = -std::numeric_limits<float>::infinity();
-        // Candidate count accumulated per chunk, published once: the
-        // total is a function of the scan inputs alone (deterministic
-        // at any thread count) and the atomic add stays off the inner
-        // loop.
-        uint64_t considered = 0;
-        for (int u = static_cast<int>(u0); u < static_cast<int>(u1); ++u) {
-          const float* grow = grad.row(u);
-          const float* arow = dense_adjacency.row(u);
-          const float* erow = exclude != nullptr ? exclude->row(u) : nullptr;
-          for (int v = u + 1; v < n; ++v) {
-            if (!access.EdgeAllowed(u, v)) continue;
-            if (erow != nullptr && erow[v] > 0.0f) continue;
-            ++considered;
-            const float direction = 1.0f - 2.0f * arow[v];  // +1 add, -1 del
-            const float score = direction * (grow[v] + grad(v, u));
-            if (score > local.score) {
-              local = {u, v, score};
-            }
-          }
-        }
-        scanned->Add(considered);
-        return local;
-      },
-      [](const EdgeCandidate& acc, const EdgeCandidate& chunk) {
-        return chunk.score > acc.score ? chunk : acc;
+  return BestEdgeFlipScored(
+      dense_adjacency.rows(), access, exclude, [&](int u, int v) {
+        const float direction =
+            1.0f - 2.0f * dense_adjacency(u, v);  // +1 add, -1 del
+        return direction * (grad(u, v) + grad(v, u));
       });
-  if (best.u < 0) best.score = -std::numeric_limits<float>::infinity();
-  return best;
 }
 
 FeatureCandidate BestFeatureFlip(const Matrix& grad, const Matrix& features,
                                  const AccessControl& access,
                                  const Matrix* exclude) {
-  const obs::TraceSpan span("attack.best_feature_flip");
-  static obs::Counter* const scans = obs::GetCounter("attack.feature_scans");
-  static obs::Counter* const scanned =
-      obs::GetCounter("attack.features_scanned");
-  scans->Add(1);
-  FeatureCandidate identity;
-  identity.score = -std::numeric_limits<float>::infinity();
-  FeatureCandidate best = parallel::ParallelReduce<FeatureCandidate>(
-      0, features.rows(), kScanRowGrain, identity,
-      [&](int64_t v0, int64_t v1) {
-        FeatureCandidate local;
-        local.score = -std::numeric_limits<float>::infinity();
-        uint64_t considered = 0;
-        for (int v = static_cast<int>(v0); v < static_cast<int>(v1); ++v) {
-          if (!access.FeatureAllowed(v)) continue;
-          const float* grow = grad.row(v);
-          const float* xrow = features.row(v);
-          const float* erow = exclude != nullptr ? exclude->row(v) : nullptr;
-          for (int j = 0; j < features.cols(); ++j) {
-            if (erow != nullptr && erow[j] > 0.0f) continue;
-            ++considered;
-            const float direction = 1.0f - 2.0f * xrow[j];
-            const float score = direction * grow[j];
-            if (score > local.score) {
-              local = {v, j, score};
-            }
-          }
-        }
-        scanned->Add(considered);
-        return local;
-      },
-      [](const FeatureCandidate& acc, const FeatureCandidate& chunk) {
-        return chunk.score > acc.score ? chunk : acc;
+  return BestFeatureFlipScored(
+      features.rows(), features.cols(), access, exclude, [&](int v, int j) {
+        const float direction = 1.0f - 2.0f * features(v, j);
+        return direction * grad(v, j);
       });
-  if (best.node < 0) best.score = -std::numeric_limits<float>::infinity();
-  return best;
 }
 
 SparseMatrix DenseToAdjacency(const Matrix& dense) {

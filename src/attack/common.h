@@ -1,11 +1,16 @@
 #ifndef PEEGA_ATTACK_COMMON_H_
 #define PEEGA_ATTACK_COMMON_H_
 
+#include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
 #include "graph/graph.h"
 #include "linalg/matrix.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/thread_pool.h"
 
 namespace repro::attack {
 
@@ -71,6 +76,109 @@ FeatureCandidate BestFeatureFlip(const linalg::Matrix& grad,
 
 /// Rebuilds a binary symmetric SparseMatrix from a dense 0/1 adjacency.
 linalg::SparseMatrix DenseToAdjacency(const linalg::Matrix& dense);
+
+namespace internal {
+
+/// Rows (u) per chunk of the parallel candidate scans. Any partition is
+/// deterministic here: per-chunk argmax keeps the lowest (u, v) on ties
+/// (strict '>'), and the ordered chunk merge keeps the earlier chunk on
+/// ties, which together reproduce the serial scan's lowest-index winner
+/// at any thread count (the greedy commit order must not depend on the
+/// machine — see DESIGN.md, "Determinism & threading").
+constexpr int64_t kScanRowGrain = 32;
+
+}  // namespace internal
+
+/// Generic form of `BestEdgeFlip`: the same chunked parallel argmax with
+/// the same skip conditions and lowest-(u, v) tie-break, but flip scores
+/// come from a caller-supplied callable `score(u, v)` (u < v) instead of
+/// a dense gradient matrix. The incremental PEEGA engine plugs in its
+/// sparse closed-form score provider here; `BestEdgeFlip` delegates with
+/// the historical dense-gradient score.
+template <typename ScoreFn>
+EdgeCandidate BestEdgeFlipScored(int num_nodes, const AccessControl& access,
+                                 const linalg::Matrix* exclude,
+                                 const ScoreFn& score) {
+  const obs::TraceSpan span("attack.best_edge_flip");
+  static obs::Counter* const scans = obs::GetCounter("attack.edge_scans");
+  static obs::Counter* const scanned =
+      obs::GetCounter("attack.edges_scanned");
+  scans->Add(1);
+  EdgeCandidate identity;
+  identity.score = -std::numeric_limits<float>::infinity();
+  EdgeCandidate best = parallel::ParallelReduce<EdgeCandidate>(
+      0, num_nodes, internal::kScanRowGrain, identity,
+      [&](int64_t u0, int64_t u1) {
+        EdgeCandidate local;
+        local.score = -std::numeric_limits<float>::infinity();
+        // Candidate count accumulated per chunk, published once: the
+        // total is a function of the scan inputs alone (deterministic
+        // at any thread count) and the atomic add stays off the inner
+        // loop.
+        uint64_t considered = 0;
+        for (int u = static_cast<int>(u0); u < static_cast<int>(u1); ++u) {
+          const float* erow = exclude != nullptr ? exclude->row(u) : nullptr;
+          for (int v = u + 1; v < num_nodes; ++v) {
+            if (!access.EdgeAllowed(u, v)) continue;
+            if (erow != nullptr && erow[v] > 0.0f) continue;
+            ++considered;
+            const float s = score(u, v);
+            if (s > local.score) {
+              local = {u, v, s};
+            }
+          }
+        }
+        scanned->Add(considered);
+        return local;
+      },
+      [](const EdgeCandidate& acc, const EdgeCandidate& chunk) {
+        return chunk.score > acc.score ? chunk : acc;
+      });
+  if (best.u < 0) best.score = -std::numeric_limits<float>::infinity();
+  return best;
+}
+
+/// Generic form of `BestFeatureFlip` over a `score(v, j)` callable; same
+/// contract as `BestEdgeFlipScored`.
+template <typename ScoreFn>
+FeatureCandidate BestFeatureFlipScored(int num_nodes, int num_features,
+                                       const AccessControl& access,
+                                       const linalg::Matrix* exclude,
+                                       const ScoreFn& score) {
+  const obs::TraceSpan span("attack.best_feature_flip");
+  static obs::Counter* const scans = obs::GetCounter("attack.feature_scans");
+  static obs::Counter* const scanned =
+      obs::GetCounter("attack.features_scanned");
+  scans->Add(1);
+  FeatureCandidate identity;
+  identity.score = -std::numeric_limits<float>::infinity();
+  FeatureCandidate best = parallel::ParallelReduce<FeatureCandidate>(
+      0, num_nodes, internal::kScanRowGrain, identity,
+      [&](int64_t v0, int64_t v1) {
+        FeatureCandidate local;
+        local.score = -std::numeric_limits<float>::infinity();
+        uint64_t considered = 0;
+        for (int v = static_cast<int>(v0); v < static_cast<int>(v1); ++v) {
+          if (!access.FeatureAllowed(v)) continue;
+          const float* erow = exclude != nullptr ? exclude->row(v) : nullptr;
+          for (int j = 0; j < num_features; ++j) {
+            if (erow != nullptr && erow[j] > 0.0f) continue;
+            ++considered;
+            const float s = score(v, j);
+            if (s > local.score) {
+              local = {v, j, s};
+            }
+          }
+        }
+        scanned->Add(considered);
+        return local;
+      },
+      [](const FeatureCandidate& acc, const FeatureCandidate& chunk) {
+        return chunk.score > acc.score ? chunk : acc;
+      });
+  if (best.node < 0) best.score = -std::numeric_limits<float>::infinity();
+  return best;
+}
 
 }  // namespace repro::attack
 

@@ -264,6 +264,30 @@ Var Tape::PowNonNeg(Var a, float exponent) {
   return Var(out);
 }
 
+Var Tape::RsqrtNonNeg(Var a) {
+  internal::Node* na = a.node_;
+  Matrix value(na->value.rows(), na->value.cols());
+  {
+    const float* v = na->value.data();
+    float* o = value.data();
+    for (int64_t i = 0; i < value.size(); ++i) {
+      o[i] = v[i] > 0.0f ? 1.0f / std::sqrt(v[i]) : 0.0f;
+    }
+  }
+  internal::Node* out = NewNode(std::move(value), na->requires_grad, "RsqrtNonNeg", {na});
+  out->backward = [na](internal::Node* self) {
+    if (!na->requires_grad) return;
+    Matrix d = self->grad;
+    const float* v = na->value.data();
+    float* g = d.data();
+    for (int64_t i = 0; i < d.size(); ++i) {
+      g[i] *= v[i] > 0.0f ? -0.5f * std::pow(v[i], -1.5f) : 0.0f;
+    }
+    Accumulate(na, d);
+  };
+  return Var(out);
+}
+
 Var Tape::Dropout(Var a, const Matrix& mask) {
   return MulConst(a, mask);
 }
@@ -652,7 +676,7 @@ Var Tape::GcnNormalizeDense(Var a) {
   PEEGA_CHECK_EQ(n, a.cols());
   Var a_hat = AddConst(a, Matrix::Identity(n));
   Var deg = RowSums(a_hat);                 // (n x 1)
-  Var inv_sqrt = PowNonNeg(deg, -0.5f);     // D^{-1/2} diagonal as column
+  Var inv_sqrt = RsqrtNonNeg(deg);          // D^{-1/2} diagonal as column
   Var scaled_rows = ScaleRowsVar(a_hat, inv_sqrt);
   return ScaleColsVar(scaled_rows, inv_sqrt);
 }

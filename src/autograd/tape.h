@@ -110,6 +110,13 @@ class Tape {
   Var Log(Var a, float eps = 1e-9f);
   /// Elementwise |x|^p-free power for x >= 0: x^exponent (0 maps to 0).
   Var PowNonNeg(Var a, float exponent);
+  /// Elementwise 1/sqrt(x) for x > 0 (else 0). Equivalent in value to
+  /// PowNonNeg(a, -0.5f) up to rounding, but computed as 1.0f/sqrt —
+  /// the SAME float expression as `linalg::RSqrt` — so the dense
+  /// normalization of `GcnNormalizeDense` agrees bitwise with the sparse
+  /// `graph::GcnNormalize` path (the incremental PEEGA engine relies on
+  /// this for its flip-sequence equivalence; see DESIGN.md).
+  Var RsqrtNonNeg(Var a);
   /// Inverted-dropout with keep probability `keep`; `mask` entries are the
   /// precomputed 0 / (1/keep) multipliers.
   Var Dropout(Var a, const linalg::Matrix& mask);

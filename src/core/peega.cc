@@ -5,6 +5,7 @@
 
 #include "attack/common.h"
 #include "autograd/tape.h"
+#include "core/peega_engine.h"
 #include "graph/graph.h"
 #include "debug/check.h"
 #include "linalg/ops.h"
@@ -91,6 +92,105 @@ Var ObjectiveOnTape(Tape* tape, Var a, Var x, const Matrix& reference,
   return tape->Add(self_view, tape->Scale(global_view, lambda));
 }
 
+// Alg. 1 on the incremental engine: same loop structure, budget
+// accounting, freeze matrices, and tie-breaks as the tape path below,
+// but scores come from PeegaEngine's cached closed-form gradients and
+// flips are committed as sparse delta updates. The two paths produce
+// the same flip sequence (tests/engine_equiv_test.cc).
+AttackResult AttackWithEngine(const PeegaAttack::Options& options,
+                              const graph::Graph& g,
+                              const AttackOptions& attack_options) {
+  const obs::TraceSpan attack_span("peega.attack");
+  const obs::StopWatch watch;
+  const int budget = attack::ComputeBudget(g, attack_options.perturbation_rate);
+  const AccessControl access(g.num_nodes, attack_options.attacker_nodes);
+  const bool attack_topology = options.mode != PeegaAttack::Mode::kFeaturesOnly;
+  const bool attack_features = options.mode != PeegaAttack::Mode::kTopologyOnly;
+  const float beta = static_cast<float>(attack_options.feature_cost);
+
+  PeegaEngine::Config config;
+  config.layers = options.layers;
+  config.norm_p = options.norm_p;
+  config.lambda = options.lambda;
+  config.attack_topology = attack_topology;
+  config.attack_features = attack_features;
+  config.target_nodes = options.target_nodes;
+  PeegaEngine engine(g, config);
+
+  Matrix edge_done(g.num_nodes, g.num_nodes);
+  Matrix feature_done(g.num_nodes, g.features.cols());
+  AttackResult result;
+  double spent = 0.0;
+
+  static obs::Counter* const iterations = obs::GetCounter("peega.iterations");
+  static obs::Counter* const edge_flips = obs::GetCounter("peega.edge_flips");
+  static obs::Counter* const feature_flips =
+      obs::GetCounter("peega.feature_flips");
+
+  while (true) {
+    const bool can_edge = attack_topology && spent + 1.0 <= budget + 1e-9;
+    const bool can_feature =
+        attack_features && beta > 0.0f && spent + beta <= budget + 1e-9;
+    if (!can_edge && !can_feature) break;
+
+    const obs::TraceSpan iteration_span("peega.iteration");
+    iterations->Add(1);
+    {
+      const obs::TraceSpan score_span("peega.score");
+      engine.RefreshScores();
+    }
+
+    EdgeCandidate edge;
+    FeatureCandidate feature;
+    {
+      const obs::TraceSpan scan_span("peega.scan");
+      if (can_edge) {
+        edge = attack::BestEdgeFlipScored(
+            g.num_nodes, access, &edge_done,
+            [&](int u, int v) { return engine.EdgeScore(u, v); });
+      }
+      if (can_feature) {
+        feature = attack::BestFeatureFlipScored(
+            g.num_nodes, g.features.cols(), access, &feature_done,
+            [&](int v, int j) { return engine.FeatureScore(v, j); });
+        // Normalized feature score S_f / beta (Sec. V-D1).
+        feature.score /= beta;
+      }
+    }
+    if (edge.u < 0 && feature.node < 0) break;
+
+    const obs::TraceSpan flip_span("peega.flip");
+    const bool pick_feature =
+        feature.node >= 0 && (edge.u < 0 || edge.score < feature.score);
+    if (pick_feature) {
+      engine.FlipFeature(feature.node, feature.dim);
+      feature_done(feature.node, feature.dim) = 1.0f;
+      ++result.feature_modifications;
+      feature_flips->Add(1);
+      result.flips.push_back({true, feature.node, feature.dim});
+      spent += beta;
+    } else {
+      engine.FlipEdge(edge.u, edge.v);
+      edge_done(edge.u, edge.v) = 1.0f;
+      edge_done(edge.v, edge.u) = 1.0f;
+      ++result.edge_modifications;
+      edge_flips->Add(1);
+      result.flips.push_back({false, edge.u, edge.v});
+      spent += 1.0;
+    }
+  }
+
+  // Bring the cached objective terms up to date with the final flip and
+  // emit the sparse poisoned adjacency straight from the engine's
+  // neighbor lists — no dense O(N²) rescan.
+  engine.RefreshScores();
+  result.final_objective = engine.Objective();
+  result.poisoned =
+      g.WithAdjacency(engine.PoisonedAdjacency()).WithFeatures(engine.features());
+  result.elapsed_seconds = watch.Seconds();
+  return result;
+}
+
 }  // namespace
 
 double PeegaAttack::Objective(const graph::Graph& clean,
@@ -116,6 +216,9 @@ AttackResult PeegaAttack::Attack(const graph::Graph& g,
   // parallel scans below (BestEdgeFlip/BestFeatureFlip plus the tape's
   // row-parallel kernels) are bitwise-reproducible at any thread count.
   (void)rng;
+  if (options_.engine == Engine::kIncremental) {
+    return AttackWithEngine(options_, g, attack_options);
+  }
   const obs::TraceSpan attack_span("peega.attack");
   const obs::StopWatch watch;
   const int budget = attack::ComputeBudget(g, attack_options.perturbation_rate);
@@ -191,6 +294,7 @@ AttackResult PeegaAttack::Attack(const graph::Graph& g,
       feature_done(feature.node, feature.dim) = 1.0f;
       ++result.feature_modifications;
       feature_flips->Add(1);
+      result.flips.push_back({true, feature.node, feature.dim});
       spent += beta;
     } else {
       attack::FlipEdge(&dense, edge.u, edge.v);
@@ -198,10 +302,12 @@ AttackResult PeegaAttack::Attack(const graph::Graph& g,
       edge_done(edge.v, edge.u) = 1.0f;
       ++result.edge_modifications;
       edge_flips->Add(1);
+      result.flips.push_back({false, edge.u, edge.v});
       spent += 1.0;
     }
   }
 
+  result.final_objective = Objective(g, dense, features);
   result.poisoned = g.WithAdjacency(attack::DenseToAdjacency(dense))
                         .WithFeatures(features);
   result.elapsed_seconds = watch.Seconds();

@@ -39,6 +39,18 @@ class PeegaAttack : public attack::Attacker {
     kFeaturesOnly,         // FP
   };
 
+  /// Objective/gradient evaluation backend. Both produce the SAME flip
+  /// sequence (differentially tested in tests/engine_equiv_test.cc):
+  ///   kIncremental — cached closed-form gradients with sparse delta
+  ///     updates after each committed flip (core/peega_engine.h); the
+  ///     default, and the one Tab. VII timings use.
+  ///   kTape — re-derives every gradient through the autograd tape each
+  ///     iteration; O(N²F) per flip. Kept as the reference oracle.
+  enum class Engine {
+    kIncremental,
+    kTape,
+  };
+
   struct Options {
     /// Trade-off between self view and global view (Fig. 8a).
     float lambda = 0.01f;
@@ -47,6 +59,7 @@ class PeegaAttack : public attack::Attacker {
     /// Propagation depth l of the surrogate A_n^l X (Fig. 7b).
     int layers = 2;
     Mode mode = Mode::kTopologyAndFeatures;
+    Engine engine = Engine::kIncremental;
     /// Targeted-attack extension (the "Goal" axis of Tab. I): when
     /// non-empty, the objective sums only over these victim nodes (and
     /// their neighbor pairs), concentrating the whole budget on

@@ -6,6 +6,7 @@
 
 #include "attack/common.h"
 #include "autograd/tape.h"
+#include "core/peega_engine.h"
 #include "linalg/ops.h"
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
@@ -46,11 +47,158 @@ float GumbelNoise(float scale, linalg::Rng* rng) {
   return static_cast<float>(-scale * std::log(-std::log(u)));
 }
 
+// The batched loop on the incremental engine: identical candidate
+// collection order, Gumbel draw order, ranking, and commit rules as the
+// tape path below, with scores from cached closed-form gradients. The
+// batch objective always sums over ALL nodes (SumRowPNorm), so the
+// engine runs untargeted regardless of peega.target_nodes — exactly
+// like the tape path, which never reads it either.
+AttackResult BatchWithEngine(const PeegaBatchAttack::Options& options,
+                             const graph::Graph& g,
+                             const AttackOptions& attack_options,
+                             linalg::Rng* rng) {
+  const obs::TraceSpan attack_span("peega_batch.attack");
+  const obs::StopWatch watch;
+  const int budget =
+      attack::ComputeBudget(g, attack_options.perturbation_rate);
+  const AccessControl access(g.num_nodes, attack_options.attacker_nodes);
+  const auto& peega = options.peega;
+  const bool attack_topology =
+      peega.mode != PeegaAttack::Mode::kFeaturesOnly;
+  const bool attack_features =
+      peega.mode != PeegaAttack::Mode::kTopologyOnly;
+  const float beta = static_cast<float>(attack_options.feature_cost);
+  const int num_features = g.features.cols();
+
+  PeegaEngine::Config config;
+  config.layers = peega.layers;
+  config.norm_p = peega.norm_p;
+  config.lambda = peega.lambda;
+  config.attack_topology = attack_topology;
+  config.attack_features = attack_features;
+  PeegaEngine engine(g, config);
+
+  Matrix edge_done(g.num_nodes, g.num_nodes);
+  Matrix feature_done(g.num_nodes, num_features);
+  AttackResult result;
+  double spent = 0.0;
+
+  static obs::Counter* const iterations =
+      obs::GetCounter("peega_batch.iterations");
+  static obs::Counter* const collected =
+      obs::GetCounter("peega_batch.candidates");
+
+  while (spent + std::min<double>(1.0, beta) <= budget + 1e-9) {
+    const obs::TraceSpan iteration_span("peega_batch.iteration");
+    iterations->Add(1);
+    {
+      const obs::TraceSpan score_span("peega_batch.score");
+      engine.RefreshScores();
+    }
+
+    std::vector<Candidate> candidates;
+    {
+      const obs::TraceSpan collect_span("peega_batch.collect");
+      if (attack_topology) {
+        const int64_t chunks =
+            parallel::NumChunks(g.num_nodes, kScanRowGrain);
+        std::vector<std::vector<Candidate>> per_chunk(
+            static_cast<size_t>(chunks));
+        parallel::ParallelForChunked(
+            0, g.num_nodes, kScanRowGrain,
+            [&](int64_t u0, int64_t u1, int64_t chunk) {
+              auto& out = per_chunk[static_cast<size_t>(chunk)];
+              for (int u = static_cast<int>(u0); u < static_cast<int>(u1);
+                   ++u) {
+                for (int v = u + 1; v < g.num_nodes; ++v) {
+                  if (edge_done(u, v) > 0.0f || !access.EdgeAllowed(u, v)) {
+                    continue;
+                  }
+                  out.push_back({engine.EdgeScore(u, v), false, u, v});
+                }
+              }
+            });
+        for (const auto& chunk : per_chunk) {
+          candidates.insert(candidates.end(), chunk.begin(), chunk.end());
+        }
+      }
+      if (attack_features && beta > 0.0f) {
+        const int64_t chunks =
+            parallel::NumChunks(g.num_nodes, kScanRowGrain);
+        std::vector<std::vector<Candidate>> per_chunk(
+            static_cast<size_t>(chunks));
+        parallel::ParallelForChunked(
+            0, g.num_nodes, kScanRowGrain,
+            [&](int64_t v0, int64_t v1, int64_t chunk) {
+              auto& out = per_chunk[static_cast<size_t>(chunk)];
+              for (int v = static_cast<int>(v0); v < static_cast<int>(v1);
+                   ++v) {
+                if (!access.FeatureAllowed(v)) continue;
+                for (int j = 0; j < num_features; ++j) {
+                  if (feature_done(v, j) > 0.0f) continue;
+                  out.push_back({engine.FeatureScore(v, j) / beta, true, v, j});
+                }
+              }
+            });
+        for (const auto& chunk : per_chunk) {
+          candidates.insert(candidates.end(), chunk.begin(), chunk.end());
+        }
+      }
+    }  // collect_span
+    collected->Add(candidates.size());
+    const obs::TraceSpan commit_span("peega_batch.commit");
+    if (options.gumbel_scale > 0.0f) {
+      for (Candidate& c : candidates) {
+        c.score += GumbelNoise(options.gumbel_scale, rng);
+      }
+    }
+    if (candidates.empty()) break;
+    const int take = std::min<int>(options.batch_size,
+                                   static_cast<int>(candidates.size()));
+    std::partial_sort(candidates.begin(), candidates.begin() + take,
+                      candidates.end(),
+                      [](const Candidate& a, const Candidate& b) {
+                        return a.score > b.score;
+                      });
+    bool committed = false;
+    for (int i = 0; i < take; ++i) {
+      const Candidate& c = candidates[i];
+      const double cost = c.is_feature ? beta : 1.0;
+      if (spent + cost > budget + 1e-9) continue;
+      if (c.is_feature) {
+        engine.FlipFeature(c.a, c.b);
+        feature_done(c.a, c.b) = 1.0f;
+        ++result.feature_modifications;
+        result.flips.push_back({true, c.a, c.b});
+      } else {
+        engine.FlipEdge(c.a, c.b);
+        edge_done(c.a, c.b) = 1.0f;
+        edge_done(c.b, c.a) = 1.0f;
+        ++result.edge_modifications;
+        result.flips.push_back({false, c.a, c.b});
+      }
+      spent += cost;
+      committed = true;
+    }
+    if (!committed) break;
+  }
+
+  engine.RefreshScores();
+  result.final_objective = engine.Objective();
+  result.poisoned =
+      g.WithAdjacency(engine.PoisonedAdjacency()).WithFeatures(engine.features());
+  result.elapsed_seconds = watch.Seconds();
+  return result;
+}
+
 }  // namespace
 
 AttackResult PeegaBatchAttack::Attack(const graph::Graph& g,
                                       const AttackOptions& attack_options,
                                       linalg::Rng* rng) {
+  if (options_.peega.engine == PeegaAttack::Engine::kIncremental) {
+    return BatchWithEngine(options_, g, attack_options, rng);
+  }
   const obs::TraceSpan attack_span("peega_batch.attack");
   const obs::StopWatch watch;
   const int budget =
@@ -193,11 +341,13 @@ AttackResult PeegaBatchAttack::Attack(const graph::Graph& g,
         attack::FlipFeature(&features, c.a, c.b);
         feature_done(c.a, c.b) = 1.0f;
         ++result.feature_modifications;
+        result.flips.push_back({true, c.a, c.b});
       } else {
         attack::FlipEdge(&dense, c.a, c.b);
         edge_done(c.a, c.b) = 1.0f;
         edge_done(c.b, c.a) = 1.0f;
         ++result.edge_modifications;
+        result.flips.push_back({false, c.a, c.b});
       }
       spent += cost;
       committed = true;
@@ -205,6 +355,12 @@ AttackResult PeegaBatchAttack::Attack(const graph::Graph& g,
     if (!committed) break;
   }
 
+  // The batch objective ignores target_nodes (SumRowPNorm over all
+  // rows), so evaluate the final value untargeted too.
+  PeegaAttack::Options eval_options = peega;
+  eval_options.target_nodes.clear();
+  result.final_objective =
+      PeegaAttack(eval_options).Objective(g, dense, features);
   result.poisoned = g.WithAdjacency(attack::DenseToAdjacency(dense))
                         .WithFeatures(features);
   result.elapsed_seconds = watch.Seconds();

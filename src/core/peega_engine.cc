@@ -1,0 +1,472 @@
+#include "core/peega_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "debug/check.h"
+#include "debug/numerics.h"
+#include "graph/graph.h"
+#include "linalg/incremental.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/thread_pool.h"
+
+namespace repro::core {
+
+using linalg::Matrix;
+using linalg::SparseMatrix;
+
+namespace {
+
+// Row grains for the refresh stages. Every stage writes disjoint rows
+// (or disjoint column slices of a fixed row), so chunking only affects
+// load balance, never the cached values.
+constexpr int64_t kGmRowGrain = 4;   // O(pairs * F) work per row
+constexpr int64_t kSumRowGrain = 16; // O(l * N) work per row
+
+std::vector<int> CollectRows(const std::vector<char>& mask) {
+  std::vector<int> rows;
+  for (size_t r = 0; r < mask.size(); ++r) {
+    if (mask[r]) rows.push_back(static_cast<int>(r));
+  }
+  return rows;
+}
+
+std::vector<int> AllRows(int n) {
+  std::vector<int> rows(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) rows[static_cast<size_t>(r)] = r;
+  return rows;
+}
+
+// s_i = 1/sqrt(deg_i + 1), the same float expression as linalg::RSqrt on
+// the float degree sum (exact for any node count below 2^24), and as the
+// tape's RsqrtNonNeg on RowSums(A + I).
+float GcnScale(size_t degree) {
+  return 1.0f / std::sqrt(static_cast<float>(degree + 1));
+}
+
+}  // namespace
+
+PeegaEngine::PeegaEngine(const graph::Graph& g, const Config& config)
+    : n_(g.num_nodes),
+      f_(g.features.cols()),
+      layers_(config.layers),
+      p_(config.norm_p),
+      lambda_(config.lambda),
+      attack_topology_(config.attack_topology),
+      attack_features_(config.attack_features),
+      targeted_(!config.target_nodes.empty()),
+      is_target_(g.num_nodes, config.target_nodes.empty() ? 1 : 0),
+      target_order_(config.target_nodes),
+      features_(g.features) {
+  PEEGA_CHECK_GE(layers_, 1);
+  PEEGA_CHECK_GE(p_, 1);
+  for (int v : target_order_) {
+    PEEGA_CHECK_GE(v, 0);
+    PEEGA_CHECK_LT(v, n_);
+    is_target_[v] = 1;
+  }
+
+  // The global-view pairs are fixed on the CLEAN topology (Eq. 6), so
+  // the clean CSR doubles as the pair index: pair k of row v is the
+  // directed pair (v, pair_col_[k]) in the tape's NeighborPairs order.
+  pair_row_ptr_ = g.adjacency.row_ptr();
+  pair_col_ = g.adjacency.col_idx();
+
+  neighbors_.resize(static_cast<size_t>(n_));
+  adj_.assign(static_cast<size_t>(n_) * n_, 0);
+  for (int u = 0; u < n_; ++u) {
+    auto& list = neighbors_[static_cast<size_t>(u)];
+    list.reserve(pair_row_ptr_[u + 1] - pair_row_ptr_[u]);
+    for (int64_t k = pair_row_ptr_[u]; k < pair_row_ptr_[u + 1]; ++k) {
+      const int v = pair_col_[k];
+      list.push_back(v);  // CSR columns are already sorted
+      adj_[static_cast<size_t>(u) * n_ + v] = 1;
+    }
+  }
+  scale_.resize(static_cast<size_t>(n_));
+  for (int u = 0; u < n_; ++u) {
+    scale_[static_cast<size_t>(u)] = GcnScale(neighbors_[static_cast<size_t>(u)].size());
+  }
+
+  h_.resize(static_cast<size_t>(layers_) + 1);
+  h_[0] = features_;
+  for (int k = 1; k <= layers_; ++k) {
+    h_[static_cast<size_t>(k)] = Matrix(n_, f_);
+    linalg::NormalizedSpMM(neighbors_, scale_, h_[static_cast<size_t>(k) - 1],
+                           &h_[static_cast<size_t>(k)]);
+  }
+  // The clean surrogate A_n^l X: the graph is still unperturbed, so the
+  // H chain just built IS the reference.
+  reference_ = h_[static_cast<size_t>(layers_)];
+
+  gm_ = Matrix(n_, f_);
+  gm_nonzero_.assign(static_cast<size_t>(n_), 0);
+  w_.resize(static_cast<size_t>(layers_) - 1);
+  w_nonzero_.resize(static_cast<size_t>(layers_) - 1);
+  for (int k = 1; k < layers_; ++k) {
+    w_[static_cast<size_t>(k) - 1] = Matrix(n_, f_);
+    w_nonzero_[static_cast<size_t>(k) - 1].assign(static_cast<size_t>(n_), 0);
+  }
+  if (attack_topology_) {
+    u_.resize(static_cast<size_t>(layers_));
+    for (int k = 0; k < layers_; ++k) u_[static_cast<size_t>(k)] = Matrix(n_, n_);
+    gn_ = Matrix(n_, n_);
+    ddeg_.assign(static_cast<size_t>(n_), 0.0f);
+  }
+  if (attack_features_) gx_ = Matrix(n_, f_);
+
+  self_term_.assign(static_cast<size_t>(n_), 0.0);
+  self_norm_.assign(static_cast<size_t>(n_), 0.0f);
+  pair_term_.assign(static_cast<size_t>(pair_col_.size()), 0.0);
+  pair_norm_.assign(static_cast<size_t>(pair_col_.size()), 0.0f);
+
+  pending_rows_a_.assign(static_cast<size_t>(n_), 0);
+  pending_rows_h0_.assign(static_cast<size_t>(n_), 0);
+}
+
+std::vector<char> PeegaEngine::ExpandChanged(
+    const std::vector<char>& mask) const {
+  std::vector<char> out = mask;
+  for (int r = 0; r < n_; ++r) {
+    if (!mask[static_cast<size_t>(r)]) continue;
+    for (const int k : neighbors_[static_cast<size_t>(r)]) {
+      out[static_cast<size_t>(k)] = 1;
+    }
+  }
+  return out;
+}
+
+// One objective pair (r, ref_row): forward term + cached norm + the
+// SumEdgePNorm backward contribution accumulated into `grow`, every
+// float expression copied from autograd::Tape::SumEdgePNorm.
+void PeegaEngine::AccumulatePairTerm(float* grow, const float* xrow,
+                                     int ref_row, float weight, double* term,
+                                     float* norm_out) {
+  const float* rrow = reference_.row(ref_row);
+  double acc = 0.0;
+  for (int j = 0; j < f_; ++j) {
+    const double diff = std::fabs(xrow[j] - rrow[j]);
+    acc += p_ == 1 ? diff : (p_ == 2 ? diff * diff : std::pow(diff, p_));
+  }
+  const double normd = p_ == 1 ? acc : std::pow(acc, 1.0 / p_);
+  *term = normd;
+  const float norm = static_cast<float>(normd);
+  *norm_out = norm;
+  if (norm < 1e-12f) return;
+  const float denom = p_ == 1 ? 1.0f : std::pow(norm, p_ - 1);
+  for (int j = 0; j < f_; ++j) {
+    const float diff = xrow[j] - rrow[j];
+    if (diff == 0.0f) continue;
+    const float mag =
+        p_ == 1 ? 1.0f
+                : (p_ == 2 ? std::fabs(diff) : std::pow(std::fabs(diff), p_ - 1));
+    grow[j] += weight * (diff > 0.0f ? 1.0f : -1.0f) * mag / denom;
+  }
+}
+
+void PeegaEngine::RecomputeGmRow(int r) {
+  float* grow = gm_.row(r);
+  for (int j = 0; j < f_; ++j) grow[j] = 0.0f;
+  if (!is_target_[static_cast<size_t>(r)]) {
+    gm_nonzero_[static_cast<size_t>(r)] = 0;
+    return;
+  }
+  const float* xrow = h_[static_cast<size_t>(layers_)].row(r);
+  // Global-view pairs first: the global SumEdgePNorm node is created
+  // after the self one, so its backward (weight lambda from the Scale
+  // node) lands in M̂'s gradient before the self pair's does.
+  if (lambda_ != 0.0f) {
+    for (int64_t k = pair_row_ptr_[r]; k < pair_row_ptr_[r + 1]; ++k) {
+      AccumulatePairTerm(grow, xrow, pair_col_[k], lambda_,
+                         &pair_term_[static_cast<size_t>(k)],
+                         &pair_norm_[static_cast<size_t>(k)]);
+    }
+  }
+  AccumulatePairTerm(grow, xrow, r, 1.0f,
+                     &self_term_[static_cast<size_t>(r)],
+                     &self_norm_[static_cast<size_t>(r)]);
+  char nonzero = 0;
+  for (int j = 0; j < f_; ++j) {
+    if (grow[j] != 0.0f) {
+      nonzero = 1;
+      break;
+    }
+  }
+  gm_nonzero_[static_cast<size_t>(r)] = nonzero;
+}
+
+void PeegaEngine::RefreshScores() {
+  if (!fresh_ && !any_pending_) return;
+  const obs::TraceSpan span("peega_engine.refresh");
+  static obs::Counter* const refreshes =
+      obs::GetCounter("peega_engine.refreshes");
+  static obs::Counter* const rows_touched =
+      obs::GetCounter("peega_engine.rows_touched");
+  refreshes->Add(1);
+
+  const bool full = fresh_;
+  // Changed-row sets, one per cache level. d[k] holds the rows of H_k a
+  // pending flip reaches (feature flips enter at H_0, edge flips at
+  // every level through the A_n rows they rescale); e[k] holds the rows
+  // of W_k = A_n^k G_M the same flips reach on the backward side.
+  std::vector<std::vector<int>> d(static_cast<size_t>(layers_) + 1);
+  std::vector<std::vector<int>> e(static_cast<size_t>(layers_) + 1);
+  if (full) {
+    for (auto& rows : d) rows = AllRows(n_);
+    for (auto& rows : e) rows = AllRows(n_);
+  } else {
+    std::vector<char> mask = pending_rows_h0_;
+    d[0] = CollectRows(mask);
+    for (int k = 1; k <= layers_; ++k) {
+      mask = ExpandChanged(mask);
+      for (int r = 0; r < n_; ++r) {
+        if (pending_rows_a_[static_cast<size_t>(r)]) {
+          mask[static_cast<size_t>(r)] = 1;
+        }
+      }
+      d[static_cast<size_t>(k)] = CollectRows(mask);
+    }
+    // e[0] = d[l] (G_M rows follow M̂ rows); pending A_n rows are already
+    // contained in it, so each further level is a plain expansion.
+    e[0] = d[static_cast<size_t>(layers_)];
+    for (int k = 1; k <= layers_; ++k) {
+      mask = ExpandChanged(mask);
+      e[static_cast<size_t>(k)] = CollectRows(mask);
+    }
+  }
+  for (const auto& rows : d) rows_touched->Add(rows.size());
+
+  // 1. Forward chain: H_k rows.
+  for (int k = 1; k <= layers_; ++k) {
+    linalg::NormalizedSpMMRows(neighbors_, scale_, d[static_cast<size_t>(k)],
+                               h_[static_cast<size_t>(k) - 1],
+                               &h_[static_cast<size_t>(k)]);
+  }
+
+  // 2. G_M rows (and the objective pair terms riding along).
+  {
+    const obs::TraceSpan gm_span("peega_engine.gm_rows");
+    const auto& rows = e[0];
+    parallel::ParallelFor(0, static_cast<int64_t>(rows.size()), kGmRowGrain,
+                          [&](int64_t i0, int64_t i1) {
+                            for (int64_t i = i0; i < i1; ++i) {
+                              RecomputeGmRow(rows[static_cast<size_t>(i)]);
+                            }
+                          });
+  }
+
+  // 3. Backward chains W_k = A_n W_{k-1}, rows e[k]; nonzero flags track
+  //    freshly written rows so the U updates can skip zero-support rows.
+  for (int k = 1; k < layers_; ++k) {
+    linalg::NormalizedSpMMRows(neighbors_, scale_, e[static_cast<size_t>(k)],
+                               W(k - 1), MutableW(k));
+    std::vector<char>& flags = *MutableWNonzero(k);
+    const Matrix& wk = W(k);
+    for (const int r : e[static_cast<size_t>(k)]) {
+      const float* row = wk.row(r);
+      char nonzero = 0;
+      for (int j = 0; j < f_; ++j) {
+        if (row[j] != 0.0f) {
+          nonzero = 1;
+          break;
+        }
+      }
+      flags[static_cast<size_t>(r)] = nonzero;
+    }
+  }
+
+  if (attack_topology_) {
+    // 4. U_k = W_k H_{l-1-k}^T — rows where W_k moved, columns where
+    //    H_{l-1-k} moved (redundant on a full build).
+    for (int k = 0; k < layers_; ++k) {
+      Matrix* uk = &u_[static_cast<size_t>(k)];
+      const Matrix& hk = h_[static_cast<size_t>(layers_ - 1 - k)];
+      linalg::DotRowsInto(W(k), hk, e[static_cast<size_t>(k)], &WNonzero(k),
+                          uk);
+      const auto& cols = d[static_cast<size_t>(layers_ - 1 - k)];
+      if (!full && !cols.empty()) {
+        linalg::DotColsInto(W(k), hk, cols, &WNonzero(k), uk);
+      }
+    }
+
+    // 5. G_N = U_0 + U_1 + ... in the tape's reverse-layer Axpy order.
+    //    Changed entries live in rows e[l-1] (all U row sets nest into
+    //    it) and columns d[l-1] (likewise for the column sets).
+    {
+      const obs::TraceSpan sum_span("peega_engine.gn_sum");
+      std::vector<char> row_changed(static_cast<size_t>(n_), 0);
+      for (const int r : e[static_cast<size_t>(layers_) - 1]) {
+        row_changed[static_cast<size_t>(r)] = 1;
+      }
+      const auto& cols = d[static_cast<size_t>(layers_) - 1];
+      parallel::ParallelFor(
+          0, n_, kSumRowGrain, [&](int64_t r0, int64_t r1) {
+            std::vector<const float*> urow(static_cast<size_t>(layers_));
+            for (int i = static_cast<int>(r0); i < static_cast<int>(r1);
+                 ++i) {
+              float* grow = gn_.row(i);
+              for (int k = 0; k < layers_; ++k) {
+                urow[static_cast<size_t>(k)] = u_[static_cast<size_t>(k)].row(i);
+              }
+              const auto sum_entry = [&](int j) {
+                float acc = urow[0][j];
+                for (int k = 1; k < layers_; ++k) {
+                  acc = acc + urow[static_cast<size_t>(k)][j];
+                }
+                grow[j] = acc;
+              };
+              if (full || row_changed[static_cast<size_t>(i)]) {
+                for (int j = 0; j < n_; ++j) sum_entry(j);
+              } else {
+                for (const int j : cols) sum_entry(j);
+              }
+            }
+          });
+    }
+
+    // 6. Degree chain rule. The tape's s-gradient accumulates the
+    //    ScaleColsVar backward (column sums of G_N against the
+    //    row-scaled values) before the ScaleRowsVar backward (row sums
+    //    against A + I), then scales by d(1/sqrt)/d(deg). A + I is 0/1,
+    //    so both reduce to sums over the closed neighborhood; zero
+    //    entries contribute exact zeros in the tape and are skipped
+    //    here. O(nnz) total — recomputed in full every refresh.
+    {
+      const obs::TraceSpan deg_span("peega_engine.degree_chain");
+      for (int a = 0; a < n_; ++a) {
+        float ds_col = 0.0f;
+        float ds_row = 0.0f;
+        const auto visit = [&](int i) {
+          ds_col += gn_(i, a) * scale_[static_cast<size_t>(i)];
+          ds_row += gn_(a, i) * scale_[static_cast<size_t>(i)];
+        };
+        bool self_done = false;
+        for (const int k : neighbors_[static_cast<size_t>(a)]) {
+          if (!self_done && a < k) {
+            visit(a);
+            self_done = true;
+          }
+          visit(k);
+        }
+        if (!self_done) visit(a);
+        const float s_grad = ds_col + ds_row;
+        const float degf =
+            static_cast<float>(neighbors_[static_cast<size_t>(a)].size() + 1);
+        const float dscale = -0.5f * std::pow(degf, -1.5f);
+        ddeg_[static_cast<size_t>(a)] = s_grad * dscale;
+      }
+      if constexpr (debug::NumericsGuardEnabled()) {
+        debug::CheckFiniteArray(ddeg_.data(), static_cast<int64_t>(ddeg_.size()),
+                                static_cast<int>(ddeg_.size()), "PeegaEngine ddeg",
+                                __FILE__, __LINE__);
+      }
+    }
+  }
+
+  // 7. G_X = A_n W_{l-1}: one more propagation hop past the last W level.
+  if (attack_features_) {
+    linalg::NormalizedSpMMRows(neighbors_, scale_,
+                               e[static_cast<size_t>(layers_)], W(layers_ - 1),
+                               &gx_);
+  }
+
+  fresh_ = false;
+  if (any_pending_) {
+    std::fill(pending_rows_a_.begin(), pending_rows_a_.end(), 0);
+    std::fill(pending_rows_h0_.begin(), pending_rows_h0_.end(), 0);
+    any_pending_ = false;
+  }
+}
+
+void PeegaEngine::FlipEdge(int u, int v) {
+  PEEGA_CHECK_NE(u, v) << " — self-loop flips are not valid perturbations";
+  PEEGA_CHECK_GE(u, 0);
+  PEEGA_CHECK_LT(u, n_);
+  PEEGA_CHECK_GE(v, 0);
+  PEEGA_CHECK_LT(v, n_);
+  // Rows of A_n touched by the flip: u and v change scale (every entry
+  // of their rows rescales), and each PRE-flip neighbor of u or v holds
+  // an entry s_i * s_{u|v} that rescales with it. Post-flip neighbor
+  // sets only add the opposite endpoint, which is already marked.
+  auto mark = [&](int a) {
+    pending_rows_a_[static_cast<size_t>(a)] = 1;
+    for (const int k : neighbors_[static_cast<size_t>(a)]) {
+      pending_rows_a_[static_cast<size_t>(k)] = 1;
+    }
+  };
+  mark(u);
+  mark(v);
+  const bool had = HasEdge(u, v);
+  auto toggle = [&](int a, int b) {
+    auto& list = neighbors_[static_cast<size_t>(a)];
+    const auto it = std::lower_bound(list.begin(), list.end(), b);
+    if (had) {
+      PEEGA_CHECK(it != list.end() && *it == b);
+      list.erase(it);
+    } else {
+      list.insert(it, b);
+    }
+    adj_[static_cast<size_t>(a) * n_ + b] = had ? 0 : 1;
+  };
+  toggle(u, v);
+  toggle(v, u);
+  scale_[static_cast<size_t>(u)] = GcnScale(neighbors_[static_cast<size_t>(u)].size());
+  scale_[static_cast<size_t>(v)] = GcnScale(neighbors_[static_cast<size_t>(v)].size());
+  any_pending_ = true;
+}
+
+void PeegaEngine::FlipFeature(int v, int j) {
+  PEEGA_CHECK_GE(v, 0);
+  PEEGA_CHECK_LT(v, n_);
+  PEEGA_CHECK_GE(j, 0);
+  PEEGA_CHECK_LT(j, f_);
+  const float flipped = features_(v, j) > 0.5f ? 0.0f : 1.0f;
+  features_(v, j) = flipped;
+  h_[0](v, j) = flipped;
+  pending_rows_h0_[static_cast<size_t>(v)] = 1;
+  any_pending_ = true;
+}
+
+double PeegaEngine::Objective() const {
+  PEEGA_CHECK(!fresh_ && !any_pending_)
+      << " — call RefreshScores() before Objective()";
+  // Double-accumulate each view in the tape's pair order, then compose
+  // in float: float(self) + float(lambda * float(global)).
+  double total_self = 0.0;
+  if (targeted_) {
+    for (const int v : target_order_) {
+      total_self += self_term_[static_cast<size_t>(v)];
+    }
+  } else {
+    for (int v = 0; v < n_; ++v) total_self += self_term_[static_cast<size_t>(v)];
+  }
+  const float self_view = static_cast<float>(total_self);
+  if (lambda_ == 0.0f) return static_cast<double>(self_view);
+  double total_global = 0.0;
+  for (int v = 0; v < n_; ++v) {
+    if (!is_target_[static_cast<size_t>(v)]) continue;
+    for (int64_t k = pair_row_ptr_[v]; k < pair_row_ptr_[v + 1]; ++k) {
+      total_global += pair_term_[static_cast<size_t>(k)];
+    }
+  }
+  const float global_view = static_cast<float>(total_global);
+  return static_cast<double>(self_view + global_view * lambda_);
+}
+
+SparseMatrix PeegaEngine::PoisonedAdjacency() const {
+  std::vector<std::tuple<int, int, float>> triplets;
+  size_t nnz = 0;
+  for (const auto& list : neighbors_) nnz += list.size();
+  triplets.reserve(nnz);
+  for (int u = 0; u < n_; ++u) {
+    for (const int v : neighbors_[static_cast<size_t>(u)]) {
+      triplets.emplace_back(u, v, 1.0f);
+    }
+  }
+  return SparseMatrix::FromTriplets(n_, n_, triplets);
+}
+
+}  // namespace repro::core

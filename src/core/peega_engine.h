@@ -1,0 +1,200 @@
+#ifndef PEEGA_CORE_PEEGA_ENGINE_H_
+#define PEEGA_CORE_PEEGA_ENGINE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "linalg/matrix.h"
+#include "linalg/sparse.h"
+
+namespace repro::core {
+
+/// Incremental evaluation engine for the PEEGA objective (Def. 3).
+///
+/// The tape path re-materializes the dense normalized adjacency and
+/// replays `layers` dense MatMuls plus a full backward pass on every
+/// greedy iteration: O(N²F) per committed flip. This engine caches every
+/// intermediate of that computation across flips —
+///
+///   H_k   = A_n^k X            (k = 0..l; H_l is the surrogate M̂),
+///   G_M   = ∂J/∂M̂              (per-pair p-norm backward terms),
+///   W_k   = A_n^k G_M          (k = 0..l-1; the backward's dM chain),
+///   U_k   = W_k H_{l-1-k}^T    (the per-layer adjacency-grad terms),
+///   G_N   = ∂J/∂A_n = U_0 + U_1 + ... + U_{l-1},
+///   grad A = chain rule of A_n = D^{-1/2}(A+I)D^{-1/2} through the
+///            degree terms,
+///   G_X   = ∂J/∂X = A_n^l G_M = A_n W_{l-1}
+///
+/// — and after each committed flip refreshes only what the flip touched:
+/// an edge flip (u,v) rescales the normalized rows of u, v, and their
+/// neighbors, whose effect reaches l hops in H and the T row updates; a
+/// feature flip (v,j) propagates one changed X row the same way. Scan
+/// scores then come from these closed-form gradients instead of a fresh
+/// autograd tape.
+///
+/// Equivalence with the tape (why the differential tests can demand the
+/// EXACT flip sequence): every cache above is maintained BITWISE equal
+/// to the corresponding tape intermediate. Row updates recompute
+/// affected rows with kernels whose float accumulation order matches
+/// the dense tape kernels exactly (see linalg/incremental.h), and the
+/// gradient caches keep the tape's own term structure — W_k = A_n^k G_M
+/// mirrors the MatMulTransA backward chain and U_k = W_k H_{l-1-k}^T the
+/// MatMulTransB terms, summed into G_N in the tape's reverse-layer
+/// accumulation order — rather than an algebraically equal refactoring
+/// that would round differently. The per-pair backward, the degree chain
+/// rule, and the score composition mirror the tape's float expressions
+/// operation for operation, so scan scores, tie-breaks, the greedy flip
+/// sequence, and the objective are identical to the tape engine, not
+/// merely close. DESIGN.md ("Incremental objective engine") gives the
+/// full argument.
+///
+/// Threading: all refresh kernels chunk deterministically over disjoint
+/// rows (see linalg/incremental.h), so every cached matrix — and hence
+/// every score — is bitwise-identical at any thread count.
+///
+/// Usage (one greedy iteration):
+///   engine.RefreshScores();
+///   ... scan with EdgeScore / FeatureScore via the Scored scans ...
+///   engine.FlipEdge(u, v);   // or FlipFeature(v, j); repeatable
+class PeegaEngine {
+ public:
+  struct Config {
+    int layers = 2;
+    int norm_p = 2;
+    float lambda = 0.01f;
+    /// Disable a side to skip its gradient machinery entirely (the mode
+    /// ablation of Fig. 5a).
+    bool attack_topology = true;
+    bool attack_features = true;
+    /// Non-empty = targeted attack: objective restricted to these rows.
+    std::vector<int> target_nodes;
+  };
+
+  /// Captures the clean reference A_n^l X and the initial caches.
+  PeegaEngine(const graph::Graph& g, const Config& config);
+
+  /// Brings every cached gradient up to date with the flips committed
+  /// since the last call. Must be called before reading scores or the
+  /// objective; the first call pays the full O(N²F) build, later calls
+  /// only the perturbed region.
+  void RefreshScores();
+
+  /// Scan score of flipping edge (u, v), u < v: the tape's
+  /// (1 - 2A[u][v]) * (grad[u][v] + grad[v][u]) from closed-form
+  /// gradients. Valid after RefreshScores().
+  float EdgeScore(int u, int v) const {
+    const float direction = HasEdge(u, v) ? -1.0f : 1.0f;
+    return direction * (PairGradient(u, v) + PairGradient(v, u));
+  }
+
+  /// Scan score of flipping feature bit (v, j) — WITHOUT the 1/beta
+  /// normalization, exactly like the raw tape gradient scan.
+  float FeatureScore(int v, int j) const {
+    const float direction = 1.0f - 2.0f * features_(v, j);
+    return direction * gx_(v, j);
+  }
+
+  /// Closed-form ∂J/∂A[a][b] mirroring the tape's accumulated adjacency
+  /// gradient (exposed for the gradcheck property tests).
+  float PairGradient(int a, int b) const {
+    const float t = gn_(a, b) * scale_[b];
+    const float t2 = t * scale_[a];
+    return t2 + ddeg_[a];
+  }
+
+  /// Closed-form ∂J/∂X[v][j] (exposed for the gradcheck property tests).
+  float FeatureGradient(int v, int j) const { return gx_(v, j); }
+
+  bool HasEdge(int u, int v) const {
+    return adj_[static_cast<size_t>(u) * n_ + v] != 0;
+  }
+
+  /// Commits a flip, updating the adjacency/features and queueing the
+  /// perturbed rows for the next RefreshScores(). Any number of flips
+  /// may be committed between refreshes (PEEGA-Batch commits a batch).
+  void FlipEdge(int u, int v);
+  void FlipFeature(int v, int j);
+
+  /// Current objective value, composed float-for-float like the tape's
+  /// forward pass. Valid after RefreshScores().
+  double Objective() const;
+
+  /// Sparse poisoned adjacency emitted directly from the maintained
+  /// neighbor lists — no O(N²) dense rescan.
+  linalg::SparseMatrix PoisonedAdjacency() const;
+
+  const linalg::Matrix& features() const { return features_; }
+  /// Cached surrogate M̂ = A_n^l X̂ (exposed for the delta-update
+  /// property tests).
+  const linalg::Matrix& surrogate() const { return h_[layers_]; }
+
+  int num_nodes() const { return n_; }
+  int num_features() const { return f_; }
+
+ private:
+  void RecomputeGmRow(int r);
+  void AccumulatePairTerm(float* grow, const float* xrow, int ref_row,
+                          float weight, double* term, float* norm);
+  std::vector<char> ExpandChanged(const std::vector<char>& mask) const;
+  const linalg::Matrix& W(int k) const { return k == 0 ? gm_ : w_[k - 1]; }
+  linalg::Matrix* MutableW(int k) { return k == 0 ? &gm_ : &w_[k - 1]; }
+  const std::vector<char>& WNonzero(int k) const {
+    return k == 0 ? gm_nonzero_ : w_nonzero_[k - 1];
+  }
+  std::vector<char>* MutableWNonzero(int k) {
+    return k == 0 ? &gm_nonzero_ : &w_nonzero_[k - 1];
+  }
+
+  // --- immutable configuration -------------------------------------------
+  int n_ = 0;
+  int f_ = 0;
+  int layers_ = 2;
+  int p_ = 2;
+  float lambda_ = 0.0f;
+  bool attack_topology_ = true;
+  bool attack_features_ = true;
+  bool targeted_ = false;
+  std::vector<char> is_target_;
+  // Targeted self-view rows in caller order: the tape sums the self view
+  // over `target_nodes` as given, and double addition only commutes up
+  // to rounding, so Objective() must follow the same order.
+  std::vector<int> target_order_;
+  linalg::Matrix reference_;  // clean A_n^l X
+  // Clean-topology CSR for the global-view pairs (Eq. 6 always sums over
+  // the ORIGINAL neighborhoods, even as edges are flipped).
+  std::vector<int64_t> pair_row_ptr_;
+  std::vector<int> pair_col_;
+
+  // --- poisoned state -----------------------------------------------------
+  std::vector<std::vector<int>> neighbors_;  // sorted adjacency lists
+  std::vector<char> adj_;                    // n*n dense 0/1 bytes
+  std::vector<float> scale_;                 // s_i = 1/sqrt(deg_i + 1)
+  linalg::Matrix features_;
+
+  // --- caches (see class comment) ----------------------------------------
+  std::vector<linalg::Matrix> h_;  // H_0..H_layers (H_0 mirrors features_)
+  linalg::Matrix gm_;              // G_M = W_0
+  std::vector<char> gm_nonzero_;
+  std::vector<linalg::Matrix> w_;  // W_k = A_n^k G_M, k = 1..layers-1
+  std::vector<std::vector<char>> w_nonzero_;
+  std::vector<linalg::Matrix> u_;  // U_k = W_k H_{layers-1-k}^T
+  linalg::Matrix gn_;              // U_0 + U_1 + ... (tape backward order)
+  std::vector<float> ddeg_;
+  linalg::Matrix gx_;              // G_X = A_n W_{layers-1}
+  // Per-pair objective terms: double for the objective sum, float for
+  // the backward denominators — exactly the tape's split.
+  std::vector<double> self_term_;
+  std::vector<float> self_norm_;
+  std::vector<double> pair_term_;
+  std::vector<float> pair_norm_;
+
+  // --- pending perturbations since the last refresh -----------------------
+  bool fresh_ = true;
+  std::vector<char> pending_rows_a_;   // rows whose A_n row changed
+  std::vector<char> pending_rows_h0_;  // rows whose feature row changed
+  bool any_pending_ = false;
+};
+
+}  // namespace repro::core
+
+#endif  // PEEGA_CORE_PEEGA_ENGINE_H_

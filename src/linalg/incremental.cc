@@ -1,0 +1,174 @@
+#include "linalg/incremental.h"
+
+#include "debug/check.h"
+#include "debug/numerics.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/thread_pool.h"
+
+namespace repro::linalg {
+
+namespace {
+
+// Chunk grains over the row/column subsets. Outputs are disjoint per
+// row (or per column set within a row), so the partition only affects
+// load balance, never the result.
+constexpr int64_t kSpmmRowGrain = 16;  // O(deg * cols) work per row
+constexpr int64_t kDotRowGrain = 2;    // O(b.rows * cols) work per row
+
+// Scans the freshly written rows for NaN/Inf in debug-numerics builds;
+// checking only the touched rows keeps the guard proportional to the
+// incremental work instead of the full matrix.
+void CheckRowsFinite(const Matrix& m, const std::vector<int>& rows,
+                     const char* what) {
+  if constexpr (debug::NumericsGuardEnabled()) {
+    for (int r : rows) {
+      debug::CheckFiniteArray(m.row(r), m.cols(), m.cols(), what, __FILE__,
+                              __LINE__);
+    }
+  }
+}
+
+}  // namespace
+
+void NormalizedSpMMRows(const std::vector<std::vector<int>>& neighbors,
+                        const std::vector<float>& scale,
+                        const std::vector<int>& rows, const Matrix& b,
+                        Matrix* out) {
+  const int n = static_cast<int>(neighbors.size());
+  PEEGA_CHECK_EQ(static_cast<int>(scale.size()), n);
+  PEEGA_CHECK_EQ(b.rows(), n);
+  PEEGA_CHECK_EQ(out->rows(), n);
+  PEEGA_CHECK_EQ(out->cols(), b.cols());
+  const obs::TraceSpan span("linalg.norm_spmm_rows");
+  static obs::Counter* const calls =
+      obs::GetCounter("linalg.incremental.calls");
+  static obs::Counter* const flops =
+      obs::GetCounter("linalg.incremental.flops");
+  calls->Add(1);
+  const int cols = b.cols();
+  parallel::ParallelFor(
+      0, static_cast<int64_t>(rows.size()), kSpmmRowGrain,
+      [&](int64_t i0, int64_t i1) {
+        uint64_t work = 0;
+        for (int64_t i = i0; i < i1; ++i) {
+          const int r = rows[static_cast<size_t>(i)];
+          float* crow = out->row(r);
+          for (int j = 0; j < cols; ++j) crow[j] = 0.0f;
+          // Stored (ascending-column) order with the self-loop merged in
+          // sorted position — the accumulation order of linalg::SpMM on
+          // graph::GcnNormalize's CSR, and of the dense MatMul on the
+          // tape's normalized adjacency (zero entries skipped there).
+          const float sr = scale[r];
+          const auto apply = [&](int k) {
+            const float v = sr * scale[k];
+            const float* brow = b.row(k);
+            for (int j = 0; j < cols; ++j) crow[j] += v * brow[j];
+          };
+          bool self_done = false;
+          for (const int k : neighbors[r]) {
+            if (!self_done && r < k) {
+              apply(r);
+              self_done = true;
+            }
+            apply(k);
+          }
+          if (!self_done) apply(r);
+          work += neighbors[r].size() + 1;
+        }
+        flops->Add(2 * work * static_cast<uint64_t>(cols));
+      });
+  CheckRowsFinite(*out, rows, "NormalizedSpMMRows");
+}
+
+void NormalizedSpMM(const std::vector<std::vector<int>>& neighbors,
+                    const std::vector<float>& scale, const Matrix& b,
+                    Matrix* out) {
+  std::vector<int> all(neighbors.size());
+  for (size_t r = 0; r < all.size(); ++r) all[r] = static_cast<int>(r);
+  NormalizedSpMMRows(neighbors, scale, all, b, out);
+}
+
+void DotRowsInto(const Matrix& a, const Matrix& b,
+                 const std::vector<int>& rows,
+                 const std::vector<char>* row_nonzero, Matrix* out) {
+  PEEGA_CHECK_EQ(a.cols(), b.cols());
+  PEEGA_CHECK_EQ(out->rows(), a.rows());
+  PEEGA_CHECK_EQ(out->cols(), b.rows());
+  const obs::TraceSpan span("linalg.dot_rows");
+  static obs::Counter* const calls =
+      obs::GetCounter("linalg.incremental.calls");
+  static obs::Counter* const flops =
+      obs::GetCounter("linalg.incremental.flops");
+  calls->Add(1);
+  const int n = b.rows(), k = a.cols();
+  parallel::ParallelFor(
+      0, static_cast<int64_t>(rows.size()), kDotRowGrain,
+      [&](int64_t i0, int64_t i1) {
+        uint64_t dots = 0;
+        for (int64_t i = i0; i < i1; ++i) {
+          const int r = rows[static_cast<size_t>(i)];
+          float* crow = out->row(r);
+          if (row_nonzero != nullptr && !(*row_nonzero)[r]) {
+            for (int j = 0; j < n; ++j) crow[j] = 0.0f;
+            continue;
+          }
+          const float* arow = a.row(r);
+          // Ascending-k float dots, the accumulation order of
+          // linalg::MatMulTransB.
+          for (int j = 0; j < n; ++j) {
+            const float* brow = b.row(j);
+            float dot = 0.0f;
+            for (int kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
+            crow[j] = dot;
+          }
+          dots += static_cast<uint64_t>(n);
+        }
+        flops->Add(2 * dots * static_cast<uint64_t>(k));
+      });
+  CheckRowsFinite(*out, rows, "DotRowsInto");
+}
+
+void DotColsInto(const Matrix& a, const Matrix& b,
+                 const std::vector<int>& cols,
+                 const std::vector<char>* row_nonzero, Matrix* out) {
+  PEEGA_CHECK_EQ(a.cols(), b.cols());
+  PEEGA_CHECK_EQ(out->rows(), a.rows());
+  PEEGA_CHECK_EQ(out->cols(), b.rows());
+  const obs::TraceSpan span("linalg.dot_cols");
+  static obs::Counter* const calls =
+      obs::GetCounter("linalg.incremental.calls");
+  static obs::Counter* const flops =
+      obs::GetCounter("linalg.incremental.flops");
+  calls->Add(1);
+  const int k = a.cols();
+  flops->Add(2ull * static_cast<uint64_t>(a.rows()) *
+             static_cast<uint64_t>(cols.size()) * static_cast<uint64_t>(k));
+  parallel::ParallelFor(0, a.rows(), kSpmmRowGrain, [&](int64_t r0,
+                                                        int64_t r1) {
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      float* crow = out->row(i);
+      if (row_nonzero != nullptr && !(*row_nonzero)[i]) {
+        for (const int j : cols) crow[j] = 0.0f;
+        continue;
+      }
+      const float* arow = a.row(i);
+      for (const int j : cols) {
+        const float* brow = b.row(j);
+        float dot = 0.0f;
+        for (int kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
+        crow[j] = dot;
+      }
+    }
+  });
+  if constexpr (debug::NumericsGuardEnabled()) {
+    for (int i = 0; i < out->rows(); ++i) {
+      for (const int j : cols) {
+        debug::CheckFiniteArray(out->row(i) + j, 1, 0, "DotColsInto",
+                                __FILE__, __LINE__);
+      }
+    }
+  }
+}
+
+}  // namespace repro::linalg

@@ -1,0 +1,67 @@
+#ifndef PEEGA_LINALG_INCREMENTAL_H_
+#define PEEGA_LINALG_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace repro::linalg {
+
+/// \file
+/// Sparse row/column update kernels for the incremental PEEGA objective
+/// engine (core/peega_engine.h).
+///
+/// The engine maintains the poisoned adjacency as sorted neighbor lists
+/// plus per-node GCN scales s_i = 1/sqrt(deg_i + 1), and refreshes only
+/// the rows a flip touched. Each kernel below reproduces the float
+/// accumulation order of the corresponding full kernel in `linalg/ops.h`
+/// exactly — `NormalizedSpMMRows` matches `SpMM` on the normalized
+/// adjacency (ascending stored-column order with the self-loop merged
+/// in sorted position, entry value s_r * s_k) and the dot kernels match
+/// `MatMulTransB` (ascending-k float dot products) — so a row updated
+/// incrementally is bitwise identical to the same row of a from-scratch
+/// recompute, and hence to the dense autograd tape path. That bitwise
+/// agreement is what makes the tape engine a differential-testing oracle
+/// for the incremental engine (see DESIGN.md, "Incremental objective
+/// engine").
+///
+/// Threading: all kernels chunk over the given row subset with disjoint
+/// output rows, so results are bitwise-deterministic at any thread count.
+
+/// For each r in `rows`: out[r] = sum over k in sorted({r} ∪ neighbors[r])
+/// of (scale[r] * scale[k]) * b[k] — row r of A_n * B for the GCN-
+/// normalized adjacency A_n = D^{-1/2}(A + I)D^{-1/2} implied by
+/// `neighbors`/`scale`. Rows of `out` not listed in `rows` are untouched.
+/// O(sum_r (deg_r + 1) * b.cols()).
+void NormalizedSpMMRows(const std::vector<std::vector<int>>& neighbors,
+                        const std::vector<float>& scale,
+                        const std::vector<int>& rows, const Matrix& b,
+                        Matrix* out);
+
+/// NormalizedSpMMRows over every row: out = A_n * B. O(nnz * b.cols()).
+void NormalizedSpMM(const std::vector<std::vector<int>>& neighbors,
+                    const std::vector<float>& scale, const Matrix& b,
+                    Matrix* out);
+
+/// For each r in `rows`: out[r][j] = dot(a[r], b[j]) for all j — row r of
+/// A * B^T, the pairwise-product rows the engine's cached gradient terms
+/// T_m = G_M H_m^T are refreshed with. Rows whose `row_nonzero` flag is 0
+/// are known all-zero in `a` and are cleared without computing dots.
+/// O(|rows| * b.rows() * a.cols()).
+void DotRowsInto(const Matrix& a, const Matrix& b,
+                 const std::vector<int>& rows,
+                 const std::vector<char>* row_nonzero, Matrix* out);
+
+/// Column-update companion of `DotRowsInto`: for every row i of `a` and
+/// each j in `cols`, out[i][j] = dot(a[i], b[j]) (0 when row_nonzero says
+/// a[i] is all-zero). Used when rows of B changed (a feature flip moved
+/// rows of H_m) so whole columns of A * B^T must be refreshed.
+/// O(a.rows() * |cols| * a.cols()).
+void DotColsInto(const Matrix& a, const Matrix& b,
+                 const std::vector<int>& cols,
+                 const std::vector<char>* row_nonzero, Matrix* out);
+
+}  // namespace repro::linalg
+
+#endif  // PEEGA_LINALG_INCREMENTAL_H_

@@ -1,0 +1,254 @@
+// Differential tests of the incremental PEEGA objective engine against
+// the autograd-tape reference: both engines must commit the IDENTICAL
+// flip sequence and report matching objectives on every configuration
+// (core/peega_engine.h explains why bitwise agreement — not just
+// closeness — is the design contract).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attack/attacker.h"
+#include "core/peega.h"
+#include "core/peega_batch.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "parallel/thread_pool.h"
+
+namespace repro::core {
+namespace {
+
+using attack::AttackOptions;
+using attack::AttackResult;
+using attack::Flip;
+using graph::Graph;
+using linalg::Rng;
+
+Graph SbmGraph(uint64_t seed) {
+  graph::SyntheticConfig config;
+  config.name = "sbm-equiv";
+  config.num_nodes = 60;
+  config.num_classes = 3;
+  config.feature_dim = 48;
+  config.avg_degree = 4.0;
+  Rng rng(seed);
+  return graph::MakeSynthetic(config, &rng);
+}
+
+Graph PolblogsGraph(uint64_t seed) {
+  Rng rng(seed);
+  return graph::MakePolblogsLike(&rng, 0.12);
+}
+
+std::string FlipString(const std::vector<Flip>& flips) {
+  std::ostringstream os;
+  for (const Flip& f : flips) {
+    os << (f.is_feature ? "F " : "E ") << f.a << " " << f.b << "\n";
+  }
+  return os.str();
+}
+
+// Runs the same attack through both engines and checks the differential
+// contract: identical flip sequences, identical flip counts, identical
+// poisoned graphs, and objectives within 1e-4 relative.
+void ExpectEnginesAgree(const Graph& g, PeegaAttack::Options peega,
+                        const AttackOptions& options, uint64_t rng_seed = 99) {
+  peega.engine = PeegaAttack::Engine::kTape;
+  Rng rng_tape(rng_seed);
+  const AttackResult tape = PeegaAttack(peega).Attack(g, options, &rng_tape);
+
+  peega.engine = PeegaAttack::Engine::kIncremental;
+  Rng rng_inc(rng_seed);
+  const AttackResult inc = PeegaAttack(peega).Attack(g, options, &rng_inc);
+
+  EXPECT_EQ(FlipString(tape.flips), FlipString(inc.flips));
+  EXPECT_EQ(tape.edge_modifications, inc.edge_modifications);
+  EXPECT_EQ(tape.feature_modifications, inc.feature_modifications);
+  EXPECT_EQ(graph::ComputeEdgeDiff(tape.poisoned, inc.poisoned).total(), 0);
+  EXPECT_EQ(graph::FeatureDiffCount(tape.poisoned, inc.poisoned), 0);
+  const double scale = std::max(1.0, std::abs(tape.final_objective));
+  EXPECT_NEAR(tape.final_objective, inc.final_objective, 1e-4 * scale);
+  inc.poisoned.CheckInvariants();
+}
+
+void ExpectBatchEnginesAgree(const Graph& g, PeegaBatchAttack::Options batch,
+                             const AttackOptions& options,
+                             uint64_t rng_seed = 7) {
+  batch.peega.engine = PeegaAttack::Engine::kTape;
+  Rng rng_tape(rng_seed);
+  const AttackResult tape =
+      PeegaBatchAttack(batch).Attack(g, options, &rng_tape);
+
+  batch.peega.engine = PeegaAttack::Engine::kIncremental;
+  Rng rng_inc(rng_seed);
+  const AttackResult inc =
+      PeegaBatchAttack(batch).Attack(g, options, &rng_inc);
+
+  EXPECT_EQ(FlipString(tape.flips), FlipString(inc.flips));
+  EXPECT_EQ(graph::ComputeEdgeDiff(tape.poisoned, inc.poisoned).total(), 0);
+  EXPECT_EQ(graph::FeatureDiffCount(tape.poisoned, inc.poisoned), 0);
+  const double scale = std::max(1.0, std::abs(tape.final_objective));
+  EXPECT_NEAR(tape.final_objective, inc.final_objective, 1e-4 * scale);
+  inc.poisoned.CheckInvariants();
+}
+
+TEST(EngineEquivalence, DefaultOptionsOnSbm) {
+  AttackOptions options;
+  options.perturbation_rate = 0.1;
+  ExpectEnginesAgree(SbmGraph(11), PeegaAttack::Options(), options);
+}
+
+TEST(EngineEquivalence, DefaultOptionsOnPolblogsLike) {
+  AttackOptions options;
+  options.perturbation_rate = 0.05;
+  ExpectEnginesAgree(PolblogsGraph(12), PeegaAttack::Options(), options);
+}
+
+TEST(EngineEquivalence, NormP1) {
+  PeegaAttack::Options peega;
+  peega.norm_p = 1;
+  AttackOptions options;
+  options.perturbation_rate = 0.08;
+  ExpectEnginesAgree(SbmGraph(13), peega, options);
+}
+
+TEST(EngineEquivalence, NormP3) {
+  PeegaAttack::Options peega;
+  peega.norm_p = 3;
+  AttackOptions options;
+  options.perturbation_rate = 0.08;
+  ExpectEnginesAgree(SbmGraph(14), peega, options);
+}
+
+TEST(EngineEquivalence, OneLayerSurrogate) {
+  PeegaAttack::Options peega;
+  peega.layers = 1;
+  AttackOptions options;
+  options.perturbation_rate = 0.1;
+  ExpectEnginesAgree(SbmGraph(15), peega, options);
+}
+
+TEST(EngineEquivalence, ThreeLayerSurrogate) {
+  PeegaAttack::Options peega;
+  peega.layers = 3;
+  AttackOptions options;
+  options.perturbation_rate = 0.08;
+  ExpectEnginesAgree(SbmGraph(16), peega, options);
+}
+
+TEST(EngineEquivalence, SelfViewOnlyLambdaZero) {
+  PeegaAttack::Options peega;
+  peega.lambda = 0.0f;
+  AttackOptions options;
+  options.perturbation_rate = 0.1;
+  ExpectEnginesAgree(SbmGraph(17), peega, options);
+}
+
+TEST(EngineEquivalence, TopologyOnlyMode) {
+  PeegaAttack::Options peega;
+  peega.mode = PeegaAttack::Mode::kTopologyOnly;
+  AttackOptions options;
+  options.perturbation_rate = 0.1;
+  ExpectEnginesAgree(SbmGraph(18), peega, options);
+}
+
+TEST(EngineEquivalence, FeaturesOnlyMode) {
+  PeegaAttack::Options peega;
+  peega.mode = PeegaAttack::Mode::kFeaturesOnly;
+  AttackOptions options;
+  options.perturbation_rate = 0.1;
+  ExpectEnginesAgree(SbmGraph(19), peega, options);
+}
+
+TEST(EngineEquivalence, TargetedAttack) {
+  PeegaAttack::Options peega;
+  peega.target_nodes = {3, 8, 21, 40};
+  AttackOptions options;
+  options.perturbation_rate = 0.08;
+  ExpectEnginesAgree(SbmGraph(20), peega, options);
+}
+
+TEST(EngineEquivalence, FractionalFeatureCost) {
+  AttackOptions options;
+  options.perturbation_rate = 0.1;
+  options.feature_cost = 0.5;
+  ExpectEnginesAgree(SbmGraph(21), PeegaAttack::Options(), options);
+}
+
+TEST(EngineEquivalence, RestrictedAttackerNodes) {
+  AttackOptions options;
+  options.perturbation_rate = 0.1;
+  for (int v = 0; v < 20; ++v) options.attacker_nodes.push_back(v);
+  ExpectEnginesAgree(SbmGraph(22), PeegaAttack::Options(), options);
+}
+
+// The flip sequence must agree between engines at EVERY thread count —
+// both engines chunk deterministically, so the sequence must also be
+// the same across thread counts.
+TEST(EngineEquivalence, AgreesAtOneTwoAndEightThreads) {
+  const Graph g = SbmGraph(23);
+  AttackOptions options;
+  options.perturbation_rate = 0.1;
+  std::string first_sequence;
+  for (const int threads : {1, 2, 8}) {
+    parallel::SetNumThreads(threads);
+    PeegaAttack::Options peega;
+    peega.engine = PeegaAttack::Engine::kIncremental;
+    Rng rng(99);
+    const AttackResult inc = PeegaAttack(peega).Attack(g, options, &rng);
+    ExpectEnginesAgree(g, PeegaAttack::Options(), options);
+    if (first_sequence.empty()) {
+      first_sequence = FlipString(inc.flips);
+    } else {
+      EXPECT_EQ(first_sequence, FlipString(inc.flips))
+          << "at " << threads << " threads";
+    }
+  }
+  parallel::SetNumThreads(0);
+}
+
+TEST(BatchEngineEquivalence, DeterministicTopK) {
+  PeegaBatchAttack::Options batch;
+  batch.batch_size = 8;
+  AttackOptions options;
+  options.perturbation_rate = 0.12;
+  ExpectBatchEnginesAgree(SbmGraph(24), batch, options);
+}
+
+TEST(BatchEngineEquivalence, GumbelPerturbedSameSeed) {
+  PeegaBatchAttack::Options batch;
+  batch.batch_size = 6;
+  batch.gumbel_scale = 0.05f;
+  AttackOptions options;
+  options.perturbation_rate = 0.12;
+  ExpectBatchEnginesAgree(SbmGraph(25), batch, options);
+}
+
+TEST(BatchEngineEquivalence, PolblogsLikeWithFractionalBeta) {
+  PeegaBatchAttack::Options batch;
+  batch.batch_size = 8;
+  AttackOptions options;
+  options.perturbation_rate = 0.06;
+  options.feature_cost = 0.5;
+  ExpectBatchEnginesAgree(PolblogsGraph(26), batch, options);
+}
+
+TEST(BatchEngineEquivalence, AgreesAtOneTwoAndEightThreads) {
+  const Graph g = SbmGraph(27);
+  PeegaBatchAttack::Options batch;
+  batch.batch_size = 8;
+  AttackOptions options;
+  options.perturbation_rate = 0.1;
+  for (const int threads : {1, 2, 8}) {
+    parallel::SetNumThreads(threads);
+    ExpectBatchEnginesAgree(g, batch, options);
+  }
+  parallel::SetNumThreads(0);
+}
+
+}  // namespace
+}  // namespace repro::core

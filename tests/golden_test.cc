@@ -1,0 +1,83 @@
+// Golden regression replay: runs PEEGA on one pinned seeded config and
+// diffs the committed flip sequence and final objective against the
+// checked-in fixture in tests/golden/. The attack is bitwise
+// deterministic (greedy over exact closed-form scores, deterministic
+// parallel chunking, lowest-index tie-breaks), so the fixture must
+// match EXACTLY — any diff means the flip sequence changed, which is a
+// behavior change that needs review, not a tolerance bump.
+//
+// Regenerate after an intentional change with:
+//   PEEGA_UPDATE_GOLDEN=1 ./build/tests/golden_test
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "attack/attacker.h"
+#include "core/peega.h"
+#include "graph/generators.h"
+
+namespace repro::core {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(PEEGA_GOLDEN_DIR) + "/peega_sbm60_rate10.golden";
+}
+
+// The pinned config: a 60-node 3-class SBM (seed 11), default PEEGA
+// options, perturbation rate 0.1 — the same shape the equivalence suite
+// exercises, small enough to replay in milliseconds.
+std::string RenderRun() {
+  graph::SyntheticConfig config;
+  config.name = "sbm-golden";
+  config.num_nodes = 60;
+  config.num_classes = 3;
+  config.feature_dim = 48;
+  config.avg_degree = 4.0;
+  linalg::Rng graph_rng(11);
+  const graph::Graph g = graph::MakeSynthetic(config, &graph_rng);
+
+  PeegaAttack attacker{PeegaAttack::Options()};
+  attack::AttackOptions options;
+  options.perturbation_rate = 0.1;
+  linalg::Rng attack_rng(99);
+  const attack::AttackResult result = attacker.Attack(g, options, &attack_rng);
+
+  std::ostringstream os;
+  os << "# PEEGA golden replay: sbm60 seed 11, rate 0.1, default options\n";
+  os << "# E u v = edge flip, F v j = feature flip, in commit order\n";
+  for (const attack::Flip& f : result.flips) {
+    os << (f.is_feature ? "F " : "E ") << f.a << " " << f.b << "\n";
+  }
+  char line[64];
+  std::snprintf(line, sizeof(line), "objective %.17g\n",
+                result.final_objective);
+  os << line;
+  return os.str();
+}
+
+TEST(GoldenReplay, PeegaSbmFlipSequenceAndObjective) {
+  const std::string actual = RenderRun();
+  const std::string path = GoldenPath();
+  if (std::getenv("PEEGA_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    out.close();
+    // Fall through to the diff so an update run also proves the
+    // round-trip.
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing fixture " << path
+                         << " — regenerate with PEEGA_UPDATE_GOLDEN=1";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(expected.str(), actual)
+      << "flip sequence or objective drifted from " << path;
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -3,7 +3,11 @@
 // must hold on random graphs; training must be deterministic given a
 // seed. These parameterized tests sweep configurations the per-module
 // unit tests spot-check.
+#include <cmath>
+#include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -13,8 +17,10 @@
 #include "attack/metattack.h"
 #include "attack/pgd.h"
 #include "attack/random_attack.h"
+#include "autograd/tape.h"
 #include "core/peega.h"
 #include "core/peega_batch.h"
+#include "core/peega_engine.h"
 #include "graph/generators.h"
 #include "graph/metrics.h"
 #include "linalg/ops.h"
@@ -300,6 +306,218 @@ TEST(PeegaObjectiveProperty, P1ObjectiveIsPositiveAndBudgeted) {
   EXPECT_GT(attacker.Objective(g, result.poisoned.adjacency.ToDense(),
                                result.poisoned.features),
             0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental engine cache properties (core/peega_engine.h).
+// ---------------------------------------------------------------------------
+
+core::PeegaEngine::Config EngineConfig(int layers = 2, int norm_p = 2,
+                                       float lambda = 0.01f) {
+  core::PeegaEngine::Config config;
+  config.layers = layers;
+  config.norm_p = norm_p;
+  config.lambda = lambda;
+  return config;
+}
+
+// A flip applied twice is the identity on every cache: the delta updates
+// must restore the clean surrogate BITWISE, not approximately — any
+// drift here would compound over a greedy run and break the
+// differential contract with the tape engine.
+TEST(EngineCacheProperty, FlipTwiceIsIdentityOnCachedSurrogate) {
+  const Graph g = TestGraph(601);
+  core::PeegaEngine engine(g, EngineConfig());
+  engine.RefreshScores();
+  const Matrix clean = engine.surrogate();
+  const double clean_objective = engine.Objective();
+
+  Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int u = rng.UniformInt(0, g.num_nodes - 1);
+    const int v = (u + 1 + rng.UniformInt(0, g.num_nodes - 2)) % g.num_nodes;
+    engine.FlipEdge(u, v);
+    engine.RefreshScores();
+    engine.FlipEdge(u, v);
+    engine.RefreshScores();
+    const int node = rng.UniformInt(0, g.num_nodes - 1);
+    const int dim = rng.UniformInt(0, g.features.cols() - 1);
+    engine.FlipFeature(node, dim);
+    engine.RefreshScores();
+    engine.FlipFeature(node, dim);
+    engine.RefreshScores();
+  }
+  EXPECT_EQ(linalg::MaxAbsDiff(engine.surrogate(), clean), 0.0f);
+  EXPECT_EQ(engine.Objective(), clean_objective);
+  EXPECT_EQ(linalg::MaxAbsDiff(engine.features(), g.features), 0.0f);
+  EXPECT_EQ(graph::ComputeEdgeDiff(
+                g, g.WithAdjacency(engine.PoisonedAdjacency()))
+                .total(),
+            0);
+}
+
+// After ANY flip sequence the incrementally maintained surrogate must
+// equal a from-scratch recompute on the poisoned graph bitwise — the
+// cache-vs-rebuild form of the delta-update identity.
+TEST(EngineCacheProperty, IncrementalSurrogateMatchesRebuildBitwise) {
+  const Graph g = TestGraph(602);
+  for (const int layers : {1, 2, 3}) {
+    core::PeegaEngine engine(g, EngineConfig(layers));
+    engine.RefreshScores();
+    Rng rng(43);
+    for (int flip = 0; flip < 12; ++flip) {
+      const int u = rng.UniformInt(0, g.num_nodes - 1);
+      const int v =
+          (u + 1 + rng.UniformInt(0, g.num_nodes - 2)) % g.num_nodes;
+      engine.FlipEdge(u, v);
+      const int node = rng.UniformInt(0, g.num_nodes - 1);
+      const int dim = rng.UniformInt(0, g.features.cols() - 1);
+      engine.FlipFeature(node, dim);
+      // Refresh between some flips and batch others: both paths through
+      // the pending-row machinery must land on the same caches.
+      if (flip % 3 != 2) engine.RefreshScores();
+    }
+    engine.RefreshScores();
+    const Matrix rebuilt = core::PeegaAttack::SurrogateRepresentation(
+        engine.PoisonedAdjacency(), engine.features(), layers);
+    EXPECT_EQ(linalg::MaxAbsDiff(engine.surrogate(), rebuilt), 0.0f)
+        << "layers=" << layers;
+  }
+}
+
+// The sparse poisoned adjacency emitted by the engine must stay
+// symmetric, binary, and hollow under arbitrary flip sequences
+// (including re-flips of the same edge).
+TEST(EngineCacheProperty, PoisonedAdjacencyStaysSymmetricAndBinary) {
+  const Graph g = TestGraph(603);
+  core::PeegaEngine engine(g, EngineConfig());
+  Rng rng(47);
+  for (int flip = 0; flip < 40; ++flip) {
+    const int u = rng.UniformInt(0, g.num_nodes - 1);
+    const int v = (u + 1 + rng.UniformInt(0, g.num_nodes - 2)) % g.num_nodes;
+    engine.FlipEdge(u, v);
+    EXPECT_EQ(engine.HasEdge(u, v), engine.HasEdge(v, u));
+  }
+  engine.RefreshScores();
+  const Graph poisoned = g.WithAdjacency(engine.PoisonedAdjacency())
+                             .WithFeatures(engine.features());
+  poisoned.CheckInvariants();
+  const Matrix dense = poisoned.adjacency.ToDense();
+  for (int u = 0; u < g.num_nodes; ++u) {
+    EXPECT_EQ(dense(u, u), 0.0f);
+    for (int v = u + 1; v < g.num_nodes; ++v) {
+      EXPECT_EQ(dense(u, v), dense(v, u));
+      EXPECT_TRUE(dense(u, v) == 0.0f || dense(u, v) == 1.0f);
+      EXPECT_EQ(dense(u, v) > 0.5f, engine.HasEdge(u, v));
+    }
+  }
+}
+
+// The engine's closed-form gradients must equal the autograd tape's
+// gradients exactly, and both must agree with a central finite
+// difference of the (continuously relaxed) objective.
+TEST(EngineCacheProperty, ClosedFormGradientsMatchTapeAndFiniteDifference) {
+  const Graph g = TestGraph(604);
+  core::PeegaAttack::Options peega;
+  core::PeegaEngine::Config config = EngineConfig(peega.layers, peega.norm_p,
+                                                  peega.lambda);
+  core::PeegaEngine engine(g, config);
+  // Perturb away from the clean graph so the self-view gradients are
+  // non-trivial (on the clean graph every self norm is exactly zero).
+  engine.FlipEdge(0, 5);
+  engine.FlipFeature(3, 7);
+  engine.RefreshScores();
+
+  Matrix dense = engine.PoisonedAdjacency().ToDense();
+  Matrix features = engine.features();
+
+  // Tape reference gradients on the same poisoned state.
+  const Matrix reference = core::PeegaAttack::SurrogateRepresentation(
+      g.adjacency, g.features, peega.layers);
+  std::vector<std::pair<int, int>> self_pairs;
+  for (int v = 0; v < g.num_nodes; ++v) self_pairs.emplace_back(v, v);
+  std::vector<std::pair<int, int>> neighbor_pairs;
+  const auto& row_ptr = g.adjacency.row_ptr();
+  const auto& col_idx = g.adjacency.col_idx();
+  for (int v = 0; v < g.num_nodes; ++v) {
+    for (int64_t k = row_ptr[v]; k < row_ptr[v + 1]; ++k) {
+      neighbor_pairs.emplace_back(v, col_idx[k]);
+    }
+  }
+  // Node creation order matters bitwise (backward runs in reverse
+  // creation order), so build the graph in the same sequence as the
+  // attacker's ObjectiveOnTape: self view first, then global view.
+  autograd::Tape tape;
+  autograd::Var a = tape.Input(dense, true);
+  autograd::Var x = tape.Input(features, true);
+  autograd::Var a_n = tape.GcnNormalizeDense(a);
+  autograd::Var m_hat = x;
+  for (int l = 0; l < peega.layers; ++l) m_hat = tape.MatMul(a_n, m_hat);
+  autograd::Var self_view =
+      tape.SumEdgePNorm(m_hat, reference, self_pairs, peega.norm_p);
+  autograd::Var global_view =
+      tape.SumEdgePNorm(m_hat, reference, neighbor_pairs, peega.norm_p);
+  autograd::Var obj =
+      tape.Add(self_view, tape.Scale(global_view, peega.lambda));
+  tape.Backward(obj);
+
+  float max_adj_diff = 0.0f;
+  for (int u = 0; u < g.num_nodes; ++u) {
+    for (int v = 0; v < g.num_nodes; ++v) {
+      if (u == v) continue;
+      max_adj_diff = std::max(
+          max_adj_diff,
+          std::fabs(engine.PairGradient(u, v) - a.grad()(u, v)));
+    }
+  }
+  EXPECT_EQ(max_adj_diff, 0.0f);
+  float max_feat_diff = 0.0f;
+  for (int v = 0; v < g.num_nodes; ++v) {
+    for (int j = 0; j < g.features.cols(); ++j) {
+      max_feat_diff = std::max(
+          max_feat_diff,
+          std::fabs(engine.FeatureGradient(v, j) - x.grad()(v, j)));
+    }
+  }
+  EXPECT_EQ(max_feat_diff, 0.0f);
+
+  // Central finite differences of the relaxed objective. The objective
+  // is evaluated in float, so h and the tolerance are coarse; the
+  // gradcheck still pins sign and magnitude of the closed forms.
+  core::PeegaAttack objective_eval{peega};
+  const double h = 1e-3;
+  Rng rng(53);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int u = rng.UniformInt(0, g.num_nodes - 1);
+    const int v = (u + 1 + rng.UniformInt(0, g.num_nodes - 2)) % g.num_nodes;
+    Matrix plus = dense;
+    Matrix minus = dense;
+    plus(u, v) += h;
+    plus(v, u) += h;
+    minus(u, v) -= h;
+    minus(v, u) -= h;
+    const double fd = (objective_eval.Objective(g, plus, features) -
+                       objective_eval.Objective(g, minus, features)) /
+                      (2.0 * h);
+    const double analytic =
+        engine.PairGradient(u, v) + engine.PairGradient(v, u);
+    EXPECT_NEAR(fd, analytic, 5e-2 * std::max(1.0, std::fabs(analytic)))
+        << "edge (" << u << ", " << v << ")";
+  }
+  for (int trial = 0; trial < 8; ++trial) {
+    const int v = rng.UniformInt(0, g.num_nodes - 1);
+    const int j = rng.UniformInt(0, g.features.cols() - 1);
+    Matrix plus = features;
+    Matrix minus = features;
+    plus(v, j) += h;
+    minus(v, j) -= h;
+    const double fd = (objective_eval.Objective(g, dense, plus) -
+                       objective_eval.Objective(g, dense, minus)) /
+                      (2.0 * h);
+    const double analytic = engine.FeatureGradient(v, j);
+    EXPECT_NEAR(fd, analytic, 5e-2 * std::max(1.0, std::fabs(analytic)))
+        << "feature (" << v << ", " << j << ")";
+  }
 }
 
 }  // namespace
