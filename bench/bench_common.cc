@@ -180,6 +180,14 @@ void BenchReporter::RecordPhase(const std::string& name, double seconds,
   phase->count += count;
 }
 
+void BenchReporter::RecordPhaseStatus(const std::string& name,
+                                      const status::Status& status) {
+  if (status.ok()) return;
+  eval::RecordPipelineError(status.WithContext("phase " + name));
+  Phase* phase = GetPhase(name);
+  if (phase->status == "OK") phase->status = status::CodeName(status.code());
+}
+
 RepeatStats BenchReporter::MeasureRepeats(const std::string& name,
                                           int warmup, int repeats,
                                           const std::function<void()>& fn) {
@@ -272,6 +280,7 @@ void BenchReporter::Finish() {
       entry.object["wall_ms"] = obs::Json::MakeNumber(phase.wall_ms);
       entry.object["count"] =
           obs::Json::MakeNumber(static_cast<double>(phase.count));
+      entry.object["status"] = obs::Json::MakeString(phase.status);
       if (phase.has_stats) {
         entry.object["min_ms"] = obs::Json::MakeNumber(phase.stats.min_ms);
         entry.object["median_ms"] =

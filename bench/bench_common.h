@@ -17,6 +17,7 @@
 #include "eval/pipeline.h"
 #include "graph/generators.h"
 #include "obs/stopwatch.h"
+#include "status/status.h"
 
 namespace repro::bench {
 
@@ -95,8 +96,10 @@ struct RepeatStats {
 /// one bucket), and, with --json, writes the stable schema
 ///   {"bench":..., "config":{...}, "threads":N,
 ///    "metrics":{counters,gauges,histograms},
-///    "phases":[{"name":..., "wall_ms":..., "count":...,
+///    "phases":[{"name":..., "wall_ms":..., "count":..., "status":"OK",
 ///               ("min_ms"/"median_ms"/"mean_ms" with MeasureRepeats)]}
+/// "status" is the status-code name of the first failure recorded for
+/// the phase via RecordPhaseStatus (CI's schema check requires the key).
 /// The embedded metrics snapshot is taken at Finish() time, so counter
 /// totals cover exactly the bench's work.
 class BenchReporter {
@@ -119,6 +122,15 @@ class BenchReporter {
   void RecordPhase(const std::string& name, double seconds,
                    uint64_t count = 1);
 
+  /// Marks phase `name` with a non-OK status code name (e.g.
+  /// "DEADLINE_EXCEEDED"). Every phase carries "status":"OK" in the JSON
+  /// by default; benches call this when the run behind a phase degraded
+  /// (error cell in the printed table), so artifacts alone reveal it.
+  /// Repeated calls keep the FIRST non-OK status. No-op when `status`
+  /// is OK.
+  void RecordPhaseStatus(const std::string& name,
+                         const status::Status& status);
+
   /// Runs `fn` `warmup` times unmeasured, then `repeats` measured times;
   /// records the measured total under `name` with min/median/mean stats.
   RepeatStats MeasureRepeats(const std::string& name, int warmup,
@@ -136,6 +148,7 @@ class BenchReporter {
     std::string name;
     double wall_ms = 0.0;
     uint64_t count = 0;
+    std::string status = "OK";  // CodeName of the first non-OK status
     bool has_stats = false;
     RepeatStats stats;
   };

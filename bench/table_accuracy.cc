@@ -36,13 +36,23 @@ void RunAccuracyTable(BenchReporter* reporter, const Dataset& dataset,
     graphs.push_back(result.poisoned);
     reporter->RecordPhase("attack:" + attacker->name(),
                           result.elapsed_seconds);
-    std::printf("  [attack] %-10s edges=%d features=%d (%.1fs)\n",
+    reporter->RecordPhaseStatus("attack:" + attacker->name(),
+                                result.status);
+    std::printf("  [attack] %-10s edges=%d features=%d (%.1fs)%s\n",
                 attacker->name().c_str(), result.edge_modifications,
-                result.feature_modifications, result.elapsed_seconds);
+                result.feature_modifications, result.elapsed_seconds,
+                result.status.ok()
+                    ? ""
+                    : (" " + result.status.ToString()).c_str());
   }
 
   std::vector<std::vector<eval::MeanStd>> cells(
       graphs.size(), std::vector<eval::MeanStd>(defenders.size()));
+  // Failed cells render as ERR(<code>) instead of killing the table;
+  // a cell with zero surviving runs is also excluded from the best-of
+  // scans below.
+  std::vector<std::vector<std::string>> cell_errors(
+      graphs.size(), std::vector<std::string>(defenders.size()));
   for (size_t r = 0; r < graphs.size(); ++r) {
     for (size_t c = 0; c < defenders.size(); ++c) {
       const eval::DefenseEvaluation evaluation =
@@ -52,6 +62,15 @@ void RunAccuracyTable(BenchReporter* reporter, const Dataset& dataset,
           "defense:" + defenders[c]->name(),
           evaluation.mean_train_seconds * pipeline.runs,
           static_cast<uint64_t>(pipeline.runs));
+      if (!evaluation.status.ok()) {
+        reporter->RecordPhaseStatus("defense:" + defenders[c]->name(),
+                                    evaluation.status);
+        if (evaluation.ok_runs == 0) {
+          cell_errors[r][c] = std::string("ERR(") +
+                              status::CodeName(evaluation.status.code()) +
+                              ")";
+        }
+      }
     }
   }
 
@@ -60,7 +79,9 @@ void RunAccuracyTable(BenchReporter* reporter, const Dataset& dataset,
   std::vector<size_t> best_attacker(defenders.size(), 1);
   for (size_t c = 0; c < defenders.size(); ++c) {
     for (size_t r = 1; r < graphs.size(); ++r) {
-      if (cells[r][c].mean < cells[best_attacker[c]][c].mean) {
+      if (cell_errors[r][c].empty() &&
+          (!cell_errors[best_attacker[c]][c].empty() ||
+           cells[r][c].mean < cells[best_attacker[c]][c].mean)) {
         best_attacker[c] = r;
       }
     }
@@ -72,14 +93,22 @@ void RunAccuracyTable(BenchReporter* reporter, const Dataset& dataset,
   for (size_t r = 0; r < graphs.size(); ++r) {
     size_t best_defender = 0;
     for (size_t c = 1; c < defenders.size(); ++c) {
-      if (cells[r][c].mean > cells[r][best_defender].mean) {
+      if (cell_errors[r][c].empty() &&
+          (!cell_errors[r][best_defender].empty() ||
+           cells[r][c].mean > cells[r][best_defender].mean)) {
         best_defender = c;
       }
     }
     std::vector<std::string> row = {row_names[r]};
     for (size_t c = 0; c < defenders.size(); ++c) {
+      if (!cell_errors[r][c].empty()) {
+        row.push_back(cell_errors[r][c]);
+        continue;
+      }
       std::string cell = eval::FormatMeanStd(cells[r][c]);
-      if (c == best_defender) cell = "(" + cell + ")";
+      if (c == best_defender && cell_errors[r][best_defender].empty()) {
+        cell = "(" + cell + ")";
+      }
       if (r > 0 && best_attacker[c] == r) cell += "*";
       row.push_back(cell);
     }

@@ -62,7 +62,7 @@ int main() {
     // The published artifact can be persisted for consumers.
     if (rate == 0.1) {
       const std::string path = "published_graph.txt";
-      if (graph::SaveGraph(published.poisoned, path)) {
+      if (graph::SaveGraph(published.poisoned, path).ok()) {
         std::printf("          wrote %s\n", path.c_str());
       }
     }

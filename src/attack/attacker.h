@@ -6,6 +6,8 @@
 
 #include "graph/graph.h"
 #include "linalg/random.h"
+#include "status/deadline.h"
+#include "status/status.h"
 
 namespace repro::attack {
 
@@ -22,6 +24,11 @@ struct AttackOptions {
   /// modifiable iff at least one endpoint is controlled; a feature row
   /// is modifiable iff its node is controlled (Fig. 7a study).
   std::vector<int> attacker_nodes;
+  /// Wall-clock budget / cancellation for the attack loop. Default is
+  /// unbounded (checks cost nothing). On expiry or cancellation the
+  /// attacker stops committing flips and returns its best-so-far result
+  /// with `AttackResult::status` non-OK — never aborts.
+  status::Deadline deadline;
 };
 
 /// One committed perturbation. For an edge flip `a`/`b` are the endpoints
@@ -51,6 +58,11 @@ struct AttackResult {
   /// Final value of the attacker's objective on the poisoned graph, when
   /// the attacker has one (PEEGA: the Def. 3 objective). 0 otherwise.
   double final_objective = 0.0;
+  /// OK for a completed attack. kDeadlineExceeded / kCancelled /
+  /// kNumericFault when the loop stopped early — `poisoned` then holds
+  /// the best-so-far graph (the flips committed up to the stop are a
+  /// prefix of the unbounded run's flips).
+  status::Status status;
 };
 
 /// Interface of graph adversarial attackers.

@@ -22,6 +22,9 @@ AttackResult DiceAttack::Attack(const graph::Graph& g,
   int attempts = 0;
   const int max_attempts = budget * 400 + 1000;
   while (spent < budget && attempts++ < max_attempts) {
+    result.status = attack_options.deadline.Check(
+        name() + " flip " + std::to_string(spent));
+    if (!result.status.ok()) break;  // flips so far form the result
     if (rng->Bernoulli(options_.add_fraction)) {
       // Connect externally: add an inter-class edge.
       const int u = static_cast<int>(rng->UniformInt(0, g.num_nodes - 1));

@@ -103,7 +103,13 @@ AttackResult GfAttack::Attack(const graph::Graph& g,
   const int refine_count = std::min<int>(
       static_cast<int>(scored.size()), options_.refine_factor * budget);
   Matrix dense = g.adjacency.ToDense();
+  AttackResult result;
   for (int i = 0; i < refine_count; ++i) {
+    result.status = attack_options.deadline.Check(
+        name() + " refine candidate " + std::to_string(i));
+    // Best-so-far: candidates refined so far keep their exact scores,
+    // the rest fall back to the perturbation-theory estimate.
+    if (!result.status.ok()) break;
     FlipEdge(&dense, scored[i].u, scored[i].v);
     const SparseMatrix a_pert =
         graph::GcnNormalize(DenseToAdjacency(dense));
@@ -130,7 +136,6 @@ AttackResult GfAttack::Attack(const graph::Graph& g,
               return a.score > b.score;
             });
 
-  AttackResult result;
   for (int i = 0; i < std::min<int>(budget, scored.size()); ++i) {
     FlipEdge(&dense, scored[i].u, scored[i].v);
     ++result.edge_modifications;

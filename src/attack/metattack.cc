@@ -55,6 +55,11 @@ AttackResult Metattack::Attack(const graph::Graph& g,
   double spent = 0.0;
 
   while (spent + 1e-9 < budget) {
+    result.status = attack_options.deadline.Check(
+        name() + " greedy step " +
+        std::to_string(result.edge_modifications +
+                      result.feature_modifications));
+    if (!result.status.ok()) break;  // flips so far form the result
     Tape tape;
     Var a = tape.Input(dense, /*requires_grad=*/true);
     Var x = tape.Input(features,

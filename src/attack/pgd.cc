@@ -78,7 +78,13 @@ AttackResult PgdAttack::Attack(const graph::Graph& g,
   const std::vector<float> train_mask = g.NodeMask(g.train_nodes);
 
   Matrix p(g.num_nodes, g.num_nodes);  // relaxed perturbation
+  AttackResult result;
   for (int t = 1; t <= options_.steps; ++t) {
+    result.status = attack_options.deadline.Check(
+        name() + " step " + std::to_string(t));
+    // Best-so-far: the current relaxed P is already a valid perturbation
+    // candidate; discretization below commits whatever ascent achieved.
+    if (!result.status.ok()) break;
     Tape tape;
     Var p_var = tape.Input(p, /*requires_grad=*/true);
     // A_hat = A + (1 - 2A) ⊙ P.
@@ -135,7 +141,6 @@ AttackResult PgdAttack::Attack(const graph::Graph& g,
   std::sort(ranked.begin(), ranked.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
   Matrix dense = a_dense;
-  AttackResult result;
   for (int i = 0; i < std::min<int>(budget, ranked.size()); ++i) {
     FlipEdge(&dense, ranked[i].second.first, ranked[i].second.second);
     ++result.edge_modifications;

@@ -17,6 +17,9 @@ AttackResult RandomAttack::Attack(const graph::Graph& g,
   int attempts = 0;
   const int max_attempts = budget * 200 + 1000;
   while (spent < budget && attempts++ < max_attempts) {
+    result.status =
+        options.deadline.Check(name() + " flip " + std::to_string(spent));
+    if (!result.status.ok()) break;  // flips so far form the result
     const int u = static_cast<int>(rng->UniformInt(0, g.num_nodes - 1));
     const int v = static_cast<int>(rng->UniformInt(0, g.num_nodes - 1));
     if (u == v || !access.EdgeAllowed(u, v)) continue;

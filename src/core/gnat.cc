@@ -185,7 +185,11 @@ defense::DefenseReport GnatDefender::Run(
   double best_val = -1.0;
   int since_best = 0;
   std::vector<Matrix> best_params;
+  status::Status train_status;
   for (int epoch = 0; epoch < train_options.max_epochs; ++epoch) {
+    train_status = train_options.deadline.Check(
+        "GNAT epoch " + std::to_string(epoch));
+    if (!train_status.ok()) break;  // best snapshot restored below
     const obs::TraceSpan epoch_span("gnat.epoch");
     const obs::StopWatch epoch_watch;
     epochs_counter->Add(1);
@@ -219,6 +223,7 @@ defense::DefenseReport GnatDefender::Run(
   report.test_accuracy = graph::Accuracy(preds, g.labels, g.test_nodes);
   report.val_accuracy = graph::Accuracy(preds, g.labels, g.val_nodes);
   report.train_seconds = watch.Seconds();
+  report.status = train_status.WithContext("GNAT training");
   return report;
 }
 

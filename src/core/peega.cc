@@ -1,13 +1,17 @@
 #include "core/peega.h"
 
 #include <cmath>
+#include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "attack/common.h"
 #include "autograd/tape.h"
+#include "core/peega_checkpoint.h"
 #include "core/peega_engine.h"
 #include "graph/graph.h"
 #include "debug/check.h"
+#include "debug/failpoints.h"
 #include "linalg/ops.h"
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
@@ -92,6 +96,113 @@ Var ObjectiveOnTape(Tape* tape, Var a, Var x, const Matrix& reference,
   return tape->Add(self_view, tape->Scale(global_view, lambda));
 }
 
+std::string RngStateString(linalg::Rng* rng) {
+  std::ostringstream out;
+  out << rng->engine();
+  return out.str();
+}
+
+// Campaign checkpointing shared by the engine and tape paths: resume
+// validation/replay bookkeeping and the periodic save. The greedy loop
+// is deterministic, so replaying the recorded flips onto the clean
+// graph reconstructs the exact pre-interrupt state and the continuation
+// is bitwise-identical to an uninterrupted run.
+class CheckpointContext {
+ public:
+  CheckpointContext(const PeegaAttack::Options& options,
+                    const graph::Graph& g,
+                    const AttackOptions& attack_options)
+      : path_(options.checkpoint_path),
+        every_(options.checkpoint_every < 1 ? 1 : options.checkpoint_every) {
+    header_.num_nodes = g.num_nodes;
+    header_.feature_dim = g.features.cols();
+    header_.layers = options.layers;
+    header_.norm_p = options.norm_p;
+    header_.lambda = options.lambda;
+    header_.mode = static_cast<int>(options.mode);
+    header_.engine = static_cast<int>(options.engine);
+    header_.perturbation_rate = attack_options.perturbation_rate;
+    header_.feature_cost = attack_options.feature_cost;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  // Loads the on-disk checkpoint when one exists and fills `*replay`
+  // with its flips (left empty for a fresh start). A checkpoint written
+  // for a different graph/option set is rejected as stale.
+  status::Status Resume(std::vector<attack::Flip>* replay,
+                        linalg::Rng* rng) const {
+    if (!enabled()) return status::Status::Ok();
+    if (!std::ifstream(path_).good()) return status::Status::Ok();
+    status::StatusOr<PeegaCheckpoint> loaded = LoadPeegaCheckpoint(path_);
+    if (!loaded.ok()) return loaded.status().WithContext("PEEGA resume");
+    const PeegaCheckpoint& ck = *loaded;
+    const auto stale = [](const char* field) {
+      return status::InvalidInput(
+          std::string("stale checkpoint: ") + field +
+          " differs from the current campaign");
+    };
+    if (ck.num_nodes != header_.num_nodes ||
+        ck.feature_dim != header_.feature_dim) {
+      return stale("graph dimensions");
+    }
+    if (ck.layers != header_.layers || ck.norm_p != header_.norm_p ||
+        ck.lambda != header_.lambda) {
+      return stale("objective options");
+    }
+    if (ck.mode != header_.mode || ck.engine != header_.engine) {
+      return stale("attack mode/engine");
+    }
+    if (ck.perturbation_rate != header_.perturbation_rate ||
+        ck.feature_cost != header_.feature_cost) {
+      return stale("budget options");
+    }
+    *replay = ck.flips;
+    if (!ck.rng_state.empty() && rng != nullptr) {
+      std::istringstream in(ck.rng_state);
+      in >> rng->engine();
+      if (in.fail()) {
+        return status::InvalidInput(
+            "corrupt checkpoint: unparsable rng_state");
+      }
+    }
+    return status::Status::Ok();
+  }
+
+  // Saves after every `checkpoint_every`-th committed flip.
+  status::Status MaybeSave(const std::vector<attack::Flip>& flips,
+                           double spent, linalg::Rng* rng) const {
+    if (!enabled() || flips.size() % static_cast<size_t>(every_) != 0) {
+      return status::Status::Ok();
+    }
+    PeegaCheckpoint ck = header_;
+    ck.iteration = static_cast<int>(flips.size());
+    ck.spent = spent;
+    if (rng != nullptr) ck.rng_state = RngStateString(rng);
+    ck.flips = flips;
+    return SavePeegaCheckpoint(ck, path_).WithContext(
+        "PEEGA checkpoint save");
+  }
+
+ private:
+  std::string path_;
+  int every_;
+  PeegaCheckpoint header_;
+};
+
+// Deadline / cancellation / injected-interrupt poll shared by both
+// greedy loops; returns the status that should stop the loop, OK to
+// keep going.
+status::Status CheckInterrupt(const status::Deadline& deadline,
+                              size_t committed_flips) {
+  status::Status status = deadline.Check(
+      "PEEGA greedy iteration " + std::to_string(committed_flips));
+  if (status.ok() && PEEGA_FAILPOINT("peega.interrupt")) {
+    status = status::Cancelled("injected failpoint peega.interrupt");
+  }
+  return status;
+}
+
 // Alg. 1 on the incremental engine: same loop structure, budget
 // accounting, freeze matrices, and tie-breaks as the tape path below,
 // but scores come from PeegaEngine's cached closed-form gradients and
@@ -99,7 +210,8 @@ Var ObjectiveOnTape(Tape* tape, Var a, Var x, const Matrix& reference,
 // the same flip sequence (tests/engine_equiv_test.cc).
 AttackResult AttackWithEngine(const PeegaAttack::Options& options,
                               const graph::Graph& g,
-                              const AttackOptions& attack_options) {
+                              const AttackOptions& attack_options,
+                              linalg::Rng* rng) {
   const obs::TraceSpan attack_span("peega.attack");
   const obs::StopWatch watch;
   const int budget = attack::ComputeBudget(g, attack_options.perturbation_rate);
@@ -122,6 +234,32 @@ AttackResult AttackWithEngine(const PeegaAttack::Options& options,
   AttackResult result;
   double spent = 0.0;
 
+  const CheckpointContext checkpoint(options, g, attack_options);
+  std::vector<attack::Flip> replay;
+  result.status = checkpoint.Resume(&replay, rng);
+  if (!result.status.ok()) {
+    // A rejected checkpoint must be loud, not silently restarted: the
+    // caller decides whether to delete the stale file and rerun.
+    result.poisoned = g;
+    result.elapsed_seconds = watch.Seconds();
+    return result;
+  }
+  for (const attack::Flip& flip : replay) {
+    if (flip.is_feature) {
+      engine.FlipFeature(flip.a, flip.b);
+      feature_done(flip.a, flip.b) = 1.0f;
+      ++result.feature_modifications;
+      spent += beta;
+    } else {
+      engine.FlipEdge(flip.a, flip.b);
+      edge_done(flip.a, flip.b) = 1.0f;
+      edge_done(flip.b, flip.a) = 1.0f;
+      ++result.edge_modifications;
+      spent += 1.0;
+    }
+    result.flips.push_back(flip);
+  }
+
   static obs::Counter* const iterations = obs::GetCounter("peega.iterations");
   static obs::Counter* const edge_flips = obs::GetCounter("peega.edge_flips");
   static obs::Counter* const feature_flips =
@@ -132,12 +270,19 @@ AttackResult AttackWithEngine(const PeegaAttack::Options& options,
     const bool can_feature =
         attack_features && beta > 0.0f && spent + beta <= budget + 1e-9;
     if (!can_edge && !can_feature) break;
+    result.status = CheckInterrupt(attack_options.deadline,
+                                   result.flips.size());
+    if (!result.status.ok()) break;  // best-so-far: flips are a prefix
 
     const obs::TraceSpan iteration_span("peega.iteration");
     iterations->Add(1);
     {
       const obs::TraceSpan score_span("peega.score");
-      engine.RefreshScores();
+      result.status = engine.RefreshScores();
+    }
+    if (!result.status.ok()) {
+      result.status = result.status.WithContext("PEEGA engine refresh");
+      break;
     }
 
     EdgeCandidate edge;
@@ -178,13 +323,25 @@ AttackResult AttackWithEngine(const PeegaAttack::Options& options,
       result.flips.push_back({false, edge.u, edge.v});
       spent += 1.0;
     }
+    const status::Status saved =
+        checkpoint.MaybeSave(result.flips, spent, rng);
+    if (!saved.ok()) {
+      result.status = saved;
+      break;
+    }
   }
 
   // Bring the cached objective terms up to date with the final flip and
   // emit the sparse poisoned adjacency straight from the engine's
-  // neighbor lists — no dense O(N²) rescan.
-  engine.RefreshScores();
-  result.final_objective = engine.Objective();
+  // neighbor lists — no dense O(N²) rescan. After a numeric fault the
+  // refresh stays latched; the committed graph state is still valid but
+  // the objective is not, so it is left at 0 for the degraded result.
+  const status::Status final_refresh = engine.RefreshScores();
+  if (final_refresh.ok()) {
+    result.final_objective = engine.Objective();
+  } else if (result.status.ok()) {
+    result.status = final_refresh.WithContext("PEEGA final refresh");
+  }
   result.poisoned =
       g.WithAdjacency(engine.PoisonedAdjacency()).WithFeatures(engine.features());
   result.elapsed_seconds = watch.Seconds();
@@ -215,9 +372,10 @@ AttackResult PeegaAttack::Attack(const graph::Graph& g,
   // PEEGA is deterministic: greedy over exact gradient scores, and the
   // parallel scans below (BestEdgeFlip/BestFeatureFlip plus the tape's
   // row-parallel kernels) are bitwise-reproducible at any thread count.
-  (void)rng;
+  // `rng` is only read for checkpointing (its stream state rides along
+  // so a resumed campaign continues the exact random sequence).
   if (options_.engine == Engine::kIncremental) {
-    return AttackWithEngine(options_, g, attack_options);
+    return AttackWithEngine(options_, g, attack_options, rng);
   }
   const obs::TraceSpan attack_span("peega.attack");
   const obs::StopWatch watch;
@@ -243,6 +401,30 @@ AttackResult PeegaAttack::Attack(const graph::Graph& g,
   AttackResult result;
   double spent = 0.0;
 
+  const CheckpointContext checkpoint(options_, g, attack_options);
+  std::vector<attack::Flip> replay;
+  result.status = checkpoint.Resume(&replay, rng);
+  if (!result.status.ok()) {
+    result.poisoned = g;
+    result.elapsed_seconds = watch.Seconds();
+    return result;
+  }
+  for (const attack::Flip& flip : replay) {
+    if (flip.is_feature) {
+      attack::FlipFeature(&features, flip.a, flip.b);
+      feature_done(flip.a, flip.b) = 1.0f;
+      ++result.feature_modifications;
+      spent += beta;
+    } else {
+      attack::FlipEdge(&dense, flip.a, flip.b);
+      edge_done(flip.a, flip.b) = 1.0f;
+      edge_done(flip.b, flip.a) = 1.0f;
+      ++result.edge_modifications;
+      spent += 1.0;
+    }
+    result.flips.push_back(flip);
+  }
+
   // Alg. 1 phase instrumentation: score = objective forward+backward on
   // the tape, scan = greedy candidate search, flip = commit. These are
   // the rows of the paper's Tab. VII cost breakdown.
@@ -256,6 +438,9 @@ AttackResult PeegaAttack::Attack(const graph::Graph& g,
     const bool can_feature =
         attack_features && beta > 0.0f && spent + beta <= budget + 1e-9;
     if (!can_edge && !can_feature) break;
+    result.status = CheckInterrupt(attack_options.deadline,
+                                   result.flips.size());
+    if (!result.status.ok()) break;  // best-so-far: flips are a prefix
 
     const obs::TraceSpan iteration_span("peega.iteration");
     iterations->Add(1);
@@ -268,6 +453,13 @@ AttackResult PeegaAttack::Attack(const graph::Graph& g,
           ObjectiveOnTape(&tape, a, x, reference, self_pairs, neighbor_pairs,
                           options_.layers, options_.norm_p, options_.lambda);
       tape.Backward(obj);
+      // Mirror of the engine's latched-fault check: NaN gradients make
+      // every scan comparison false and the loop would end silently OK.
+      if (!std::isfinite(static_cast<double>(obj.value()(0, 0)))) {
+        result.status = status::NumericFault(
+            "non-finite PEEGA objective on the tape");
+        break;
+      }
     }
 
     EdgeCandidate edge;
@@ -304,6 +496,12 @@ AttackResult PeegaAttack::Attack(const graph::Graph& g,
       edge_flips->Add(1);
       result.flips.push_back({false, edge.u, edge.v});
       spent += 1.0;
+    }
+    const status::Status saved =
+        checkpoint.MaybeSave(result.flips, spent, rng);
+    if (!saved.ok()) {
+      result.status = saved;
+      break;
     }
   }
 

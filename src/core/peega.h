@@ -65,6 +65,16 @@ class PeegaAttack : public attack::Attacker {
     /// their neighbor pairs), concentrating the whole budget on
     /// misclassifying them. Empty = the paper's untargeted attack.
     std::vector<int> target_nodes;
+    /// Campaign checkpointing (core/peega_checkpoint.h): when non-empty,
+    /// the greedy loop writes its state here every `checkpoint_every`
+    /// committed flips, and — when the file already exists — resumes
+    /// from it by replaying the recorded flips. The PR-4 determinism
+    /// contract makes the resumed run bitwise-identical to an
+    /// uninterrupted one (tests/checkpoint_test.cc). A stale or corrupt
+    /// checkpoint is rejected: the attack returns immediately with
+    /// kInvalidInput and the clean graph.
+    std::string checkpoint_path;
+    int checkpoint_every = 16;
   };
 
   PeegaAttack();

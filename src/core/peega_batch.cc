@@ -89,11 +89,18 @@ AttackResult BatchWithEngine(const PeegaBatchAttack::Options& options,
       obs::GetCounter("peega_batch.candidates");
 
   while (spent + std::min<double>(1.0, beta) <= budget + 1e-9) {
+    result.status = attack_options.deadline.Check(
+        "PEEGA-Batch iteration " + std::to_string(result.flips.size()));
+    if (!result.status.ok()) break;  // best-so-far: whole batches so far
     const obs::TraceSpan iteration_span("peega_batch.iteration");
     iterations->Add(1);
     {
       const obs::TraceSpan score_span("peega_batch.score");
-      engine.RefreshScores();
+      result.status = engine.RefreshScores();
+    }
+    if (!result.status.ok()) {
+      result.status = result.status.WithContext("PEEGA-Batch engine refresh");
+      break;
     }
 
     std::vector<Candidate> candidates;
@@ -183,8 +190,12 @@ AttackResult BatchWithEngine(const PeegaBatchAttack::Options& options,
     if (!committed) break;
   }
 
-  engine.RefreshScores();
-  result.final_objective = engine.Objective();
+  const status::Status final_refresh = engine.RefreshScores();
+  if (final_refresh.ok()) {
+    result.final_objective = engine.Objective();
+  } else if (result.status.ok()) {
+    result.status = final_refresh.WithContext("PEEGA-Batch final refresh");
+  }
   result.poisoned =
       g.WithAdjacency(engine.PoisonedAdjacency()).WithFeatures(engine.features());
   result.elapsed_seconds = watch.Seconds();
@@ -238,6 +249,9 @@ AttackResult PeegaBatchAttack::Attack(const graph::Graph& g,
       obs::GetCounter("peega_batch.candidates");
 
   while (spent + std::min<double>(1.0, beta) <= budget + 1e-9) {
+    result.status = attack_options.deadline.Check(
+        "PEEGA-Batch iteration " + std::to_string(result.flips.size()));
+    if (!result.status.ok()) break;  // best-so-far: whole batches so far
     const obs::TraceSpan iteration_span("peega_batch.iteration");
     iterations->Add(1);
     Tape tape;
@@ -254,6 +268,11 @@ AttackResult PeegaBatchAttack::Attack(const graph::Graph& g,
                                                          neighbor_pairs,
                                                          peega.norm_p),
                                        peega.lambda));
+      }
+      if (!std::isfinite(static_cast<double>(obj.value()(0, 0)))) {
+        result.status = status::NumericFault(
+            "non-finite PEEGA-Batch objective on the tape");
+        break;  // best-so-far: last committed batch stands
       }
       tape.Backward(obj);
     }
@@ -361,6 +380,10 @@ AttackResult PeegaBatchAttack::Attack(const graph::Graph& g,
   eval_options.target_nodes.clear();
   result.final_objective =
       PeegaAttack(eval_options).Objective(g, dense, features);
+  if (!std::isfinite(result.final_objective) && result.status.ok()) {
+    result.status =
+        status::NumericFault("non-finite PEEGA-Batch final objective");
+  }
   result.poisoned = g.WithAdjacency(attack::DenseToAdjacency(dense))
                         .WithFeatures(features);
   result.elapsed_seconds = watch.Seconds();

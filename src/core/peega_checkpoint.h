@@ -1,0 +1,60 @@
+#ifndef PEEGA_CORE_PEEGA_CHECKPOINT_H_
+#define PEEGA_CORE_PEEGA_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "attack/attacker.h"
+#include "core/peega.h"
+#include "status/status.h"
+
+namespace repro::core {
+
+/// Serialized state of an in-flight PEEGA campaign (versioned JSON via
+/// obs::Json, format documented in DESIGN.md "Failure model & graceful
+/// degradation").
+///
+/// The checkpoint records the committed flip sequence, the RNG stream
+/// state, and an echo of every input that shapes the greedy trajectory
+/// (graph dims, attack options). Because the greedy loop is
+/// deterministic (PR-4 contract), replaying the flips onto the same
+/// clean graph reconstructs the exact engine state, so a resumed run
+/// continues with a bitwise-identical flip sequence and objective.
+/// The config echo lets `LoadPeegaCheckpoint` reject stale checkpoints
+/// (written for a different graph or option set) with a readable
+/// kInvalidInput status instead of silently diverging.
+struct PeegaCheckpoint {
+  static constexpr int kVersion = 1;
+
+  // Config echo, validated on resume.
+  int num_nodes = 0;
+  int feature_dim = 0;
+  int layers = 0;
+  int norm_p = 0;
+  float lambda = 0.0f;
+  int mode = 0;    // PeegaAttack::Mode as int
+  int engine = 0;  // PeegaAttack::Engine as int
+  double perturbation_rate = 0.0;
+  double feature_cost = 1.0;
+
+  // Campaign state.
+  int iteration = 0;    // committed flips == flips.size()
+  double spent = 0.0;   // budget consumed
+  std::string rng_state;  // mt19937_64 stream state (operator<< format)
+  std::vector<attack::Flip> flips;
+};
+
+/// Writes atomically (tmp file + rename) so a crash mid-save never
+/// leaves a truncated checkpoint behind.
+status::Status SavePeegaCheckpoint(const PeegaCheckpoint& checkpoint,
+                                   const std::string& path);
+
+/// Parses and structurally validates a checkpoint file. kIoError when
+/// unreadable, kInvalidInput (with the offending field named) when
+/// malformed, version-mismatched, or internally inconsistent.
+status::StatusOr<PeegaCheckpoint> LoadPeegaCheckpoint(
+    const std::string& path);
+
+}  // namespace repro::core
+
+#endif  // PEEGA_CORE_PEEGA_CHECKPOINT_H_

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "debug/check.h"
+#include "debug/failpoints.h"
 #include "debug/numerics.h"
 #include "graph/graph.h"
 #include "linalg/incremental.h"
@@ -198,8 +199,13 @@ void PeegaEngine::RecomputeGmRow(int r) {
   gm_nonzero_[static_cast<size_t>(r)] = nonzero;
 }
 
-void PeegaEngine::RefreshScores() {
-  if (!fresh_ && !any_pending_) return;
+status::Status PeegaEngine::RefreshScores() {
+  if (!status_.ok()) return status_;  // latched failure
+  if (PEEGA_FAILPOINT("engine.step")) {
+    status_ = status::NumericFault("injected failpoint engine.step");
+    return status_;
+  }
+  if (!fresh_ && !any_pending_) return status::Status::Ok();
   const obs::TraceSpan span("peega_engine.refresh");
   static obs::Counter* const refreshes =
       obs::GetCounter("peega_engine.refreshes");
@@ -379,6 +385,16 @@ void PeegaEngine::RefreshScores() {
     std::fill(pending_rows_h0_.begin(), pending_rows_h0_.end(), 0);
     any_pending_ = false;
   }
+
+  // NaN scores silently break the greedy scans (NaN comparisons are all
+  // false, so the best-flip search would just find nothing); surface the
+  // fault instead so callers can stop with an attributable status. The
+  // objective aggregates every self/pair term, making it a one-number
+  // sentinel for the whole score state.
+  if (!std::isfinite(Objective())) {
+    status_ = status::NumericFault("non-finite PEEGA objective");
+  }
+  return status_;
 }
 
 void PeegaEngine::FlipEdge(int u, int v) {

@@ -6,6 +6,7 @@
 #include "graph/graph.h"
 #include "linalg/matrix.h"
 #include "linalg/sparse.h"
+#include "status/status.h"
 
 namespace repro::core {
 
@@ -77,7 +78,14 @@ class PeegaEngine {
   /// since the last call. Must be called before reading scores or the
   /// objective; the first call pays the full O(N²F) build, later calls
   /// only the perturbed region.
-  void RefreshScores();
+  ///
+  /// Returns non-OK (kNumericFault) when the refreshed objective is no
+  /// longer finite — from a genuine numeric fault or the `engine.step`
+  /// failpoint — after which the engine is latched: further refreshes
+  /// are no-ops returning the same status, and the caller must stop
+  /// reading scores and emit a best-so-far result from the committed
+  /// graph state (PoisonedAdjacency()/features(), which stay valid).
+  status::Status RefreshScores();
 
   /// Scan score of flipping edge (u, v), u < v: the tape's
   /// (1 - 2A[u][v]) * (grad[u][v] + grad[v][u]) from closed-form
@@ -187,6 +195,9 @@ class PeegaEngine {
   std::vector<float> self_norm_;
   std::vector<double> pair_term_;
   std::vector<float> pair_norm_;
+
+  // Latched failure: set on the first bad refresh, never cleared.
+  status::Status status_;
 
   // --- pending perturbations since the last refresh -----------------------
   bool fresh_ = true;

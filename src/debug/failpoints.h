@@ -1,0 +1,64 @@
+#ifndef PEEGA_DEBUG_FAILPOINTS_H_
+#define PEEGA_DEBUG_FAILPOINTS_H_
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+namespace repro::debug {
+
+/// Deterministic fault-injection points for testing degradation paths.
+///
+/// A failpoint is a named site in production code:
+///
+///   if (PEEGA_FAILPOINT("io.read")) {
+///     return status::IoError("injected failpoint io.read");
+///   }
+///
+/// Sites fire only when armed — via the API below or the environment:
+///
+///   PEEGA_FAILPOINTS=io.read=1,engine.step=after:50
+///
+/// where `name=N` fires on exactly the Nth hit (1-based, once) and
+/// `name=after:N` fires on every hit past the Nth. Triggering is purely
+/// count-based (never RNG-based) so a given workload fails at the same
+/// place every run. Every failpoint name must appear in the central
+/// registry in failpoints.cc; arming an unknown name aborts, and
+/// `RegisteredFailpoints()` lets the sweep test enumerate all sites
+/// without having to execute them first.
+///
+/// Cost when disarmed: one relaxed atomic load (the global armed-site
+/// count) per hit. Configuring with -DPEEGA_ENABLE_FAILPOINTS=OFF
+/// compiles every site to a constant false instead.
+namespace internal {
+extern std::atomic<int> g_armed_failpoints;
+}  // namespace internal
+
+/// Slow path behind PEEGA_FAILPOINT: counts the hit and decides whether
+/// this one fires. Only called while at least one failpoint is armed.
+bool FailpointHit(const char* name);
+
+/// Arms `name` with `spec` ("N" or "after:N"); resets its hit counter.
+/// Aborts on an unknown name or malformed spec (test configuration bugs
+/// should be loud).
+void ArmFailpoint(const std::string& name, const std::string& spec);
+
+/// Disarms one site / all sites (hit counters reset on the next arm).
+void DisarmFailpoint(const std::string& name);
+void DisarmAllFailpoints();
+
+/// All registered failpoint names, in registry order.
+std::vector<std::string> RegisteredFailpoints();
+
+}  // namespace repro::debug
+
+#if defined(PEEGA_DISABLE_FAILPOINTS)
+#define PEEGA_FAILPOINT(name) (false)
+#else
+#define PEEGA_FAILPOINT(name)                                     \
+  (::repro::debug::internal::g_armed_failpoints.load(             \
+       std::memory_order_relaxed) > 0 &&                          \
+   ::repro::debug::FailpointHit(name))
+#endif
+
+#endif  // PEEGA_DEBUG_FAILPOINTS_H_

@@ -16,6 +16,9 @@ struct DefenseReport {
   /// Wall-clock seconds of the full defense pipeline, purification
   /// included (Tab. VIII).
   double train_seconds = 0.0;
+  /// OK for a completed run; otherwise the accuracies describe the
+  /// best-so-far model the trainer degraded to (see nn::TrainReport).
+  status::Status status;
 };
 
 /// Interface of GNN defenders: given a poisoned graph, purify and/or

@@ -46,6 +46,7 @@ DefenseReport GnnGuardDefender::Run(const graph::Graph& g,
   report.test_accuracy = train.test_accuracy;
   report.val_accuracy = train.val_accuracy;
   report.train_seconds = watch.Seconds();
+  report.status = train.status.WithContext("GNNGuard training");
   return report;
 }
 

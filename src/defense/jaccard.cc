@@ -37,6 +37,7 @@ DefenseReport JaccardDefender::Run(const graph::Graph& g,
   report.test_accuracy = train.test_accuracy;
   report.val_accuracy = train.val_accuracy;
   report.train_seconds = watch.Seconds();
+  report.status = train.status.WithContext("GCN-Jaccard training");
   return report;
 }
 

@@ -18,6 +18,7 @@ DefenseReport TrainAndReport(nn::Model* model, const graph::Graph& g,
   report.test_accuracy = train.test_accuracy;
   report.val_accuracy = train.val_accuracy;
   report.train_seconds = watch.Seconds();
+  report.status = train.status.WithContext("defense training");
   return report;
 }
 

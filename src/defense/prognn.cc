@@ -72,7 +72,11 @@ DefenseReport ProGnnDefender::Run(const graph::Graph& g,
   nn::Gcn gcn(g.features.cols(), g.num_classes, options_.gcn, rng);
   nn::Adam gnn_optimizer(train_options.lr, train_options.weight_decay);
 
+  status::Status loop_status;
   for (int epoch = 0; epoch < options_.outer_epochs; ++epoch) {
+    loop_status = train_options.deadline.Check(
+        "Pro-GNN structure epoch " + std::to_string(epoch));
+    if (!loop_status.ok()) break;  // keep the structure learned so far
     Tape tape;
     Var s_var = tape.Input(s, /*requires_grad=*/true);
     Var a_n = tape.GcnNormalizeDense(s_var);
@@ -112,17 +116,25 @@ DefenseReport ProGnnDefender::Run(const graph::Graph& g,
     SymmetrizeClamp(&s);
   }
 
-  // Final training of a fresh GCN on the learned structure.
+  // Final training of a fresh GCN on the learned structure. When the
+  // deadline interrupted the structure loop, this short training still
+  // runs unbounded so the best-so-far structure yields a usable model
+  // (the report carries the non-OK status either way).
   graph::Graph purified = g;
   purified.adjacency = linalg::SparseMatrix::FromDense(s, 0.01f);
   nn::Gcn final_gcn(g.features.cols(), g.num_classes, options_.gcn, rng);
+  nn::TrainOptions final_options = train_options;
+  if (!loop_status.ok()) final_options.deadline = status::Deadline();
   const nn::TrainReport train =
-      nn::TrainNodeClassifier(&final_gcn, purified, train_options, rng);
+      nn::TrainNodeClassifier(&final_gcn, purified, final_options, rng);
 
   DefenseReport report;
   report.test_accuracy = train.test_accuracy;
   report.val_accuracy = train.val_accuracy;
   report.train_seconds = watch.Seconds();
+  report.status = loop_status.ok()
+                      ? train.status.WithContext("Pro-GNN final training")
+                      : loop_status.WithContext("Pro-GNN");
   return report;
 }
 

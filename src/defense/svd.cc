@@ -45,6 +45,7 @@ DefenseReport SvdDefender::Run(const graph::Graph& g,
   report.test_accuracy = train.test_accuracy;
   report.val_accuracy = train.val_accuracy;
   report.train_seconds = watch.Seconds();
+  report.status = train.status.WithContext("GCN-SVD training");
   return report;
 }
 

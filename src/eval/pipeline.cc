@@ -1,27 +1,57 @@
 #include "eval/pipeline.h"
 
+#include <mutex>
 #include <sstream>
 
 #include "parallel/thread_pool.h"
 
 namespace repro::eval {
 
+namespace {
+
+// Process-wide log of isolated failures, surfaced via RunMetadata so a
+// degraded table is visible in the artifacts even when only one cell
+// printed ERR(...).
+std::mutex g_errors_mutex;
+std::vector<std::string>& ErrorLog() {
+  static std::vector<std::string> log;
+  return log;
+}
+
+}  // namespace
+
+void RecordPipelineError(const status::Status& status) {
+  if (status.ok()) return;
+  const std::lock_guard<std::mutex> lock(g_errors_mutex);
+  ErrorLog().push_back(status.ToString());
+}
+
 DefenseEvaluation EvaluateDefense(defense::Defender* defender,
                                   const graph::Graph& g,
                                   const PipelineOptions& options) {
   std::vector<double> accuracies;
   double total_seconds = 0.0;
+  DefenseEvaluation evaluation;
   for (int run = 0; run < options.runs; ++run) {
     linalg::Rng rng(options.seed + 7919 * run);
     const defense::DefenseReport report =
         defender->Run(g, options.train, &rng);
+    if (!report.status.ok()) {
+      // Isolate the failed run: it does not feed the aggregate, the
+      // remaining runs still do. First failure wins the cell's status.
+      const status::Status tagged =
+          report.status.WithContext("run " + std::to_string(run));
+      RecordPipelineError(tagged);
+      if (evaluation.status.ok()) evaluation.status = tagged;
+      continue;
+    }
     accuracies.push_back(report.test_accuracy);
     total_seconds += report.train_seconds;
+    ++evaluation.ok_runs;
   }
-  DefenseEvaluation evaluation;
   evaluation.accuracy = Summarize(accuracies);
   evaluation.mean_train_seconds =
-      options.runs > 0 ? total_seconds / options.runs : 0.0;
+      evaluation.ok_runs > 0 ? total_seconds / evaluation.ok_runs : 0.0;
   return evaluation;
 }
 
@@ -39,7 +69,19 @@ DefenseEvaluation EvaluateAttackDefense(
     const PipelineOptions& options) {
   const attack::AttackResult attacked =
       RunAttack(attacker, g, attack_options, options.seed);
-  return EvaluateDefense(defender, attacked.poisoned, options);
+  if (!attacked.status.ok()) {
+    // The attacker stopped early but its best-so-far poisoned graph is
+    // still valid — evaluate the defense on it and mark the cell.
+    RecordPipelineError(
+        attacked.status.WithContext("attack " + attacker->name()));
+  }
+  DefenseEvaluation evaluation =
+      EvaluateDefense(defender, attacked.poisoned, options);
+  if (evaluation.status.ok() && !attacked.status.ok()) {
+    evaluation.status =
+        attacked.status.WithContext("attack " + attacker->name());
+  }
+  return evaluation;
 }
 
 RunMetadata CollectRunMetadata(const PipelineOptions& options) {
@@ -48,13 +90,18 @@ RunMetadata CollectRunMetadata(const PipelineOptions& options) {
   metadata.runs = options.runs;
   metadata.seed = options.seed;
   metadata.metrics = obs::SnapshotMetrics();
+  {
+    const std::lock_guard<std::mutex> lock(g_errors_mutex);
+    metadata.errors = ErrorLog();
+  }
   return metadata;
 }
 
 std::string FormatRunMetadata(const RunMetadata& metadata) {
   std::ostringstream out;
   out << "run-metadata: threads=" << metadata.threads
-      << " runs=" << metadata.runs << " seed=" << metadata.seed;
+      << " runs=" << metadata.runs << " seed=" << metadata.seed
+      << " errors=" << metadata.errors.size();
   return out.str();
 }
 

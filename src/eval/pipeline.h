@@ -10,6 +10,7 @@
 #include "graph/graph.h"
 #include "nn/trainer.h"
 #include "obs/metrics.h"
+#include "status/status.h"
 
 namespace repro::eval {
 
@@ -24,9 +25,18 @@ struct PipelineOptions {
 
 /// Trains `defender` on `g` `options.runs` times; returns mean±std of
 /// test accuracy and the mean training seconds.
+///
+/// Per-run failure isolation: a run whose DefenseReport carries a
+/// non-OK status is excluded from the aggregate, and the FIRST failure
+/// (tagged with its run index) is recorded in `status`. The aggregate
+/// over the surviving runs stays usable, so one poisoned cell never
+/// kills a whole results table — callers render `ERR(<code>)` for the
+/// cell and keep going. `ok_runs` says how many runs fed the mean.
 struct DefenseEvaluation {
   MeanStd accuracy;
   double mean_train_seconds = 0.0;
+  int ok_runs = 0;
+  status::Status status;
 };
 DefenseEvaluation EvaluateDefense(defense::Defender* defender,
                                   const graph::Graph& g,
@@ -60,7 +70,16 @@ struct RunMetadata {
   /// determinism (identical counts at any thread count) is checkable
   /// from the artifacts alone.
   obs::MetricsSnapshot metrics;
+  /// Every non-OK status the pipeline isolated since process start
+  /// (ToString() form, in occurrence order). A table that printed any
+  /// ERR(...) cell shows up here, so logs alone reveal degraded runs.
+  std::vector<std::string> errors;
 };
+
+/// Appends a failure to the process-wide error log surfaced by
+/// CollectRunMetadata. EvaluateDefense calls this for every isolated
+/// run failure; benches may add their own.
+void RecordPipelineError(const status::Status& status);
 
 /// Captures the current metadata for `options`.
 RunMetadata CollectRunMetadata(const PipelineOptions& options);

@@ -1,13 +1,166 @@
 #include "graph/io.h"
 
+#include <cstdlib>
 #include <fstream>
-#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "debug/failpoints.h"
 
 namespace repro::graph {
+namespace {
 
-bool SaveGraph(const Graph& g, const std::string& path) {
+using status::InvalidInput;
+using status::IoError;
+using status::Status;
+using status::StatusOr;
+
+// Whitespace tokenizer over a text file that tracks the 1-based line of
+// the token it just produced, so every parse error can point at
+// `path:line N`. The whole file is read up front: graph files are small
+// and this keeps EOF handling trivial.
+class TokenReader {
+ public:
+  TokenReader(std::string path, std::vector<std::string> lines)
+      : path_(std::move(path)), lines_(std::move(lines)) {}
+
+  static StatusOr<TokenReader> Open(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return IoError("cannot open " + path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    if (in.bad()) return IoError("read failure on " + path);
+    return TokenReader(path, std::move(lines));
+  }
+
+  // "path:line N" for the line the NEXT token starts on (or the last
+  // line when the file is exhausted — the natural spot to report a
+  // truncation).
+  std::string Where() const {
+    const size_t line = line_ < lines_.size() ? line_ + 1 : lines_.size();
+    return path_ + ":line " + std::to_string(line == 0 ? 1 : line);
+  }
+
+  Status NextToken(std::string* token) {
+    while (line_ < lines_.size()) {
+      const std::string& text = lines_[line_];
+      while (pos_ < text.size() &&
+             (text[pos_] == ' ' || text[pos_] == '\t' ||
+              text[pos_] == '\r')) {
+        ++pos_;
+      }
+      if (pos_ >= text.size()) {
+        ++line_;
+        pos_ = 0;
+        continue;
+      }
+      const size_t start = pos_;
+      while (pos_ < text.size() && text[pos_] != ' ' &&
+             text[pos_] != '\t' && text[pos_] != '\r') {
+        ++pos_;
+      }
+      *token = text.substr(start, pos_ - start);
+      // When only trailing whitespace remains, step onto the next line so
+      // ReadLine (the free-form name field) never sees a spent line and
+      // Where() points at the line the next token will come from.
+      size_t look = pos_;
+      while (look < text.size() &&
+             (text[look] == ' ' || text[look] == '\t' ||
+              text[look] == '\r')) {
+        ++look;
+      }
+      if (look >= text.size()) {
+        ++line_;
+        pos_ = 0;
+      }
+      return Status::Ok();
+    }
+    return InvalidInput(Where() + ": unexpected end of file");
+  }
+
+  // Parses the next token as an integer in [lo, hi]; `what` names the
+  // field for the error message ("node index", "feature dim", ...).
+  Status ReadInt(const char* what, long long lo, long long hi,
+                 long long* out) {
+    std::string token;
+    Status status = NextToken(&token);
+    if (!status.ok()) {
+      return InvalidInput(Where() + ": missing " + std::string(what));
+    }
+    char* end = nullptr;
+    const long long value = std::strtoll(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0') {
+      return InvalidInput(Where() + ": non-numeric " + std::string(what) +
+                          " '" + token + "'");
+    }
+    if (value < lo || value > hi) {
+      return InvalidInput(Where() + ": " + std::string(what) + " " +
+                          token + " out of range [" + std::to_string(lo) +
+                          ", " + std::to_string(hi) + "]");
+    }
+    *out = value;
+    return Status::Ok();
+  }
+
+  // Rest of the current line, leading whitespace trimmed (the free-form
+  // graph-name line).
+  Status ReadLine(std::string* out) {
+    if (line_ >= lines_.size()) {
+      return InvalidInput(Where() + ": unexpected end of file");
+    }
+    std::string text = lines_[line_].substr(pos_);
+    ++line_;
+    pos_ = 0;
+    size_t start = 0;
+    while (start < text.size() &&
+           (text[start] == ' ' || text[start] == '\t')) {
+      ++start;
+    }
+    while (!text.empty() &&
+           (text.back() == '\r' || text.back() == ' ')) {
+      text.pop_back();
+    }
+    *out = text.substr(start);
+    return Status::Ok();
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> lines_;
+  size_t line_ = 0;  // 0-based index of the line the next token is on
+  size_t pos_ = 0;
+};
+
+// Keeps adversarially large headers from allocating the world before
+// any real data is validated.
+constexpr long long kMaxNodes = 50'000'000;
+constexpr long long kMaxFeatureCells = 1'000'000'000;
+
+Status ReadSplit(TokenReader* reader, long long num_nodes,
+                 const char* what, std::vector<int>* nodes) {
+  long long count = 0;
+  PEEGA_RETURN_IF_ERROR(
+      reader->ReadInt(what, 0, num_nodes, &count),
+      "split header");
+  nodes->resize(static_cast<size_t>(count));
+  for (long long i = 0; i < count; ++i) {
+    long long v = 0;
+    PEEGA_RETURN_IF_ERROR(
+        reader->ReadInt(what, 0, num_nodes - 1, &v), "split entry");
+    (*nodes)[static_cast<size_t>(i)] = static_cast<int>(v);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+status::Status SaveGraph(const Graph& g, const std::string& path) {
+  if (PEEGA_FAILPOINT("io.write")) {
+    return IoError("injected failpoint io.write: " + path);
+  }
   std::ofstream out(path);
-  if (!out) return false;
+  if (!out) return IoError("cannot create " + path);
   out << "peega-graph 1\n";
   out << g.name << "\n";
   out << g.num_nodes << " " << g.num_classes << " " << g.features.cols()
@@ -35,52 +188,93 @@ bool SaveGraph(const Graph& g, const std::string& path) {
   write_split(g.train_nodes);
   write_split(g.val_nodes);
   write_split(g.test_nodes);
-  return static_cast<bool>(out);
+  out.flush();
+  if (!out) return IoError("write failure on " + path);
+  return Status::Ok();
 }
 
-bool LoadGraph(const std::string& path, Graph* g) {
-  std::ifstream in(path);
-  if (!in) return false;
-  std::string magic;
-  int version = 0;
-  in >> magic >> version;
-  if (magic != "peega-graph" || version != 1) return false;
-  Graph loaded;
-  in >> std::ws;
-  std::getline(in, loaded.name);
-  int feature_dim = 0;
-  in >> loaded.num_nodes >> loaded.num_classes >> feature_dim;
-  if (!in || loaded.num_nodes <= 0) return false;
-  size_t num_edges = 0;
-  in >> num_edges;
-  std::vector<std::pair<int, int>> edges(num_edges);
-  for (auto& [u, v] : edges) in >> u >> v;
-  loaded.adjacency = AdjacencyFromEdges(loaded.num_nodes, edges);
-  size_t num_coords = 0;
-  in >> num_coords;
-  loaded.features = linalg::Matrix(loaded.num_nodes, feature_dim);
-  for (size_t i = 0; i < num_coords; ++i) {
-    int v = 0, j = 0;
-    in >> v >> j;
-    if (v < 0 || v >= loaded.num_nodes || j < 0 || j >= feature_dim) {
-      return false;
-    }
-    loaded.features(v, j) = 1.0f;
+status::StatusOr<Graph> LoadGraph(const std::string& path) {
+  if (PEEGA_FAILPOINT("io.read")) {
+    return IoError("injected failpoint io.read: " + path);
   }
-  loaded.labels.resize(loaded.num_nodes);
-  for (int v = 0; v < loaded.num_nodes; ++v) in >> loaded.labels[v];
-  auto read_split = [&in](std::vector<int>* nodes) {
-    size_t count = 0;
-    in >> count;
-    nodes->resize(count);
-    for (size_t i = 0; i < count; ++i) in >> (*nodes)[i];
-  };
-  read_split(&loaded.train_nodes);
-  read_split(&loaded.val_nodes);
-  read_split(&loaded.test_nodes);
-  if (!in) return false;
-  *g = std::move(loaded);
-  return true;
+  StatusOr<TokenReader> opened = TokenReader::Open(path);
+  if (!opened.ok()) return opened.status().WithContext("load graph");
+  TokenReader& reader = *opened;
+
+  std::string magic;
+  Status status = reader.NextToken(&magic);
+  if (!status.ok()) return status.WithContext("load graph header");
+  if (magic != "peega-graph") {
+    return InvalidInput(reader.Where() + ": bad magic '" + magic +
+                        "', expected 'peega-graph'");
+  }
+  long long version = 0;
+  status = reader.ReadInt("format version", 1, 1, &version);
+  if (!status.ok()) return status.WithContext("load graph header");
+
+  Graph loaded;
+  status = reader.ReadLine(&loaded.name);
+  if (!status.ok()) return status.WithContext("load graph name");
+
+  long long num_nodes = 0, num_classes = 0, feature_dim = 0;
+  status = reader.ReadInt("node count", 1, kMaxNodes, &num_nodes);
+  if (!status.ok()) return status.WithContext("load graph dims");
+  status = reader.ReadInt("class count", 1, num_nodes, &num_classes);
+  if (!status.ok()) return status.WithContext("load graph dims");
+  status = reader.ReadInt("feature dim", 0,
+                          kMaxFeatureCells / num_nodes, &feature_dim);
+  if (!status.ok()) return status.WithContext("load graph dims");
+  loaded.num_nodes = static_cast<int>(num_nodes);
+  loaded.num_classes = static_cast<int>(num_classes);
+
+  long long num_edges = 0;
+  status = reader.ReadInt("edge count", 0, num_nodes * num_nodes,
+                          &num_edges);
+  if (!status.ok()) return status.WithContext("load edge list");
+  std::vector<std::pair<int, int>> edges(static_cast<size_t>(num_edges));
+  for (auto& [u, v] : edges) {
+    long long a = 0, b = 0;
+    status = reader.ReadInt("edge endpoint", 0, num_nodes - 1, &a);
+    if (!status.ok()) return status.WithContext("load edge list");
+    status = reader.ReadInt("edge endpoint", 0, num_nodes - 1, &b);
+    if (!status.ok()) return status.WithContext("load edge list");
+    u = static_cast<int>(a);
+    v = static_cast<int>(b);
+  }
+  loaded.adjacency = AdjacencyFromEdges(loaded.num_nodes, edges);
+
+  long long num_coords = 0;
+  status = reader.ReadInt("feature coordinate count", 0,
+                          num_nodes * (feature_dim == 0 ? 1 : feature_dim),
+                          &num_coords);
+  if (!status.ok()) return status.WithContext("load features");
+  loaded.features =
+      linalg::Matrix(loaded.num_nodes, static_cast<int>(feature_dim));
+  for (long long i = 0; i < num_coords; ++i) {
+    long long v = 0, j = 0;
+    status = reader.ReadInt("feature node index", 0, num_nodes - 1, &v);
+    if (!status.ok()) return status.WithContext("load features");
+    status = reader.ReadInt("feature dim index", 0, feature_dim - 1, &j);
+    if (!status.ok()) return status.WithContext("load features");
+    loaded.features(static_cast<int>(v), static_cast<int>(j)) = 1.0f;
+  }
+
+  loaded.labels.resize(static_cast<size_t>(num_nodes));
+  for (long long v = 0; v < num_nodes; ++v) {
+    long long label = 0;
+    status = reader.ReadInt("label", 0, num_classes - 1, &label);
+    if (!status.ok()) return status.WithContext("load labels");
+    loaded.labels[static_cast<size_t>(v)] = static_cast<int>(label);
+  }
+
+  status = ReadSplit(&reader, num_nodes, "train node", &loaded.train_nodes);
+  if (!status.ok()) return status.WithContext("load splits");
+  status = ReadSplit(&reader, num_nodes, "val node", &loaded.val_nodes);
+  if (!status.ok()) return status.WithContext("load splits");
+  status = ReadSplit(&reader, num_nodes, "test node", &loaded.test_nodes);
+  if (!status.ok()) return status.WithContext("load splits");
+
+  return loaded;
 }
 
 }  // namespace repro::graph

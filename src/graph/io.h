@@ -4,17 +4,24 @@
 #include <string>
 
 #include "graph/graph.h"
+#include "status/status.h"
 
 namespace repro::graph {
 
 /// Saves a graph to a self-describing text file (header, edge list,
-/// sparse feature coordinates, labels, splits). Returns false on I/O
-/// failure.
-bool SaveGraph(const Graph& g, const std::string& path);
+/// sparse feature coordinates, labels, splits). Returns kIoError when
+/// the file cannot be created or written.
+status::Status SaveGraph(const Graph& g, const std::string& path);
 
-/// Loads a graph previously written by `SaveGraph`. Returns false (and
-/// leaves `*g` untouched) if the file is missing or malformed.
-bool LoadGraph(const std::string& path, Graph* g);
+/// Loads a graph previously written by `SaveGraph`.
+///
+/// External input is never trusted: a missing file yields kIoError, and
+/// every malformed construct — bad magic, truncated file, non-numeric
+/// token, negative/overlarge dimensions, out-of-range node/feature/label
+/// index — yields kInvalidInput with `path:line N:` context pointing at
+/// the offending token. This path must stay abort-free (`peega_lint`
+/// rejects PEEGA_CHECK on these files).
+status::StatusOr<Graph> LoadGraph(const std::string& path);
 
 }  // namespace repro::graph
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "debug/check.h"
+#include "debug/failpoints.h"
 #include "debug/numerics.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -390,6 +392,16 @@ Matrix SpMM(const SparseMatrix& s, const Matrix& b) {
     }
   });
   PEEGA_CHECK_FINITE_MAT(c, "SpMM");
+  // Failpoint after the (debug-numerics-only) finite check: an armed
+  // "linalg.spmm" simulates a silent kernel fault, which callers must
+  // catch via their own non-finite sentinels and degrade gracefully.
+  // The whole output is poisoned with +Inf rather than NaN: ReLU clamps
+  // NaN to zero (NaN > 0 is false), which would silently mask the fault,
+  // while Inf survives activations and collapses to NaN in any softmax
+  // or norm downstream.
+  if (PEEGA_FAILPOINT("linalg.spmm")) {
+    c.Fill(std::numeric_limits<float>::infinity());
+  }
   return c;
 }
 

@@ -1,8 +1,10 @@
 #include "nn/trainer.h"
 
+#include <cmath>
 #include <limits>
 
 #include "autograd/tape.h"
+#include "debug/failpoints.h"
 #include "graph/metrics.h"
 #include "linalg/ops.h"
 #include "nn/gcn.h"
@@ -44,6 +46,9 @@ TrainReport TrainNodeClassifier(Model* model, const graph::Graph& g,
       "nn.epoch_ms", obs::LatencyBucketsMs());
 
   for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    report.status = options.deadline.Check("train epoch " +
+                                           std::to_string(epoch));
+    if (!report.status.ok()) break;  // best weights restored below
     const obs::TraceSpan epoch_span("nn.train_epoch");
     const obs::StopWatch epoch_watch;
     epochs_counter->Add(1);
@@ -55,6 +60,16 @@ TrainReport TrainNodeClassifier(Model* model, const graph::Graph& g,
       optimizer.Step(param, var.grad());
     }
     report.final_loss = loss.value()(0, 0);
+    if (PEEGA_FAILPOINT("trainer.epoch")) {
+      report.final_loss = std::numeric_limits<double>::quiet_NaN();
+    }
+    if (!std::isfinite(report.final_loss)) {
+      // The optimizer step that produced this loss is already applied;
+      // restoring the best snapshot below discards the poisoned weights.
+      report.status = status::NumericFault(
+          "non-finite training loss at epoch " + std::to_string(epoch));
+      break;
+    }
     ++report.epochs_run;
     epoch_ms->Observe(epoch_watch.Millis());
 

@@ -6,6 +6,8 @@
 #include "graph/graph.h"
 #include "linalg/random.h"
 #include "nn/model.h"
+#include "status/deadline.h"
+#include "status/status.h"
 
 namespace repro::nn {
 
@@ -18,6 +20,10 @@ struct TrainOptions {
   float weight_decay = 5e-4f;
   /// Epochs without validation improvement before stopping (<=0 disables).
   int patience = 30;
+  /// Wall-clock budget / cancellation for the epoch loop. On expiry the
+  /// trainer stops, restores the best weights seen so far, and reports
+  /// their metrics with `TrainReport::status` non-OK — never aborts.
+  status::Deadline deadline;
 };
 
 struct TrainReport {
@@ -26,6 +32,9 @@ struct TrainReport {
   double test_accuracy = 0.0;
   double final_loss = 0.0;
   int epochs_run = 0;
+  /// OK for a full run (incl. early stopping); kDeadlineExceeded /
+  /// kCancelled / kNumericFault when the loop degraded to best-so-far.
+  status::Status status;
 };
 
 /// Trains `model` on `g`'s training nodes with cross-entropy, early

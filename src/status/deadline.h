@@ -1,0 +1,87 @@
+#ifndef PEEGA_STATUS_DEADLINE_H_
+#define PEEGA_STATUS_DEADLINE_H_
+
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "obs/stopwatch.h"
+#include "status/status.h"
+
+namespace repro::status {
+
+/// Cooperative wall-clock budget + cancellation for long-running loops.
+///
+/// A default-constructed Deadline is unbounded and uncancellable:
+/// `Check()` short-circuits without reading the clock, so threading a
+/// Deadline through a hot loop costs nothing when no budget is set
+/// (asserted against table7_attack_time). Copies share the cancellation
+/// flag but carry their own start instant, so a Deadline can be handed
+/// to workers and cancelled from the outside.
+///
+/// Loops poll `Check(where)` once per iteration and, on a non-OK result,
+/// stop mutating and return their best-so-far result with the status
+/// attached — never abort. The budget is measured from construction
+/// (or the last `Restart()`), via `obs::StopWatch`.
+class Deadline {
+ public:
+  /// Unbounded, uncancellable.
+  Deadline() = default;
+
+  /// Expires `budget_seconds` after construction. Also allocates a
+  /// cancellation flag so `RequestCancel()` works on any bounded
+  /// deadline and its copies.
+  static Deadline AfterSeconds(double budget_seconds) {
+    Deadline d;
+    d.budget_seconds_ = budget_seconds;
+    d.cancel_ = std::make_shared<std::atomic<bool>>(false);
+    return d;
+  }
+
+  /// Unbounded but cancellable via `RequestCancel()` on any copy.
+  static Deadline Cancellable() {
+    Deadline d;
+    d.cancel_ = std::make_shared<std::atomic<bool>>(false);
+    return d;
+  }
+
+  bool unbounded() const {
+    return cancel_ == nullptr &&
+           budget_seconds_ == std::numeric_limits<double>::infinity();
+  }
+
+  /// Raises the shared cancellation flag (no-op on a default-constructed
+  /// deadline, which has no flag).
+  void RequestCancel() {
+    if (cancel_) cancel_->store(true, std::memory_order_relaxed);
+  }
+
+  /// Re-arms the budget clock (the cancellation flag is untouched).
+  void Restart() { watch_.Restart(); }
+
+  /// OK while within budget and not cancelled. `where` names the loop
+  /// for the status message ("PEEGA greedy loop", "GNAT epoch 17").
+  Status Check(const std::string& where) const {
+    if (cancel_ == nullptr &&
+        budget_seconds_ == std::numeric_limits<double>::infinity()) {
+      return Status::Ok();  // common case: no clock read, no allocation
+    }
+    if (cancel_ && cancel_->load(std::memory_order_relaxed)) {
+      return Cancelled(where);
+    }
+    if (watch_.Seconds() > budget_seconds_) {
+      return DeadlineExceeded(where);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  obs::StopWatch watch_;
+  double budget_seconds_ = std::numeric_limits<double>::infinity();
+  std::shared_ptr<std::atomic<bool>> cancel_;  // shared across copies
+};
+
+}  // namespace repro::status
+
+#endif  // PEEGA_STATUS_DEADLINE_H_

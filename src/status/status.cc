@@ -1,0 +1,39 @@
+#include "status/status.h"
+
+namespace repro::status {
+
+const char* CodeName(Code code) {
+  switch (code) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidInput:
+      return "INVALID_INPUT";
+    case Code::kNumericFault:
+      return "NUMERIC_FAULT";
+    case Code::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case Code::kCancelled:
+      return "CANCELLED";
+    case Code::kIoError:
+      return "IO_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  if (message_.empty()) return Status(code_, context);
+  return Status(code_, context + ": " + message_);
+}
+
+}  // namespace repro::status

@@ -1,0 +1,150 @@
+#ifndef PEEGA_STATUS_STATUS_H_
+#define PEEGA_STATUS_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "debug/check.h"
+
+namespace repro::status {
+
+/// Recoverable-failure codes for the attack/defense pipeline. Everything
+/// that can go wrong at runtime without indicating a programming error
+/// maps onto one of these; programming errors stay PEEGA_CHECK aborts.
+enum class Code {
+  kOk = 0,
+  kInvalidInput,       // malformed external data (files, checkpoints)
+  kNumericFault,       // NaN/Inf detected mid-computation
+  kDeadlineExceeded,   // wall-clock budget spent
+  kCancelled,          // cooperative cancellation flag raised
+  kIoError,            // filesystem read/write failure
+};
+
+/// Short stable name ("OK", "INVALID_INPUT", ...) used in table cells
+/// (`ERR(<code>)`), bench JSON, and log lines.
+const char* CodeName(Code code);
+
+/// A success-or-error value. Cheap to copy on the OK path (empty
+/// message). Error statuses carry a human-readable message that grows
+/// context as it propagates up through `PEEGA_RETURN_IF_ERROR` /
+/// `WithContext`, outermost context first:
+///
+///   IO_ERROR: load campaign: read graph: /tmp/g.txt:12: bad token
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(Code::kOk) {}
+  Status(Code code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE_NAME>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy with `context` prepended to the message; no-op on OK
+  /// statuses (context chains only describe failures).
+  Status WithContext(const std::string& context) const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+  friend bool operator!=(const Status& a, const Status& b) {
+    return !(a == b);
+  }
+
+ private:
+  Code code_;
+  std::string message_;
+};
+
+inline Status InvalidInput(std::string message) {
+  return Status(Code::kInvalidInput, std::move(message));
+}
+inline Status NumericFault(std::string message) {
+  return Status(Code::kNumericFault, std::move(message));
+}
+inline Status DeadlineExceeded(std::string message) {
+  return Status(Code::kDeadlineExceeded, std::move(message));
+}
+inline Status Cancelled(std::string message) {
+  return Status(Code::kCancelled, std::move(message));
+}
+inline Status IoError(std::string message) {
+  return Status(Code::kIoError, std::move(message));
+}
+
+/// A `Status` or, on success, a value of type T. Access to `value()` on
+/// an error is a programming bug and aborts via PEEGA_CHECK.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    PEEGA_CHECK(!status_.ok())
+        << " — StatusOr constructed from an OK status without a value";
+  }
+  StatusOr(T value)  // NOLINT
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PEEGA_CHECK(ok()) << " — value() on error status: "
+                      << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    PEEGA_CHECK(ok()) << " — value() on error status: "
+                      << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    PEEGA_CHECK(ok()) << " — value() on error status: "
+                      << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace repro::status
+
+/// Propagates a non-OK status to the caller, prepending `context` so the
+/// outermost frame reads first. Usage:
+///   PEEGA_RETURN_IF_ERROR(ReadHeader(in), "load graph");
+#define PEEGA_RETURN_IF_ERROR(expr, context)                        \
+  do {                                                              \
+    ::repro::status::Status peega_status_tmp_ = (expr);             \
+    if (!peega_status_tmp_.ok()) {                                  \
+      return peega_status_tmp_.WithContext(context);                \
+    }                                                               \
+  } while (0)
+
+/// StatusOr variant: unwraps into `lhs` or propagates the error.
+///   PEEGA_ASSIGN_OR_RETURN(Graph g, LoadGraph(path), "attack setup");
+#define PEEGA_STATUS_CONCAT_INNER_(a, b) a##b
+#define PEEGA_STATUS_CONCAT_(a, b) PEEGA_STATUS_CONCAT_INNER_(a, b)
+#define PEEGA_ASSIGN_OR_RETURN(lhs, expr, context)                  \
+  PEEGA_ASSIGN_OR_RETURN_IMPL_(                                     \
+      PEEGA_STATUS_CONCAT_(peega_statusor_, __LINE__), lhs, expr,   \
+      context)
+#define PEEGA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr, context)       \
+  auto tmp = (expr);                                                \
+  if (!tmp.ok()) {                                                  \
+    return tmp.status().WithContext(context);                       \
+  }                                                                 \
+  lhs = std::move(tmp).value()
+
+#endif  // PEEGA_STATUS_STATUS_H_

@@ -1,0 +1,219 @@
+// Checkpoint/resume for PEEGA campaigns: interrupt the greedy loop at
+// flip K (via the deterministic peega.interrupt failpoint), resume from
+// the on-disk checkpoint, and demand the continued run be bitwise
+// identical — same flip sequence, same final objective — to a run that
+// was never interrupted. Exercised for both evaluation engines and at
+// 1/2/8 threads (the PR-4 determinism contract makes the thread count
+// irrelevant, which is exactly what resumability relies on).
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "attack/attacker.h"
+#include "core/peega.h"
+#include "debug/failpoints.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "parallel/thread_pool.h"
+#include "status/status.h"
+
+namespace repro {
+namespace {
+
+using graph::Graph;
+using linalg::Rng;
+
+constexpr unsigned kGraphSeed = 20240502;
+constexpr unsigned kAttackSeed = 11;
+
+Graph CampaignGraph() {
+  Rng rng(kGraphSeed);
+  return graph::MakeCoraLike(&rng, 0.1);
+}
+
+attack::AttackOptions CampaignOptions() {
+  attack::AttackOptions options;
+  options.perturbation_rate = 0.05;
+  return options;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threads_ = parallel::NumThreads(); }
+  void TearDown() override {
+    debug::DisarmAllFailpoints();
+    parallel::SetNumThreads(saved_threads_);
+  }
+
+  static std::string TempCheckpoint(const std::string& tag) {
+    return ::testing::TempDir() + "/peega_checkpoint_" + tag + ".json";
+  }
+
+ private:
+  int saved_threads_ = 1;
+};
+
+TEST_F(CheckpointTest, ResumeIsBitwiseIdenticalToUninterruptedRun) {
+  const Graph g = CampaignGraph();
+  const attack::AttackOptions attack_options = CampaignOptions();
+
+  for (const auto& engine : {core::PeegaAttack::Engine::kIncremental,
+                             core::PeegaAttack::Engine::kTape}) {
+    const char* engine_name =
+        engine == core::PeegaAttack::Engine::kIncremental ? "incremental"
+                                                          : "tape";
+    // The golden, never-interrupted campaign.
+    core::PeegaAttack::Options golden_options;
+    golden_options.engine = engine;
+    core::PeegaAttack golden_attacker(golden_options);
+    Rng golden_rng(kAttackSeed);
+    const attack::AttackResult golden =
+        golden_attacker.Attack(g, attack_options, &golden_rng);
+    ASSERT_TRUE(golden.status.ok()) << golden.status.ToString();
+    ASSERT_GT(golden.flips.size(), 4u);
+
+    for (const int threads : {1, 2, 8}) {
+      SCOPED_TRACE(std::string(engine_name) + " engine, " +
+                   std::to_string(threads) + " threads");
+      parallel::SetNumThreads(threads);
+      const std::string path = TempCheckpoint(
+          std::string(engine_name) + "_" + std::to_string(threads));
+      std::remove(path.c_str());
+
+      core::PeegaAttack::Options options;
+      options.engine = engine;
+      options.checkpoint_path = path;
+      options.checkpoint_every = 1;
+
+      // Interrupt after exactly 3 committed flips (4th iteration poll).
+      debug::ArmFailpoint("peega.interrupt", "4");
+      core::PeegaAttack interrupted_attacker(options);
+      Rng interrupted_rng(kAttackSeed);
+      const attack::AttackResult interrupted =
+          interrupted_attacker.Attack(g, attack_options, &interrupted_rng);
+      debug::DisarmAllFailpoints();
+      ASSERT_EQ(interrupted.status.code(), status::Code::kCancelled)
+          << interrupted.status.ToString();
+      ASSERT_EQ(interrupted.flips.size(), 3u);
+      ASSERT_TRUE(std::ifstream(path).good())
+          << "no checkpoint written to " << path;
+
+      // Resume: same options, same seed, fresh attacker. The replayed
+      // prefix plus the continued loop must reproduce the golden run
+      // exactly — flip for flip, bit for bit.
+      core::PeegaAttack resumed_attacker(options);
+      Rng resumed_rng(kAttackSeed);
+      const attack::AttackResult resumed =
+          resumed_attacker.Attack(g, attack_options, &resumed_rng);
+      EXPECT_TRUE(resumed.status.ok()) << resumed.status.ToString();
+      ASSERT_EQ(resumed.flips.size(), golden.flips.size());
+      for (size_t i = 0; i < golden.flips.size(); ++i) {
+        EXPECT_EQ(resumed.flips[i], golden.flips[i]) << "flip " << i;
+      }
+      EXPECT_EQ(resumed.final_objective, golden.final_objective);
+      EXPECT_EQ(resumed.edge_modifications, golden.edge_modifications);
+      EXPECT_EQ(resumed.feature_modifications,
+                golden.feature_modifications);
+      EXPECT_EQ(graph::ComputeEdgeDiff(golden.poisoned, resumed.poisoned)
+                    .total(),
+                0);
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST_F(CheckpointTest, StaleCheckpointIsRejectedLoudly) {
+  const Graph g = CampaignGraph();
+  const attack::AttackOptions attack_options = CampaignOptions();
+  const std::string path = TempCheckpoint("stale");
+  std::remove(path.c_str());
+
+  core::PeegaAttack::Options options;
+  options.checkpoint_path = path;
+  options.checkpoint_every = 1;
+
+  debug::ArmFailpoint("peega.interrupt", "3");
+  core::PeegaAttack attacker(options);
+  Rng rng(kAttackSeed);
+  const attack::AttackResult interrupted =
+      attacker.Attack(g, attack_options, &rng);
+  debug::DisarmAllFailpoints();
+  ASSERT_EQ(interrupted.status.code(), status::Code::kCancelled);
+  ASSERT_TRUE(std::ifstream(path).good());
+
+  // A different campaign (different graph) must not silently adopt the
+  // checkpoint: loud kInvalidInput, clean graph back, nothing attacked.
+  Rng other_rng(99);
+  const Graph other = graph::MakeCoraLike(&other_rng, 0.05);
+  core::PeegaAttack resumed_attacker(options);
+  Rng resume_rng(kAttackSeed);
+  const attack::AttackResult rejected =
+      resumed_attacker.Attack(other, attack_options, &resume_rng);
+  EXPECT_EQ(rejected.status.code(), status::Code::kInvalidInput)
+      << rejected.status.ToString();
+  EXPECT_NE(rejected.status.message().find("stale"), std::string::npos)
+      << rejected.status.ToString();
+  EXPECT_TRUE(rejected.flips.empty());
+  EXPECT_EQ(graph::ComputeEdgeDiff(other, rejected.poisoned).total(), 0);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, StaleOptionsAreRejectedToo) {
+  const Graph g = CampaignGraph();
+  const attack::AttackOptions attack_options = CampaignOptions();
+  const std::string path = TempCheckpoint("stale_options");
+  std::remove(path.c_str());
+
+  core::PeegaAttack::Options options;
+  options.checkpoint_path = path;
+  options.checkpoint_every = 1;
+
+  debug::ArmFailpoint("peega.interrupt", "3");
+  core::PeegaAttack attacker(options);
+  Rng rng(kAttackSeed);
+  (void)attacker.Attack(g, attack_options, &rng);
+  debug::DisarmAllFailpoints();
+  ASSERT_TRUE(std::ifstream(path).good());
+
+  // Same graph, different objective configuration.
+  core::PeegaAttack::Options changed = options;
+  changed.lambda = 0.5f;
+  core::PeegaAttack changed_attacker(changed);
+  Rng resume_rng(kAttackSeed);
+  const attack::AttackResult rejected =
+      changed_attacker.Attack(g, attack_options, &resume_rng);
+  EXPECT_EQ(rejected.status.code(), status::Code::kInvalidInput)
+      << rejected.status.ToString();
+  EXPECT_NE(rejected.status.message().find("stale"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointTest, CorruptCheckpointIsRejectedLoudly) {
+  const Graph g = CampaignGraph();
+  const attack::AttackOptions attack_options = CampaignOptions();
+  const std::string path = TempCheckpoint("corrupt");
+  {
+    std::ofstream out(path);
+    out << "{ this is not a checkpoint ]";
+  }
+
+  core::PeegaAttack::Options options;
+  options.checkpoint_path = path;
+  core::PeegaAttack attacker(options);
+  Rng rng(kAttackSeed);
+  const attack::AttackResult rejected =
+      attacker.Attack(g, attack_options, &rng);
+  EXPECT_EQ(rejected.status.code(), status::Code::kInvalidInput)
+      << rejected.status.ToString();
+  EXPECT_NE(rejected.status.message().find("corrupt"), std::string::npos)
+      << rejected.status.ToString();
+  EXPECT_TRUE(rejected.flips.empty());
+  EXPECT_EQ(graph::ComputeEdgeDiff(g, rejected.poisoned).total(), 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,6 +1,8 @@
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <set>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -229,9 +231,10 @@ TEST(IoTest, SaveLoadRoundTrip) {
   Rng rng(8);
   const Graph g = MakeCiteseerLike(&rng, 0.2);
   const std::string path = ::testing::TempDir() + "/graph_roundtrip.txt";
-  ASSERT_TRUE(SaveGraph(g, path));
-  Graph loaded;
-  ASSERT_TRUE(LoadGraph(path, &loaded));
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  repro::status::StatusOr<Graph> result = LoadGraph(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const Graph& loaded = *result;
   EXPECT_EQ(loaded.num_nodes, g.num_nodes);
   EXPECT_EQ(loaded.num_classes, g.num_classes);
   EXPECT_EQ(loaded.labels, g.labels);
@@ -242,8 +245,9 @@ TEST(IoTest, SaveLoadRoundTrip) {
 }
 
 TEST(IoTest, LoadRejectsMissingFile) {
-  Graph g;
-  EXPECT_FALSE(LoadGraph("/nonexistent/path/graph.txt", &g));
+  const auto result = LoadGraph("/nonexistent/path/graph.txt");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), repro::status::Code::kIoError);
 }
 
 TEST(IoTest, LoadRejectsCorruptHeader) {
@@ -251,8 +255,91 @@ TEST(IoTest, LoadRejectsCorruptHeader) {
   FILE* f = fopen(path.c_str(), "w");
   fputs("not-a-graph 9\n", f);
   fclose(f);
-  Graph g;
-  EXPECT_FALSE(LoadGraph(path, &g));
+  const auto result = LoadGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), repro::status::Code::kInvalidInput);
+  // The message names the offending file so the user can act on it.
+  EXPECT_NE(result.status().message().find(path), std::string::npos)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+// Corrupted-fixture regressions: every malformed input yields a non-OK
+// status with file/line context — never an abort, never a garbage graph.
+
+namespace {
+
+std::string WriteFixture(const std::string& name,
+                         const std::string& contents) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  FILE* f = fopen(path.c_str(), "w");
+  fputs(contents.c_str(), f);
+  fclose(f);
+  return path;
+}
+
+// A tiny, fully valid serialized graph the corruption tests mutate.
+std::string ValidFixture() {
+  Rng rng(11);
+  Graph g = MakeCoraLike(&rng, 0.1);
+  const std::string path = ::testing::TempDir() + "/valid_fixture.txt";
+  EXPECT_TRUE(SaveGraph(g, path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(path.c_str());
+  return buffer.str();
+}
+
+}  // namespace
+
+TEST(IoTest, LoadRejectsTruncatedFile) {
+  const std::string full = ValidFixture();
+  const std::string path =
+      WriteFixture("truncated_graph.txt", full.substr(0, full.size() / 2));
+  const auto result = LoadGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), repro::status::Code::kInvalidInput);
+  EXPECT_NE(result.status().message().find(path), std::string::npos)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadRejectsBadDimensions) {
+  const std::string path = WriteFixture(
+      "bad_dims_graph.txt", "peega-graph 1\nbad\n-5 3 2\n");
+  const auto result = LoadGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), repro::status::Code::kInvalidInput);
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadRejectsNonNumericToken) {
+  std::string contents = ValidFixture();
+  // Replace the first digit after the header block with a letter.
+  const size_t pos = contents.find('\n', contents.find('\n') + 1) + 1;
+  ASSERT_LT(pos, contents.size());
+  contents[pos] = 'x';
+  const std::string path = WriteFixture("nonnum_graph.txt", contents);
+  const auto result = LoadGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), repro::status::Code::kInvalidInput);
+  // Context names the line the bad token sits on.
+  EXPECT_NE(result.status().message().find(":line "), std::string::npos)
+      << result.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(IoTest, LoadRejectsOutOfRangeEdgeIndex) {
+  const std::string path = WriteFixture(
+      "oob_graph.txt",
+      "peega-graph 1\ntiny\n3 2 2\n1\n0 99\n"  // edge endpoint 99 >= 3 nodes
+      "0\n0 1 2\n0\n1\n1\n2\n");
+  const auto result = LoadGraph(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), repro::status::Code::kInvalidInput);
+  EXPECT_NE(result.status().message().find("99"), std::string::npos)
+      << result.status().ToString();
   std::remove(path.c_str());
 }
 

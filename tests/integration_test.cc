@@ -35,9 +35,10 @@ TEST(IntegrationTest, AttackPersistReloadDefend) {
   const Graph poisoned = attacker.Attack(clean, options, &attack_rng).poisoned;
 
   const std::string path = ::testing::TempDir() + "/poisoned.txt";
-  ASSERT_TRUE(graph::SaveGraph(poisoned, path));
-  Graph reloaded;
-  ASSERT_TRUE(graph::LoadGraph(path, &reloaded));
+  ASSERT_TRUE(graph::SaveGraph(poisoned, path).ok());
+  repro::status::StatusOr<Graph> loaded = graph::LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Graph& reloaded = *loaded;
   std::remove(path.c_str());
 
   EXPECT_EQ(reloaded.EdgeList(), poisoned.EdgeList());

@@ -328,7 +328,7 @@ core::PeegaEngine::Config EngineConfig(int layers = 2, int norm_p = 2,
 TEST(EngineCacheProperty, FlipTwiceIsIdentityOnCachedSurrogate) {
   const Graph g = TestGraph(601);
   core::PeegaEngine engine(g, EngineConfig());
-  engine.RefreshScores();
+  ASSERT_TRUE(engine.RefreshScores().ok());
   const Matrix clean = engine.surrogate();
   const double clean_objective = engine.Objective();
 
@@ -337,15 +337,15 @@ TEST(EngineCacheProperty, FlipTwiceIsIdentityOnCachedSurrogate) {
     const int u = rng.UniformInt(0, g.num_nodes - 1);
     const int v = (u + 1 + rng.UniformInt(0, g.num_nodes - 2)) % g.num_nodes;
     engine.FlipEdge(u, v);
-    engine.RefreshScores();
+    ASSERT_TRUE(engine.RefreshScores().ok());
     engine.FlipEdge(u, v);
-    engine.RefreshScores();
+    ASSERT_TRUE(engine.RefreshScores().ok());
     const int node = rng.UniformInt(0, g.num_nodes - 1);
     const int dim = rng.UniformInt(0, g.features.cols() - 1);
     engine.FlipFeature(node, dim);
-    engine.RefreshScores();
+    ASSERT_TRUE(engine.RefreshScores().ok());
     engine.FlipFeature(node, dim);
-    engine.RefreshScores();
+    ASSERT_TRUE(engine.RefreshScores().ok());
   }
   EXPECT_EQ(linalg::MaxAbsDiff(engine.surrogate(), clean), 0.0f);
   EXPECT_EQ(engine.Objective(), clean_objective);
@@ -363,7 +363,7 @@ TEST(EngineCacheProperty, IncrementalSurrogateMatchesRebuildBitwise) {
   const Graph g = TestGraph(602);
   for (const int layers : {1, 2, 3}) {
     core::PeegaEngine engine(g, EngineConfig(layers));
-    engine.RefreshScores();
+    ASSERT_TRUE(engine.RefreshScores().ok());
     Rng rng(43);
     for (int flip = 0; flip < 12; ++flip) {
       const int u = rng.UniformInt(0, g.num_nodes - 1);
@@ -375,9 +375,11 @@ TEST(EngineCacheProperty, IncrementalSurrogateMatchesRebuildBitwise) {
       engine.FlipFeature(node, dim);
       // Refresh between some flips and batch others: both paths through
       // the pending-row machinery must land on the same caches.
-      if (flip % 3 != 2) engine.RefreshScores();
+      if (flip % 3 != 2) {
+        ASSERT_TRUE(engine.RefreshScores().ok());
+      }
     }
-    engine.RefreshScores();
+    ASSERT_TRUE(engine.RefreshScores().ok());
     const Matrix rebuilt = core::PeegaAttack::SurrogateRepresentation(
         engine.PoisonedAdjacency(), engine.features(), layers);
     EXPECT_EQ(linalg::MaxAbsDiff(engine.surrogate(), rebuilt), 0.0f)
@@ -398,7 +400,7 @@ TEST(EngineCacheProperty, PoisonedAdjacencyStaysSymmetricAndBinary) {
     engine.FlipEdge(u, v);
     EXPECT_EQ(engine.HasEdge(u, v), engine.HasEdge(v, u));
   }
-  engine.RefreshScores();
+  ASSERT_TRUE(engine.RefreshScores().ok());
   const Graph poisoned = g.WithAdjacency(engine.PoisonedAdjacency())
                              .WithFeatures(engine.features());
   poisoned.CheckInvariants();
@@ -426,7 +428,7 @@ TEST(EngineCacheProperty, ClosedFormGradientsMatchTapeAndFiniteDifference) {
   // non-trivial (on the clean graph every self norm is exactly zero).
   engine.FlipEdge(0, 5);
   engine.FlipFeature(3, 7);
-  engine.RefreshScores();
+  ASSERT_TRUE(engine.RefreshScores().ok());
 
   Matrix dense = engine.PoisonedAdjacency().ToDense();
   Matrix features = engine.features();

@@ -1,0 +1,211 @@
+// Unit tests for the src/status recoverable-failure layer: Status /
+// StatusOr plumbing, Deadline semantics, and the deterministic
+// failpoint registry in src/debug/failpoints.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "debug/failpoints.h"
+#include "status/deadline.h"
+#include "status/status.h"
+
+namespace repro::status {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Code::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(InvalidInput("x").code(), Code::kInvalidInput);
+  EXPECT_EQ(NumericFault("x").code(), Code::kNumericFault);
+  EXPECT_EQ(DeadlineExceeded("x").code(), Code::kDeadlineExceeded);
+  EXPECT_EQ(Cancelled("x").code(), Code::kCancelled);
+  EXPECT_EQ(IoError("x").code(), Code::kIoError);
+  const Status s = IoError("cannot open graph.txt");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "cannot open graph.txt");
+  EXPECT_EQ(s.ToString(), "IO_ERROR: cannot open graph.txt");
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  // CI's bench-JSON schema check matches these strings verbatim.
+  EXPECT_STREQ(CodeName(Code::kOk), "OK");
+  EXPECT_STREQ(CodeName(Code::kInvalidInput), "INVALID_INPUT");
+  EXPECT_STREQ(CodeName(Code::kNumericFault), "NUMERIC_FAULT");
+  EXPECT_STREQ(CodeName(Code::kDeadlineExceeded), "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(CodeName(Code::kCancelled), "CANCELLED");
+  EXPECT_STREQ(CodeName(Code::kIoError), "IO_ERROR");
+}
+
+TEST(StatusTest, WithContextChainsOutermostFirst) {
+  const Status inner = InvalidInput("bad token");
+  const Status outer =
+      inner.WithContext("load edge list").WithContext("load graph");
+  EXPECT_EQ(outer.code(), Code::kInvalidInput);
+  EXPECT_EQ(outer.message(), "load graph: load edge list: bad token");
+}
+
+TEST(StatusTest, WithContextIsNoOpOnOk) {
+  const Status s = Status::Ok().WithContext("anything");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+Status FailsWhen(bool fail) {
+  if (fail) return NumericFault("boom");
+  return Status::Ok();
+}
+
+Status Caller(bool fail) {
+  PEEGA_RETURN_IF_ERROR(FailsWhen(fail), "caller context");
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagatesWithContext) {
+  EXPECT_TRUE(Caller(false).ok());
+  const Status s = Caller(true);
+  EXPECT_EQ(s.code(), Code::kNumericFault);
+  EXPECT_EQ(s.message(), "caller context: boom");
+}
+
+StatusOr<int> ParsePositive(int v) {
+  if (v <= 0) return InvalidInput("not positive");
+  return v;
+}
+
+TEST(StatusOrTest, HoldsValueOrStatus) {
+  StatusOr<int> ok = ParsePositive(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  EXPECT_EQ(*ok, 7);
+
+  const StatusOr<int> bad = ParsePositive(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), Code::kInvalidInput);
+}
+
+StatusOr<int> DoubledOrError(int v) {
+  PEEGA_ASSIGN_OR_RETURN(const int parsed, ParsePositive(v),
+                         "doubling input");
+  return parsed * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  StatusOr<int> ok = DoubledOrError(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  const StatusOr<int> bad = DoubledOrError(0);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().message(), "doubling input: not positive");
+}
+
+TEST(DeadlineTest, DefaultIsUnboundedAndAlwaysOk) {
+  const Deadline d;
+  EXPECT_TRUE(d.unbounded());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(d.Check("loop").ok());
+  }
+}
+
+TEST(DeadlineTest, ZeroBudgetExpiresImmediately) {
+  const Deadline d = Deadline::AfterSeconds(0.0);
+  EXPECT_FALSE(d.unbounded());
+  // Some wall time has necessarily passed since construction.
+  const Status s = d.Check("tight loop");
+  EXPECT_EQ(s.code(), Code::kDeadlineExceeded);
+  EXPECT_EQ(s.message(), "tight loop");
+}
+
+TEST(DeadlineTest, GenerousBudgetStaysOk) {
+  const Deadline d = Deadline::AfterSeconds(3600.0);
+  EXPECT_TRUE(d.Check("loop").ok());
+}
+
+TEST(DeadlineTest, CancellationSharedAcrossCopies) {
+  Deadline original = Deadline::Cancellable();
+  const Deadline copy = original;
+  EXPECT_TRUE(copy.Check("worker").ok());
+  original.RequestCancel();
+  const Status s = copy.Check("worker");
+  EXPECT_EQ(s.code(), Code::kCancelled);
+  EXPECT_EQ(s.message(), "worker");
+}
+
+TEST(DeadlineTest, CancelBeatsBudgetInReporting) {
+  Deadline d = Deadline::AfterSeconds(0.0);
+  d.RequestCancel();
+  EXPECT_EQ(d.Check("loop").code(), Code::kCancelled);
+}
+
+TEST(DeadlineTest, RequestCancelOnUnboundedIsNoOp) {
+  Deadline d;
+  d.RequestCancel();
+  EXPECT_TRUE(d.Check("loop").ok());
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { debug::DisarmAllFailpoints(); }
+};
+
+TEST_F(FailpointTest, RegistryListsAllSites) {
+  const std::vector<std::string> names = debug::RegisteredFailpoints();
+  // The sweep test (tests/failpoint_test.cc) iterates this list; keep it
+  // in sync with the sites planted across the stack.
+  for (const char* expected :
+       {"io.read", "io.write", "linalg.spmm", "engine.step",
+        "trainer.epoch", "peega.interrupt"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected),
+              names.end())
+        << expected << " missing from registry";
+  }
+}
+
+TEST_F(FailpointTest, DisarmedCostsNothingAndNeverFires) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(PEEGA_FAILPOINT("io.read"));
+  }
+}
+
+TEST_F(FailpointTest, ExactCountFiresOnceOnNthHit) {
+  debug::ArmFailpoint("io.read", "3");
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(PEEGA_FAILPOINT("io.read"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+}
+
+TEST_F(FailpointTest, AfterCountFiresFromNPlusOneOnward) {
+  debug::ArmFailpoint("engine.step", "after:2");
+  std::vector<bool> fired;
+  for (int i = 0; i < 5; ++i) {
+    fired.push_back(PEEGA_FAILPOINT("engine.step"));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, true, true}));
+}
+
+TEST_F(FailpointTest, ArmingOneSiteLeavesOthersCold) {
+  debug::ArmFailpoint("io.write", "1");
+  EXPECT_FALSE(PEEGA_FAILPOINT("io.read"));
+  EXPECT_TRUE(PEEGA_FAILPOINT("io.write"));
+}
+
+TEST_F(FailpointTest, DisarmResetsSite) {
+  debug::ArmFailpoint("io.read", "1");
+  EXPECT_TRUE(PEEGA_FAILPOINT("io.read"));
+  debug::DisarmFailpoint("io.read");
+  EXPECT_FALSE(PEEGA_FAILPOINT("io.read"));
+  // Re-arming restarts the count from zero.
+  debug::ArmFailpoint("io.read", "2");
+  EXPECT_FALSE(PEEGA_FAILPOINT("io.read"));
+  EXPECT_TRUE(PEEGA_FAILPOINT("io.read"));
+}
+
+}  // namespace
+}  // namespace repro::status

@@ -3,11 +3,20 @@
 //   graphguard generate --dataset cora --scale 1.0 --seed 42 --out g.txt
 //   graphguard attack   --in g.txt --out poisoned.txt --attacker peega
 //                       --rate 0.1 [--lambda 0.01 --p 2 --layers 2]
+//                       [--deadline SECONDS] [--checkpoint FILE
+//                        --checkpoint-every K]
 //   graphguard defend   --in poisoned.txt --defender gnat [--runs 3]
 //   graphguard inspect  --in g.txt [--clean g_clean.txt]
 //
 // `defend` prints mean±std test accuracy; `inspect` prints homophily and
 // (given a clean reference) the Add/Del x Same/Diff forensics of Fig. 2.
+//
+// `attack --deadline` caps the wall-clock budget: on expiry the
+// best-so-far poisoned graph is still written and the exit stays 0, but
+// the status line reports DEADLINE_EXCEEDED. `--checkpoint` makes PEEGA
+// periodically persist its campaign state; re-running the same command
+// after an interruption resumes from the file and reproduces the
+// uninterrupted flip sequence bit for bit.
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -30,6 +39,8 @@
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/metrics.h"
+#include "status/deadline.h"
+#include "status/status.h"
 
 namespace {
 
@@ -45,6 +56,8 @@ int Usage() {
       "           [--attacker peega|peega-batch|metattack|pgd|minmax|\n"
       "            gf|dice|random] [--rate R] [--lambda L] [--p P]\n"
       "           [--layers K] [--mode both|tm|fp] [--seed N]\n"
+      "           [--deadline SECONDS]\n"
+      "           [--checkpoint FILE] [--checkpoint-every K]\n"
       "  defend   --in FILE [--defender gnat|gcn|gat|jaccard|svd|rgcn|\n"
       "            prognn|simpgcn|gnnguard] [--runs N] [--seed N]\n"
       "  inspect  --in FILE [--clean FILE]\n");
@@ -58,6 +71,8 @@ std::unique_ptr<attack::Attacker> MakeAttacker(const eval::Args& args) {
     options.lambda = static_cast<float>(args.GetDouble("lambda", 0.01));
     options.norm_p = args.GetInt("p", 2);
     options.layers = args.GetInt("layers", 2);
+    options.checkpoint_path = args.GetString("checkpoint", "");
+    options.checkpoint_every = args.GetInt("checkpoint-every", 16);
     const std::string mode = args.GetString("mode", "both");
     if (mode == "tm") options.mode = core::PeegaAttack::Mode::kTopologyOnly;
     if (mode == "fp") options.mode = core::PeegaAttack::Mode::kFeaturesOnly;
@@ -108,8 +123,12 @@ int Generate(const eval::Args& args) {
   else if (dataset == "blog") g = graph::MakeBlogLike(&rng, scale);
   else return Usage();
   const std::string out = args.GetString("out");
-  if (out.empty() || !graph::SaveGraph(g, out)) {
-    std::fprintf(stderr, "error: cannot write --out file\n");
+  if (out.empty()) {
+    std::fprintf(stderr, "error: --out is required\n");
+    return 1;
+  }
+  if (const status::Status save = graph::SaveGraph(g, out); !save.ok()) {
+    std::fprintf(stderr, "error: %s\n", save.ToString().c_str());
     return 1;
   }
   std::printf("wrote %s: %d nodes, %lld edges, homophily %.3f\n",
@@ -120,35 +139,62 @@ int Generate(const eval::Args& args) {
 }
 
 int AttackCmd(const eval::Args& args) {
-  graph::Graph g;
-  if (!graph::LoadGraph(args.GetString("in"), &g)) {
-    std::fprintf(stderr, "error: cannot read --in file\n");
+  status::StatusOr<graph::Graph> loaded =
+      graph::LoadGraph(args.GetString("in"));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 loaded.status().ToString().c_str());
     return 1;
   }
+  const graph::Graph& g = *loaded;
   auto attacker = MakeAttacker(args);
   if (attacker == nullptr) return Usage();
   attack::AttackOptions options;
   options.perturbation_rate = args.GetDouble("rate", 0.1);
+  const double deadline = args.GetDouble("deadline", 0.0);
+  if (deadline > 0.0) {
+    options.deadline = status::Deadline::AfterSeconds(deadline);
+  }
   linalg::Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
   const auto result = attacker->Attack(g, options, &rng);
+  if (!result.status.ok() &&
+      result.status.code() == status::Code::kInvalidInput) {
+    // A rejected (stale/corrupt) checkpoint: nothing was attacked, so
+    // writing the clean graph out would be misleading.
+    std::fprintf(stderr, "error: %s\n", result.status.ToString().c_str());
+    return 1;
+  }
   const std::string out = args.GetString("out");
-  if (out.empty() || !graph::SaveGraph(result.poisoned, out)) {
-    std::fprintf(stderr, "error: cannot write --out file\n");
+  if (out.empty()) {
+    std::fprintf(stderr, "error: --out is required\n");
+    return 1;
+  }
+  if (const status::Status save = graph::SaveGraph(result.poisoned, out);
+      !save.ok()) {
+    std::fprintf(stderr, "error: %s\n", save.ToString().c_str());
     return 1;
   }
   std::printf("%s: %d edge flips, %d feature flips in %.2fs -> %s\n",
               attacker->name().c_str(), result.edge_modifications,
               result.feature_modifications, result.elapsed_seconds,
               out.c_str());
+  if (!result.status.ok()) {
+    // Best-so-far output: the written graph is valid but the campaign
+    // stopped early (deadline, cancellation, numeric fault).
+    std::printf("attack-status: %s\n", result.status.ToString().c_str());
+  }
   return 0;
 }
 
 int Defend(const eval::Args& args) {
-  graph::Graph g;
-  if (!graph::LoadGraph(args.GetString("in"), &g)) {
-    std::fprintf(stderr, "error: cannot read --in file\n");
+  status::StatusOr<graph::Graph> loaded =
+      graph::LoadGraph(args.GetString("in"));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 loaded.status().ToString().c_str());
     return 1;
   }
+  const graph::Graph& g = *loaded;
   auto defender = MakeDefender(args);
   if (defender == nullptr) return Usage();
   eval::PipelineOptions pipeline;
@@ -164,11 +210,14 @@ int Defend(const eval::Args& args) {
 }
 
 int Inspect(const eval::Args& args) {
-  graph::Graph g;
-  if (!graph::LoadGraph(args.GetString("in"), &g)) {
-    std::fprintf(stderr, "error: cannot read --in file\n");
+  status::StatusOr<graph::Graph> loaded =
+      graph::LoadGraph(args.GetString("in"));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 loaded.status().ToString().c_str());
     return 1;
   }
+  const graph::Graph& g = *loaded;
   std::printf("%s: %d nodes, %lld edges, %d classes, homophily %.3f\n",
               g.name.c_str(), g.num_nodes,
               static_cast<long long>(g.NumEdges()), g.num_classes,
@@ -178,11 +227,14 @@ int Inspect(const eval::Args& args) {
   std::printf("context similarity: intra %.3f, inter %.3f\n", sim.intra,
               sim.inter);
   if (args.Has("clean")) {
-    graph::Graph clean;
-    if (!graph::LoadGraph(args.GetString("clean"), &clean)) {
-      std::fprintf(stderr, "error: cannot read --clean file\n");
+    status::StatusOr<graph::Graph> clean_loaded =
+        graph::LoadGraph(args.GetString("clean"));
+    if (!clean_loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   clean_loaded.status().ToString().c_str());
       return 1;
     }
+    const graph::Graph& clean = *clean_loaded;
     const auto diff = graph::ComputeEdgeDiff(clean, g);
     std::printf("vs clean: +same %d, +diff %d, -same %d, -diff %d, "
                 "feature edits %lld\n",

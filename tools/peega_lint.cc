@@ -23,6 +23,11 @@
 //                   obs::StopWatch / obs::TraceSpan so instrumented time
 //                   lands in one place (bench/ is outside src/ and exempt
 //                   by construction)
+//   no-abort-on-input  PEEGA_CHECK/PEEGA_DCHECK inside src/graph/io —
+//                   parsers of externally sourced bytes must return a
+//                   status::Status with file/line context, never abort
+//                   (the only rule scoped BY an only_prefix instead of
+//                   exempted by one)
 //   header-guard    headers must guard with PEEGA_<PATH>_H_
 //   include-cycle   no #include cycles among src/ headers
 
@@ -64,34 +69,50 @@ struct TokenRule {
   // Files whose src/-relative path starts with this prefix are exempt
   // (empty = no exemption).
   const char* exempt_prefix;
+  // When non-empty the rule applies ONLY to files whose src/-relative
+  // path starts with this prefix (the inverse of exempt_prefix; used
+  // for rules about what a specific module must not do).
+  const char* only_prefix;
   const char* message;
 };
 
 constexpr TokenRule kTokenRules[] = {
-    {"no-raw-thread", "std::thread", MatchKind::kToken, "parallel/",
+    {"no-raw-thread", "std::thread", MatchKind::kToken, "parallel/", "",
      "raw std::thread outside src/parallel breaks the deterministic "
      "thread-pool contract; use parallel::ParallelFor"},
-    {"no-raw-thread", "std::jthread", MatchKind::kToken, "parallel/",
+    {"no-raw-thread", "std::jthread", MatchKind::kToken, "parallel/", "",
      "raw std::jthread outside src/parallel; use parallel::ParallelFor"},
-    {"no-raw-thread", "std::async", MatchKind::kToken, "parallel/",
+    {"no-raw-thread", "std::async", MatchKind::kToken, "parallel/", "",
      "std::async outside src/parallel; use parallel::ParallelFor"},
     {"no-unseeded-rng", "std::random_device", MatchKind::kToken,
-     "linalg/random",
+     "linalg/random", "",
      "std::random_device is nondeterministic; all randomness must flow "
      "through the seeded linalg::Rng"},
     {"no-unseeded-rng", "std::mt19937", MatchKind::kToken, "linalg/random",
+     "",
      "raw std::mt19937 outside src/linalg/random; construct a linalg::Rng "
      "with an explicit seed instead"},
-    {"no-unseeded-rng", "rand", MatchKind::kCall, "linalg/random",
+    {"no-unseeded-rng", "rand", MatchKind::kCall, "linalg/random", "",
      "rand() is unseeded global state; use the seeded linalg::Rng"},
-    {"no-unseeded-rng", "srand", MatchKind::kCall, "linalg/random",
+    {"no-unseeded-rng", "srand", MatchKind::kCall, "linalg/random", "",
      "srand() mutates global RNG state; use the seeded linalg::Rng"},
-    {"no-stdout", "std::cout", MatchKind::kToken, "",
+    {"no-stdout", "std::cout", MatchKind::kToken, "", "",
      "libraries must not write to stdout; return strings or take an "
      "std::ostream& so the eval/table layer owns the output format"},
-    {"no-raw-chrono", "std::chrono", MatchKind::kToken, "obs/",
+    {"no-raw-chrono", "std::chrono", MatchKind::kToken, "obs/", "",
      "raw std::chrono outside src/obs; time with obs::StopWatch (or an "
      "obs::TraceSpan) so every duration is observable in one place"},
+    // graph/io parses bytes an adversary may control (PR-5 failure
+    // model): malformed input must surface as a status::Status with
+    // file/line context, never as a process abort.
+    {"no-abort-on-input", "PEEGA_CHECK", MatchKind::kToken, "",
+     "graph/io",
+     "PEEGA_CHECK on externally sourced data aborts the process; return "
+     "status::InvalidInput/IoError with file/line context instead"},
+    {"no-abort-on-input", "PEEGA_DCHECK", MatchKind::kToken, "",
+     "graph/io",
+     "PEEGA_DCHECK on externally sourced data aborts debug builds; return "
+     "status::InvalidInput/IoError with file/line context instead"},
 };
 
 bool IsIdentChar(char c) {
@@ -221,6 +242,10 @@ void ScanTokenRules(const SourceFile& file, std::vector<Violation>* out) {
   for (const TokenRule& rule : kTokenRules) {
     if (rule.exempt_prefix[0] != '\0' &&
         file.rel.rfind(rule.exempt_prefix, 0) == 0) {
+      continue;
+    }
+    if (rule.only_prefix[0] != '\0' &&
+        file.rel.rfind(rule.only_prefix, 0) != 0) {
       continue;
     }
     const std::string needle = rule.needle;
@@ -454,6 +479,9 @@ int RunSelfTest() {
             "      std::chrono::steady_clock::now().time_since_epoch())\n"
             "      .count();\n"
             "}\n");
+  WriteFile(root / "graph/io_bad.cc",
+            "#include \"debug/check.h\"\n"
+            "int Parse(int v) { PEEGA_CHECK_GE(v, 0); return v; }\n");
   WriteFile(root / "core/bad_guard.h",
             "#ifndef WRONG_GUARD_H_\n#define WRONG_GUARD_H_\n#endif\n");
   WriteFile(root / "core/cycle_a.h",
@@ -480,6 +508,14 @@ int RunSelfTest() {
             "/* std::mt19937 and std::chrono in a block comment */\n"
             "const char* kMsg = \"std::cout << rand() std::chrono\";\n"
             "int Grad(int g) { return g; }\nint Use() { return Grad(1); }\n");
+  // PEEGA_CHECK is allowed outside graph/io (only_prefix scoping), and
+  // in graph/io comments/strings (stripping).
+  WriteFile(root / "core/check_ok.cc",
+            "#include \"debug/check.h\"\n"
+            "void V(int n) { PEEGA_CHECK_GT(n, 0); }\n");
+  WriteFile(root / "graph/io_decoy.cc",
+            "// PEEGA_CHECK would abort here, so we do not use it\n"
+            "const char* kDoc = \"never PEEGA_DCHECK parsed input\";\n");
 
   const std::vector<Violation> violations = LintTree(root);
   for (const Violation& v : violations) {
@@ -496,6 +532,7 @@ int RunSelfTest() {
       {"core/bad_rng.cc", "no-unseeded-rng"},
       {"core/bad_cout.cc", "no-stdout"},
       {"core/bad_chrono.cc", "no-raw-chrono"},
+      {"graph/io_bad.cc", "no-abort-on-input"},
       {"core/bad_guard.h", "header-guard"},
       {"core/cycle_a.h", "include-cycle"},
   };
@@ -514,7 +551,7 @@ int RunSelfTest() {
   }
   for (const char* clean_file :
        {"parallel/pool.cc", "linalg/random.cc", "obs/stopwatch.cc",
-        "core/decoy.cc"}) {
+        "core/decoy.cc", "core/check_ok.cc", "graph/io_decoy.cc"}) {
     const bool flagged =
         std::any_of(violations.begin(), violations.end(),
                     [&](const Violation& v) { return v.file == clean_file; });
