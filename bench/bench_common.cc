@@ -12,6 +12,7 @@
 #include "defense/prognn.h"
 #include "defense/svd.h"
 #include "debug/check.h"
+#include "linalg/dispatch.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -150,6 +151,9 @@ BenchReporter::BenchReporter(const std::string& bench, int* argc,
   json_path_ = ConsumeFlag("--json", argc, argv);
   trace_path_ = ConsumeFlag("--trace", argc, argv);
   if (!trace_path_.empty()) obs::SetTracing(true);
+  // Every BENCH_*.json records which SIMD variant produced its numbers;
+  // CI's schema check rejects files without it.
+  Config("simd", linalg::SimdVariantName(linalg::ActiveSimdVariant()));
   PrintRunMetadata();
 }
 

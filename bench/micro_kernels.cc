@@ -20,6 +20,7 @@
 #include "bench_common.h"
 #include "core/peega.h"
 #include "graph/generators.h"
+#include "linalg/dispatch.h"
 #include "linalg/eigen.h"
 #include "linalg/ops.h"
 #include "nn/gcn.h"
@@ -169,6 +170,98 @@ void BM_PeegaGreedyStepThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_PeegaGreedyStepThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
+// --------------------------------------------------------------------------
+// SIMD-variant sweeps of the dispatched kernels. Registered dynamically
+// (RegisterSimdVariantBenchmarks, called from main) for exactly the
+// variants this machine can run, so the suite never reports a forced
+// variant that silently fell back. Record with e.g.
+//   ./build/bench/micro_kernels --benchmark_filter=Simd
+//       --json BENCH_simd.json
+// The dispatch contract makes the outputs bitwise-identical across
+// these rows; only the time may differ.
+// --------------------------------------------------------------------------
+
+void BM_DenseMatMulSimd(benchmark::State& state, linalg::SimdVariant v) {
+  const linalg::ScopedSimdVariant scope(v);
+  state.SetLabel(std::string("simd=") + linalg::SimdVariantName(v));
+  const int n = 256;
+  Rng rng(1);
+  const Matrix a = linalg::RandomNormal(n, n, 1.0f, &rng);
+  const Matrix b = linalg::RandomNormal(n, n, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+
+void BM_MatMulTransBSimd(benchmark::State& state, linalg::SimdVariant v) {
+  const linalg::ScopedSimdVariant scope(v);
+  state.SetLabel(std::string("simd=") + linalg::SimdVariantName(v));
+  Rng rng(9);
+  const Matrix a = linalg::RandomNormal(256, 128, 1.0f, &rng);
+  const Matrix b = linalg::RandomNormal(256, 128, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::MatMulTransB(a, b));
+  }
+}
+
+void BM_SpMMSimd(benchmark::State& state, linalg::SimdVariant v) {
+  const linalg::ScopedSimdVariant scope(v);
+  state.SetLabel(std::string("simd=") + linalg::SimdVariantName(v));
+  Rng rng(2);
+  const graph::Graph g = graph::MakeCoraLike(&rng, 2.0);
+  const auto a_n = graph::GcnNormalize(g.adjacency);
+  const Matrix x = g.features;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::SpMM(a_n, x));
+  }
+}
+
+void BM_RowSoftmaxSimd(benchmark::State& state, linalg::SimdVariant v) {
+  const linalg::ScopedSimdVariant scope(v);
+  state.SetLabel(std::string("simd=") + linalg::SimdVariantName(v));
+  Rng rng(10);
+  const Matrix a = linalg::RandomNormal(2048, 64, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::RowSoftmax(a));
+  }
+}
+
+void BM_PeegaGreedyStepSimd(benchmark::State& state, linalg::SimdVariant v) {
+  const linalg::ScopedSimdVariant scope(v);
+  state.SetLabel(std::string("simd=") + linalg::SimdVariantName(v));
+  Rng rng(7);
+  const graph::Graph g = graph::MakeCoraLike(&rng, 0.5);
+  for (auto _ : state) {
+    core::PeegaAttack attacker;
+    attack::AttackOptions options;
+    options.perturbation_rate = 1e-9;  // clamps to budget 1
+    Rng step_rng(8);
+    benchmark::DoNotOptimize(attacker.Attack(g, options, &step_rng));
+  }
+}
+
+void RegisterSimdVariantBenchmarks() {
+  using Fn = void (*)(benchmark::State&, linalg::SimdVariant);
+  const std::pair<const char*, Fn> benches[] = {
+      {"BM_DenseMatMulSimd", &BM_DenseMatMulSimd},
+      {"BM_MatMulTransBSimd", &BM_MatMulTransBSimd},
+      {"BM_SpMMSimd", &BM_SpMMSimd},
+      {"BM_RowSoftmaxSimd", &BM_RowSoftmaxSimd},
+      {"BM_PeegaGreedyStepSimd", &BM_PeegaGreedyStepSimd},
+  };
+  for (const auto& [name, fn] : benches) {
+    for (const linalg::SimdVariant v :
+         {linalg::SimdVariant::kGeneric, linalg::SimdVariant::kAvx2,
+          linalg::SimdVariant::kNeon}) {
+      if (!linalg::SimdVariantUsable(v)) continue;
+      benchmark::RegisterBenchmark(
+          (std::string(name) + "/" + linalg::SimdVariantName(v)).c_str(),
+          fn, v);
+    }
+  }
+}
+
 }  // namespace
 
 // Forwards every google-benchmark result into the BenchReporter so
@@ -199,6 +292,7 @@ class PhaseForwardingReporter : public benchmark::ConsoleReporter {
 // consumes its flags before benchmark::Initialize sees argv.
 int main(int argc, char** argv) {
   repro::bench::BenchReporter reporter("micro_kernels", &argc, argv);
+  RegisterSimdVariantBenchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   PhaseForwardingReporter display(&reporter);

@@ -3,6 +3,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "linalg/dispatch.h"
 #include "parallel/thread_pool.h"
 
 namespace repro::eval {
@@ -87,6 +88,7 @@ DefenseEvaluation EvaluateAttackDefense(
 RunMetadata CollectRunMetadata(const PipelineOptions& options) {
   RunMetadata metadata;
   metadata.threads = parallel::NumThreads();
+  metadata.simd = linalg::SimdVariantName(linalg::ActiveSimdVariant());
   metadata.runs = options.runs;
   metadata.seed = options.seed;
   metadata.metrics = obs::SnapshotMetrics();
@@ -100,8 +102,8 @@ RunMetadata CollectRunMetadata(const PipelineOptions& options) {
 std::string FormatRunMetadata(const RunMetadata& metadata) {
   std::ostringstream out;
   out << "run-metadata: threads=" << metadata.threads
-      << " runs=" << metadata.runs << " seed=" << metadata.seed
-      << " errors=" << metadata.errors.size();
+      << " simd=" << metadata.simd << " runs=" << metadata.runs
+      << " seed=" << metadata.seed << " errors=" << metadata.errors.size();
   return out.str();
 }
 

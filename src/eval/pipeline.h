@@ -63,6 +63,11 @@ DefenseEvaluation EvaluateAttackDefense(
 /// from the logs alone.
 struct RunMetadata {
   int threads = 1;       ///< parallel::NumThreads() at collection time
+  /// Active SIMD kernel variant ("generic"/"avx2"/"neon", see
+  /// linalg/dispatch.h). Timing cells are only comparable at a known
+  /// variant, and the dispatch contract promises result cells are
+  /// IDENTICAL across variants — recording it makes both checkable.
+  std::string simd;
   int runs = 0;          ///< repetitions behind mean±std cells
   uint64_t seed = 0;     ///< pipeline base seed
   /// Point-in-time copy of every obs instrument at collection time; the

@@ -1,0 +1,139 @@
+#include "linalg/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "debug/check.h"
+#include "obs/metrics.h"
+
+namespace repro::linalg {
+
+namespace {
+
+// Keeps the gauge in sync with every variant transition so BENCH_*.json
+// metrics snapshots record what actually ran, including mid-bench
+// forced-variant scopes.
+void PublishVariantGauge(SimdVariant variant) {
+  static obs::Gauge* const gauge = obs::GetGauge("linalg.simd.variant");
+  gauge->Set(static_cast<double>(static_cast<int>(variant)));
+}
+
+SimdVariant ResolveInitialVariant() {
+  const char* env = std::getenv("PEEGA_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    const std::string requested(env);
+    SimdVariant variant = SimdVariant::kGeneric;
+    bool known = false;
+    for (int v = 0; v < kNumSimdVariants; ++v) {
+      const SimdVariant candidate = static_cast<SimdVariant>(v);
+      if (requested == SimdVariantName(candidate)) {
+        variant = candidate;
+        known = true;
+        break;
+      }
+    }
+    PEEGA_CHECK(known) << " — PEEGA_SIMD='" << requested
+                       << "' is not one of generic|avx2|neon";
+    // A forced variant that silently fell back to generic would turn a
+    // differential-test run into generic-vs-generic; fail loudly.
+    PEEGA_CHECK(SimdVariantCompiled(variant))
+        << " — PEEGA_SIMD=" << requested
+        << " requested but this binary was built without that variant";
+    PEEGA_CHECK(SimdVariantUsable(variant))
+        << " — PEEGA_SIMD=" << requested
+        << " requested but this CPU does not support it";
+    return variant;
+  }
+  // Best usable variant in preference order.
+  if (SimdVariantUsable(SimdVariant::kAvx2)) return SimdVariant::kAvx2;
+  if (SimdVariantUsable(SimdVariant::kNeon)) return SimdVariant::kNeon;
+  return SimdVariant::kGeneric;
+}
+
+std::atomic<int>& ActiveVariantStorage() {
+  // Lazily resolved: first ActiveSimdVariant() call pays the env/CPUID
+  // lookup, every later call is one relaxed load on the kernel path.
+  static std::atomic<int> active{[] {
+    const SimdVariant variant = ResolveInitialVariant();
+    PublishVariantGauge(variant);
+    return static_cast<int>(variant);
+  }()};
+  return active;
+}
+
+}  // namespace
+
+const char* SimdVariantName(SimdVariant variant) {
+  switch (variant) {
+    case SimdVariant::kGeneric:
+      return "generic";
+    case SimdVariant::kAvx2:
+      return "avx2";
+    case SimdVariant::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool SimdVariantCompiled(SimdVariant variant) {
+  switch (variant) {
+    case SimdVariant::kGeneric:
+      return true;
+    case SimdVariant::kAvx2:
+#if defined(PEEGA_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case SimdVariant::kNeon:
+#if defined(PEEGA_HAVE_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool SimdVariantUsable(SimdVariant variant) {
+  if (!SimdVariantCompiled(variant)) return false;
+  switch (variant) {
+    case SimdVariant::kGeneric:
+      return true;
+    case SimdVariant::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case SimdVariant::kNeon:
+      // NEON is baseline on aarch64; the TU is only compiled there.
+      return true;
+  }
+  return false;
+}
+
+SimdVariant ActiveSimdVariant() {
+  return static_cast<SimdVariant>(
+      ActiveVariantStorage().load(std::memory_order_relaxed));
+}
+
+void SetSimdVariantForTesting(SimdVariant variant) {
+  PEEGA_CHECK(SimdVariantUsable(variant))
+      << " — cannot force SIMD variant '" << SimdVariantName(variant)
+      << "': not compiled in or not supported by this CPU";
+  ActiveVariantStorage().store(static_cast<int>(variant),
+                               std::memory_order_relaxed);
+  PublishVariantGauge(variant);
+}
+
+ScopedSimdVariant::ScopedSimdVariant(SimdVariant variant)
+    : previous_(ActiveSimdVariant()) {
+  SetSimdVariantForTesting(variant);
+}
+
+ScopedSimdVariant::~ScopedSimdVariant() {
+  SetSimdVariantForTesting(previous_);
+}
+
+}  // namespace repro::linalg

@@ -1,0 +1,119 @@
+#ifndef PEEGA_LINALG_DISPATCH_H_
+#define PEEGA_LINALG_DISPATCH_H_
+
+#include <string>
+
+namespace repro::linalg {
+
+/// \file
+/// Runtime SIMD kernel dispatch.
+///
+/// Every hot kernel in `linalg/ops.h` and `linalg/incremental.h` exists
+/// in up to three variants — a scalar reference (`generic`), an AVX2
+/// implementation, and a NEON implementation — collected in per-op
+/// `KernelTable`s (see `linalg/kernels/kernels.h`). One variant is
+/// selected for the whole process the first time any kernel dispatches:
+///
+///   1. the `PEEGA_SIMD` environment variable (`generic|avx2|neon`),
+///      which aborts loudly when it names a variant this binary did not
+///      compile or this CPU cannot execute — a forced variant that
+///      silently fell back would invalidate a differential-test run;
+///   2. otherwise the best variant that is both compiled in and
+///      supported by the CPU (detected via CPUID on x86), falling back
+///      to `generic`.
+///
+/// The selection is observable everywhere results are recorded: the
+/// `linalg.simd.variant` obs gauge, the `"simd"` key of every
+/// `BENCH_*.json` config block, and `eval::RunMetadata`.
+///
+/// Determinism contract: a variant is only registered for an op if its
+/// output is BITWISE IDENTICAL to the generic reference on every input
+/// (DESIGN.md, "Kernel dispatch & determinism classes"). The op
+/// registry (`linalg/op_registry.h`) turns that promise into
+/// auto-generated differential tests, so `PEEGA_SIMD=generic` and
+/// `PEEGA_SIMD=avx2` PEEGA campaigns commit identical flip sequences.
+
+/// The kernel instruction-set variants, in preference order (higher is
+/// preferred when supported). Values are stable: they are recorded in
+/// the `linalg.simd.variant` gauge.
+enum class SimdVariant : int {
+  kGeneric = 0,  ///< portable scalar reference — always compiled
+  kAvx2 = 1,     ///< x86-64 AVX2 (256-bit float lanes)
+  kNeon = 2,     ///< aarch64 NEON (128-bit float lanes)
+};
+
+inline constexpr int kNumSimdVariants = 3;
+
+/// Lower-case stable name ("generic", "avx2", "neon") used by the
+/// PEEGA_SIMD env variable, bench JSON, and run metadata.
+const char* SimdVariantName(SimdVariant variant);
+
+/// True when this binary contains kernel code for `variant` (decided at
+/// compile time: the AVX2/NEON translation units are only built when
+/// the toolchain targets that architecture).
+bool SimdVariantCompiled(SimdVariant variant);
+
+/// True when `variant` is compiled in AND the running CPU can execute
+/// it (CPUID check for AVX2; NEON is baseline on aarch64).
+bool SimdVariantUsable(SimdVariant variant);
+
+/// The variant every dispatched kernel currently runs. Resolved once
+/// from PEEGA_SIMD / CPUID on first use (see file comment), then
+/// constant until `SetSimdVariantForTesting` overrides it. Also keeps
+/// the `linalg.simd.variant` gauge in sync.
+SimdVariant ActiveSimdVariant();
+
+/// Forces the active variant, for differential tests and per-variant
+/// benchmarks. Aborts (PEEGA_CHECK) when `variant` is not usable on
+/// this machine — tests must skip instead of silently comparing
+/// generic against itself. Not thread-safe against concurrently
+/// running kernels; call between kernel invocations only.
+void SetSimdVariantForTesting(SimdVariant variant);
+
+/// RAII forced-variant scope for tests and benchmarks: forces
+/// `variant` on construction, restores the previous active variant on
+/// destruction.
+class ScopedSimdVariant {
+ public:
+  explicit ScopedSimdVariant(SimdVariant variant);
+  ~ScopedSimdVariant();
+
+  ScopedSimdVariant(const ScopedSimdVariant&) = delete;
+  ScopedSimdVariant& operator=(const ScopedSimdVariant&) = delete;
+
+ private:
+  SimdVariant previous_;
+};
+
+/// Per-op variant table. `generic` is mandatory (it is the reference
+/// implementation every other variant is differentially tested
+/// against); `avx2`/`neon` are null when not compiled or not
+/// implemented for the op. Tables are static data in
+/// `linalg/kernels/kernels.cc`; `Select` resolves the active variant's
+/// function pointer, falling back to `generic` when the active variant
+/// has no implementation for this op.
+template <typename Fn>
+struct KernelTable {
+  const char* op;  ///< registry name, e.g. "linalg.matmul"
+  Fn generic;
+  Fn avx2;
+  Fn neon;
+
+  Fn Select() const {
+    switch (ActiveSimdVariant()) {
+      case SimdVariant::kAvx2:
+        if (avx2 != nullptr) return avx2;
+        break;
+      case SimdVariant::kNeon:
+        if (neon != nullptr) return neon;
+        break;
+      case SimdVariant::kGeneric:
+        break;
+    }
+    return generic;
+  }
+};
+
+}  // namespace repro::linalg
+
+#endif  // PEEGA_LINALG_DISPATCH_H_

@@ -2,6 +2,7 @@
 
 #include "debug/check.h"
 #include "debug/numerics.h"
+#include "linalg/kernels/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
@@ -47,34 +48,18 @@ void NormalizedSpMMRows(const std::vector<std::vector<int>>& neighbors,
       obs::GetCounter("linalg.incremental.flops");
   calls->Add(1);
   const int cols = b.cols();
+  const kernels::NormalizedSpMMRowFn kernel =
+      kernels::NormalizedSpMMRowTable().Select();
   parallel::ParallelFor(
       0, static_cast<int64_t>(rows.size()), kSpmmRowGrain,
       [&](int64_t i0, int64_t i1) {
         uint64_t work = 0;
         for (int64_t i = i0; i < i1; ++i) {
           const int r = rows[static_cast<size_t>(i)];
-          float* crow = out->row(r);
-          for (int j = 0; j < cols; ++j) crow[j] = 0.0f;
-          // Stored (ascending-column) order with the self-loop merged in
-          // sorted position — the accumulation order of linalg::SpMM on
-          // graph::GcnNormalize's CSR, and of the dense MatMul on the
-          // tape's normalized adjacency (zero entries skipped there).
-          const float sr = scale[r];
-          const auto apply = [&](int k) {
-            const float v = sr * scale[k];
-            const float* brow = b.row(k);
-            for (int j = 0; j < cols; ++j) crow[j] += v * brow[j];
-          };
-          bool self_done = false;
-          for (const int k : neighbors[r]) {
-            if (!self_done && r < k) {
-              apply(r);
-              self_done = true;
-            }
-            apply(k);
-          }
-          if (!self_done) apply(r);
-          work += neighbors[r].size() + 1;
+          const std::vector<int>& nbrs = neighbors[r];
+          kernel(nbrs.data(), static_cast<int>(nbrs.size()), r, scale.data(),
+                 b.data(), cols, out->row(r));
+          work += nbrs.size() + 1;
         }
         flops->Add(2 * work * static_cast<uint64_t>(cols));
       });
@@ -102,6 +87,12 @@ void DotRowsInto(const Matrix& a, const Matrix& b,
       obs::GetCounter("linalg.incremental.flops");
   calls->Add(1);
   const int n = b.rows(), k = a.cols();
+  // The AVX2 variant gathers 8 consecutive B-rows per step through
+  // 32-bit offsets of at most 8·k elements; fall back to generic when
+  // that could overflow (the variants are bitwise-equal either way).
+  const kernels::DotRowFn kernel = kernels::GatherOffsetsFit(7, k)
+                                       ? kernels::DotRowTable().Select()
+                                       : kernels::DotRowTable().generic;
   parallel::ParallelFor(
       0, static_cast<int64_t>(rows.size()), kDotRowGrain,
       [&](int64_t i0, int64_t i1) {
@@ -113,15 +104,7 @@ void DotRowsInto(const Matrix& a, const Matrix& b,
             for (int j = 0; j < n; ++j) crow[j] = 0.0f;
             continue;
           }
-          const float* arow = a.row(r);
-          // Ascending-k float dots, the accumulation order of
-          // linalg::MatMulTransB.
-          for (int j = 0; j < n; ++j) {
-            const float* brow = b.row(j);
-            float dot = 0.0f;
-            for (int kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
-            crow[j] = dot;
-          }
+          kernel(a.row(r), b.data(), n, k, crow);
           dots += static_cast<uint64_t>(n);
         }
         flops->Add(2 * dots * static_cast<uint64_t>(k));
@@ -144,6 +127,12 @@ void DotColsInto(const Matrix& a, const Matrix& b,
   const int k = a.cols();
   flops->Add(2ull * static_cast<uint64_t>(a.rows()) *
              static_cast<uint64_t>(cols.size()) * static_cast<uint64_t>(k));
+  // The AVX2 variant gathers through ABSOLUTE 32-bit offsets col·k, so
+  // the largest addressable B row index bounds the guard here.
+  const kernels::DotColsRowFn kernel =
+      kernels::GatherOffsetsFit(b.rows() > 0 ? b.rows() - 1 : 0, k)
+          ? kernels::DotColsRowTable().Select()
+          : kernels::DotColsRowTable().generic;
   parallel::ParallelFor(0, a.rows(), kSpmmRowGrain, [&](int64_t r0,
                                                         int64_t r1) {
     for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
@@ -152,13 +141,8 @@ void DotColsInto(const Matrix& a, const Matrix& b,
         for (const int j : cols) crow[j] = 0.0f;
         continue;
       }
-      const float* arow = a.row(i);
-      for (const int j : cols) {
-        const float* brow = b.row(j);
-        float dot = 0.0f;
-        for (int kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
-        crow[j] = dot;
-      }
+      kernel(a.row(i), b.data(), cols.data(),
+             static_cast<int64_t>(cols.size()), k, crow);
     }
   });
   if constexpr (debug::NumericsGuardEnabled()) {

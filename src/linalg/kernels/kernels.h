@@ -1,0 +1,132 @@
+#ifndef PEEGA_LINALG_KERNELS_KERNELS_H_
+#define PEEGA_LINALG_KERNELS_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/dispatch.h"
+
+namespace repro::linalg::kernels {
+
+/// \file
+/// Chunk- and row-level kernel signatures plus the per-op variant
+/// tables behind `linalg/ops.cc` and `linalg/incremental.cc`.
+///
+/// The public kernels keep their orchestration (shape checks, tracing,
+/// FLOP counters, `parallel::ParallelFor` chunking) and resolve ONE
+/// function pointer per call from the op's `KernelTable`; the pointed-to
+/// functions below do the arithmetic for one chunk (dense ops) or one
+/// row (the row-subset repair ops). Signatures are raw pointers + sizes
+/// on purpose: the AVX2/NEON translation units are compiled with
+/// instruction-set flags the rest of the tree must not assume, so they
+/// must not instantiate inline class members that could be ODR-merged
+/// into baseline code.
+///
+/// Variant contract (DESIGN.md, "Kernel dispatch & determinism
+/// classes"): every non-generic variant reproduces the generic float
+/// accumulation order per output element EXACTLY — vector lanes map to
+/// distinct output elements, never to partial sums of one element, and
+/// multiplies/adds round separately (no FMA contraction; the kernel TUs
+/// compile with `-ffp-contract=off`). The op registry
+/// (`linalg/op_registry.h`) auto-generates bitwise differential tests
+/// for every compiled variant from this promise.
+
+// ---------------------------------------------------------------------------
+// Chunk kernels (dense ops; all matrices row-major, stride = cols)
+// ---------------------------------------------------------------------------
+
+/// Rows [r0, r1) of C(m×n) = A(m×k) · B(k×n), cache-blocked over k with
+/// block 64; per-element accumulation ascends kk within ascending
+/// k-blocks, zero `a` entries skipped.
+using MatMulRowsFn = void (*)(const float* a, const float* b, float* c,
+                              int64_t r0, int64_t r1, int k, int n);
+
+/// Column slice [j0, j1) of C(m×n) = A(k_rows×m)ᵀ · B(k_rows×n);
+/// kk-outer streaming order, per-element accumulation ascends kk.
+using MatMulTransAColsFn = void (*)(const float* a, const float* b, float* c,
+                                    int64_t j0, int64_t j1, int k_rows, int m,
+                                    int n);
+
+/// Rows [r0, r1) of C(m×n) = A(m×k) · B(n×k)ᵀ; each element is an
+/// ascending-k dot product.
+using MatMulTransBRowsFn = void (*)(const float* a, const float* b, float* c,
+                                    int64_t r0, int64_t r1, int k, int n);
+
+/// Rows [r0, r1) of C = S · B for CSR S; each row accumulates its
+/// nonzeros in stored (ascending-column) order.
+using SpMMRowsFn = void (*)(const int64_t* row_ptr, const int* col_idx,
+                            const float* values, const float* b, float* c,
+                            int64_t r0, int64_t r1, int n);
+
+/// Rows [r0, r1) of y = S · x for CSR S, stored-order accumulation.
+using SpMVRowsFn = void (*)(const int64_t* row_ptr, const int* col_idx,
+                            const float* values, const float* x, float* y,
+                            int64_t r0, int64_t r1);
+
+/// Rows [r0, r1) of the max-stabilized row softmax; the exp/denominator
+/// scan is scalar in every variant (libm exp in ascending-j order).
+using RowSoftmaxRowsFn = void (*)(const float* a, float* c, int64_t r0,
+                                  int64_t r1, int n);
+
+// ---------------------------------------------------------------------------
+// Row kernels (row-subset repair ops of the incremental engine)
+// ---------------------------------------------------------------------------
+
+/// Row `r` of A_n · B for the GCN-normalized adjacency implied by
+/// `neighbors`/`scale` (entry value scale[r]·scale[k]); the self-loop is
+/// merged in sorted position exactly as in `linalg::SpMM` on
+/// `graph::GcnNormalize`'s CSR. `b` is (n×cols); writes `out_row`.
+using NormalizedSpMMRowFn = void (*)(const int* neighbors, int degree, int r,
+                                     const float* scale, const float* b,
+                                     int cols, float* out_row);
+
+/// One row of A · Bᵀ: out_row[j] = dot(a_row, b + j·k) for j in [0, n),
+/// each dot ascending-k.
+using DotRowFn = void (*)(const float* a_row, const float* b, int64_t n,
+                          int k, float* out_row);
+
+/// Subset-column companion: out_row[cols[c]] = dot(a_row, b + cols[c]·k)
+/// for c in [0, num_cols); untouched columns keep their values.
+using DotColsRowFn = void (*)(const float* a_row, const float* b,
+                              const int* cols, int64_t num_cols, int k,
+                              float* out_row);
+
+// ---------------------------------------------------------------------------
+// Per-op tables
+// ---------------------------------------------------------------------------
+
+const KernelTable<MatMulRowsFn>& MatMulTable();
+const KernelTable<MatMulTransAColsFn>& MatMulTransATable();
+const KernelTable<MatMulTransBRowsFn>& MatMulTransBTable();
+const KernelTable<SpMMRowsFn>& SpMMTable();
+const KernelTable<SpMVRowsFn>& SpMVTable();
+const KernelTable<RowSoftmaxRowsFn>& RowSoftmaxTable();
+const KernelTable<NormalizedSpMMRowFn>& NormalizedSpMMRowTable();
+const KernelTable<DotRowFn>& DotRowTable();
+const KernelTable<DotColsRowFn>& DotColsRowTable();
+
+/// The AVX2 dot-family kernels address B rows through 32-bit gather
+/// offsets (lane l reads b[row_l·k + kk]); callers fall back to the
+/// generic kernel when `max_row·k + k` could exceed INT32_MAX.
+inline bool GatherOffsetsFit(int64_t max_row, int64_t k) {
+  return max_row * k + k <= int64_t{INT32_MAX};
+}
+
+/// Introspection row for the registry self-check and gen_op_docs: which
+/// variants of each dispatched op this binary actually compiled.
+struct KernelTableInfo {
+  const char* op;
+  bool has_generic = false;
+  bool has_avx2 = false;
+  bool has_neon = false;
+};
+
+/// One entry per kernel table above, in table-declaration order. The op
+/// registry cross-checks this against its own entries in both
+/// directions (every dispatched op documented, every documented variant
+/// compiled where the toolchain allows).
+std::vector<KernelTableInfo> AllKernelTables();
+
+}  // namespace repro::linalg::kernels
+
+#endif  // PEEGA_LINALG_KERNELS_KERNELS_H_

@@ -1,0 +1,232 @@
+// AVX2 kernel variants. Compiled with -mavx2 -ffp-contract=off in its
+// own translation unit (never on the baseline tree) and reached only
+// through the dispatch tables after a CPUID check.
+//
+// Bitwise-equality discipline (DESIGN.md, "Kernel dispatch &
+// determinism classes"): every vector lane owns ONE output element and
+// replays the generic kernel's accumulation sequence for that element —
+// saxpy kernels vectorize across the contiguous j (output-column) loop,
+// dot kernels keep the ascending-k scan per output and spread EIGHT
+// DIFFERENT outputs across lanes via strided gathers. Multiplies and
+// adds round separately (_mm256_mul_ps + _mm256_add_ps, never
+// _mm256_fmadd_ps): the baseline x86-64 scalar reference has no FMA, so
+// a fused variant would differ in the last bit and flip greedy argmax
+// decisions. Scalar tails reuse the exact generic expressions.
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/kernels/variants.h"
+
+namespace repro::linalg::kernels::avx2 {
+
+namespace {
+
+// crow[j] += av * brow[j] for j in [0, n) — the shared saxpy inner loop
+// of MatMulRows / SpMMRows / NormalizedSpMMRow. Lane l handles element
+// j + l; per element the operation sequence equals the scalar loop.
+inline void AxpyRow(float av, const float* brow, float* crow, int n) {
+  const __m256 vav = _mm256_set1_ps(av);
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 vb = _mm256_loadu_ps(brow + j);
+    const __m256 vc = _mm256_loadu_ps(crow + j);
+    _mm256_storeu_ps(crow + j, _mm256_add_ps(vc, _mm256_mul_ps(vav, vb)));
+  }
+  for (; j < n; ++j) crow[j] += av * brow[j];
+}
+
+// Eight ascending-k dot products at once: lane l accumulates
+// dot(a_row, b + (base_row + l)·k) through a stride-k gather, exactly
+// the generic per-output order. Caller guarantees (base-relative)
+// gather offsets fit int32 (kernels.h GatherOffsetsFit).
+inline __m256 DotEight(const float* a_row, const float* b_tile, int k) {
+  const __m256i vidx =
+      _mm256_mullo_epi32(_mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+                         _mm256_set1_epi32(k));
+  __m256 acc = _mm256_setzero_ps();
+  for (int kk = 0; kk < k; ++kk) {
+    const __m256 va = _mm256_set1_ps(a_row[kk]);
+    const __m256 vb = _mm256_i32gather_ps(b_tile + kk, vidx, 4);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+  }
+  return acc;
+}
+
+inline float DotScalar(const float* a_row, const float* brow, int k) {
+  float dot = 0.0f;
+  for (int kk = 0; kk < k; ++kk) dot += a_row[kk] * brow[kk];
+  return dot;
+}
+
+}  // namespace
+
+void MatMulRows(const float* a, const float* b, float* c, int64_t r0,
+                int64_t r1, int k, int n) {
+  constexpr int kBlock = 64;
+  for (int k0 = 0; k0 < k; k0 += kBlock) {
+    const int k1 = std::min(k0 + kBlock, k);
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      const float* arow = a + static_cast<int64_t>(i) * k;
+      float* crow = c + static_cast<int64_t>(i) * n;
+      for (int kk = k0; kk < k1; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        AxpyRow(av, b + static_cast<int64_t>(kk) * n, crow, n);
+      }
+    }
+  }
+}
+
+void MatMulTransACols(const float* a, const float* b, float* c, int64_t j0,
+                      int64_t j1, int k_rows, int m, int n) {
+  const int jb = static_cast<int>(j0);
+  const int je = static_cast<int>(j1);
+  for (int kk = 0; kk < k_rows; ++kk) {
+    const float* arow = a + static_cast<int64_t>(kk) * m;
+    const float* brow = b + static_cast<int64_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<int64_t>(i) * n;
+      const __m256 vav = _mm256_set1_ps(av);
+      int j = jb;
+      for (; j + 8 <= je; j += 8) {
+        const __m256 vb = _mm256_loadu_ps(brow + j);
+        const __m256 vc = _mm256_loadu_ps(crow + j);
+        _mm256_storeu_ps(crow + j, _mm256_add_ps(vc, _mm256_mul_ps(vav, vb)));
+      }
+      for (; j < je; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransBRows(const float* a, const float* b, float* c, int64_t r0,
+                      int64_t r1, int k, int n) {
+  for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+    const float* arow = a + static_cast<int64_t>(i) * k;
+    float* crow = c + static_cast<int64_t>(i) * n;
+    int j = 0;
+    for (; j + 8 <= n; j += 8) {
+      _mm256_storeu_ps(crow + j,
+                       DotEight(arow, b + static_cast<int64_t>(j) * k, k));
+    }
+    for (; j < n; ++j) {
+      crow[j] = DotScalar(arow, b + static_cast<int64_t>(j) * k, k);
+    }
+  }
+}
+
+void SpMMRows(const int64_t* row_ptr, const int* col_idx, const float* values,
+              const float* b, float* c, int64_t r0, int64_t r1, int n) {
+  for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+    float* crow = c + static_cast<int64_t>(i) * n;
+    for (int64_t kk = row_ptr[i]; kk < row_ptr[i + 1]; ++kk) {
+      AxpyRow(values[kk], b + static_cast<int64_t>(col_idx[kk]) * n, crow, n);
+    }
+  }
+}
+
+void RowSoftmaxRows(const float* a, float* c, int64_t r0, int64_t r1, int n) {
+  for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+    const float* arow = a + static_cast<int64_t>(i) * n;
+    float* crow = c + static_cast<int64_t>(i) * n;
+    // Lane-parallel max then horizontal reduce: float max is exact
+    // selection (associative and commutative on the non-NaN inputs the
+    // numerics guard admits), so the reassociation is value-identical
+    // to the scalar scan; a ±0 tie feeds exp(±0) = 1.0f either way.
+    float row_max;
+    if (n >= 8) {
+      __m256 vmax = _mm256_loadu_ps(arow);
+      int j = 8;
+      for (; j + 8 <= n; j += 8) {
+        vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(arow + j));
+      }
+      alignas(32) float lanes[8];
+      _mm256_store_ps(lanes, vmax);
+      row_max = lanes[0];
+      for (int l = 1; l < 8; ++l) row_max = std::max(row_max, lanes[l]);
+      for (; j < n; ++j) row_max = std::max(row_max, arow[j]);
+    } else {
+      row_max = arow[0];
+      for (int j = 1; j < n; ++j) row_max = std::max(row_max, arow[j]);
+    }
+    // The exp + denominator scan stays scalar in every variant: libm
+    // exp calls in ascending-j order ARE the reference accumulation.
+    float denom = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      crow[j] = std::exp(arow[j] - row_max);
+      denom += crow[j];
+    }
+    const float inv = 1.0f / denom;
+    const __m256 vinv = _mm256_set1_ps(inv);
+    int j = 0;
+    for (; j + 8 <= n; j += 8) {
+      _mm256_storeu_ps(crow + j,
+                       _mm256_mul_ps(_mm256_loadu_ps(crow + j), vinv));
+    }
+    for (; j < n; ++j) crow[j] *= inv;
+  }
+}
+
+void NormalizedSpMMRow(const int* neighbors, int degree, int r,
+                       const float* scale, const float* b, int cols,
+                       float* out_row) {
+  {
+    const __m256 vzero = _mm256_setzero_ps();
+    int j = 0;
+    for (; j + 8 <= cols; j += 8) _mm256_storeu_ps(out_row + j, vzero);
+    for (; j < cols; ++j) out_row[j] = 0.0f;
+  }
+  const float sr = scale[r];
+  const auto apply = [&](int k) {
+    AxpyRow(sr * scale[k], b + static_cast<int64_t>(k) * cols, out_row, cols);
+  };
+  bool self_done = false;
+  for (int idx = 0; idx < degree; ++idx) {
+    const int k = neighbors[idx];
+    if (!self_done && r < k) {
+      apply(r);
+      self_done = true;
+    }
+    apply(k);
+  }
+  if (!self_done) apply(r);
+}
+
+void DotRow(const float* a_row, const float* b, int64_t n, int k,
+            float* out_row) {
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(out_row + j, DotEight(a_row, b + j * k, k));
+  }
+  for (; j < n; ++j) out_row[j] = DotScalar(a_row, b + j * k, k);
+}
+
+void DotColsRow(const float* a_row, const float* b, const int* cols,
+                int64_t num_cols, int k, float* out_row) {
+  const __m256i vk = _mm256_set1_epi32(k);
+  int64_t c = 0;
+  for (; c + 8 <= num_cols; c += 8) {
+    const __m256i vcols = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(cols + c));
+    const __m256i vidx = _mm256_mullo_epi32(vcols, vk);
+    __m256 acc = _mm256_setzero_ps();
+    for (int kk = 0; kk < k; ++kk) {
+      const __m256 va = _mm256_set1_ps(a_row[kk]);
+      const __m256 vb = _mm256_i32gather_ps(b + kk, vidx, 4);
+      acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+    }
+    alignas(32) float lanes[8];
+    _mm256_store_ps(lanes, acc);
+    for (int l = 0; l < 8; ++l) out_row[cols[c + l]] = lanes[l];
+  }
+  for (; c < num_cols; ++c) {
+    const int j = cols[c];
+    out_row[j] = DotScalar(a_row, b + static_cast<int64_t>(j) * k, k);
+  }
+}
+
+}  // namespace repro::linalg::kernels::avx2

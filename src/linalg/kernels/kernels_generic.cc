@@ -1,0 +1,152 @@
+// Scalar reference kernels — the implementations every other variant is
+// differentially tested against, moved verbatim from the pre-dispatch
+// loop bodies of linalg/ops.cc and linalg/incremental.cc so their float
+// accumulation order (and hence every golden fixture and the engine ==
+// tape bitwise guarantee) is unchanged. Compiled with -ffp-contract=off
+// like all kernel TUs, which pins the mul-then-add rounding the SIMD
+// variants reproduce lane-for-lane.
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/kernels/variants.h"
+
+namespace repro::linalg::kernels::generic {
+
+void MatMulRows(const float* a, const float* b, float* c, int64_t r0,
+                int64_t r1, int k, int n) {
+  constexpr int kBlock = 64;
+  for (int k0 = 0; k0 < k; k0 += kBlock) {
+    const int k1 = std::min(k0 + kBlock, k);
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      const float* arow = a + static_cast<int64_t>(i) * k;
+      float* crow = c + static_cast<int64_t>(i) * n;
+      for (int kk = k0; kk < k1; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = b + static_cast<int64_t>(kk) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void MatMulTransACols(const float* a, const float* b, float* c, int64_t j0,
+                      int64_t j1, int k_rows, int m, int n) {
+  for (int kk = 0; kk < k_rows; ++kk) {
+    const float* arow = a + static_cast<int64_t>(kk) * m;
+    const float* brow = b + static_cast<int64_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<int64_t>(i) * n;
+      for (int j = static_cast<int>(j0); j < static_cast<int>(j1); ++j) {
+        crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void MatMulTransBRows(const float* a, const float* b, float* c, int64_t r0,
+                      int64_t r1, int k, int n) {
+  for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+    const float* arow = a + static_cast<int64_t>(i) * k;
+    float* crow = c + static_cast<int64_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<int64_t>(j) * k;
+      float dot = 0.0f;
+      for (int kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
+      crow[j] = dot;
+    }
+  }
+}
+
+void SpMMRows(const int64_t* row_ptr, const int* col_idx, const float* values,
+              const float* b, float* c, int64_t r0, int64_t r1, int n) {
+  for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+    float* crow = c + static_cast<int64_t>(i) * n;
+    for (int64_t kk = row_ptr[i]; kk < row_ptr[i + 1]; ++kk) {
+      const float v = values[kk];
+      const float* brow = b + static_cast<int64_t>(col_idx[kk]) * n;
+      for (int j = 0; j < n; ++j) crow[j] += v * brow[j];
+    }
+  }
+}
+
+void SpMVRows(const int64_t* row_ptr, const int* col_idx, const float* values,
+              const float* x, float* y, int64_t r0, int64_t r1) {
+  for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+    float acc = 0.0f;
+    for (int64_t kk = row_ptr[i]; kk < row_ptr[i + 1]; ++kk) {
+      acc += values[kk] * x[col_idx[kk]];
+    }
+    y[i] = acc;
+  }
+}
+
+void RowSoftmaxRows(const float* a, float* c, int64_t r0, int64_t r1, int n) {
+  for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+    const float* arow = a + static_cast<int64_t>(i) * n;
+    float* crow = c + static_cast<int64_t>(i) * n;
+    float row_max = arow[0];
+    for (int j = 1; j < n; ++j) row_max = std::max(row_max, arow[j]);
+    float denom = 0.0f;
+    for (int j = 0; j < n; ++j) {
+      crow[j] = std::exp(arow[j] - row_max);
+      denom += crow[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int j = 0; j < n; ++j) crow[j] *= inv;
+  }
+}
+
+void NormalizedSpMMRow(const int* neighbors, int degree, int r,
+                       const float* scale, const float* b, int cols,
+                       float* out_row) {
+  for (int j = 0; j < cols; ++j) out_row[j] = 0.0f;
+  // Stored (ascending-column) order with the self-loop merged in sorted
+  // position — the accumulation order of linalg::SpMM on
+  // graph::GcnNormalize's CSR, and of the dense MatMul on the tape's
+  // normalized adjacency (zero entries skipped there).
+  const float sr = scale[r];
+  const auto apply = [&](int k) {
+    const float v = sr * scale[k];
+    const float* brow = b + static_cast<int64_t>(k) * cols;
+    for (int j = 0; j < cols; ++j) out_row[j] += v * brow[j];
+  };
+  bool self_done = false;
+  for (int idx = 0; idx < degree; ++idx) {
+    const int k = neighbors[idx];
+    if (!self_done && r < k) {
+      apply(r);
+      self_done = true;
+    }
+    apply(k);
+  }
+  if (!self_done) apply(r);
+}
+
+void DotRow(const float* a_row, const float* b, int64_t n, int k,
+            float* out_row) {
+  // Ascending-k float dots, the accumulation order of
+  // linalg::MatMulTransB.
+  for (int64_t j = 0; j < n; ++j) {
+    const float* brow = b + j * k;
+    float dot = 0.0f;
+    for (int kk = 0; kk < k; ++kk) dot += a_row[kk] * brow[kk];
+    out_row[j] = dot;
+  }
+}
+
+void DotColsRow(const float* a_row, const float* b, const int* cols,
+                int64_t num_cols, int k, float* out_row) {
+  for (int64_t c = 0; c < num_cols; ++c) {
+    const int j = cols[c];
+    const float* brow = b + static_cast<int64_t>(j) * k;
+    float dot = 0.0f;
+    for (int kk = 0; kk < k; ++kk) dot += a_row[kk] * brow[kk];
+    out_row[j] = dot;
+  }
+}
+
+}  // namespace repro::linalg::kernels::generic

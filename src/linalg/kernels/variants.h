@@ -1,0 +1,74 @@
+#ifndef PEEGA_LINALG_KERNELS_VARIANTS_H_
+#define PEEGA_LINALG_KERNELS_VARIANTS_H_
+
+#include <cstdint>
+
+// Internal declarations shared by the variant translation units and the
+// table definitions in kernels.cc. Each namespace mirrors a subset of
+// the signatures in kernels.h; an op/variant pair missing here is
+// simply not implemented (its table slot stays null and dispatch falls
+// back to generic). The AVX2/NEON blocks are guarded by the same
+// compile definitions CMake sets when it builds those TUs, so kernels.cc
+// sees exactly the symbols the link will provide.
+
+namespace repro::linalg::kernels {
+
+namespace generic {
+void MatMulRows(const float* a, const float* b, float* c, int64_t r0,
+                int64_t r1, int k, int n);
+void MatMulTransACols(const float* a, const float* b, float* c, int64_t j0,
+                      int64_t j1, int k_rows, int m, int n);
+void MatMulTransBRows(const float* a, const float* b, float* c, int64_t r0,
+                      int64_t r1, int k, int n);
+void SpMMRows(const int64_t* row_ptr, const int* col_idx, const float* values,
+              const float* b, float* c, int64_t r0, int64_t r1, int n);
+void SpMVRows(const int64_t* row_ptr, const int* col_idx, const float* values,
+              const float* x, float* y, int64_t r0, int64_t r1);
+void RowSoftmaxRows(const float* a, float* c, int64_t r0, int64_t r1, int n);
+void NormalizedSpMMRow(const int* neighbors, int degree, int r,
+                       const float* scale, const float* b, int cols,
+                       float* out_row);
+void DotRow(const float* a_row, const float* b, int64_t n, int k,
+            float* out_row);
+void DotColsRow(const float* a_row, const float* b, const int* cols,
+                int64_t num_cols, int k, float* out_row);
+}  // namespace generic
+
+#if defined(PEEGA_HAVE_AVX2)
+namespace avx2 {
+void MatMulRows(const float* a, const float* b, float* c, int64_t r0,
+                int64_t r1, int k, int n);
+void MatMulTransACols(const float* a, const float* b, float* c, int64_t j0,
+                      int64_t j1, int k_rows, int m, int n);
+void MatMulTransBRows(const float* a, const float* b, float* c, int64_t r0,
+                      int64_t r1, int k, int n);
+void SpMMRows(const int64_t* row_ptr, const int* col_idx, const float* values,
+              const float* b, float* c, int64_t r0, int64_t r1, int n);
+void RowSoftmaxRows(const float* a, float* c, int64_t r0, int64_t r1, int n);
+void NormalizedSpMMRow(const int* neighbors, int degree, int r,
+                       const float* scale, const float* b, int cols,
+                       float* out_row);
+void DotRow(const float* a_row, const float* b, int64_t n, int k,
+            float* out_row);
+void DotColsRow(const float* a_row, const float* b, const int* cols,
+                int64_t num_cols, int k, float* out_row);
+}  // namespace avx2
+#endif  // PEEGA_HAVE_AVX2
+
+#if defined(PEEGA_HAVE_NEON)
+namespace neon {
+void MatMulRows(const float* a, const float* b, float* c, int64_t r0,
+                int64_t r1, int k, int n);
+void MatMulTransACols(const float* a, const float* b, float* c, int64_t j0,
+                      int64_t j1, int k_rows, int m, int n);
+void SpMMRows(const int64_t* row_ptr, const int* col_idx, const float* values,
+              const float* b, float* c, int64_t r0, int64_t r1, int n);
+void NormalizedSpMMRow(const int* neighbors, int degree, int r,
+                       const float* scale, const float* b, int cols,
+                       float* out_row);
+}  // namespace neon
+#endif  // PEEGA_HAVE_NEON
+
+}  // namespace repro::linalg::kernels
+
+#endif  // PEEGA_LINALG_KERNELS_VARIANTS_H_

@@ -7,6 +7,7 @@
 #include "debug/check.h"
 #include "debug/failpoints.h"
 #include "debug/numerics.h"
+#include "linalg/kernels/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
@@ -39,25 +40,13 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
              static_cast<uint64_t>(b.cols()));
   Matrix c(a.rows(), b.cols());
   const int k = a.cols(), n = b.cols();
-  constexpr int kBlock = 64;
   // Row-parallel: each chunk owns rows [r0, r1) of C outright, and the
   // per-row accumulation order (k-blocks ascending, kk ascending within
-  // a block) matches the serial kernel exactly.
+  // a block) matches the serial kernel exactly in every SIMD variant.
+  const kernels::MatMulRowsFn kernel = kernels::MatMulTable().Select();
   parallel::ParallelFor(0, a.rows(), kMatMulRowGrain, [&](int64_t r0,
                                                           int64_t r1) {
-    for (int k0 = 0; k0 < k; k0 += kBlock) {
-      const int k1 = std::min(k0 + kBlock, k);
-      for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
-        const float* arow = a.row(i);
-        float* crow = c.row(i);
-        for (int kk = k0; kk < k1; ++kk) {
-          const float av = arow[kk];
-          if (av == 0.0f) continue;
-          const float* brow = b.row(kk);
-          for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
+    kernel(a.data(), b.data(), c.data(), r0, r1, k, n);
   });
   PEEGA_CHECK_FINITE_MAT(c, "MatMul");
   return c;
@@ -71,24 +60,15 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
              static_cast<uint64_t>(a.cols()) *
              static_cast<uint64_t>(b.cols()));
   Matrix c(a.cols(), b.cols());
-  const int m = a.cols(), k = a.rows();
+  const int m = a.cols(), k = a.rows(), n = b.cols();
   // Column-parallel: each chunk owns the column slice [j0, j1) of every
   // row of C, keeping the cache-friendly kk-outer streaming order and
   // the serial per-element accumulation order (kk ascending).
+  const kernels::MatMulTransAColsFn kernel =
+      kernels::MatMulTransATable().Select();
   parallel::ParallelFor(0, b.cols(), kMatMulRowGrain * 4, [&](int64_t j0,
                                                               int64_t j1) {
-    for (int kk = 0; kk < k; ++kk) {
-      const float* arow = a.row(kk);
-      const float* brow = b.row(kk);
-      for (int i = 0; i < m; ++i) {
-        const float av = arow[i];
-        if (av == 0.0f) continue;
-        float* crow = c.row(i);
-        for (int j = static_cast<int>(j0); j < static_cast<int>(j1); ++j) {
-          crow[j] += av * brow[j];
-        }
-      }
-    }
+    kernel(a.data(), b.data(), c.data(), j0, j1, k, m, n);
   });
   PEEGA_CHECK_FINITE_MAT(c, "MatMulTransA");
   return c;
@@ -103,18 +83,15 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
              static_cast<uint64_t>(b.rows()));
   Matrix c(a.rows(), b.rows());
   const int n = b.rows(), k = a.cols();
+  // The AVX2 variant gathers 8 B-rows per step through 32-bit offsets
+  // of at most 8·k elements; fall back to generic when that could
+  // overflow (same results either way — the variants are bitwise-equal).
+  const kernels::MatMulTransBRowsFn kernel =
+      kernels::GatherOffsetsFit(7, k) ? kernels::MatMulTransBTable().Select()
+                                      : kernels::MatMulTransBTable().generic;
   parallel::ParallelFor(0, a.rows(), kMatMulRowGrain, [&](int64_t r0,
                                                           int64_t r1) {
-    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
-      const float* arow = a.row(i);
-      float* crow = c.row(i);
-      for (int j = 0; j < n; ++j) {
-        const float* brow = b.row(j);
-        float dot = 0.0f;
-        for (int kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
-        crow[j] = dot;
-      }
-    }
+    kernel(a.data(), b.data(), c.data(), r0, r1, k, n);
   });
   PEEGA_CHECK_FINITE_MAT(c, "MatMulTransB");
   return c;
@@ -309,20 +286,10 @@ Matrix Sigmoid(const Matrix& a) {
 
 Matrix RowSoftmax(const Matrix& a) {
   Matrix c(a.rows(), a.cols());
+  const int n = a.cols();
+  const kernels::RowSoftmaxRowsFn kernel = kernels::RowSoftmaxTable().Select();
   parallel::ParallelFor(0, a.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
-    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
-      const float* arow = a.row(i);
-      float* crow = c.row(i);
-      float row_max = arow[0];
-      for (int j = 1; j < a.cols(); ++j) row_max = std::max(row_max, arow[j]);
-      float denom = 0.0f;
-      for (int j = 0; j < a.cols(); ++j) {
-        crow[j] = std::exp(arow[j] - row_max);
-        denom += crow[j];
-      }
-      const float inv = 1.0f / denom;
-      for (int j = 0; j < a.cols(); ++j) crow[j] *= inv;
-    }
+    kernel(a.data(), c.data(), r0, r1, n);
   });
   PEEGA_CHECK_FINITE_MAT(c, "RowSoftmax");
   return c;
@@ -381,15 +348,10 @@ Matrix SpMM(const SparseMatrix& s, const Matrix& b) {
   // Row-parallel over CSR rows: chunk [r0, r1) owns rows [r0, r1) of C,
   // and each row's nonzeros are accumulated in stored (ascending column)
   // order exactly as in the serial kernel.
+  const kernels::SpMMRowsFn kernel = kernels::SpMMTable().Select();
   parallel::ParallelFor(0, s.rows(), kRowGrain, [&](int64_t r0, int64_t r1) {
-    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
-      float* crow = c.row(i);
-      for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
-        const float v = values[k];
-        const float* brow = b.row(col_idx[k]);
-        for (int j = 0; j < n; ++j) crow[j] += v * brow[j];
-      }
-    }
+    kernel(row_ptr.data(), col_idx.data(), values.data(), b.data(), c.data(),
+           r0, r1, n);
   });
   PEEGA_CHECK_FINITE_MAT(c, "SpMM");
   // Failpoint after the (debug-numerics-only) finite check: an armed
@@ -414,15 +376,13 @@ std::vector<float> SpMV(const SparseMatrix& s, const std::vector<float>& x) {
   const auto& row_ptr = s.row_ptr();
   const auto& col_idx = s.col_idx();
   const auto& values = s.values();
+  // Reference-only op: SpMV has no SIMD variants (see the table comment
+  // in kernels.cc), so Select() always resolves to the scalar kernel.
+  const kernels::SpMVRowsFn kernel = kernels::SpMVTable().Select();
   parallel::ParallelFor(0, s.rows(), kRowGrain * 4, [&](int64_t r0,
                                                         int64_t r1) {
-    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
-      float acc = 0.0f;
-      for (int64_t k = row_ptr[i]; k < row_ptr[i + 1]; ++k) {
-        acc += values[k] * x[col_idx[k]];
-      }
-      y[i] = acc;
-    }
+    kernel(row_ptr.data(), col_idx.data(), values.data(), x.data(), y.data(),
+           r0, r1);
   });
   PEEGA_CHECK_FINITE_VEC(y, "SpMV");
   return y;

@@ -21,6 +21,13 @@ namespace repro::linalg {
 /// All kernels are safe to call concurrently on distinct outputs only
 /// in the sense that they never touch global mutable state besides the
 /// shared pool; the library is driven by one orchestrating thread.
+///
+/// SIMD: the hot kernels dispatch per-row work through the per-op
+/// `KernelTable`s in `linalg/kernels/kernels.h` (scalar reference plus
+/// optional AVX2/NEON variants picked once at startup; force with
+/// `PEEGA_SIMD`). Every variant is **bitwise identical** to the scalar
+/// reference — see DESIGN.md, "Kernel dispatch & determinism classes",
+/// and the generated op inventory in docs/OPS.md.
 
 // ---------------------------------------------------------------------------
 // Dense kernels

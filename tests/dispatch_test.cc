@@ -1,0 +1,276 @@
+// SIMD dispatch tests: registry-driven differential tests of every
+// compiled kernel variant against the scalar reference (bit-for-bit),
+// the registry/dispatch-table cross-check, the PEEGA_SIMD forcing
+// machinery, and the end-to-end guarantee the kernels exist to uphold —
+// a full PEEGA attack commits the IDENTICAL flip sequence under
+// PEEGA_SIMD=generic and PEEGA_SIMD=avx2 at every thread count.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "attack/attacker.h"
+#include "core/peega.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "linalg/dispatch.h"
+#include "linalg/kernels/kernels.h"
+#include "linalg/op_registry.h"
+#include "parallel/thread_pool.h"
+
+namespace repro::linalg {
+namespace {
+
+std::vector<SimdVariant> UsableSimdVariants() {
+  std::vector<SimdVariant> variants;
+  for (const SimdVariant v :
+       {SimdVariant::kGeneric, SimdVariant::kAvx2, SimdVariant::kNeon}) {
+    if (SimdVariantUsable(v)) variants.push_back(v);
+  }
+  return variants;
+}
+
+// Bit-exact float comparison: NaN payloads and signed zeros count too,
+// because the flip-selection argmax compares raw floats.
+::testing::AssertionResult StreamsBitwiseEqual(const std::vector<float>& ref,
+                                               const std::vector<float>& got,
+                                               const char* op,
+                                               SimdVariant variant) {
+  if (ref.size() != got.size()) {
+    return ::testing::AssertionFailure()
+           << op << " [" << SimdVariantName(variant) << "]: output length "
+           << got.size() << " != reference length " << ref.size();
+  }
+  for (size_t i = 0; i < ref.size(); ++i) {
+    uint32_t rb, gb;
+    std::memcpy(&rb, &ref[i], sizeof(rb));
+    std::memcpy(&gb, &got[i], sizeof(gb));
+    if (rb != gb) {
+      return ::testing::AssertionFailure()
+             << op << " [" << SimdVariantName(variant) << "]: output " << i
+             << " differs from reference: " << got[i] << " vs " << ref[i]
+             << " (bits 0x" << std::hex << gb << " vs 0x" << rb << ")";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(OpRegistry, MatchesDispatchTables) {
+  EXPECT_EQ(ValidateOpRegistry(), "");
+}
+
+TEST(OpRegistry, CoversEveryKernelTable) {
+  for (const kernels::KernelTableInfo& table : kernels::AllKernelTables()) {
+    EXPECT_NE(FindOp(table.op), nullptr)
+        << "kernel table " << table.op << " has no registry entry";
+  }
+  EXPECT_EQ(FindOp("linalg.no_such_op"), nullptr);
+}
+
+TEST(SimdDispatch, GenericAlwaysUsable) {
+  EXPECT_TRUE(SimdVariantCompiled(SimdVariant::kGeneric));
+  EXPECT_TRUE(SimdVariantUsable(SimdVariant::kGeneric));
+}
+
+TEST(SimdDispatch, NamesAreStable) {
+  EXPECT_STREQ(SimdVariantName(SimdVariant::kGeneric), "generic");
+  EXPECT_STREQ(SimdVariantName(SimdVariant::kAvx2), "avx2");
+  EXPECT_STREQ(SimdVariantName(SimdVariant::kNeon), "neon");
+}
+
+TEST(SimdDispatch, ScopedVariantRestores) {
+  const SimdVariant before = ActiveSimdVariant();
+  {
+    ScopedSimdVariant forced(SimdVariant::kGeneric);
+    EXPECT_EQ(ActiveSimdVariant(), SimdVariant::kGeneric);
+  }
+  EXPECT_EQ(ActiveSimdVariant(), before);
+}
+
+TEST(SimdDispatch, SelectFallsBackToGenericForUnimplementedOps) {
+  // SpMV is reference-only: whatever variant is active, Select() must
+  // resolve to the generic kernel rather than a null pointer.
+  for (const SimdVariant v : UsableSimdVariants()) {
+    ScopedSimdVariant forced(v);
+    EXPECT_EQ(kernels::SpMVTable().Select(), kernels::SpMVTable().generic);
+  }
+}
+
+TEST(SimdDispatch, ForcedVariantSelectsDistinctKernel) {
+  // Guards against the differential suite degenerating into
+  // generic-vs-generic: under a forced non-generic variant, an op that
+  // implements it must resolve to a DIFFERENT function than generic.
+  for (const SimdVariant v : UsableSimdVariants()) {
+    if (v == SimdVariant::kGeneric) continue;
+    ScopedSimdVariant forced(v);
+    EXPECT_NE(kernels::MatMulTable().Select(), kernels::MatMulTable().generic)
+        << SimdVariantName(v);
+  }
+}
+
+TEST(SimdDispatch, GatherOffsetGuard) {
+  EXPECT_TRUE(kernels::GatherOffsetsFit(7, 64));
+  EXPECT_TRUE(kernels::GatherOffsetsFit(0, 0));
+  // (2^28)·16 + 16 > INT32_MAX: a 16-wide feature matrix with 2^28 rows
+  // must take the generic path.
+  EXPECT_FALSE(kernels::GatherOffsetsFit(int64_t{1} << 28, 16));
+}
+
+// The heart of the PR: every op in the registry, probed under every
+// usable variant, must produce a bit-identical output stream to the
+// generic reference. A new op added to the registry is covered here
+// automatically.
+TEST(SimdDifferential, EveryOpBitwiseEqualAcrossVariants) {
+  const std::vector<SimdVariant> variants = UsableSimdVariants();
+  ASSERT_FALSE(variants.empty());
+  if (variants.size() == 1) {
+    GTEST_SKIP() << "only generic is usable on this machine; "
+                    "nothing to compare against";
+  }
+  for (const OpInfo& op : OpRegistry()) {
+    std::vector<float> reference;
+    {
+      ScopedSimdVariant forced(SimdVariant::kGeneric);
+      op.probe(&reference);
+    }
+    EXPECT_FALSE(reference.empty()) << op.name << ": probe produced nothing";
+    for (const SimdVariant v : variants) {
+      if (v == SimdVariant::kGeneric) continue;
+      std::vector<float> got;
+      {
+        ScopedSimdVariant forced(v);
+        op.probe(&got);
+      }
+      EXPECT_TRUE(StreamsBitwiseEqual(reference, got, op.name, v));
+    }
+  }
+}
+
+// Same differential, across thread counts: the chunked ParallelFor
+// partition must not interact with the kernel variant.
+TEST(SimdDifferential, BitwiseEqualAcrossVariantsAndThreadCounts) {
+  const std::vector<SimdVariant> variants = UsableSimdVariants();
+  if (variants.size() == 1) {
+    GTEST_SKIP() << "only generic is usable on this machine";
+  }
+  for (const OpInfo& op : OpRegistry()) {
+    std::vector<float> reference;
+    {
+      parallel::SetNumThreads(1);
+      ScopedSimdVariant forced(SimdVariant::kGeneric);
+      op.probe(&reference);
+    }
+    for (const int threads : {2, 8}) {
+      parallel::SetNumThreads(threads);
+      for (const SimdVariant v : variants) {
+        std::vector<float> got;
+        {
+          ScopedSimdVariant forced(v);
+          op.probe(&got);
+        }
+        EXPECT_TRUE(StreamsBitwiseEqual(reference, got, op.name, v))
+            << "at " << threads << " threads";
+      }
+    }
+  }
+  parallel::SetNumThreads(0);
+}
+
+}  // namespace
+}  // namespace repro::linalg
+
+namespace repro::core {
+namespace {
+
+using attack::AttackOptions;
+using attack::AttackResult;
+using attack::Flip;
+using graph::Graph;
+using linalg::Rng;
+using linalg::ScopedSimdVariant;
+using linalg::SimdVariant;
+using linalg::SimdVariantUsable;
+
+Graph SbmGraph(uint64_t seed) {
+  graph::SyntheticConfig config;
+  config.name = "sbm-simd";
+  config.num_nodes = 60;
+  config.num_classes = 3;
+  config.feature_dim = 48;
+  config.avg_degree = 4.0;
+  Rng rng(seed);
+  return graph::MakeSynthetic(config, &rng);
+}
+
+std::string FlipString(const std::vector<Flip>& flips) {
+  std::ostringstream os;
+  for (const Flip& f : flips) {
+    os << (f.is_feature ? "F " : "E ") << f.a << " " << f.b << "\n";
+  }
+  return os.str();
+}
+
+AttackResult RunPeega(const Graph& g, PeegaAttack::Engine engine,
+                      SimdVariant variant) {
+  ScopedSimdVariant forced(variant);
+  PeegaAttack::Options peega;
+  peega.engine = engine;
+  AttackOptions options;
+  options.perturbation_rate = 0.1;
+  Rng rng(99);
+  return PeegaAttack(peega).Attack(g, options, &rng);
+}
+
+// Acceptance criterion of the dispatch PR: a full PEEGA campaign forced
+// to generic and forced to AVX2 commits the identical flip sequence at
+// 1, 2 and 8 threads, on both engines.
+TEST(SimdEndToEnd, FlipSequenceIdenticalGenericVsAvx2) {
+  if (!SimdVariantUsable(SimdVariant::kAvx2)) {
+    GTEST_SKIP() << "AVX2 not usable on this machine";
+  }
+  const Graph g = SbmGraph(31);
+  for (const auto engine :
+       {PeegaAttack::Engine::kTape, PeegaAttack::Engine::kIncremental}) {
+    std::string reference;
+    for (const int threads : {1, 2, 8}) {
+      parallel::SetNumThreads(threads);
+      const AttackResult gen = RunPeega(g, engine, SimdVariant::kGeneric);
+      const AttackResult avx = RunPeega(g, engine, SimdVariant::kAvx2);
+      EXPECT_EQ(FlipString(gen.flips), FlipString(avx.flips))
+          << "engine " << static_cast<int>(engine) << " at " << threads
+          << " threads";
+      EXPECT_EQ(gen.final_objective, avx.final_objective);
+      EXPECT_EQ(graph::ComputeEdgeDiff(gen.poisoned, avx.poisoned).total(), 0);
+      EXPECT_EQ(graph::FeatureDiffCount(gen.poisoned, avx.poisoned), 0);
+      if (reference.empty()) {
+        reference = FlipString(gen.flips);
+      } else {
+        EXPECT_EQ(reference, FlipString(gen.flips))
+            << "thread count changed the flip sequence";
+      }
+    }
+  }
+  parallel::SetNumThreads(0);
+}
+
+// Cross-engine equivalence must also hold when BOTH engines run the
+// AVX2 kernels — the tape-as-oracle property is variant-independent.
+TEST(SimdEndToEnd, TapeOracleHoldsUnderAvx2) {
+  if (!SimdVariantUsable(SimdVariant::kAvx2)) {
+    GTEST_SKIP() << "AVX2 not usable on this machine";
+  }
+  const Graph g = SbmGraph(32);
+  const AttackResult tape =
+      RunPeega(g, PeegaAttack::Engine::kTape, SimdVariant::kAvx2);
+  const AttackResult inc =
+      RunPeega(g, PeegaAttack::Engine::kIncremental, SimdVariant::kAvx2);
+  EXPECT_EQ(FlipString(tape.flips), FlipString(inc.flips));
+  EXPECT_EQ(graph::ComputeEdgeDiff(tape.poisoned, inc.poisoned).total(), 0);
+  EXPECT_EQ(graph::FeatureDiffCount(tape.poisoned, inc.poisoned), 0);
+}
+
+}  // namespace
+}  // namespace repro::core

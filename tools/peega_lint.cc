@@ -23,6 +23,11 @@
 //                   obs::StopWatch / obs::TraceSpan so instrumented time
 //                   lands in one place (bench/ is outside src/ and exempt
 //                   by construction)
+//   no-raw-intrinsics  SIMD intrinsics (immintrin.h/arm_neon.h/_mm*/vld1q*)
+//                   outside src/linalg/kernels — vector code must be
+//                   reachable only through the dispatch tables so the
+//                   CPUID gate and the registry's differential tests
+//                   cover every SIMD instruction in the tree
 //   no-abort-on-input  PEEGA_CHECK/PEEGA_DCHECK inside src/graph/io —
 //                   parsers of externally sourced bytes must return a
 //                   status::Status with file/line context, never abort
@@ -102,6 +107,30 @@ constexpr TokenRule kTokenRules[] = {
     {"no-raw-chrono", "std::chrono", MatchKind::kToken, "obs/", "",
      "raw std::chrono outside src/obs; time with obs::StopWatch (or an "
      "obs::TraceSpan) so every duration is observable in one place"},
+    // SIMD intrinsics live ONLY in src/linalg/kernels: every vector
+    // code path must be reachable through the dispatch tables (and
+    // hence covered by the registry's differential tests); a raw
+    // intrinsic elsewhere would dodge both the CPUID check and the
+    // bitwise-equality suite.
+    {"no-raw-intrinsics", "immintrin.h", MatchKind::kToken,
+     "linalg/kernels/", "",
+     "x86 intrinsics outside src/linalg/kernels bypass SIMD dispatch; "
+     "add a kernel variant to the op's KernelTable instead"},
+    {"no-raw-intrinsics", "arm_neon.h", MatchKind::kToken,
+     "linalg/kernels/", "",
+     "NEON intrinsics outside src/linalg/kernels bypass SIMD dispatch; "
+     "add a kernel variant to the op's KernelTable instead"},
+    {"no-raw-intrinsics", "_mm256_", MatchKind::kToken, "linalg/kernels/",
+     "",
+     "AVX2 intrinsics outside src/linalg/kernels bypass SIMD dispatch "
+     "and the differential-test suite"},
+    {"no-raw-intrinsics", "_mm_", MatchKind::kToken, "linalg/kernels/", "",
+     "SSE intrinsics outside src/linalg/kernels bypass SIMD dispatch "
+     "and the differential-test suite"},
+    {"no-raw-intrinsics", "vld1q_", MatchKind::kToken, "linalg/kernels/",
+     "",
+     "NEON intrinsics outside src/linalg/kernels bypass SIMD dispatch "
+     "and the differential-test suite"},
     // graph/io parses bytes an adversary may control (PR-5 failure
     // model): malformed input must surface as a status::Status with
     // file/line context, never as a process abort.
@@ -482,6 +511,11 @@ int RunSelfTest() {
   WriteFile(root / "graph/io_bad.cc",
             "#include \"debug/check.h\"\n"
             "int Parse(int v) { PEEGA_CHECK_GE(v, 0); return v; }\n");
+  WriteFile(root / "core/bad_simd.cc",
+            "#include <immintrin.h>\n"
+            "void S(float* p) {\n"
+            "  _mm256_storeu_ps(p, _mm256_setzero_ps());\n"
+            "}\n");
   WriteFile(root / "core/bad_guard.h",
             "#ifndef WRONG_GUARD_H_\n#define WRONG_GUARD_H_\n#endif\n");
   WriteFile(root / "core/cycle_a.h",
@@ -506,8 +540,16 @@ int RunSelfTest() {
   WriteFile(root / "core/decoy.cc",
             "// std::thread and std::cout and rand() in a comment\n"
             "/* std::mt19937 and std::chrono in a block comment */\n"
+            "// _mm256_add_ps and vld1q_f32 and immintrin.h in a comment\n"
             "const char* kMsg = \"std::cout << rand() std::chrono\";\n"
+            "const char* kSimd = \"_mm_setzero_ps lives in immintrin.h\";\n"
             "int Grad(int g) { return g; }\nint Use() { return Grad(1); }\n");
+  // Intrinsics are fine inside src/linalg/kernels (exempt_prefix).
+  WriteFile(root / "linalg/kernels/ok_simd.cc",
+            "#include <immintrin.h>\n"
+            "void K(float* p) {\n"
+            "  _mm256_storeu_ps(p, _mm256_setzero_ps());\n"
+            "}\n");
   // PEEGA_CHECK is allowed outside graph/io (only_prefix scoping), and
   // in graph/io comments/strings (stripping).
   WriteFile(root / "core/check_ok.cc",
@@ -533,6 +575,7 @@ int RunSelfTest() {
       {"core/bad_cout.cc", "no-stdout"},
       {"core/bad_chrono.cc", "no-raw-chrono"},
       {"graph/io_bad.cc", "no-abort-on-input"},
+      {"core/bad_simd.cc", "no-raw-intrinsics"},
       {"core/bad_guard.h", "header-guard"},
       {"core/cycle_a.h", "include-cycle"},
   };
@@ -551,7 +594,8 @@ int RunSelfTest() {
   }
   for (const char* clean_file :
        {"parallel/pool.cc", "linalg/random.cc", "obs/stopwatch.cc",
-        "core/decoy.cc", "core/check_ok.cc", "graph/io_decoy.cc"}) {
+        "core/decoy.cc", "core/check_ok.cc", "graph/io_decoy.cc",
+        "linalg/kernels/ok_simd.cc"}) {
     const bool flagged =
         std::any_of(violations.begin(), violations.end(),
                     [&](const Violation& v) { return v.file == clean_file; });
