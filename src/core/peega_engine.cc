@@ -29,6 +29,7 @@ constexpr int64_t kSumRowGrain = 16; // O(l * N) work per row
 
 std::vector<int> CollectRows(const std::vector<char>& mask) {
   std::vector<int> rows;
+  rows.reserve(mask.size());
   for (size_t r = 0; r < mask.size(); ++r) {
     if (mask[r]) rows.push_back(static_cast<int>(r));
   }

@@ -39,16 +39,23 @@ class [[nodiscard]] Status {
 
   static Status Ok() { return Status(); }
 
-  bool ok() const { return code_ == Code::kOk; }
-  Code code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == Code::kOk; }
+  [[nodiscard]] Code code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<CODE_NAME>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   /// Returns a copy with `context` prepended to the message; no-op on OK
   /// statuses (context chains only describe failures).
-  Status WithContext(const std::string& context) const;
+  [[nodiscard]] Status WithContext(const std::string& context) const;
+
+  /// Explicitly discards this status. The only sanctioned way to drop a
+  /// Status on the floor — both the class-level [[nodiscard]] and the
+  /// `status-discipline` analyzer pass treat a bare `F();` call as an
+  /// error, and this call is the grep-able opt-out for the rare genuine
+  /// fire-and-forget (e.g. best-effort checkpoint cleanup).
+  void IgnoreError() const {}
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;
@@ -90,8 +97,11 @@ class [[nodiscard]] StatusOr {
   StatusOr(T value)  // NOLINT
       : status_(Status::Ok()), value_(std::move(value)) {}
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  /// See Status::IgnoreError().
+  void IgnoreError() const {}
 
   const T& value() const& {
     PEEGA_CHECK(ok()) << " — value() on error status: "

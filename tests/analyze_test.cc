@@ -1,0 +1,531 @@
+// Unit tests for tools/analyze — the lexer goldens, the include graph,
+// one plant + one decoy per registered pass, SARIF parse-back through
+// obs::Json, and the baseline fingerprint round-trip. The planted trees
+// here are in-memory SourceFiles; the end-to-end filesystem walk is
+// covered by `peega_analyze --self-test` (also run as a ctest).
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis.h"
+#include "baseline.h"
+#include "include_graph.h"
+#include "lexer.h"
+#include "obs/json.h"
+#include "sarif.h"
+#include "source.h"
+
+namespace repro::analyze {
+namespace {
+
+SourceFile MakeFile(std::string rel, std::string text) {
+  SourceFile f;
+  f.rel = std::move(rel);
+  f.text = std::move(text);
+  f.tokens = Lex(f.text);
+  return f;
+}
+
+// Mimics LoadTree's contract (sorted by rel), builds the include graph,
+// and runs one pass. `root` only matters for fp-contract-sync.
+std::vector<Finding> RunOn(const std::string& pass,
+                           std::vector<SourceFile> files,
+                           const std::string& root = "") {
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  const IncludeGraph graph = IncludeGraph::Build(files);
+  AnalysisContext ctx;
+  ctx.repo_root = root;
+  ctx.files = &files;
+  ctx.include_graph = &graph;
+  return RunPass(pass, ctx);
+}
+
+int CountIn(const std::vector<Finding>& findings, const std::string& file) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.file == file; }));
+}
+
+// ---------------------------------------------------------------------------
+// Lexer goldens
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeLexer, RawStringSwallowsNeedles) {
+  const auto toks =
+      Lex("const char* s = R\"x(std::thread \"quoted\" // not a comment)x\";");
+  const auto str = std::find_if(toks.begin(), toks.end(), [](const Token& t) {
+    return t.kind == TokenKind::kString;
+  });
+  ASSERT_NE(str, toks.end());
+  EXPECT_EQ(str->text, "std::thread \"quoted\" // not a comment");
+  // Nothing inside the raw string leaked out as identifiers.
+  for (const Token& t : toks) {
+    EXPECT_FALSE(t.IsIdent("thread")) << "raw-string body leaked";
+  }
+}
+
+TEST(AnalyzeLexer, RawStringEmptyDelimiter) {
+  const auto toks = Lex("auto s = R\"(a)b(c)\";");
+  const auto str = std::find_if(toks.begin(), toks.end(), [](const Token& t) {
+    return t.kind == TokenKind::kString;
+  });
+  ASSERT_NE(str, toks.end());
+  EXPECT_EQ(str->text, "a)b(c");
+}
+
+TEST(AnalyzeLexer, BlockCommentHidesLineCommentAndNeedles) {
+  // "Nested" comment forms: a block comment containing // and a line
+  // comment containing /*. Neither may produce tokens; the trailing
+  // code must survive.
+  const auto toks = Lex(
+      "/* std::cout << x; // still in the block\n"
+      "   rand(); */\n"
+      "// trailing /* does not open a block\n"
+      "int alive;\n");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_TRUE(toks[0].IsIdent("int"));
+  EXPECT_TRUE(toks[1].IsIdent("alive"));
+  EXPECT_EQ(toks[0].line, 4);
+}
+
+TEST(AnalyzeLexer, LineContinuations) {
+  // A backslash-newline splice glues identifiers and keeps a spliced
+  // line comment commented.
+  const auto toks = Lex(
+      "int spli\\\nced;\n"
+      "// comment continues \\\nstd::thread ghost;\n"
+      "int after;\n");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_TRUE(toks[1].IsIdent("spliced"));
+  EXPECT_TRUE(toks[4].IsIdent("after"));
+  // The spliced comment swallowed the std::thread line entirely.
+  for (const Token& t : toks) EXPECT_FALSE(t.IsIdent("ghost"));
+  // Physical positions: `after` is on line 5 of the file.
+  EXPECT_EQ(toks[4].line, 5);
+}
+
+TEST(AnalyzeLexer, HeaderNamesAreSingleTokens) {
+  const auto toks = Lex(
+      "#include <immintrin.h>\n"
+      "#  include \"linalg/matrix.h\"\n"
+      "#pragma once\n");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_TRUE(toks[0].Is(TokenKind::kDirective, "#include"));
+  EXPECT_TRUE(toks[1].Is(TokenKind::kAngleHeader, "immintrin.h"));
+  EXPECT_TRUE(toks[2].Is(TokenKind::kDirective, "#include"));
+  EXPECT_TRUE(toks[3].Is(TokenKind::kQuotedHeader, "linalg/matrix.h"));
+  EXPECT_TRUE(toks[4].Is(TokenKind::kDirective, "#pragma"));
+}
+
+TEST(AnalyzeLexer, StringsCharsAndNumbers) {
+  const auto toks = Lex("f(\"a\\\"b\", 'x', 1e+5, 0x1p-3);");
+  ASSERT_EQ(toks.size(), 11u);
+  EXPECT_EQ(toks[2].kind, TokenKind::kString);
+  EXPECT_EQ(toks[2].text, "a\\\"b");
+  EXPECT_EQ(toks[4].kind, TokenKind::kCharLiteral);
+  EXPECT_EQ(toks[6].kind, TokenKind::kNumber);
+  EXPECT_EQ(toks[6].text, "1e+5");
+  EXPECT_EQ(toks[8].text, "0x1p-3");
+}
+
+TEST(AnalyzeLexer, PositionsAndMaximalMunch) {
+  const auto toks = Lex("a <<= b::c;\n  d->e;");
+  ASSERT_EQ(toks.size(), 10u);
+  EXPECT_TRUE(toks[1].IsPunct("<<="));
+  EXPECT_TRUE(toks[3].IsPunct("::"));
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].col, 1);
+  EXPECT_EQ(toks[6].line, 2);
+  EXPECT_EQ(toks[6].col, 3);  // `d` after two spaces
+  EXPECT_TRUE(toks[7].IsPunct("->"));
+}
+
+TEST(AnalyzeLexer, MatchQualifiedPaths) {
+  const auto toks = Lex("std::mt19937_64 r; foo::std::thread t;");
+  EXPECT_TRUE(MatchQualified(toks, 0, {"std", "mt19937"}, true));
+  EXPECT_FALSE(MatchQualified(toks, 0, {"std", "mt19937"}, false));
+  // A match that is a mid-path suffix still matches positionally —
+  // callers reject it by looking at the preceding token.
+  EXPECT_TRUE(MatchQualified(toks, 7, {"std", "thread"}, false));
+  EXPECT_TRUE(toks[6].IsPunct("::"));
+}
+
+// ---------------------------------------------------------------------------
+// Include graph
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeIncludeGraph, ResolutionOrder) {
+  const std::vector<SourceFile> files = {
+      MakeFile("src/linalg/ops.h", "#ifndef G\n#define G\n#endif\n"),
+      MakeFile("src/linalg/local.h", "#ifndef H\n#define H\n#endif\n"),
+      MakeFile("src/linalg/use.cc",
+               "#include \"local.h\"\n"        // same-dir
+               "#include \"linalg/ops.h\"\n"   // src/-rooted
+               "#include \"tools/t.h\"\n"      // repo-relative
+               "#include <vector>\n"           // system: no edge
+               "#include \"no/such.h\"\n"),    // unresolved: no edge
+      MakeFile("tools/t.h", "#ifndef T\n#define T\n#endif\n"),
+  };
+  const IncludeGraph graph = IncludeGraph::Build(files);
+  const auto& edges = graph.EdgesFrom("src/linalg/use.cc");
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0].to, "src/linalg/local.h");
+  EXPECT_EQ(edges[1].to, "src/linalg/ops.h");
+  EXPECT_EQ(edges[2].to, "tools/t.h");
+  EXPECT_EQ(edges[1].line, 2);
+}
+
+TEST(AnalyzeIncludeGraph, FindsEachCycleOnce) {
+  const std::vector<SourceFile> files = {
+      MakeFile("src/a.h", "#include \"b.h\"\n"),
+      MakeFile("src/b.h", "#include \"a.h\"\n"),
+      MakeFile("src/c.h", "#include \"a.h\"\n"),  // feeds in, not cyclic
+  };
+  const auto cycles = IncludeGraph::Build(files).FindCycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0], "src/a.h -> src/b.h -> src/a.h");
+}
+
+// ---------------------------------------------------------------------------
+// Passes: one plant + one decoy each
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzePasses, NoRawThread) {
+  const auto f = RunOn("no-raw-thread",
+                       {MakeFile("src/core/a.cc", "std::thread t;"),
+                        MakeFile("src/parallel/p.cc", "std::thread t;"),
+                        MakeFile("src/core/c.cc", "// std::thread\n")});
+  EXPECT_EQ(CountIn(f, "src/core/a.cc"), 1);
+  EXPECT_EQ(CountIn(f, "src/parallel/p.cc"), 0);
+  EXPECT_EQ(CountIn(f, "src/core/c.cc"), 0);
+}
+
+TEST(AnalyzePasses, NoUnseededRng) {
+  const auto f = RunOn(
+      "no-unseeded-rng",
+      {MakeFile("src/core/a.cc", "std::mt19937_64 r; int x = rand();"),
+       MakeFile("src/linalg/random.cc", "std::mt19937 engine(7);"),
+       MakeFile("src/core/b.cc", "int y = obj.rand();")});
+  EXPECT_EQ(CountIn(f, "src/core/a.cc"), 2);  // mt19937_64 prefix + rand()
+  EXPECT_EQ(CountIn(f, "src/linalg/random.cc"), 0);
+  EXPECT_EQ(CountIn(f, "src/core/b.cc"), 0);  // member call, not ::rand
+}
+
+TEST(AnalyzePasses, NoStdoutScopedToSrc) {
+  const auto f = RunOn("no-stdout",
+                       {MakeFile("src/eval/t.cc", "std::cout << 1;"),
+                        MakeFile("tools/cli.cc", "std::cout << 1;")});
+  EXPECT_EQ(CountIn(f, "src/eval/t.cc"), 1);
+  EXPECT_EQ(CountIn(f, "tools/cli.cc"), 0);
+}
+
+TEST(AnalyzePasses, NoRawChrono) {
+  const auto f =
+      RunOn("no-raw-chrono",
+            {MakeFile("src/core/t.cc", "auto n = std::chrono::now();"),
+             MakeFile("src/obs/sw.cc", "auto n = std::chrono::now();")});
+  EXPECT_EQ(CountIn(f, "src/core/t.cc"), 1);
+  EXPECT_EQ(CountIn(f, "src/obs/sw.cc"), 0);
+}
+
+TEST(AnalyzePasses, NoRawIntrinsics) {
+  const auto f = RunOn(
+      "no-raw-intrinsics",
+      {MakeFile("src/core/v.cc",
+                "#include <immintrin.h>\nauto z = _mm256_setzero_ps();"),
+       MakeFile("src/linalg/kernels/k.cc",
+                "#include <immintrin.h>\nauto z = _mm256_setzero_ps();"),
+       MakeFile("src/core/s.cc", "const char* d = \"_mm256_add_ps\";")});
+  EXPECT_EQ(CountIn(f, "src/core/v.cc"), 2);  // header + intrinsic ident
+  EXPECT_EQ(CountIn(f, "src/linalg/kernels/k.cc"), 0);
+  EXPECT_EQ(CountIn(f, "src/core/s.cc"), 0);
+}
+
+TEST(AnalyzePasses, NoAbortOnInputOnlyInGraphIo) {
+  const auto f =
+      RunOn("no-abort-on-input",
+            {MakeFile("src/graph/io_text.cc", "PEEGA_CHECK_GE(v, 0);"),
+             MakeFile("src/core/engine.cc", "PEEGA_CHECK_GE(v, 0);")});
+  EXPECT_EQ(CountIn(f, "src/graph/io_text.cc"), 1);
+  EXPECT_EQ(CountIn(f, "src/core/engine.cc"), 0);
+}
+
+TEST(AnalyzePasses, HeaderGuard) {
+  const auto f = RunOn(
+      "header-guard",
+      {MakeFile("src/core/bad.h", "#ifndef WRONG_H_\n#define WRONG_H_\n"),
+       MakeFile("src/core/none.h", "int x;\n"),
+       MakeFile("src/core/good.h",
+                "#ifndef PEEGA_CORE_GOOD_H_\n#define PEEGA_CORE_GOOD_H_\n"
+                "#endif\n"),
+       MakeFile("bench/b.h",
+                "#ifndef PEEGA_BENCH_B_H_\n#define PEEGA_BENCH_B_H_\n"
+                "#endif\n"),
+       MakeFile("src/core/guarded.cc", "int y;\n")});
+  EXPECT_EQ(CountIn(f, "src/core/bad.h"), 1);
+  EXPECT_EQ(CountIn(f, "src/core/none.h"), 1);
+  EXPECT_EQ(CountIn(f, "src/core/good.h"), 0);
+  EXPECT_EQ(CountIn(f, "bench/b.h"), 0);  // bench/ keeps its prefix
+  EXPECT_EQ(CountIn(f, "src/core/guarded.cc"), 0);
+}
+
+TEST(AnalyzePasses, IncludeCycle) {
+  const auto f = RunOn("include-cycle",
+                       {MakeFile("src/core/a.h", "#include \"core/b.h\"\n"),
+                        MakeFile("src/core/b.h", "#include \"core/a.h\"\n"),
+                        MakeFile("src/core/c.h", "#include \"core/b.h\"\n")});
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].file, "src/core/a.h");
+  EXPECT_NE(f[0].message.find("src/core/b.h"), std::string::npos);
+}
+
+TEST(AnalyzePasses, LayeringEnforcesTheDag) {
+  const auto f = RunOn(
+      "layering",
+      {MakeFile("src/nn/model.h", "#ifndef PEEGA_NN_MODEL_H_\n"
+                                  "#define PEEGA_NN_MODEL_H_\n#endif\n"),
+       MakeFile("src/linalg/matrix.h",
+                "#ifndef PEEGA_LINALG_MATRIX_H_\n"
+                "#define PEEGA_LINALG_MATRIX_H_\n#endif\n"),
+       MakeFile("src/linalg/up.cc", "#include \"nn/model.h\"\n"),
+       MakeFile("src/nn/down.cc", "#include \"linalg/matrix.h\"\n"),
+       MakeFile("src/linalg/peer.cc", "#include \"linalg/matrix.h\"\n")});
+  EXPECT_EQ(CountIn(f, "src/linalg/up.cc"), 1);   // linalg -> nn: illegal
+  EXPECT_EQ(CountIn(f, "src/nn/down.cc"), 0);     // nn -> linalg: declared
+  EXPECT_EQ(CountIn(f, "src/linalg/peer.cc"), 0); // same module
+}
+
+TEST(AnalyzePasses, LayerDagCoversEveryModuleOnce) {
+  std::vector<std::string> names;
+  for (const ModuleSpec& spec : LayerDag()) {
+    names.emplace_back(spec.module);
+    for (const char* dep : spec.allowed_deps) {
+      // Leaves-first order: every allowed dep is already declared.
+      EXPECT_NE(std::find(names.begin(), names.end(), std::string(dep)),
+                names.end())
+          << spec.module << " depends on undeclared module " << dep;
+    }
+  }
+  auto sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(AnalyzePasses, StatusDiscipline) {
+  const char* header =
+      "#ifndef PEEGA_GRAPH_S_H_\n#define PEEGA_GRAPH_S_H_\n"
+      "status::Status Save(int v);\n"
+      "StatusOr<std::vector<int>> Load();\n"
+      "#endif\n";
+  const auto f = RunOn(
+      "status-discipline",
+      {MakeFile("src/graph/s.h", header),
+       MakeFile("src/core/bad.cc",
+                "#include \"graph/s.h\"\n"
+                "void A(int v) { Save(v); }\n"
+                "void B() { Load(); }\n"),
+       MakeFile("src/core/ok.cc",
+                "#include \"graph/s.h\"\n"
+                "status::Status C(int v) { return Save(v); }\n"
+                "bool D(int v) { return Save(v).ok(); }\n"
+                "void E(int v) { Save(v).IgnoreError(); }\n"
+                "void F(int v) { auto s = Save(v); s.IgnoreError(); }\n"
+                "status::Status G(int v) {\n"
+                "  PEEGA_RETURN_IF_ERROR(Save(v), \"ctx\");\n"
+                "  return status::Status();\n"
+                "}\n"),
+       MakeFile("tools/cli.cc",  // tools may print-and-exit
+                "#include \"graph/s.h\"\nvoid H(int v) { Save(v); }\n")});
+  EXPECT_EQ(CountIn(f, "src/core/bad.cc"), 2);  // Status and StatusOr
+  EXPECT_EQ(CountIn(f, "src/core/ok.cc"), 0);
+  EXPECT_EQ(CountIn(f, "tools/cli.cc"), 0);
+  EXPECT_EQ(CountIn(f, "src/graph/s.h"), 0);  // declarations don't fire
+}
+
+TEST(AnalyzePasses, DeterminismHazard) {
+  const auto f = RunOn(
+      "determinism-hazard",
+      {MakeFile("src/linalg/sum.cc",
+                "float S(std::vector<float> v) {\n"
+                "  return std::reduce(v.begin(), v.end());\n"
+                "}\n"),
+       MakeFile("src/core/cache.cc", "std::unordered_map<int, int> m;\n"),
+       MakeFile("src/nn/opt.cc", "std::unordered_map<int, int> m;\n"),
+       MakeFile("src/linalg/frag.cc", "#pragma float_control(push)\n"),
+       MakeFile("src/linalg/kernels/k.cc", "#pragma float_control(push)\n")});
+  EXPECT_EQ(CountIn(f, "src/linalg/sum.cc"), 1);
+  EXPECT_EQ(CountIn(f, "src/core/cache.cc"), 1);
+  EXPECT_EQ(CountIn(f, "src/nn/opt.cc"), 0);  // not a critical layer
+  EXPECT_EQ(CountIn(f, "src/linalg/frag.cc"), 1);
+  EXPECT_EQ(CountIn(f, "src/linalg/kernels/k.cc"), 0);  // pragma owner
+}
+
+TEST(AnalyzePasses, FpContractSyncCrossChecksCmake) {
+  const std::string root =
+      (std::filesystem::path(::testing::TempDir()) / "fp_sync").string();
+  std::filesystem::create_directories(
+      std::filesystem::path(root) / "src/linalg");
+  {
+    std::ofstream cmake(std::filesystem::path(root) /
+                        "src/linalg/CMakeLists.txt");
+    cmake << "set(PEEGA_KERNEL_SOURCES kernels/kernels_generic.cc)\n"
+             "-ffp-contract=off\n";
+  }
+  const char* registry =
+      "void R() {\n"
+      "  Push({\"op.generic_only\", \"a\", \"b\", \"c\", \"d\",\n"
+      "        DeterminismClass::kLanePerOutput, true, false, false, f});\n"
+      "  Push({\"op.wants_avx2\", \"a\", \"b\", \"c\", \"d\",\n"
+      "        DeterminismClass::kLanePerOutput, true, true, false, f});\n"
+      "  Push({\"op.reference\", \"a\", \"b\", \"c\", \"d\",\n"
+      "        DeterminismClass::kReferenceOnly, true, true, true, f});\n"
+      "  switch (c) { case DeterminismClass::kLanePerOutput: break; }\n"
+      "}\n";
+  const auto f = RunOn("fp-contract-sync",
+                       {MakeFile("src/linalg/op_registry.cc", registry)},
+                       root);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_NE(f[0].message.find("op.wants_avx2"), std::string::npos);
+  EXPECT_NE(f[0].message.find("kernels_avx2.cc"), std::string::npos);
+  std::filesystem::remove_all(root);
+}
+
+TEST(AnalyzePasses, HotLoopAlloc) {
+  const auto f = RunOn(
+      "hot-loop-alloc",
+      {MakeFile("src/linalg/kernels/hot.cc",
+                "void K(std::vector<float>* out, int n) {\n"
+                "  for (int i = 0; i < n; ++i) {\n"
+                "    float* s = new float[4];\n"
+                "    out->push_back(s[0]);\n"
+                "    delete[] s;\n"
+                "  }\n"
+                "}\n"),
+       MakeFile("src/linalg/kernels/cold.cc",
+                "void K(std::vector<float>* out, int n) {\n"
+                "  out->reserve(n);\n"
+                "  float* s = new float[4];\n"
+                "  for (int i = 0; i < n; ++i) out->push_back(s[i % 4]);\n"
+                "  delete[] s;\n"
+                "}\n"),
+       MakeFile("src/eval/tables.cc",
+                "void T(std::vector<int>* rows, int n) {\n"
+                "  for (int i = 0; i < n; ++i) rows->push_back(i);\n"
+                "}\n")});
+  EXPECT_EQ(CountIn(f, "src/linalg/kernels/hot.cc"), 2);  // new + push_back
+  EXPECT_EQ(CountIn(f, "src/linalg/kernels/cold.cc"), 0);
+  EXPECT_EQ(CountIn(f, "src/eval/tables.cc"), 0);  // not a hot file
+  for (const Finding& finding : f) {
+    EXPECT_EQ(finding.severity, Severity::kWarning);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry, SARIF, baseline
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeRegistry, NamesAreUniqueAndResolvable) {
+  std::vector<std::string> names;
+  for (const PassInfo& pass : PassRegistry()) {
+    names.emplace_back(pass.name);
+    const PassInfo* found = FindPass(pass.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->run, pass.run);
+    EXPECT_NE(std::string(pass.doc), "");
+    EXPECT_NE(std::string(pass.fixit), "");
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+  EXPECT_EQ(FindPass("no-such-pass"), nullptr);
+}
+
+TEST(AnalyzeSarif, ParsesBackWithObsJson) {
+  const auto findings = RunOn(
+      "no-stdout", {MakeFile("src/eval/t.cc", "std::cout << 1;")});
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string text = SarifDocument(findings).Dump();
+
+  obs::Json doc;
+  std::string error;
+  ASSERT_TRUE(obs::Json::Parse(text, &doc, &error)) << error;
+  EXPECT_EQ(doc.Find("version")->string_value, "2.1.0");
+  const obs::Json& run = doc.Find("runs")->array.at(0);
+  const obs::Json& driver = *run.Find("tool")->Find("driver");
+  EXPECT_EQ(driver.Find("name")->string_value, "peega_analyze");
+  // Every registered rule ships in the rules array, fired or not.
+  EXPECT_EQ(driver.Find("rules")->array.size(), PassRegistry().size());
+  const obs::Json& result = run.Find("results")->array.at(0);
+  EXPECT_EQ(result.Find("ruleId")->string_value, "no-stdout");
+  EXPECT_EQ(result.Find("level")->string_value, "error");
+  const obs::Json& physical =
+      *result.Find("locations")->array.at(0).Find("physicalLocation");
+  EXPECT_EQ(physical.Find("artifactLocation")->Find("uri")->string_value,
+            "src/eval/t.cc");
+  EXPECT_EQ(physical.Find("region")->Find("startLine")->number_value, 1.0);
+}
+
+TEST(AnalyzeBaseline, RoundTripSuppresses) {
+  std::vector<SourceFile> files = {
+      MakeFile("src/eval/t.cc", "std::cout << 1;")};
+  const IncludeGraph graph = IncludeGraph::Build(files);
+  AnalysisContext ctx;
+  ctx.files = &files;
+  ctx.include_graph = &graph;
+  const auto all = RunPass("no-stdout", ctx);
+  ASSERT_EQ(all.size(), 1u);
+
+  const std::string rendered = RenderBaseline(all, ctx);
+  EXPECT_NE(rendered.find("no-stdout src/eval/t.cc"), std::string::npos);
+  const auto fingerprints = ParseBaseline(rendered);
+  EXPECT_EQ(fingerprints.size(), 1u);
+
+  std::vector<Finding> kept, suppressed;
+  ApplyBaseline(fingerprints, ctx, all, &kept, &suppressed);
+  EXPECT_TRUE(kept.empty());
+  EXPECT_EQ(suppressed.size(), 1u);
+}
+
+TEST(AnalyzeBaseline, FingerprintSurvivesLineShifts) {
+  std::vector<SourceFile> before = {
+      MakeFile("src/eval/t.cc", "std::cout << 1;")};
+  std::vector<SourceFile> after = {
+      MakeFile("src/eval/t.cc", "int pad;\n\n  std::cout << 1;")};
+  const IncludeGraph g1 = IncludeGraph::Build(before);
+  const IncludeGraph g2 = IncludeGraph::Build(after);
+  AnalysisContext c1, c2;
+  c1.files = &before;
+  c1.include_graph = &g1;
+  c2.files = &after;
+  c2.include_graph = &g2;
+  const auto f1 = RunPass("no-stdout", c1);
+  const auto f2 = RunPass("no-stdout", c2);
+  ASSERT_EQ(f1.size(), 1u);
+  ASSERT_EQ(f2.size(), 1u);
+  EXPECT_NE(f1[0].line, f2[0].line);
+  // Line moved, indentation changed — fingerprint is unchanged, so the
+  // baseline keeps suppressing it.
+  EXPECT_EQ(Fingerprint(f1[0], c1.FindFile("src/eval/t.cc")),
+            Fingerprint(f2[0], c2.FindFile("src/eval/t.cc")));
+  // Different pass on the same line would NOT collide.
+  Finding other = f1[0];
+  other.pass = "no-raw-chrono";
+  EXPECT_NE(Fingerprint(other, c1.FindFile("src/eval/t.cc")),
+            Fingerprint(f1[0], c1.FindFile("src/eval/t.cc")));
+}
+
+TEST(AnalyzeSelfTest, AllPassesFireNoFalsePositives) {
+  std::ostringstream log;
+  EXPECT_EQ(RunSelfTest(::testing::TempDir(), log), 0) << log.str();
+}
+
+}  // namespace
+}  // namespace repro::analyze

@@ -1,0 +1,97 @@
+#ifndef PEEGA_TOOLS_ANALYZE_ANALYSIS_H_
+#define PEEGA_TOOLS_ANALYZE_ANALYSIS_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "include_graph.h"
+#include "source.h"
+
+namespace repro::analyze {
+
+/// \file
+/// The pass registry: rules as data over the lexed tree.
+///
+/// A pass is a named check with a severity, a documentation string, and
+/// a fix-it hint, running over an `AnalysisContext` (token streams +
+/// include graph + repo root). The registry is the single source of
+/// truth for three consumers: the `peega_analyze` driver (stderr text +
+/// SARIF), `tools/gen_analysis_docs` (renders docs/ANALYSIS.md, kept
+/// fresh by the `analysis_docs_uptodate` ctest), and the `--self-test`
+/// mode, which plants one violation and one decoy per pass and verifies
+/// that every pass fires with zero false positives.
+
+enum class Severity { kError, kWarning, kNote };
+
+/// SARIF level string: "error" / "warning" / "note".
+const char* SeverityName(Severity s);
+
+struct Finding {
+  std::string pass;     // registry name of the pass that fired
+  std::string file;     // repo-relative path
+  int line = 1;
+  int col = 1;
+  std::string message;  // what is wrong, with the offending token named
+  std::string fixit;    // how to fix it (pass-level hint by default)
+  Severity severity = Severity::kError;
+};
+
+/// Everything a pass may look at. Non-owning views into the caller's
+/// tree; build one per analysis run.
+struct AnalysisContext {
+  std::string repo_root;
+  const std::vector<SourceFile>* files = nullptr;
+  const IncludeGraph* include_graph = nullptr;
+
+  const SourceFile* FindFile(const std::string& rel) const;
+};
+
+struct PassInfo {
+  const char* name;      // stable rule id, e.g. "status-discipline"
+  Severity severity;
+  const char* doc;       // one-paragraph description for docs/ANALYSIS.md
+  const char* fixit;     // pass-level fix-it hint
+  void (*run)(const AnalysisContext&, std::vector<Finding>*);
+};
+
+/// All passes, in docs order. Built once, never mutated.
+const std::vector<PassInfo>& PassRegistry();
+
+/// Looks up a pass by name; nullptr when absent.
+const PassInfo* FindPass(const std::string& name);
+
+/// Runs every registered pass (or one, by name) and returns findings
+/// sorted by (file, line, col, pass) for deterministic reports.
+std::vector<Finding> RunAllPasses(const AnalysisContext& ctx);
+std::vector<Finding> RunPass(const std::string& name,
+                             const AnalysisContext& ctx);
+
+// ---------------------------------------------------------------------------
+// Layer DAG — the machine-checked ARCHITECTURE.md module structure.
+// ---------------------------------------------------------------------------
+
+/// One src/ module and the modules its files may `#include` directly.
+/// This table IS the layering contract: ARCHITECTURE.md renders it, the
+/// `layering` pass enforces it, and docs/ANALYSIS.md regenerates from
+/// it. An edge absent here is a build error waiting to be written.
+struct ModuleSpec {
+  const char* module;                    // "linalg"
+  std::vector<const char*> allowed_deps; // modules it may include
+};
+
+/// Modules in dependency order (leaves first).
+const std::vector<ModuleSpec>& LayerDag();
+
+/// Files (repo-relative prefixes) the hot-loop-alloc pass treats as
+/// hot: allocation inside a loop there is a finding.
+const std::vector<const char*>& HotFilePrefixes();
+
+/// Fires every pass against a planted tree (one violation + one decoy
+/// per pass) under `scratch_dir`; prints progress to `log`. Returns 0
+/// on success — every pass fired where expected, no decoy was flagged.
+int RunSelfTest(const std::string& scratch_dir, std::ostream& log);
+
+}  // namespace repro::analyze
+
+#endif  // PEEGA_TOOLS_ANALYZE_ANALYSIS_H_

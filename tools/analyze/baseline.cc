@@ -1,0 +1,91 @@
+#include "baseline.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+namespace repro::analyze {
+
+namespace {
+
+std::string SqueezeWhitespace(const std::string& s) {
+  std::string out;
+  bool in_ws = true;  // also trims leading whitespace
+  for (const char c : s) {
+    if (c == ' ' || c == '\t') {
+      if (!in_ws) out += ' ';
+      in_ws = true;
+    } else {
+      out += c;
+      in_ws = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::string Fnv1a64Hex(const std::string& data) {
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+std::string Fingerprint(const Finding& finding, const SourceFile* file) {
+  const std::string line_text =
+      file != nullptr ? SqueezeWhitespace(file->LineText(finding.line)) : "";
+  return Fnv1a64Hex(finding.pass + '\0' + finding.file + '\0' + line_text);
+}
+
+std::set<std::string> ParseBaseline(const std::string& text) {
+  std::set<std::string> fingerprints;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream fields(line);
+    std::string fp;
+    fields >> fp;
+    if (fp.empty() || fp[0] == '#') continue;
+    fingerprints.insert(fp);
+  }
+  return fingerprints;
+}
+
+std::string RenderBaseline(const std::vector<Finding>& findings,
+                           const AnalysisContext& ctx) {
+  std::ostringstream out;
+  out << "# peega_analyze baseline — pre-existing findings suppressed for\n"
+         "# incremental burn-down. Each line: <fingerprint> <pass> <file>.\n"
+         "# Regenerate with `peega_analyze <root> --write-baseline <this "
+         "file>`.\n"
+         "# CI fails when this file GROWS: fix new findings instead of\n"
+         "# baselining them, and delete lines as old ones are fixed.\n";
+  for (const Finding& f : findings) {
+    out << Fingerprint(f, ctx.FindFile(f.file)) << " " << f.pass << " "
+        << f.file << "\n";
+  }
+  return out.str();
+}
+
+void ApplyBaseline(const std::set<std::string>& baseline,
+                   const AnalysisContext& ctx,
+                   const std::vector<Finding>& all,
+                   std::vector<Finding>* kept,
+                   std::vector<Finding>* suppressed) {
+  for (const Finding& f : all) {
+    if (baseline.count(Fingerprint(f, ctx.FindFile(f.file))) != 0) {
+      suppressed->push_back(f);
+    } else {
+      kept->push_back(f);
+    }
+  }
+}
+
+}  // namespace repro::analyze

@@ -1,0 +1,45 @@
+#ifndef PEEGA_TOOLS_ANALYZE_BASELINE_H_
+#define PEEGA_TOOLS_ANALYZE_BASELINE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis.h"
+#include "source.h"
+
+namespace repro::analyze {
+
+/// \file
+/// Baseline suppression: a checked-in list of fingerprints for
+/// findings that predate a pass. New code is held to the full rule
+/// set immediately; old findings are burned down over time — CI's
+/// baseline-shrink check fails any change that GROWS the file.
+///
+/// A fingerprint is FNV-1a 64 over (pass, file, whitespace-squeezed
+/// source line text) — deliberately line-NUMBER independent, so
+/// unrelated edits above a baselined finding do not un-suppress it.
+
+/// Fingerprint of one finding given the file it fired in.
+std::string Fingerprint(const Finding& finding, const SourceFile* file);
+
+/// Parses a baseline file's contents: one `<16-hex> <pass> <file>` line
+/// per suppressed finding; `#` comments and blank lines are ignored.
+/// Returns the fingerprint set.
+std::set<std::string> ParseBaseline(const std::string& text);
+
+/// Renders findings as baseline-file contents (sorted, with a header
+/// explaining the burn-down contract).
+std::string RenderBaseline(const std::vector<Finding>& findings,
+                           const AnalysisContext& ctx);
+
+/// Splits `all` into kept (not baselined) and suppressed findings.
+void ApplyBaseline(const std::set<std::string>& baseline,
+                   const AnalysisContext& ctx,
+                   const std::vector<Finding>& all,
+                   std::vector<Finding>* kept,
+                   std::vector<Finding>* suppressed);
+
+}  // namespace repro::analyze
+
+#endif  // PEEGA_TOOLS_ANALYZE_BASELINE_H_

@@ -1,0 +1,95 @@
+#include "include_graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace repro::analyze {
+
+namespace {
+
+std::string DirName(const std::string& rel) {
+  const size_t slash = rel.rfind('/');
+  return slash == std::string::npos ? "" : rel.substr(0, slash);
+}
+
+}  // namespace
+
+IncludeGraph IncludeGraph::Build(const std::vector<SourceFile>& files) {
+  std::set<std::string> known;
+  for (const SourceFile& f : files) known.insert(f.rel);
+
+  IncludeGraph graph;
+  for (const SourceFile& f : files) {
+    const std::string dir = DirName(f.rel);
+    for (size_t i = 0; i < f.tokens.size(); ++i) {
+      const Token& tok = f.tokens[i];
+      if (tok.kind != TokenKind::kQuotedHeader) continue;
+      std::string resolved;
+      if (!dir.empty() && known.count(dir + "/" + tok.text) != 0) {
+        resolved = dir + "/" + tok.text;
+      } else if (known.count("src/" + tok.text) != 0) {
+        resolved = "src/" + tok.text;
+      } else if (known.count(tok.text) != 0) {
+        resolved = tok.text;
+      } else {
+        continue;
+      }
+      graph.edges_.push_back(IncludeEdge{f.rel, resolved, tok.line});
+    }
+  }
+  for (const IncludeEdge& e : graph.edges_) {
+    graph.by_file_[e.from].push_back(e);
+  }
+  return graph;
+}
+
+const std::vector<IncludeEdge>& IncludeGraph::EdgesFrom(
+    const std::string& rel) const {
+  static const std::vector<IncludeEdge> kEmpty;
+  const auto it = by_file_.find(rel);
+  return it == by_file_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> IncludeGraph::FindCycles() const {
+  // Three-color DFS; grey back-edges close cycles. by_file_ is an
+  // ordered map and edges preserve token order, so discovery — and the
+  // reported paths — are deterministic.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> seen_paths;
+  std::vector<std::string> cycles;
+
+  struct Dfs {
+    const IncludeGraph& graph;
+    std::map<std::string, int>& color;
+    std::vector<std::string>& stack;
+    std::set<std::string>& seen_paths;
+    std::vector<std::string>& cycles;
+
+    void Visit(const std::string& node) {
+      color[node] = 1;
+      stack.push_back(node);
+      for (const IncludeEdge& e : graph.EdgesFrom(node)) {
+        if (color[e.to] == 1) {
+          const auto begin = std::find(stack.begin(), stack.end(), e.to);
+          std::string path;
+          for (auto it = begin; it != stack.end(); ++it) path += *it + " -> ";
+          path += e.to;
+          if (seen_paths.insert(path).second) cycles.push_back(path);
+        } else if (color[e.to] == 0) {
+          Visit(e.to);
+        }
+      }
+      stack.pop_back();
+      color[node] = 2;
+    }
+  };
+  Dfs dfs{*this, color, stack, seen_paths, cycles};
+  for (const auto& [file, edges] : by_file_) {
+    (void)edges;
+    if (color[file] == 0) dfs.Visit(file);
+  }
+  return cycles;
+}
+
+}  // namespace repro::analyze

@@ -1,0 +1,47 @@
+#ifndef PEEGA_TOOLS_ANALYZE_INCLUDE_GRAPH_H_
+#define PEEGA_TOOLS_ANALYZE_INCLUDE_GRAPH_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "source.h"
+
+namespace repro::analyze {
+
+/// One resolved `#include "..."` edge.
+struct IncludeEdge {
+  std::string from;  // repo-relative includer
+  std::string to;    // repo-relative included file (exists in the tree)
+  int line = 0;      // line of the #include directive in `from`
+};
+
+/// The quoted-include graph over the analyzed tree. Angle includes and
+/// quoted includes that do not resolve to an analyzed file (system
+/// headers, generated files) carry no edge — they cannot take part in
+/// project cycles or layering.
+class IncludeGraph {
+ public:
+  /// Resolution tries, in order: relative to the including file's
+  /// directory, relative to src/ (the project's include root), then
+  /// repo-relative.
+  static IncludeGraph Build(const std::vector<SourceFile>& files);
+
+  const std::vector<IncludeEdge>& edges() const { return edges_; }
+
+  /// Outgoing edges of one file (empty vector when none).
+  const std::vector<IncludeEdge>& EdgesFrom(const std::string& rel) const;
+
+  /// Every include cycle among the analyzed files, each reported once
+  /// as the closed path "a.h -> b.h -> a.h", discovered in
+  /// deterministic (sorted-file) order.
+  std::vector<std::string> FindCycles() const;
+
+ private:
+  std::vector<IncludeEdge> edges_;
+  std::map<std::string, std::vector<IncludeEdge>> by_file_;
+};
+
+}  // namespace repro::analyze
+
+#endif  // PEEGA_TOOLS_ANALYZE_INCLUDE_GRAPH_H_

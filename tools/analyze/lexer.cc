@@ -1,0 +1,324 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace repro::analyze {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+namespace {
+
+// Multi-character punctuators, longest first so maximal munch is a
+// linear scan. Only operators the passes may ever need to distinguish
+// are listed; everything else falls through to single-char tokens.
+constexpr const char* kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "++", "--", "+=", "-=", "*=", "/=",
+    "%=",  "&=",  "|=",  "^=",  ".*",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  std::vector<Token> Run() {
+    while (pos_ < text_.size()) {
+      if (!SkipWhitespaceAndComments()) break;
+      if (pos_ >= text_.size()) break;
+      const char c = text_[pos_];
+      if (at_line_start_ && c == '#') {
+        LexDirective();
+      } else if (IsIdentStart(c)) {
+        LexIdentifierOrRawString();
+      } else if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+                 (c == '.' && pos_ + 1 < text_.size() &&
+                  std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])) !=
+                      0)) {
+        LexNumber();
+      } else if (c == '"') {
+        LexString();
+      } else if (c == '\'') {
+        LexCharLiteral();
+      } else {
+        LexPunct();
+      }
+      at_line_start_ = false;
+    }
+    return std::move(tokens_);
+  }
+
+ private:
+  static bool IsIdentStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+  }
+
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  // Advances one byte, maintaining line/col.
+  void Advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+      at_line_start_ = true;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  // Consumes a backslash-newline splice if one starts here. Returns
+  // true when a splice was eaten (physical line advances, the logical
+  // line — and at_line_start_ — do not).
+  bool EatSplice() {
+    if (Peek() == '\\' && Peek(1) == '\n') {
+      pos_ += 2;
+      ++line_;
+      col_ = 1;
+      return true;
+    }
+    if (Peek() == '\\' && Peek(1) == '\r' && Peek(2) == '\n') {
+      pos_ += 3;
+      ++line_;
+      col_ = 1;
+      return true;
+    }
+    return false;
+  }
+
+  // Skips spaces, newlines, splices, and both comment forms. Returns
+  // false only at end of input.
+  bool SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      if (EatSplice()) continue;
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\v' ||
+          c == '\f') {
+        Advance();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') {
+          if (!EatSplice()) Advance();  // spliced line comments continue
+        }
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (pos_ < text_.size() &&
+               !(text_[pos_] == '*' && Peek(1) == '/')) {
+          Advance();
+        }
+        if (pos_ < text_.size()) {
+          Advance();
+          Advance();
+        }
+        continue;
+      }
+      return true;
+    }
+    return false;
+  }
+
+  void Emit(TokenKind kind, std::string text, int line, int col) {
+    tokens_.push_back(Token{kind, std::move(text), line, col});
+  }
+
+  // `#` [ws] word — emitted as one kDirective token "#word". After
+  // `#include`, the header-name gets its own token kind so passes can
+  // match <immintrin.h> as a single unit.
+  void LexDirective() {
+    const int line = line_, col = col_;
+    Advance();  // '#'
+    while (pos_ < text_.size() && (Peek() == ' ' || Peek() == '\t')) {
+      Advance();
+    }
+    std::string word;
+    while (pos_ < text_.size() && IsIdentChar(Peek())) {
+      word += text_[pos_];
+      Advance();
+      EatSplice();
+    }
+    Emit(TokenKind::kDirective, "#" + word, line, col);
+    if (word != "include") return;
+    while (pos_ < text_.size() && (Peek() == ' ' || Peek() == '\t')) {
+      Advance();
+    }
+    const char open = Peek();
+    if (open != '"' && open != '<') return;
+    const char close = open == '"' ? '"' : '>';
+    const int hline = line_, hcol = col_;
+    Advance();
+    std::string path;
+    while (pos_ < text_.size() && Peek() != close && Peek() != '\n') {
+      path += text_[pos_];
+      Advance();
+    }
+    if (Peek() == close) Advance();
+    Emit(open == '"' ? TokenKind::kQuotedHeader : TokenKind::kAngleHeader,
+         std::move(path), hline, hcol);
+  }
+
+  void LexIdentifierOrRawString() {
+    const int line = line_, col = col_;
+    std::string word;
+    while (pos_ < text_.size() && IsIdentChar(Peek())) {
+      word += text_[pos_];
+      Advance();
+      EatSplice();
+    }
+    // R"delim( … )delim" — and the encoding-prefixed forms u8R"…" etc.
+    const bool raw_prefix =
+        (word == "R" || word == "u8R" || word == "uR" || word == "UR" ||
+         word == "LR");
+    if (raw_prefix && Peek() == '"') {
+      LexRawString(line, col);
+      return;
+    }
+    // Plain-prefixed strings (u8"x") — drop the prefix, lex the literal.
+    if ((word == "u8" || word == "u" || word == "U" || word == "L") &&
+        Peek() == '"') {
+      LexString();
+      return;
+    }
+    Emit(TokenKind::kIdentifier, std::move(word), line, col);
+  }
+
+  void LexRawString(int line, int col) {
+    Advance();  // '"'
+    std::string delim;
+    while (pos_ < text_.size() && Peek() != '(' && Peek() != '\n') {
+      delim += text_[pos_];
+      Advance();
+    }
+    if (Peek() == '(') Advance();
+    const std::string terminator = ")" + delim + "\"";
+    std::string body;
+    while (pos_ < text_.size() &&
+           text_.compare(pos_, terminator.size(), terminator) != 0) {
+      body += text_[pos_];
+      Advance();
+    }
+    for (size_t i = 0; i < terminator.size() && pos_ < text_.size(); ++i) {
+      Advance();
+    }
+    Emit(TokenKind::kString, std::move(body), line, col);
+  }
+
+  void LexNumber() {
+    const int line = line_, col = col_;
+    std::string num;
+    while (pos_ < text_.size()) {
+      if (EatSplice()) continue;
+      const char c = Peek();
+      if (IsIdentChar(c) || c == '.') {
+        num += c;
+        Advance();
+        // Exponent signs belong to the pp-number: 1e+5, 0x1p-3.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (Peek() == '+' || Peek() == '-')) {
+          num += Peek();
+          Advance();
+        }
+        continue;
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, std::move(num), line, col);
+  }
+
+  void LexString() {
+    const int line = line_, col = col_;
+    Advance();  // '"'
+    std::string body;
+    while (pos_ < text_.size() && Peek() != '"') {
+      if (Peek() == '\\' && pos_ + 1 < text_.size()) {
+        body += text_[pos_];
+        Advance();
+        body += text_[pos_];
+        Advance();
+        continue;
+      }
+      if (Peek() == '\n') break;  // unterminated; recover at the newline
+      body += text_[pos_];
+      Advance();
+    }
+    if (Peek() == '"') Advance();
+    Emit(TokenKind::kString, std::move(body), line, col);
+  }
+
+  void LexCharLiteral() {
+    const int line = line_, col = col_;
+    Advance();  // '\''
+    std::string body;
+    while (pos_ < text_.size() && Peek() != '\'') {
+      if (Peek() == '\\' && pos_ + 1 < text_.size()) {
+        body += text_[pos_];
+        Advance();
+        body += text_[pos_];
+        Advance();
+        continue;
+      }
+      if (Peek() == '\n') break;
+      body += text_[pos_];
+      Advance();
+    }
+    if (Peek() == '\'') Advance();
+    Emit(TokenKind::kCharLiteral, std::move(body), line, col);
+  }
+
+  void LexPunct() {
+    const int line = line_, col = col_;
+    for (const char* p : kPuncts) {
+      const size_t n = std::char_traits<char>::length(p);
+      if (text_.compare(pos_, n, p) == 0) {
+        for (size_t i = 0; i < n; ++i) Advance();
+        Emit(TokenKind::kPunct, p, line, col);
+        return;
+      }
+    }
+    std::string one(1, text_[pos_]);
+    Advance();
+    Emit(TokenKind::kPunct, std::move(one), line, col);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool at_line_start_ = true;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& text) { return Lexer(text).Run(); }
+
+bool MatchQualified(const std::vector<Token>& tokens, size_t i,
+                    const std::vector<std::string>& parts,
+                    bool last_is_prefix) {
+  size_t t = i;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    if (p > 0) {
+      if (t >= tokens.size() || !tokens[t].IsPunct("::")) return false;
+      ++t;
+    }
+    if (t >= tokens.size() || tokens[t].kind != TokenKind::kIdentifier) {
+      return false;
+    }
+    const bool last = p + 1 == parts.size();
+    if (last && last_is_prefix) {
+      if (tokens[t].text.rfind(parts[p], 0) != 0) return false;
+    } else if (tokens[t].text != parts[p]) {
+      return false;
+    }
+    ++t;
+  }
+  return true;
+}
+
+}  // namespace repro::analyze

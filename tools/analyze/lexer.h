@@ -1,0 +1,66 @@
+#ifndef PEEGA_TOOLS_ANALYZE_LEXER_H_
+#define PEEGA_TOOLS_ANALYZE_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace repro::analyze {
+
+/// \file
+/// A small C++ lexer for static analysis — NOT a compiler front end.
+///
+/// It produces a flat token stream with exact line:column positions,
+/// which is all the project's passes need: comments are consumed (never
+/// tokenized), string/char literals become single tokens whose contents
+/// can never be mistaken for code, raw strings honor their delimiter,
+/// and backslash-newline splices continue the logical line while the
+/// physical line counter keeps advancing (so positions always name the
+/// physical line an editor would jump to). Preprocessor directives are
+/// tokenized in-stream: the `#include`/`#pragma`/`#ifndef` word becomes
+/// one kDirective token and the rest of the directive line is lexed
+/// normally, except the header-name after `#include`, which becomes a
+/// single kQuotedHeader / kAngleHeader token holding the bare path.
+
+enum class TokenKind {
+  kIdentifier,    // names and keywords, including `new`, `for`, `while`
+  kNumber,        // pp-number: 12, 0x1f, 1.5e-3f
+  kString,        // "..." or R"delim(...)delim"; text = contents only
+  kCharLiteral,   // '...'; text = contents only
+  kPunct,         // operators/punctuation, maximal munch ("::", "->", …)
+  kDirective,     // "#include", "#pragma", … ('#' glued to the word)
+  kQuotedHeader,  // the path inside #include "..."
+  kAngleHeader,   // the path inside #include <...>
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  // 1-based physical line of the token's first character
+  int col = 0;   // 1-based byte column on that line
+
+  bool Is(TokenKind k, const char* t) const {
+    return kind == k && text == t;
+  }
+  bool IsIdent(const char* t) const { return Is(TokenKind::kIdentifier, t); }
+  bool IsPunct(const char* t) const { return Is(TokenKind::kPunct, t); }
+};
+
+/// Lexes `text` into tokens. Never fails: unterminated literals and
+/// stray bytes degrade into best-effort tokens rather than errors, so
+/// the analyzer keeps working on code that does not even compile yet.
+std::vector<Token> Lex(const std::string& text);
+
+/// True for identifier characters [A-Za-z0-9_].
+bool IsIdentChar(char c);
+
+/// True when `tokens[i..]` spell the `::`-joined qualified name `parts`
+/// (e.g. {"std", "thread"} matches `std :: thread`). When
+/// `last_is_prefix` is set, the final identifier only needs to START
+/// with the last part ("mt19937" also matches `std::mt19937_64`).
+bool MatchQualified(const std::vector<Token>& tokens, size_t i,
+                    const std::vector<std::string>& parts,
+                    bool last_is_prefix);
+
+}  // namespace repro::analyze
+
+#endif  // PEEGA_TOOLS_ANALYZE_LEXER_H_

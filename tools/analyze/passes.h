@@ -1,0 +1,35 @@
+#ifndef PEEGA_TOOLS_ANALYZE_PASSES_H_
+#define PEEGA_TOOLS_ANALYZE_PASSES_H_
+
+#include <vector>
+
+#include "analysis.h"
+
+// Internal pass entry points, one per registered rule. Only
+// analysis.cc (registry assembly) should include this header; everyone
+// else goes through PassRegistry().
+
+namespace repro::analyze::passes {
+
+// Ported peega_lint token rules.
+void NoRawThread(const AnalysisContext&, std::vector<Finding>*);
+void NoUnseededRng(const AnalysisContext&, std::vector<Finding>*);
+void NoStdout(const AnalysisContext&, std::vector<Finding>*);
+void NoRawChrono(const AnalysisContext&, std::vector<Finding>*);
+void NoRawIntrinsics(const AnalysisContext&, std::vector<Finding>*);
+void NoAbortOnInput(const AnalysisContext&, std::vector<Finding>*);
+void HeaderGuard(const AnalysisContext&, std::vector<Finding>*);
+
+// Include-graph passes.
+void IncludeCycle(const AnalysisContext&, std::vector<Finding>*);
+void Layering(const AnalysisContext&, std::vector<Finding>*);
+
+// Deep passes.
+void StatusDiscipline(const AnalysisContext&, std::vector<Finding>*);
+void DeterminismHazard(const AnalysisContext&, std::vector<Finding>*);
+void FpContractSync(const AnalysisContext&, std::vector<Finding>*);
+void HotLoopAlloc(const AnalysisContext&, std::vector<Finding>*);
+
+}  // namespace repro::analyze::passes
+
+#endif  // PEEGA_TOOLS_ANALYZE_PASSES_H_

@@ -1,0 +1,458 @@
+// Deep passes — the checks a regex cannot do. All four work on the
+// token stream (plus, for the CMake cross-check, one raw build file):
+//
+//  status-discipline   a call to a Status/StatusOr-returning function
+//                      whose result is dropped on the floor
+//  determinism-hazard  reassociating float accumulation or unordered
+//                      iteration in the determinism-critical layers,
+//                      and FP-relaxation pragmas outside the kernels
+//  fp-contract-sync    every kLanePerOutput op's kernel TUs must be on
+//                      the -ffp-contract=off list in the linalg CMake
+//  hot-loop-alloc      new/malloc/push_back-without-reserve inside a
+//                      loop in a file tagged hot
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "passes.h"
+
+namespace repro::analyze {
+
+const std::vector<const char*>& HotFilePrefixes() {
+  // Files where a per-iteration allocation is a measurable regression:
+  // the SIMD kernel TUs, the row-subset incremental kernels, and the
+  // PEEGA objective engine. Matching is by repo-relative path prefix.
+  static const std::vector<const char*>* const hot =
+      new std::vector<const char*>{
+          "src/linalg/kernels/",
+          "src/linalg/incremental.",
+          "src/core/peega_engine.",
+      };
+  return *hot;
+}
+
+namespace passes {
+namespace {
+
+// Index of the punct matching tokens[open] (an open paren/brace/...),
+// or tokens.size() when unbalanced.
+size_t MatchingClose(const std::vector<Token>& toks, size_t open,
+                     const char* open_text, const char* close_text) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].IsPunct(open_text)) ++depth;
+    if (toks[i].IsPunct(close_text) && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+bool UnderAnyPrefix(const std::string& rel,
+                    const std::vector<const char*>& prefixes) {
+  for (const char* p : prefixes) {
+    if (rel.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// status-discipline
+// ---------------------------------------------------------------------------
+
+void StatusDiscipline(const AnalysisContext& ctx,
+                      std::vector<Finding>* out) {
+  const PassInfo* info = FindPass("status-discipline");
+
+  // Phase 1: harvest the names of functions returning Status or
+  // StatusOr<...> from every analyzed file — declarations and
+  // definitions look identical at this altitude: `Status` (or a
+  // balanced `StatusOr<...>`) directly followed by `name (`.
+  std::set<std::string> status_fns;
+  for (const SourceFile& file : *ctx.files) {
+    const std::vector<Token>& toks = file.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (!toks[i].IsIdent("Status") && !toks[i].IsIdent("StatusOr")) {
+        continue;
+      }
+      if (i > 0 && (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->"))) {
+        continue;  // member access, not a return type
+      }
+      size_t j = i + 1;
+      if (toks[i].text == "StatusOr") {
+        // Balance the template argument list by hand: a nested close
+        // like `StatusOr<std::vector<int>>` lexes its final `>>` as ONE
+        // shift token, which a naive <-vs-> scan never re-balances.
+        if (j >= toks.size() || !toks[j].IsPunct("<")) continue;
+        int depth = 0;
+        size_t k = j;
+        for (; k < toks.size(); ++k) {
+          if (toks[k].IsPunct("<")) ++depth;
+          else if (toks[k].IsPunct(">")) --depth;
+          else if (toks[k].IsPunct(">>")) depth -= 2;
+          else if (toks[k].IsPunct(";") || toks[k].IsPunct("{")) break;
+          if (depth <= 0) break;
+        }
+        if (k >= toks.size() || depth > 0) continue;
+        j = k + 1;
+      }
+      if (j + 1 < toks.size() && toks[j].kind == TokenKind::kIdentifier &&
+          toks[j].text != "operator" && toks[j + 1].IsPunct("(")) {
+        status_fns.insert(toks[j].text);
+      }
+    }
+  }
+  if (status_fns.empty()) return;
+
+  // Phase 2: find statement-initial calls of those functions whose
+  // full statement is just `call;` — nothing consumes the result: no
+  // assignment, no return, no PEEGA_RETURN_IF_ERROR (the call would
+  // sit inside the macro's parens), no `.ok()` / `.IgnoreError()` /
+  // any other chained member. Scoped to src/: library code must
+  // propagate, tools may print-and-exit.
+  for (const SourceFile& file : *ctx.files) {
+    if (file.rel.rfind("src/", 0) != 0) continue;
+    const std::vector<Token>& toks = file.tokens;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokenKind::kIdentifier ||
+          status_fns.count(toks[i].text) == 0 || !toks[i + 1].IsPunct("(")) {
+        continue;
+      }
+      // Walk back over the qualifier/member chain (a::b::f, obj.f,
+      // p->f) to the start of the full postfix expression.
+      size_t start = i;
+      while (start >= 2 &&
+             (toks[start - 1].IsPunct("::") || toks[start - 1].IsPunct(".") ||
+              toks[start - 1].IsPunct("->")) &&
+             toks[start - 2].kind == TokenKind::kIdentifier) {
+        start -= 2;
+      }
+      const bool stmt_initial =
+          start == 0 || toks[start - 1].IsPunct(";") ||
+          toks[start - 1].IsPunct("{") || toks[start - 1].IsPunct("}") ||
+          toks[start - 1].IsIdent("else") || toks[start - 1].IsIdent("do");
+      if (!stmt_initial) continue;
+      const size_t close = MatchingClose(toks, i + 1, "(", ")");
+      if (close + 1 >= toks.size() || !toks[close + 1].IsPunct(";")) {
+        continue;  // chained (.ok()/.IgnoreError()) or otherwise consumed
+      }
+      out->push_back(Finding{
+          "status-discipline", file.rel, toks[i].line, toks[i].col,
+          toks[i].text + "() returns a Status/StatusOr that this "
+                         "statement discards",
+          info->fixit, info->severity});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism-hazard
+// ---------------------------------------------------------------------------
+
+void DeterminismHazard(const AnalysisContext& ctx,
+                       std::vector<Finding>* out) {
+  const PassInfo* info = FindPass("determinism-hazard");
+  // FP-relaxation pragma needles, matched against the raw pragma line
+  // (pragma grammar is too vendor-specific to tokenize usefully).
+  static const char* const kPragmaNeedles[] = {
+      "fp_contract", "FP_CONTRACT", "float_control",
+      "fast-math",   "fast_math",   "fp reassociate",
+  };
+  for (const SourceFile& file : *ctx.files) {
+    const bool critical = file.rel.rfind("src/linalg/", 0) == 0 ||
+                          file.rel.rfind("src/core/", 0) == 0;
+    const bool in_kernels = file.rel.rfind("src/linalg/kernels/", 0) == 0;
+    const bool in_src = file.rel.rfind("src/", 0) == 0;
+    const std::vector<Token>& toks = file.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (critical &&
+          (i == 0 || !toks[i - 1].IsPunct("::"))) {
+        for (const char* name :
+             {"reduce", "transform_reduce", "unordered_map",
+              "unordered_set", "unordered_multimap", "unordered_multiset"}) {
+          if (MatchQualified(toks, i, {"std", name}, false)) {
+            const bool container = std::string(name).rfind("unordered", 0) == 0;
+            out->push_back(Finding{
+                "determinism-hazard", file.rel, toks[i].line, toks[i].col,
+                container
+                    ? "std::" + std::string(name) +
+                          " in a determinism-critical layer: iteration "
+                          "order varies across libstdc++ versions and "
+                          "hash seeds"
+                    : "std::" + std::string(name) +
+                          " reassociates float accumulation, breaking "
+                          "the bitwise cross-variant guarantee",
+                info->fixit, info->severity});
+          }
+        }
+      }
+      if (in_src && !in_kernels &&
+          toks[i].Is(TokenKind::kDirective, "#pragma")) {
+        const std::string line = file.LineText(toks[i].line);
+        for (const char* needle : kPragmaNeedles) {
+          if (line.find(needle) != std::string::npos) {
+            out->push_back(Finding{
+                "determinism-hazard", file.rel, toks[i].line, toks[i].col,
+                std::string("FP-relaxation pragma ('") + needle +
+                    "') outside src/linalg/kernels/ — rounding contracts "
+                    "are owned by the kernel TUs and their build flags",
+                info->fixit, info->severity});
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// fp-contract-sync
+// ---------------------------------------------------------------------------
+
+void FpContractSync(const AnalysisContext& ctx, std::vector<Finding>* out) {
+  const PassInfo* info = FindPass("fp-contract-sync");
+  const SourceFile* registry = ctx.FindFile("src/linalg/op_registry.cc");
+  if (registry == nullptr) return;  // tree without the registry: no-op
+
+  // Harvest (op name, line, generic/avx2/neon) for every op whose
+  // determinism class is kLanePerOutput. In the registry source each
+  // entry is a braced initializer whose first token is the op-name
+  // string and whose variant booleans directly follow the determinism
+  // class: `DeterminismClass::kLanePerOutput, true, true, false,`.
+  struct LaneOp {
+    std::string name;
+    int line;
+    bool variants[3];  // generic, avx2, neon
+  };
+  std::vector<LaneOp> lane_ops;
+  const std::vector<Token>& toks = registry->tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!MatchQualified(toks, i, {"DeterminismClass", "kLanePerOutput"},
+                        false)) {
+      continue;
+    }
+    LaneOp op;
+    op.line = toks[i].line;
+    op.name = "<unknown>";
+    for (size_t back = i; back > 0; --back) {
+      if (toks[back - 1].IsPunct("{")) {
+        if (back < toks.size() && toks[back].kind == TokenKind::kString) {
+          op.name = toks[back].text;
+        }
+        break;
+      }
+    }
+    size_t j = i + 2;  // DeterminismClass :: kLanePerOutput → past it
+    ++j;               // MatchQualified consumed 3 tokens ending at i+2
+    bool parsed = true;
+    for (bool& variant : op.variants) {
+      if (j + 1 < toks.size() && toks[j].IsPunct(",") &&
+          (toks[j + 1].IsIdent("true") || toks[j + 1].IsIdent("false"))) {
+        variant = toks[j + 1].text == "true";
+        j += 2;
+      } else {
+        parsed = false;
+        break;
+      }
+    }
+    if (!parsed) {
+      // Mentions of kLanePerOutput outside an OpInfo initializer (the
+      // DeterminismClassName switch, comparisons) have no op-name
+      // string before them and no boolean list after — not entries.
+      if (op.name != "<unknown>") {
+        out->push_back(Finding{
+            "fp-contract-sync", registry->rel, op.line, 1,
+            "could not parse the variant booleans after kLanePerOutput "
+            "for op '" + op.name + "' — keep the OpInfo initializer "
+            "literal",
+            info->fixit, info->severity});
+      }
+      continue;
+    }
+    lane_ops.push_back(op);
+  }
+  if (lane_ops.empty()) return;
+
+  const std::string cmake_rel = "src/linalg/CMakeLists.txt";
+  std::string cmake;
+  if (!ReadRepoFile(ctx.repo_root, cmake_rel, &cmake)) {
+    out->push_back(Finding{"fp-contract-sync", registry->rel, 1, 1,
+                           "kLanePerOutput ops are declared but " +
+                               cmake_rel + " is missing",
+                           info->fixit, info->severity});
+    return;
+  }
+  if (cmake.find("-ffp-contract=off") == std::string::npos) {
+    out->push_back(Finding{
+        "fp-contract-sync", cmake_rel, 1, 1,
+        "no -ffp-contract=off block: kernel TUs would be free to fuse "
+        "mul+add into FMA, breaking cross-variant bitwise equality",
+        info->fixit, info->severity});
+    return;
+  }
+  // The TU list is whatever accumulates into PEEGA_KERNEL_SOURCES —
+  // the variable the -ffp-contract=off foreach iterates.
+  std::set<std::string> fp_tus;
+  size_t pos = 0;
+  std::string line;
+  while (pos <= cmake.size()) {
+    const size_t eol = cmake.find('\n', pos);
+    line = cmake.substr(pos, eol == std::string::npos ? std::string::npos
+                                                      : eol - pos);
+    if (line.find("PEEGA_KERNEL_SOURCES") != std::string::npos) {
+      size_t at = 0;
+      while ((at = line.find("kernels/kernels_", at)) != std::string::npos) {
+        const size_t end = line.find(".cc", at);
+        if (end == std::string::npos) break;
+        fp_tus.insert(line.substr(at, end + 3 - at));
+        at = end + 3;
+      }
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+
+  static const std::pair<const char*, const char*> kVariantTus[3] = {
+      {"generic", "kernels/kernels_generic.cc"},
+      {"avx2", "kernels/kernels_avx2.cc"},
+      {"neon", "kernels/kernels_neon.cc"},
+  };
+  for (const LaneOp& op : lane_ops) {
+    for (int v = 0; v < 3; ++v) {
+      if (!op.variants[v]) continue;
+      if (fp_tus.count(kVariantTus[v].second) == 0) {
+        out->push_back(Finding{
+            "fp-contract-sync", registry->rel, op.line, 1,
+            "op '" + op.name + "' is kLanePerOutput with a " +
+                kVariantTus[v].first + " variant, but " +
+                kVariantTus[v].second + " is not on the " +
+                "-ffp-contract=off PEEGA_KERNEL_SOURCES list in " +
+                cmake_rel,
+            info->fixit, info->severity});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// hot-loop-alloc
+// ---------------------------------------------------------------------------
+
+void HotLoopAlloc(const AnalysisContext& ctx, std::vector<Finding>* out) {
+  const PassInfo* info = FindPass("hot-loop-alloc");
+  for (const SourceFile& file : *ctx.files) {
+    if (!UnderAnyPrefix(file.rel, HotFilePrefixes())) continue;
+    const std::vector<Token>& toks = file.tokens;
+
+    // Identifiers that had capacity established anywhere in this file
+    // (reserve/resize/assign); push_back on them inside a loop is fine.
+    std::set<std::string> reserved;
+    for (size_t i = 2; i < toks.size(); ++i) {
+      if ((toks[i].IsIdent("reserve") || toks[i].IsIdent("resize") ||
+           toks[i].IsIdent("assign")) &&
+          i + 1 < toks.size() && toks[i + 1].IsPunct("(") &&
+          (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->")) &&
+          toks[i - 2].kind == TokenKind::kIdentifier) {
+        reserved.insert(toks[i - 2].text);
+      }
+    }
+
+    // Loop-body regions as [first, last] token index ranges.
+    std::vector<std::pair<size_t, size_t>> regions;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      size_t body = toks.size();
+      if ((toks[i].IsIdent("for") || toks[i].IsIdent("while")) &&
+          i + 1 < toks.size() && toks[i + 1].IsPunct("(")) {
+        const size_t close = MatchingClose(toks, i + 1, "(", ")");
+        if (close >= toks.size()) continue;
+        body = close + 1;
+      } else if (toks[i].IsIdent("do") && i + 1 < toks.size() &&
+                 toks[i + 1].IsPunct("{")) {
+        body = i + 1;
+      } else {
+        continue;
+      }
+      if (body >= toks.size()) continue;
+      if (toks[body].IsPunct("{")) {
+        const size_t end = MatchingClose(toks, body, "{", "}");
+        if (end < toks.size()) regions.emplace_back(body, end);
+      } else {
+        // Single-statement body: up to the `;` closing it.
+        for (size_t j = body; j < toks.size(); ++j) {
+          if (toks[j].IsPunct("(")) {
+            j = MatchingClose(toks, j, "(", ")");
+            if (j >= toks.size()) break;
+          } else if (toks[j].IsPunct(";")) {
+            regions.emplace_back(body, j);
+            break;
+          }
+        }
+      }
+    }
+
+    const auto in_loop = [&regions](size_t i) {
+      for (const auto& [lo, hi] : regions) {
+        if (i > lo && i < hi) return true;
+      }
+      return false;
+    };
+
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (!in_loop(i)) continue;
+      if (toks[i].IsIdent("new") &&
+          !(i > 0 && toks[i - 1].IsIdent("operator"))) {
+        out->push_back(Finding{"hot-loop-alloc", file.rel, toks[i].line,
+                               toks[i].col,
+                               "operator new inside a loop in a hot file",
+                               info->fixit, info->severity});
+        continue;
+      }
+      const bool is_alloc_call =
+          (toks[i].IsIdent("malloc") || toks[i].IsIdent("calloc") ||
+           toks[i].IsIdent("realloc")) &&
+          i + 1 < toks.size() && toks[i + 1].IsPunct("(") &&
+          !(i > 0 && (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->") ||
+                      toks[i - 1].IsPunct("::")));
+      if (is_alloc_call) {
+        out->push_back(Finding{"hot-loop-alloc", file.rel, toks[i].line,
+                               toks[i].col,
+                               toks[i].text + "() inside a loop in a hot "
+                                              "file",
+                               info->fixit, info->severity});
+        continue;
+      }
+      if ((toks[i].IsIdent("push_back") || toks[i].IsIdent("emplace_back")) &&
+          i + 1 < toks.size() && toks[i + 1].IsPunct("(") && i >= 2 &&
+          (toks[i - 1].IsPunct(".") || toks[i - 1].IsPunct("->"))) {
+        // Receiver: the identifier before the member access, looking
+        // through one trailing [index] group (rows[u].push_back).
+        size_t r = i - 2;
+        if (toks[r].IsPunct("]")) {
+          int depth = 0;
+          while (r > 0) {
+            if (toks[r].IsPunct("]")) ++depth;
+            if (toks[r].IsPunct("[") && --depth == 0) {
+              --r;
+              break;
+            }
+            --r;
+          }
+        }
+        if (toks[r].kind == TokenKind::kIdentifier &&
+            reserved.count(toks[r].text) == 0) {
+          out->push_back(Finding{
+              "hot-loop-alloc", file.rel, toks[i].line, toks[i].col,
+              toks[i].text + " on '" + toks[r].text +
+                  "' inside a loop with no reserve()/resize() for it "
+                  "anywhere in this file",
+              info->fixit, info->severity});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace passes
+}  // namespace repro::analyze

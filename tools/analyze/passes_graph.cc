@@ -1,0 +1,108 @@
+// Include-graph passes: cycle rejection and the machine-checked layer
+// DAG. The DAG below mirrors the table in ARCHITECTURE.md ("Layer DAG,
+// machine-checked") — change them together; docs/ANALYSIS.md is
+// regenerated from this data by tools/gen_analysis_docs.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "passes.h"
+
+namespace repro::analyze {
+
+const std::vector<ModuleSpec>& LayerDag() {
+  // Direct-include edges each src/ module may have, leaves first.
+  // `debug` and `obs` are leaves; `status` is near-leaf; `core` sits
+  // ABOVE attack/defense because PeegaAttack/GnatDefender implement
+  // those interfaces; `eval` orchestrates everything.
+  static const std::vector<ModuleSpec>* const dag =
+      new std::vector<ModuleSpec>{
+          {"debug", {}},
+          {"obs", {"debug"}},
+          {"status", {"debug", "obs"}},
+          {"parallel", {"debug", "obs"}},
+          {"linalg", {"debug", "obs", "parallel"}},
+          {"autograd", {"debug", "obs", "linalg"}},
+          {"graph", {"debug", "obs", "status", "linalg"}},
+          {"nn", {"debug", "obs", "status", "linalg", "autograd", "graph"}},
+          {"attack",
+           {"debug", "obs", "status", "parallel", "linalg", "autograd",
+            "graph", "nn"}},
+          {"defense",
+           {"debug", "obs", "status", "parallel", "linalg", "autograd",
+            "graph", "nn"}},
+          {"core",
+           {"debug", "obs", "status", "parallel", "linalg", "autograd",
+            "graph", "nn", "attack", "defense"}},
+          {"eval",
+           {"debug", "obs", "status", "parallel", "linalg", "autograd",
+            "graph", "nn", "attack", "defense", "core"}},
+      };
+  return *dag;
+}
+
+namespace passes {
+
+void IncludeCycle(const AnalysisContext& ctx, std::vector<Finding>* out) {
+  const PassInfo* info = FindPass("include-cycle");
+  for (const std::string& cycle : ctx.include_graph->FindCycles()) {
+    // Attribute the finding to the head of the printed path.
+    const std::string head = cycle.substr(0, cycle.find(' '));
+    out->push_back(Finding{"include-cycle", head, 1, 1,
+                           "#include cycle: " + cycle, info->fixit,
+                           info->severity});
+  }
+}
+
+namespace {
+
+// src/linalg/kernels/x.h -> "linalg"; returns "" for non-src files.
+std::string ModuleOf(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return "";
+  const size_t start = 4;
+  const size_t slash = rel.find('/', start);
+  if (slash == std::string::npos) return "";  // loose file under src/
+  return rel.substr(start, slash - start);
+}
+
+}  // namespace
+
+void Layering(const AnalysisContext& ctx, std::vector<Finding>* out) {
+  const PassInfo* info = FindPass("layering");
+  std::map<std::string, const ModuleSpec*> specs;
+  for (const ModuleSpec& spec : LayerDag()) specs[spec.module] = &spec;
+
+  for (const IncludeEdge& edge : ctx.include_graph->edges()) {
+    const std::string from = ModuleOf(edge.from);
+    const std::string to = ModuleOf(edge.to);
+    if (from.empty() || to.empty() || from == to) continue;
+    const auto from_it = specs.find(from);
+    if (from_it == specs.end()) {
+      out->push_back(Finding{"layering", edge.from, edge.line, 1,
+                             "module src/" + from +
+                                 " is not in the layer DAG; add it to "
+                                 "LayerDag() and ARCHITECTURE.md",
+                             info->fixit, info->severity});
+      continue;
+    }
+    bool allowed = false;
+    for (const char* dep : from_it->second->allowed_deps) {
+      if (to == dep) {
+        allowed = true;
+        break;
+      }
+    }
+    if (!allowed) {
+      out->push_back(Finding{
+          "layering", edge.from, edge.line, 1,
+          "illegal include edge src/" + from + " -> src/" + to + " (" +
+              edge.to + "); the layer DAG in ARCHITECTURE.md permits " +
+              "src/" + from + " to include only its listed dependencies",
+          info->fixit, info->severity});
+    }
+  }
+}
+
+}  // namespace passes
+}  // namespace repro::analyze

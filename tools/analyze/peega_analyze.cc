@@ -1,0 +1,160 @@
+// peega_analyze — the project's static analyzer (see docs/ANALYSIS.md).
+//
+//   peega_analyze <repo_root> [options]     analyze the tree
+//   peega_analyze --self-test               plant violations, verify passes
+//
+// Options:
+//   --baseline FILE        suppress findings fingerprinted in FILE
+//   --write-baseline FILE  write the current findings as a new baseline
+//   --sarif FILE           also write a SARIF 2.1.0 report to FILE
+//   --pass NAME            run a single pass instead of all of them
+//
+// Findings go to stderr, one per line:
+//   file:line:col: severity: [pass] message (fix: hint)
+// Exit status is 1 when any non-baselined finding remains, 0 otherwise.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis.h"
+#include "baseline.h"
+#include "sarif.h"
+
+namespace {
+
+using namespace repro::analyze;
+
+int Usage() {
+  std::cerr
+      << "usage: peega_analyze <repo_root> [--baseline FILE]\n"
+         "                     [--write-baseline FILE] [--sarif FILE]\n"
+         "                     [--pass NAME]\n"
+         "       peega_analyze --self-test\n"
+         "       peega_analyze --list-passes\n";
+  return 2;
+}
+
+int ListPasses() {
+  for (const PassInfo& pass : PassRegistry()) {
+    std::cout << pass.name << " (" << SeverityName(pass.severity) << ")\n"
+              << "  " << pass.doc << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string repo_root;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string sarif_path;
+  std::string only_pass;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : std::string();
+    };
+    if (arg == "--self-test") {
+      const std::string scratch =
+          std::filesystem::temp_directory_path().string();
+      return RunSelfTest(scratch, std::cerr);
+    } else if (arg == "--list-passes") {
+      return ListPasses();
+    } else if (arg == "--baseline") {
+      baseline_path = value();
+    } else if (arg == "--write-baseline") {
+      write_baseline_path = value();
+    } else if (arg == "--sarif") {
+      sarif_path = value();
+    } else if (arg == "--pass") {
+      only_pass = value();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "peega_analyze: unknown option '" << arg << "'\n";
+      return Usage();
+    } else if (repo_root.empty()) {
+      repo_root = arg;
+    } else {
+      return Usage();
+    }
+  }
+  if (repo_root.empty()) return Usage();
+  if (!only_pass.empty() && FindPass(only_pass) == nullptr) {
+    std::cerr << "peega_analyze: no pass named '" << only_pass
+              << "' (try --list-passes)\n";
+    return 2;
+  }
+
+  const std::vector<SourceFile> files = LoadTree(repo_root);
+  if (files.empty()) {
+    std::cerr << "peega_analyze: no .h/.cc files under " << repo_root
+              << " (src/ tools/ tests/ bench/)\n";
+    return 2;
+  }
+  const IncludeGraph graph = IncludeGraph::Build(files);
+  AnalysisContext ctx;
+  ctx.repo_root = repo_root;
+  ctx.files = &files;
+  ctx.include_graph = &graph;
+
+  const std::vector<Finding> all =
+      only_pass.empty() ? RunAllPasses(ctx) : RunPass(only_pass, ctx);
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "peega_analyze: cannot write " << write_baseline_path
+                << "\n";
+      return 2;
+    }
+    out << RenderBaseline(all, ctx);
+    std::cerr << "peega_analyze: wrote " << all.size()
+              << " fingerprint(s) to " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  std::vector<Finding> kept;
+  std::vector<Finding> suppressed;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "peega_analyze: cannot read baseline " << baseline_path
+                << "\n";
+      return 2;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    ApplyBaseline(ParseBaseline(text), ctx, all, &kept, &suppressed);
+  } else {
+    kept = all;
+  }
+
+  for (const Finding& f : kept) {
+    std::cerr << f.file << ":" << f.line << ":" << f.col << ": "
+              << SeverityName(f.severity) << ": [" << f.pass << "] "
+              << f.message;
+    if (!f.fixit.empty()) std::cerr << " (fix: " << f.fixit << ")";
+    std::cerr << "\n";
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "peega_analyze: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    SarifDocument(kept).Write(out);
+    out << "\n";
+  }
+
+  std::cerr << "peega_analyze: " << files.size() << " files, "
+            << kept.size() << " finding(s)";
+  if (!suppressed.empty()) {
+    std::cerr << " (" << suppressed.size() << " baselined)";
+  }
+  std::cerr << "\n";
+  return kept.empty() ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+#include "sarif.h"
+
+namespace repro::analyze {
+
+using repro::obs::Json;
+
+obs::Json SarifDocument(const std::vector<Finding>& findings) {
+  Json rules = Json::MakeArray();
+  for (const PassInfo& pass : PassRegistry()) {
+    Json rule = Json::MakeObject();
+    rule.object["id"] = Json::MakeString(pass.name);
+    Json short_desc = Json::MakeObject();
+    short_desc.object["text"] = Json::MakeString(pass.doc);
+    rule.object["shortDescription"] = short_desc;
+    Json help = Json::MakeObject();
+    help.object["text"] = Json::MakeString(std::string("Fix: ") + pass.fixit);
+    rule.object["help"] = help;
+    Json config = Json::MakeObject();
+    config.object["level"] = Json::MakeString(SeverityName(pass.severity));
+    rule.object["defaultConfiguration"] = config;
+    rules.array.push_back(std::move(rule));
+  }
+
+  Json results = Json::MakeArray();
+  for (const Finding& f : findings) {
+    Json result = Json::MakeObject();
+    result.object["ruleId"] = Json::MakeString(f.pass);
+    result.object["level"] = Json::MakeString(SeverityName(f.severity));
+    Json message = Json::MakeObject();
+    message.object["text"] =
+        Json::MakeString(f.message + " [fix: " + f.fixit + "]");
+    result.object["message"] = message;
+    Json region = Json::MakeObject();
+    region.object["startLine"] = Json::MakeNumber(f.line);
+    region.object["startColumn"] = Json::MakeNumber(f.col);
+    Json artifact = Json::MakeObject();
+    artifact.object["uri"] = Json::MakeString(f.file);
+    Json physical = Json::MakeObject();
+    physical.object["artifactLocation"] = artifact;
+    physical.object["region"] = region;
+    Json location = Json::MakeObject();
+    location.object["physicalLocation"] = physical;
+    Json locations = Json::MakeArray();
+    locations.array.push_back(std::move(location));
+    result.object["locations"] = locations;
+    results.array.push_back(std::move(result));
+  }
+
+  Json driver = Json::MakeObject();
+  driver.object["name"] = Json::MakeString("peega_analyze");
+  driver.object["informationUri"] =
+      Json::MakeString("docs/ANALYSIS.md");
+  driver.object["rules"] = rules;
+  Json tool = Json::MakeObject();
+  tool.object["driver"] = driver;
+  Json run = Json::MakeObject();
+  run.object["tool"] = tool;
+  run.object["results"] = results;
+  Json runs = Json::MakeArray();
+  runs.array.push_back(std::move(run));
+
+  Json doc = Json::MakeObject();
+  doc.object["$schema"] = Json::MakeString(
+      "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json");
+  doc.object["version"] = Json::MakeString("2.1.0");
+  doc.object["runs"] = runs;
+  return doc;
+}
+
+}  // namespace repro::analyze

@@ -1,0 +1,20 @@
+#ifndef PEEGA_TOOLS_ANALYZE_SARIF_H_
+#define PEEGA_TOOLS_ANALYZE_SARIF_H_
+
+#include <vector>
+
+#include "analysis.h"
+#include "obs/json.h"
+
+namespace repro::analyze {
+
+/// Renders findings as a SARIF 2.1.0 document (one run, one driver).
+/// The rules array is the full pass registry — including passes that
+/// produced no findings — so CI annotation tooling can show docs and
+/// fix-it hints for every rule id. Built on obs::Json, whose ordered
+/// object keys make the output byte-stable for a given finding set.
+obs::Json SarifDocument(const std::vector<Finding>& findings);
+
+}  // namespace repro::analyze
+
+#endif  // PEEGA_TOOLS_ANALYZE_SARIF_H_

@@ -1,0 +1,343 @@
+// --self-test: plant one violation of every registered pass (plus
+// decoys that must NOT fire) in a scratch tree, run the full analysis,
+// and verify each pass fired exactly where expected with zero false
+// positives. This is what keeps the analyzer honest: a pass that rots
+// into never-firing (or into flagging comments) fails CI here.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "analysis.h"
+
+namespace fs = std::filesystem;
+
+namespace repro::analyze {
+
+namespace {
+
+void WriteFile(const fs::path& path, const std::string& contents) {
+  fs::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  out << contents;
+}
+
+void PlantTree(const fs::path& root) {
+  // --- Ported token rules: one plant each -------------------------------
+  WriteFile(root / "src/core/bad_thread.cc",
+            "#include <thread>\nvoid F() { std::thread t([]{}); }\n");
+  WriteFile(root / "src/core/bad_rng.cc",
+            "#include <random>\nstd::mt19937 rng;\n"
+            "int R() { return rand(); }\n");
+  WriteFile(root / "src/core/bad_cout.cc",
+            "#include <iostream>\nvoid P() { std::cout << 1; }\n");
+  WriteFile(root / "src/core/bad_chrono.cc",
+            "#include <chrono>\n"
+            "double Now() {\n"
+            "  return std::chrono::duration<double>(\n"
+            "      std::chrono::steady_clock::now().time_since_epoch())\n"
+            "      .count();\n"
+            "}\n");
+  WriteFile(root / "src/graph/io_bad.cc",
+            "#include \"debug/check.h\"\n"
+            "int Parse(int v) { PEEGA_CHECK_GE(v, 0); return v; }\n");
+  WriteFile(root / "src/core/bad_simd.cc",
+            "#include <immintrin.h>\n"
+            "void S(float* p) {\n"
+            "  _mm256_storeu_ps(p, _mm256_setzero_ps());\n"
+            "}\n");
+  WriteFile(root / "src/core/bad_guard.h",
+            "#ifndef WRONG_GUARD_H_\n#define WRONG_GUARD_H_\n#endif\n");
+  WriteFile(root / "src/core/cycle_a.h",
+            "#ifndef PEEGA_CORE_CYCLE_A_H_\n#define PEEGA_CORE_CYCLE_A_H_\n"
+            "#include \"core/cycle_b.h\"\n#endif  // PEEGA_CORE_CYCLE_A_H_\n");
+  WriteFile(root / "src/core/cycle_b.h",
+            "#ifndef PEEGA_CORE_CYCLE_B_H_\n#define PEEGA_CORE_CYCLE_B_H_\n"
+            "#include \"core/cycle_a.h\"\n#endif  // PEEGA_CORE_CYCLE_B_H_\n");
+
+  // --- Token-rule decoys ------------------------------------------------
+  // Exempt directories.
+  WriteFile(root / "src/parallel/pool.cc",
+            "#include <thread>\nvoid G() { std::thread t([]{}); }\n");
+  WriteFile(root / "src/linalg/random.cc",
+            "#include <random>\nstd::mt19937 engine(42);\n");
+  WriteFile(root / "src/obs/stopwatch.cc",
+            "#include <chrono>\n"
+            "double Tick() {\n"
+            "  return std::chrono::duration<double>(\n"
+            "      std::chrono::steady_clock::now().time_since_epoch())\n"
+            "      .count();\n"
+            "}\n");
+  // Forbidden tokens inside comments, strings, and a raw string: the
+  // lexer consumes them, so no pass can ever see them.
+  WriteFile(root / "src/core/decoy.cc",
+            "// std::thread and std::cout and rand() in a comment\n"
+            "/* std::mt19937 and std::chrono in a block comment */\n"
+            "// _mm256_add_ps and vld1q_f32 and immintrin.h in a comment\n"
+            "const char* kMsg = \"std::cout << rand() std::chrono\";\n"
+            "const char* kSimd = \"_mm_setzero_ps lives in immintrin.h\";\n"
+            "const char* kRaw = R\"(std::thread in a raw string; new in a "
+            "loop)\";\n"
+            "int Grad(int g) { return g; }\nint Use() { return Grad(1); }\n");
+  // Intrinsics are fine inside src/linalg/kernels (the exempt prefix).
+  WriteFile(root / "src/linalg/kernels/ok_simd.cc",
+            "#include <immintrin.h>\n"
+            "void K(float* p) {\n"
+            "  _mm256_storeu_ps(p, _mm256_setzero_ps());\n"
+            "}\n");
+  // PEEGA_CHECK is allowed outside graph/io (only-prefix scoping).
+  WriteFile(root / "src/core/check_ok.cc",
+            "#include \"debug/check.h\"\n"
+            "void V(int n) { PEEGA_CHECK_GT(n, 0); }\n");
+  WriteFile(root / "src/graph/io_decoy.cc",
+            "// PEEGA_CHECK would abort here, so we do not use it\n"
+            "const char* kDoc = \"never PEEGA_DCHECK parsed input\";\n");
+  // Token rules are scoped to src/: the same tokens in tools/ are fine.
+  WriteFile(root / "tools/tool_decoy.cc",
+            "#include <iostream>\nvoid T() { std::cout << \"cli\"; }\n");
+
+  // --- layering ---------------------------------------------------------
+  // linalg must not reach up into nn …
+  WriteFile(root / "src/nn/model.h",
+            "#ifndef PEEGA_NN_MODEL_H_\n#define PEEGA_NN_MODEL_H_\n"
+            "struct Model {};\n#endif  // PEEGA_NN_MODEL_H_\n");
+  WriteFile(root / "src/linalg/bad_layer.cc",
+            "#include \"nn/model.h\"\nModel MakeModel() { return {}; }\n");
+  // … while nn including linalg (a declared edge) is a decoy.
+  WriteFile(root / "src/linalg/matrix.h",
+            "#ifndef PEEGA_LINALG_MATRIX_H_\n#define PEEGA_LINALG_MATRIX_H_\n"
+            "struct Matrix {};\n#endif  // PEEGA_LINALG_MATRIX_H_\n");
+  WriteFile(root / "src/nn/layer_ok.cc",
+            "#include \"linalg/matrix.h\"\nMatrix MakeW() { return {}; }\n");
+
+  // --- status-discipline ------------------------------------------------
+  WriteFile(root / "src/graph/io_stub.h",
+            "#ifndef PEEGA_GRAPH_IO_STUB_H_\n"
+            "#define PEEGA_GRAPH_IO_STUB_H_\n"
+            "namespace status { class Status; }\n"
+            "status::Status SaveIt(int v);\n"
+            "#endif  // PEEGA_GRAPH_IO_STUB_H_\n");
+  WriteFile(root / "src/core/bad_status.cc",
+            "#include \"graph/io_stub.h\"\n"
+            "void Commit(int v) {\n"
+            "  SaveIt(v);\n"  // <- discarded
+            "}\n");
+  WriteFile(root / "src/core/status_ok.cc",
+            "#include \"graph/io_stub.h\"\n"
+            "status::Status Forward(int v) { return SaveIt(v); }\n"
+            "bool Try(int v) { return SaveIt(v).ok(); }\n"
+            "void Shrug(int v) { SaveIt(v).IgnoreError(); }\n"
+            "void Macroed(int v) { PEEGA_RETURN_IF_ERROR(SaveIt(v), "
+            "\"ctx\"); }\n");
+
+  // --- determinism-hazard -----------------------------------------------
+  WriteFile(root / "src/linalg/bad_reduce.cc",
+            "#include <numeric>\n#include <vector>\n"
+            "float Sum(const std::vector<float>& v) {\n"
+            "  return std::reduce(v.begin(), v.end(), 0.0f);\n"
+            "}\n");
+  WriteFile(root / "src/core/bad_unordered.cc",
+            "#include <unordered_map>\n"
+            "std::unordered_map<int, float> cache;\n");
+  WriteFile(root / "src/linalg/bad_pragma.cc",
+            "#pragma float_control(precise, off)\n"
+            "float Fma(float a, float b, float c) { return a * b + c; }\n");
+  // Decoys: unordered containers OUTSIDE the critical layers, and the
+  // pragma INSIDE the kernels directory (owned there).
+  WriteFile(root / "src/nn/optim_decoy.cc",
+            "#include <unordered_map>\n"
+            "std::unordered_map<int, float> moments;\n");
+  WriteFile(root / "src/linalg/kernels/pragma_ok.cc",
+            "#pragma float_control(precise, on)\n"
+            "float K2(float a, float b) { return a * b; }\n");
+
+  // --- fp-contract-sync -------------------------------------------------
+  // A fake registry declaring one satisfied op (generic-only, generic
+  // TU on the list) and one violated op (avx2 declared, avx2 TU absent
+  // from the list).
+  WriteFile(root / "src/linalg/op_registry.cc",
+            "struct OpInfo {};\n"
+            "void BuildRegistry() {\n"
+            "  Push({\"fake.ok\", \"api\", \"sum\", \"O(n)\", \"rows\",\n"
+            "        DeterminismClass::kLanePerOutput, true, false, false,\n"
+            "        nullptr});\n"
+            "  Push({\"fake.bad\", \"api\", \"sum\", \"O(n)\", \"rows\",\n"
+            "        DeterminismClass::kLanePerOutput, true, true, false,\n"
+            "        nullptr});\n"
+            "  Push({\"fake.ref\", \"api\", \"sum\", \"O(n)\", \"rows\",\n"
+            "        DeterminismClass::kReferenceOnly, true, false, false,\n"
+            "        nullptr});\n"
+            "}\n");
+  WriteFile(root / "src/linalg/CMakeLists.txt",
+            "set(PEEGA_KERNEL_SOURCES kernels/kernels_generic.cc)\n"
+            "# kernels/kernels_avx2.cc deliberately NOT listed\n"
+            "foreach(kernel_src IN LISTS PEEGA_KERNEL_SOURCES)\n"
+            "  set_source_files_properties(${kernel_src} PROPERTIES\n"
+            "    COMPILE_OPTIONS \"-ffp-contract=off\")\n"
+            "endforeach()\n");
+
+  // --- hot-loop-alloc ---------------------------------------------------
+  WriteFile(root / "src/linalg/kernels/bad_alloc.cc",
+            "#include <vector>\n"
+            "void Accumulate(std::vector<float>* out, int n) {\n"
+            "  for (int i = 0; i < n; ++i) {\n"
+            "    float* scratch = new float[8];\n"
+            "    out->push_back(scratch[0]);\n"
+            "    delete[] scratch;\n"
+            "  }\n"
+            "}\n");
+  // Decoys: reserve() before the loop, allocation outside any loop,
+  // and a push_back-in-loop in a file that is not tagged hot.
+  WriteFile(root / "src/linalg/kernels/ok_alloc.cc",
+            "#include <vector>\n"
+            "void Gather(std::vector<float>* out, int n) {\n"
+            "  out->reserve(static_cast<size_t>(n));\n"
+            "  float* once = new float[8];\n"
+            "  for (int i = 0; i < n; ++i) {\n"
+            "    out->push_back(once[i % 8]);\n"
+            "  }\n"
+            "  delete[] once;\n"
+            "}\n");
+  WriteFile(root / "src/eval/cold_alloc.cc",
+            "#include <vector>\n"
+            "void Collect(std::vector<int>* rows, int n) {\n"
+            "  for (int i = 0; i < n; ++i) rows->push_back(i);\n"
+            "}\n");
+}
+
+struct Expect {
+  const char* file;  // repo-relative
+  const char* pass;
+};
+
+constexpr Expect kExpected[] = {
+    {"src/core/bad_thread.cc", "no-raw-thread"},
+    {"src/core/bad_rng.cc", "no-unseeded-rng"},
+    {"src/core/bad_cout.cc", "no-stdout"},
+    {"src/core/bad_chrono.cc", "no-raw-chrono"},
+    {"src/graph/io_bad.cc", "no-abort-on-input"},
+    {"src/core/bad_simd.cc", "no-raw-intrinsics"},
+    {"src/core/bad_guard.h", "header-guard"},
+    {"src/core/cycle_a.h", "include-cycle"},
+    {"src/linalg/bad_layer.cc", "layering"},
+    {"src/core/bad_status.cc", "status-discipline"},
+    {"src/linalg/bad_reduce.cc", "determinism-hazard"},
+    {"src/core/bad_unordered.cc", "determinism-hazard"},
+    {"src/linalg/bad_pragma.cc", "determinism-hazard"},
+    {"src/linalg/op_registry.cc", "fp-contract-sync"},
+    {"src/linalg/kernels/bad_alloc.cc", "hot-loop-alloc"},
+};
+
+constexpr const char* kCleanFiles[] = {
+    "src/parallel/pool.cc",
+    "src/linalg/random.cc",
+    "src/obs/stopwatch.cc",
+    "src/core/decoy.cc",
+    "src/linalg/kernels/ok_simd.cc",
+    "src/core/check_ok.cc",
+    "src/graph/io_decoy.cc",
+    "tools/tool_decoy.cc",
+    "src/nn/layer_ok.cc",
+    "src/core/status_ok.cc",
+    "src/nn/optim_decoy.cc",
+    "src/linalg/kernels/pragma_ok.cc",
+    "src/linalg/kernels/ok_alloc.cc",
+    "src/eval/cold_alloc.cc",
+};
+
+}  // namespace
+
+int RunSelfTest(const std::string& scratch_dir, std::ostream& log) {
+  const fs::path root = fs::path(scratch_dir) / "peega_analyze_selftest";
+  fs::remove_all(root);
+  PlantTree(root);
+
+  const std::vector<SourceFile> files = LoadTree(root.string());
+  const IncludeGraph graph = IncludeGraph::Build(files);
+  AnalysisContext ctx;
+  ctx.repo_root = root.string();
+  ctx.files = &files;
+  ctx.include_graph = &graph;
+  const std::vector<Finding> findings = RunAllPasses(ctx);
+
+  for (const Finding& f : findings) {
+    log << "  (self-test) " << f.file << ":" << f.line << ":" << f.col
+        << ": [" << f.pass << "] " << f.message << "\n";
+  }
+
+  int failures = 0;
+  for (const Expect& e : kExpected) {
+    const bool found = std::any_of(
+        findings.begin(), findings.end(), [&](const Finding& f) {
+          return f.file == e.file && f.pass == e.pass;
+        });
+    if (!found) {
+      log << "SELF-TEST FAIL: expected [" << e.pass << "] in " << e.file
+          << "\n";
+      ++failures;
+    }
+  }
+  for (const char* clean : kCleanFiles) {
+    const bool flagged = std::any_of(
+        findings.begin(), findings.end(),
+        [&](const Finding& f) { return f.file == clean; });
+    if (flagged) {
+      log << "SELF-TEST FAIL: false positive in " << clean << "\n";
+      ++failures;
+    }
+  }
+  // Every registered pass must have at least one planted expectation —
+  // a new pass without self-test coverage fails here, not in review.
+  for (const PassInfo& pass : PassRegistry()) {
+    const bool covered = std::any_of(
+        std::begin(kExpected), std::end(kExpected),
+        [&](const Expect& e) { return pass.name == std::string(e.pass); });
+    if (!covered) {
+      log << "SELF-TEST FAIL: pass '" << pass.name
+          << "' has no planted violation in the self-test tree\n";
+      ++failures;
+    }
+  }
+  // bad_rng.cc plants both std::mt19937 and rand(); both must fire.
+  const auto rng_hits = std::count_if(
+      findings.begin(), findings.end(), [](const Finding& f) {
+        return f.file == "src/core/bad_rng.cc" &&
+               f.pass == "no-unseeded-rng";
+      });
+  if (rng_hits < 2) {
+    log << "SELF-TEST FAIL: expected both mt19937 and rand() hits in "
+           "src/core/bad_rng.cc\n";
+    ++failures;
+  }
+  // The violated fake op must be named; the satisfied ones must not.
+  const bool bad_op_named = std::any_of(
+      findings.begin(), findings.end(), [](const Finding& f) {
+        return f.pass == "fp-contract-sync" &&
+               f.message.find("fake.bad") != std::string::npos;
+      });
+  const bool ok_op_named = std::any_of(
+      findings.begin(), findings.end(), [](const Finding& f) {
+        return f.pass == "fp-contract-sync" &&
+               (f.message.find("fake.ok") != std::string::npos ||
+                f.message.find("fake.ref") != std::string::npos);
+      });
+  if (!bad_op_named || ok_op_named) {
+    log << "SELF-TEST FAIL: fp-contract-sync must flag exactly the op "
+           "whose TU is off the -ffp-contract=off list\n";
+    ++failures;
+  }
+
+  fs::remove_all(root);
+  if (failures == 0) {
+    log << "peega_analyze self-test: all " << PassRegistry().size()
+        << " passes fire, no false positives\n";
+    return 0;
+  }
+  log << "peega_analyze self-test: " << failures << " failure(s)\n";
+  return 1;
+}
+
+}  // namespace repro::analyze

@@ -1,0 +1,62 @@
+#include "source.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace repro::analyze {
+
+const char* const kAnalyzedRoots[4] = {"src", "tools", "tests", "bench"};
+
+std::string SourceFile::LineText(int line) const {
+  if (line < 1) return "";
+  size_t start = 0;
+  for (int l = 1; l < line; ++l) {
+    start = text.find('\n', start);
+    if (start == std::string::npos) return "";
+    ++start;
+  }
+  const size_t end = text.find('\n', start);
+  return text.substr(start, end == std::string::npos ? std::string::npos
+                                                     : end - start);
+}
+
+std::vector<SourceFile> LoadTree(const std::string& repo_root) {
+  std::vector<SourceFile> files;
+  for (const char* root : kAnalyzedRoots) {
+    const fs::path dir = fs::path(repo_root) / root;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      SourceFile file;
+      file.rel = (fs::path(root) /
+                  fs::relative(entry.path(), dir))
+                     .generic_string();
+      if (!ReadRepoFile(repo_root, file.rel, &file.text)) continue;
+      file.tokens = Lex(file.text);
+      files.push_back(std::move(file));
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  return files;
+}
+
+bool ReadRepoFile(const std::string& repo_root, const std::string& rel,
+                  std::string* out) {
+  std::ifstream in(fs::path(repo_root) / rel, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace repro::analyze

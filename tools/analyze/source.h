@@ -1,0 +1,40 @@
+#ifndef PEEGA_TOOLS_ANALYZE_SOURCE_H_
+#define PEEGA_TOOLS_ANALYZE_SOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace repro::analyze {
+
+/// One analyzed file: repo-relative path, raw bytes, and token stream.
+struct SourceFile {
+  std::string rel;   // repo-relative, '/'-separated: "src/linalg/ops.h"
+  std::string text;  // raw contents
+  std::vector<Token> tokens;
+
+  bool IsHeader() const {
+    return rel.size() >= 2 && rel.compare(rel.size() - 2, 2, ".h") == 0;
+  }
+
+  /// 1-based physical line as written in the file ("" past the end).
+  std::string LineText(int line) const;
+};
+
+/// The directories the analyzer walks, in scan order.
+extern const char* const kAnalyzedRoots[4];  // src tools tests bench
+
+/// Loads every .h/.cc under the analyzed roots of `repo_root`, lexing
+/// each one. Missing roots are skipped (unit-test trees plant only
+/// src/). Files are sorted by `rel` so every report is deterministic.
+std::vector<SourceFile> LoadTree(const std::string& repo_root);
+
+/// Reads an arbitrary repo file (e.g. a CMakeLists.txt the tree scan
+/// does not tokenize). Returns false when unreadable.
+bool ReadRepoFile(const std::string& repo_root, const std::string& rel,
+                  std::string* out);
+
+}  // namespace repro::analyze
+
+#endif  // PEEGA_TOOLS_ANALYZE_SOURCE_H_
