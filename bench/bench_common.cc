@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <numeric>
 #include <sstream>
@@ -302,6 +304,36 @@ void BenchReporter::Finish() {
     root.Write(out);
     out << '\n';
     std::printf("bench-json: %s\n", json_path_.c_str());
+
+    // Trend store: one compact summary line appended (never rewritten)
+    // to bench-artifacts/<bench>.jsonl in the working directory, so
+    // successive runs accumulate a comparable series — the full
+    // BENCH_*.json is a snapshot, the .jsonl is the history.
+    obs::Json trend = obs::Json::MakeObject();
+    trend.object["bench"] = obs::Json::MakeString(bench_);
+    trend.object["unix_time"] = obs::Json::MakeNumber(
+        static_cast<double>(std::time(nullptr)));
+    trend.object["threads"] =
+        obs::Json::MakeNumber(static_cast<double>(metadata.threads));
+    trend.object["total_ms"] =
+        obs::Json::MakeNumber(GetPhase("total")->wall_ms);
+    obs::Json trend_config = obs::Json::MakeObject();
+    for (const auto& [key, value] : string_config_) {
+      trend_config.object[key] = obs::Json::MakeString(value);
+    }
+    for (const auto& [key, value] : number_config_) {
+      trend_config.object[key] = obs::Json::MakeNumber(value);
+    }
+    trend.object["config"] = std::move(trend_config);
+    std::error_code trend_dir_error;
+    std::filesystem::create_directories("bench-artifacts",
+                                        trend_dir_error);
+    const std::string trend_path = "bench-artifacts/" + bench_ + ".jsonl";
+    std::ofstream trend_out(trend_path, std::ios::app);
+    if (!trend_dir_error && trend_out.good()) {
+      trend_out << trend.Dump() << '\n';
+      std::printf("bench-trend: %s\n", trend_path.c_str());
+    }
   }
 
   if (!trace_path_.empty()) {

@@ -102,6 +102,12 @@ struct RepeatStats {
 /// the phase via RecordPhaseStatus (CI's schema check requires the key).
 /// The embedded metrics snapshot is taken at Finish() time, so counter
 /// totals cover exactly the bench's work.
+///
+/// With --json, Finish() additionally appends one compact summary line
+/// ({"bench","unix_time","threads","total_ms","config"}) to the
+/// append-only trend store `bench-artifacts/<bench>.jsonl` in the
+/// working directory: the BENCH_*.json is the latest snapshot, the
+/// .jsonl accumulates a comparable series across runs.
 class BenchReporter {
  public:
   /// `argc`/`argv` are adjusted in place (consumed flags removed) so a

@@ -1,0 +1,359 @@
+// Load generator for the `graphguard serve` job server.
+//
+// Spawns N concurrent clients (own AF_UNIX connection each) that submit
+// an attack+eval mix against one server and measures the distribution
+// of end-to-end request latencies client-side. Emits via BenchReporter:
+//   config: clients, jobs_per_client, submitted, accepted, rejected,
+//           unavailable, deadline_exceeded, deadline_forced,
+//           p50_ms / p95_ms / p99_ms, throughput_rps, rejection_rate
+//   phases: load:run (whole mixed-load window), per-op buckets.
+//
+// Flags (after the common --json/--trace):
+//   --socket <path>    connect to an already-running server; when
+//                      omitted an in-process server is started on a
+//                      temporary socket and drained at the end
+//   --clients <n>      concurrent client threads (default 64)
+//   --jobs <n>         jobs per client (default 4)
+//   --deadline-fail <n> first n clients each add one attack with a
+//                      sub-microsecond deadline to exercise the
+//                      DEADLINE_EXCEEDED failure path (default 1)
+//   --max-queue <n>    queue bound for the in-process server only
+//   --shutdown <0|1>   send a shutdown op when done (default: 1 for
+//                      the in-process server, 0 for an external one)
+//
+// Exit code is non-zero on any hang-adjacent failure: a client that
+// cannot connect, a transport error, an unexpected response code, or a
+// per-tenant counter mismatch between the server's `stats` op and the
+// client-side tallies.
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "linalg/random.h"
+#include "obs/json.h"
+#include "obs/stopwatch.h"
+#include "parallel/worker_thread.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "status/status.h"
+
+namespace repro::bench {
+namespace {
+
+using obs::Json;
+
+struct ClientTally {
+  std::vector<double> latencies_ms;  // admitted jobs only
+  int submitted = 0;
+  int accepted = 0;
+  int rejected = 0;            // RESOURCE_EXHAUSTED
+  int unavailable = 0;         // draining server
+  int deadline_exceeded = 0;
+  int unexpected = 0;          // any code the mix cannot produce
+  int transport_errors = 0;
+};
+
+Json MakeRequest(int64_t id, const std::string& tenant,
+                 const std::string& op) {
+  Json request = Json::MakeObject();
+  request.object["id"] = Json::MakeNumber(static_cast<double>(id));
+  request.object["tenant"] = Json::MakeString(tenant);
+  request.object["op"] = Json::MakeString(op);
+  return request;
+}
+
+Json AttackRequest(int64_t id, const std::string& tenant,
+                   const std::string& graph_path,
+                   const std::string& attacker) {
+  Json request = MakeRequest(id, tenant, "attack");
+  request.object["graph"] = Json::MakeString(graph_path);
+  request.object["attacker"] = Json::MakeString(attacker);
+  request.object["rate"] = Json::MakeNumber(0.05);
+  request.object["seed"] = Json::MakeNumber(11);
+  return request;
+}
+
+Json EvalRequest(int64_t id, const std::string& tenant,
+                 const std::string& graph_path) {
+  Json request = MakeRequest(id, tenant, "eval");
+  request.object["graph"] = Json::MakeString(graph_path);
+  request.object["defender"] = Json::MakeString("gcn");
+  request.object["runs"] = Json::MakeNumber(1);
+  request.object["seed"] = Json::MakeNumber(11);
+  return request;
+}
+
+/// One client's whole session: connect, submit its slice of the mix,
+/// classify every response. Any transport failure aborts the session
+/// (counted, never retried — a hang would show up here as the bench
+/// itself wedging, which is exactly what the CI smoke guards against).
+void RunClient(const std::string& socket_path, const std::string& tenant,
+               const std::string& graph_path, int jobs, bool force_deadline,
+               bool send_eval, ClientTally* tally) {
+  serve::Client client;
+  if (!client.Connect(socket_path).ok()) {
+    tally->transport_errors++;
+    return;
+  }
+  std::vector<Json> requests;
+  for (int j = 0; j < jobs; ++j) {
+    // Job 1 is the expensive attacker so cheap and slow work interleave
+    // in the server's FIFO queue; the rest are cheap random flips.
+    requests.push_back(AttackRequest(
+        j + 1, tenant, graph_path, j == 1 ? "peega" : "random"));
+  }
+  if (send_eval && !requests.empty()) {
+    requests.back() = EvalRequest(jobs, tenant, graph_path);
+  }
+  if (force_deadline) {
+    Json doomed =
+        AttackRequest(jobs + 1, tenant, graph_path, "random");
+    doomed.object["deadline_ms"] = Json::MakeNumber(1e-6);
+    requests.push_back(std::move(doomed));
+  }
+  for (const Json& request : requests) {
+    tally->submitted++;
+    obs::StopWatch watch;
+    status::StatusOr<Json> response = client.Call(request);
+    if (!response.ok()) {
+      tally->transport_errors++;
+      return;
+    }
+    const std::string code =
+        serve::GetString(*response, "code", "<missing>");
+    if (code == "OK") {
+      tally->accepted++;
+      tally->latencies_ms.push_back(watch.Seconds() * 1e3);
+    } else if (code == "DEADLINE_EXCEEDED") {
+      tally->accepted++;
+      tally->deadline_exceeded++;
+      tally->latencies_ms.push_back(watch.Seconds() * 1e3);
+    } else if (code == "RESOURCE_EXHAUSTED") {
+      tally->rejected++;
+    } else if (code == "UNAVAILABLE") {
+      tally->unavailable++;
+    } else {
+      std::fprintf(stderr, "serve_load: %s job %s -> %s: %s\n",
+                   tenant.c_str(),
+                   serve::GetString(request, "op", "?").c_str(),
+                   code.c_str(),
+                   serve::GetString(*response, "error", "").c_str());
+      tally->unexpected++;
+    }
+  }
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+int Main(int argc, char** argv) {
+  BenchReporter reporter("serve", &argc, argv);
+
+  const std::string socket_flag = ConsumeFlag("--socket", &argc, argv);
+  const std::string clients_flag = ConsumeFlag("--clients", &argc, argv);
+  const std::string jobs_flag = ConsumeFlag("--jobs", &argc, argv);
+  const std::string deadline_flag =
+      ConsumeFlag("--deadline-fail", &argc, argv);
+  const std::string max_queue_flag =
+      ConsumeFlag("--max-queue", &argc, argv);
+  const std::string shutdown_flag = ConsumeFlag("--shutdown", &argc, argv);
+
+  const int clients =
+      clients_flag.empty() ? 64 : std::atoi(clients_flag.c_str());
+  const int jobs = jobs_flag.empty() ? 4 : std::atoi(jobs_flag.c_str());
+  const int deadline_fail =
+      deadline_flag.empty() ? 1 : std::atoi(deadline_flag.c_str());
+  const bool self_serve = socket_flag.empty();
+  const bool send_shutdown =
+      shutdown_flag.empty() ? self_serve : shutdown_flag != "0";
+
+  // Tenant names carry the pid so repeated runs against one long-lived
+  // server keep their per-tenant counters disjoint.
+  const std::string run_tag = std::to_string(::getpid());
+  const std::string temp_dir = std::filesystem::temp_directory_path();
+  const std::string graph_path =
+      temp_dir + "/serve_load_" + run_tag + "_graph.txt";
+  {
+    linalg::Rng rng(20240502);
+    const graph::Graph g = graph::MakeCoraLike(&rng, 0.05);
+    const status::Status saved = graph::SaveGraph(g, graph_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "serve_load: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    reporter.Config("graph_nodes", static_cast<double>(g.num_nodes));
+  }
+
+  std::unique_ptr<serve::Server> server;
+  std::string socket_path = socket_flag;
+  if (self_serve) {
+    serve::ServerOptions options;
+    options.socket_path = temp_dir + "/serve_load_" + run_tag + ".sock";
+    options.max_queue = max_queue_flag.empty()
+                            ? 64
+                            : std::atoi(max_queue_flag.c_str());
+    server = std::make_unique<serve::Server>(options);
+    const status::Status started = server->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "serve_load: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    socket_path = options.socket_path;
+  }
+  reporter.Config("socket", socket_path);
+  reporter.Config("clients", static_cast<double>(clients));
+  reporter.Config("jobs_per_client", static_cast<double>(jobs));
+  reporter.Config("deadline_forced", static_cast<double>(deadline_fail));
+
+  std::vector<ClientTally> tallies(static_cast<size_t>(clients));
+  obs::StopWatch load_watch;
+  {
+    std::vector<std::unique_ptr<parallel::WorkerThread>> workers;
+    workers.reserve(static_cast<size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+      workers.push_back(std::make_unique<parallel::WorkerThread>([&, c] {
+        RunClient(socket_path, "load" + run_tag + "-" + std::to_string(c),
+                  graph_path, jobs, /*force_deadline=*/c < deadline_fail,
+                  /*send_eval=*/c % 16 == 0, &tallies[c]);
+      }));
+    }
+    for (auto& worker : workers) worker->Join();
+  }
+  const double load_seconds = load_watch.Seconds();
+  reporter.RecordPhase("load:run", load_seconds);
+
+  ClientTally total;
+  std::vector<double> latencies;
+  for (const ClientTally& tally : tallies) {
+    total.submitted += tally.submitted;
+    total.accepted += tally.accepted;
+    total.rejected += tally.rejected;
+    total.unavailable += tally.unavailable;
+    total.deadline_exceeded += tally.deadline_exceeded;
+    total.unexpected += tally.unexpected;
+    total.transport_errors += tally.transport_errors;
+    latencies.insert(latencies.end(), tally.latencies_ms.begin(),
+                     tally.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  // Cross-check the server's per-tenant counters against the
+  // client-side tallies: every admission and rejection this run caused
+  // must be attributed to exactly this run's tenants.
+  int stats_accepted = -1;
+  int stats_rejected = -1;
+  int stats_completed = -1;
+  {
+    serve::Client control;
+    if (control.Connect(socket_path).ok()) {
+      status::StatusOr<Json> stats =
+          control.Call(MakeRequest(1, "bench-control", "stats"));
+      const Json* result =
+          stats.ok() ? stats->Find("result") : nullptr;
+      const Json* tenants =
+          result != nullptr ? result->Find("tenants") : nullptr;
+      if (tenants != nullptr) {
+        stats_accepted = stats_rejected = stats_completed = 0;
+        const std::string prefix = "load" + run_tag + "-";
+        for (const auto& [name, entry] : tenants->object) {
+          if (name.rfind(prefix, 0) != 0) continue;
+          stats_accepted += static_cast<int>(
+              serve::GetNumber(entry, "accepted", 0.0));
+          stats_rejected += static_cast<int>(
+              serve::GetNumber(entry, "rejected", 0.0));
+          stats_completed += static_cast<int>(
+              serve::GetNumber(entry, "completed", 0.0));
+        }
+      }
+      if (send_shutdown) {
+        status::StatusOr<Json> drained =
+            control.Call(MakeRequest(2, "bench-control", "shutdown"));
+        if (!drained.ok()) {
+          std::fprintf(stderr, "serve_load: shutdown failed: %s\n",
+                       drained.status().ToString().c_str());
+        }
+      }
+    }
+  }
+  if (server != nullptr) server->Wait();
+  std::filesystem::remove(graph_path);
+
+  const double throughput =
+      load_seconds > 0.0 ? total.accepted / load_seconds : 0.0;
+  const double rejection_rate =
+      total.submitted > 0
+          ? static_cast<double>(total.rejected) / total.submitted
+          : 0.0;
+  reporter.Config("submitted", static_cast<double>(total.submitted));
+  reporter.Config("accepted", static_cast<double>(total.accepted));
+  reporter.Config("rejected", static_cast<double>(total.rejected));
+  reporter.Config("unavailable", static_cast<double>(total.unavailable));
+  reporter.Config("deadline_exceeded",
+                  static_cast<double>(total.deadline_exceeded));
+  reporter.Config("p50_ms", Percentile(latencies, 0.50));
+  reporter.Config("p95_ms", Percentile(latencies, 0.95));
+  reporter.Config("p99_ms", Percentile(latencies, 0.99));
+  reporter.Config("throughput_rps", throughput);
+  reporter.Config("rejection_rate", rejection_rate);
+
+  std::printf(
+      "serve-load: %d clients x %d jobs -> %d accepted %d rejected "
+      "%d unavailable %d deadline-exceeded in %.2fs "
+      "(%.1f rps, p50 %.1fms p95 %.1fms p99 %.1fms)\n",
+      clients, jobs, total.accepted, total.rejected, total.unavailable,
+      total.deadline_exceeded, load_seconds, throughput,
+      Percentile(latencies, 0.50), Percentile(latencies, 0.95),
+      Percentile(latencies, 0.99));
+
+  bool ok = total.unexpected == 0 && total.transport_errors == 0;
+  if (!ok) {
+    std::fprintf(stderr,
+                 "serve_load: FAILED — %d unexpected codes, "
+                 "%d transport errors\n",
+                 total.unexpected, total.transport_errors);
+  }
+  // With UNAVAILABLE rejections a client stops early, so stats can only
+  // be reconciled when the server stayed up for the whole mix.
+  if (stats_accepted >= 0 && total.unavailable == 0) {
+    if (stats_accepted != total.accepted ||
+        stats_rejected != total.rejected) {
+      std::fprintf(stderr,
+                   "serve_load: FAILED — stats mismatch: server saw "
+                   "%d accepted / %d rejected / %d completed, clients "
+                   "saw %d accepted / %d rejected\n",
+                   stats_accepted, stats_rejected, stats_completed,
+                   total.accepted, total.rejected);
+      ok = false;
+    }
+  } else if (stats_accepted < 0) {
+    std::fprintf(stderr,
+                 "serve_load: note — stats op unavailable, per-tenant "
+                 "cross-check skipped\n");
+  }
+  reporter.Finish();
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace repro::bench
+
+int main(int argc, char** argv) {
+  return repro::bench::Main(argc, argv);
+}

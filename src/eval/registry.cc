@@ -1,0 +1,67 @@
+#include "eval/registry.h"
+
+#include "attack/dice.h"
+#include "attack/gf_attack.h"
+#include "attack/metattack.h"
+#include "attack/pgd.h"
+#include "attack/random_attack.h"
+#include "core/gnat.h"
+#include "core/peega.h"
+#include "core/peega_batch.h"
+#include "defense/gnnguard.h"
+#include "defense/jaccard.h"
+#include "defense/model_defenders.h"
+#include "defense/prognn.h"
+#include "defense/svd.h"
+
+namespace repro::eval {
+
+std::unique_ptr<attack::Attacker> MakeAttackerByName(
+    const AttackerSpec& spec) {
+  if (spec.name == "peega" || spec.name == "peega-batch") {
+    core::PeegaAttack::Options options;
+    options.lambda = static_cast<float>(spec.lambda);
+    options.norm_p = spec.norm_p;
+    options.layers = spec.layers;
+    options.checkpoint_path = spec.checkpoint_path;
+    options.checkpoint_every = spec.checkpoint_every;
+    if (spec.mode == "tm") {
+      options.mode = core::PeegaAttack::Mode::kTopologyOnly;
+    }
+    if (spec.mode == "fp") {
+      options.mode = core::PeegaAttack::Mode::kFeaturesOnly;
+    }
+    if (spec.name == "peega-batch") {
+      core::PeegaBatchAttack::Options batch;
+      batch.peega = options;
+      batch.batch_size = spec.batch_size;
+      return std::make_unique<core::PeegaBatchAttack>(batch);
+    }
+    return std::make_unique<core::PeegaAttack>(options);
+  }
+  if (spec.name == "metattack") return std::make_unique<attack::Metattack>();
+  if (spec.name == "pgd") return std::make_unique<attack::PgdAttack>();
+  if (spec.name == "minmax") return std::make_unique<attack::MinMaxAttack>();
+  if (spec.name == "gf") return std::make_unique<attack::GfAttack>();
+  if (spec.name == "dice") return std::make_unique<attack::DiceAttack>();
+  if (spec.name == "random") return std::make_unique<attack::RandomAttack>();
+  return nullptr;
+}
+
+std::unique_ptr<defense::Defender> MakeDefenderByName(
+    const std::string& name) {
+  if (name == "gnat") return std::make_unique<core::GnatDefender>();
+  if (name == "gcn") return std::make_unique<defense::GcnDefender>();
+  if (name == "gat") return std::make_unique<defense::GatDefender>();
+  if (name == "jaccard") return std::make_unique<defense::JaccardDefender>();
+  if (name == "svd") return std::make_unique<defense::SvdDefender>();
+  if (name == "rgcn") return std::make_unique<defense::RGcnDefender>();
+  if (name == "prognn") return std::make_unique<defense::ProGnnDefender>();
+  if (name == "simpgcn") return std::make_unique<defense::SimPGcnDefender>();
+  if (name == "gnnguard") {
+    return std::make_unique<defense::GnnGuardDefender>();
+  }
+  return nullptr;
+}
+
+}  // namespace repro::eval

@@ -1,0 +1,39 @@
+#ifndef PEEGA_EVAL_REGISTRY_H_
+#define PEEGA_EVAL_REGISTRY_H_
+
+#include <memory>
+#include <string>
+
+#include "attack/attacker.h"
+#include "defense/defender.h"
+
+namespace repro::eval {
+
+/// Parameters for constructing an attacker by name. Defaults are the
+/// paper's hyper-parameters; non-PEEGA attackers ignore the PEEGA
+/// fields.
+struct AttackerSpec {
+  /// "peega", "peega-batch", "metattack", "pgd", "minmax", "gf",
+  /// "dice", "random".
+  std::string name = "peega";
+  double lambda = 0.01;
+  int norm_p = 2;
+  int layers = 2;
+  int batch_size = 16;        // peega-batch only
+  std::string mode = "both";  // "both" | "tm" | "fp"
+  std::string checkpoint_path;
+  int checkpoint_every = 16;
+};
+
+/// Single name->implementation factory shared by every front end (CLI,
+/// C ABI, job server), so the set of reachable attackers/defenders
+/// cannot drift between entry points. Returns nullptr for an unknown
+/// name.
+std::unique_ptr<attack::Attacker> MakeAttackerByName(
+    const AttackerSpec& spec);
+std::unique_ptr<defense::Defender> MakeDefenderByName(
+    const std::string& name);
+
+}  // namespace repro::eval
+
+#endif  // PEEGA_EVAL_REGISTRY_H_

@@ -48,7 +48,9 @@ TrainReport TrainNodeClassifier(Model* model, const graph::Graph& g,
 linalg::Matrix PredictLogits(Model* model, const graph::Graph& g,
                              linalg::Rng* rng);
 
-/// Eval-mode argmax class per node (calls `Prepare`).
+/// Eval-mode argmax class per node. Does NOT call `Prepare` (it runs
+/// inside the training loop); callers with a fresh model or a changed
+/// graph must `Prepare` first.
 std::vector<int> PredictLabels(Model* model, const graph::Graph& g,
                                linalg::Rng* rng);
 

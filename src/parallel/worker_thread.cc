@@ -1,0 +1,23 @@
+#include "parallel/worker_thread.h"
+
+#include <thread>
+#include <utility>
+
+namespace repro::parallel {
+
+struct WorkerThread::Impl {
+  std::thread thread;
+};
+
+WorkerThread::WorkerThread(std::function<void()> body)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->thread = std::thread(std::move(body));
+}
+
+WorkerThread::~WorkerThread() { Join(); }
+
+void WorkerThread::Join() {
+  if (impl_->thread.joinable()) impl_->thread.join();
+}
+
+}  // namespace repro::parallel

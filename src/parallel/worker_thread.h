@@ -1,0 +1,35 @@
+#ifndef PEEGA_PARALLEL_WORKER_THREAD_H_
+#define PEEGA_PARALLEL_WORKER_THREAD_H_
+
+#include <functional>
+#include <memory>
+
+namespace repro::parallel {
+
+/// A single owned OS thread. `src/parallel` is the only layer allowed to
+/// own threads (the `no-raw-thread` analyzer pass enforces this), so any
+/// module that needs a long-lived background thread — e.g. the serve
+/// scheduler — takes one of these instead of a `std::thread`.
+///
+/// The body runs exactly once. Join() is idempotent; the destructor
+/// joins if the caller has not, so a WorkerThread can never outlive the
+/// state its body captures by reference.
+class WorkerThread {
+ public:
+  explicit WorkerThread(std::function<void()> body);
+  ~WorkerThread();
+
+  WorkerThread(const WorkerThread&) = delete;
+  WorkerThread& operator=(const WorkerThread&) = delete;
+
+  /// Blocks until the body returns. Safe to call more than once.
+  void Join();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace repro::parallel
+
+#endif  // PEEGA_PARALLEL_WORKER_THREAD_H_

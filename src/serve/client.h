@@ -1,0 +1,49 @@
+#ifndef PEEGA_SERVE_CLIENT_H_
+#define PEEGA_SERVE_CLIENT_H_
+
+#include <string>
+
+#include "obs/json.h"
+#include "serve/protocol.h"
+#include "status/status.h"
+
+namespace repro::serve {
+
+/// Minimal blocking client for the newline-delimited JSON protocol.
+/// One connection per Client; not thread-safe (use one per thread —
+/// the serve_load bench and the tests do exactly that).
+///
+/// Send() and ReadResponse() are split so a caller can pipeline several
+/// requests before collecting responses (responses to queued jobs come
+/// back in completion order, which for one connection is submission
+/// order — the scheduler is FIFO).
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  status::Status Connect(const std::string& socket_path);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Writes one request line (blocking until fully written).
+  status::Status Send(const obs::Json& request);
+
+  /// Blocks until one full response line arrives; kUnavailable when the
+  /// server closes the connection first.
+  status::StatusOr<obs::Json> ReadResponse();
+
+  /// Send + ReadResponse.
+  status::StatusOr<obs::Json> Call(const obs::Json& request);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace repro::serve
+
+#endif  // PEEGA_SERVE_CLIENT_H_

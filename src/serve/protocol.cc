@@ -1,0 +1,85 @@
+#include "serve/protocol.h"
+
+namespace repro::serve {
+
+namespace {
+
+bool ValidTenant(const std::string& tenant) {
+  if (tenant.empty() || tenant.size() > 32) return false;
+  for (const char c : tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+status::Status ParseRequest(const std::string& line, Request* out) {
+  std::string error;
+  if (!obs::Json::Parse(line, &out->raw, &error)) {
+    return status::InvalidInput("bad request JSON: " + error);
+  }
+  if (out->raw.type != obs::Json::Type::kObject) {
+    return status::InvalidInput("request must be a JSON object");
+  }
+  out->op = GetString(out->raw, "op", "");
+  if (out->op.empty()) {
+    return status::InvalidInput("request has no \"op\"");
+  }
+  out->id = static_cast<int64_t>(GetNumber(out->raw, "id", 0));
+  out->tenant = GetString(out->raw, "tenant", "default");
+  if (!ValidTenant(out->tenant)) {
+    return status::InvalidInput("bad tenant name (want 1-32 chars of "
+                                "[A-Za-z0-9_-])");
+  }
+  return status::Status::Ok();
+}
+
+obs::Json MakeResponse(int64_t id, const std::string& tenant,
+                       const status::Status& status) {
+  obs::Json response = obs::Json::MakeObject();
+  response.object["id"] = obs::Json::MakeNumber(static_cast<double>(id));
+  response.object["tenant"] = obs::Json::MakeString(tenant);
+  response.object["ok"] = obs::Json::MakeBool(status.ok());
+  response.object["code"] =
+      obs::Json::MakeString(status::CodeName(status.code()));
+  if (!status.ok()) {
+    response.object["error"] = obs::Json::MakeString(status.message());
+  }
+  return response;
+}
+
+std::string EncodeLine(const obs::Json& message) {
+  return message.Dump() + "\n";
+}
+
+std::string GetString(const obs::Json& object, const std::string& key,
+                      const std::string& fallback) {
+  const obs::Json* value = object.Find(key);
+  if (value == nullptr || value->type != obs::Json::Type::kString) {
+    return fallback;
+  }
+  return value->string_value;
+}
+
+double GetNumber(const obs::Json& object, const std::string& key,
+                 double fallback) {
+  const obs::Json* value = object.Find(key);
+  if (value == nullptr || value->type != obs::Json::Type::kNumber) {
+    return fallback;
+  }
+  return value->number_value;
+}
+
+bool GetBool(const obs::Json& object, const std::string& key,
+             bool fallback) {
+  const obs::Json* value = object.Find(key);
+  if (value == nullptr || value->type != obs::Json::Type::kBool) {
+    return fallback;
+  }
+  return value->bool_value;
+}
+
+}  // namespace repro::serve

@@ -1,0 +1,55 @@
+#ifndef PEEGA_SERVE_PROTOCOL_H_
+#define PEEGA_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.h"
+#include "status/status.h"
+
+namespace repro::serve {
+
+/// Wire protocol of the `graphguard serve` job server: one JSON object
+/// per line in both directions over a local (AF_UNIX) stream socket.
+///
+/// Request:  {"id":N, "tenant":"team-a", "op":"attack", ...op fields}
+/// Response: {"id":N, "tenant":"team-a", "ok":true|false,
+///            "code":"OK"|"RESOURCE_EXHAUSTED"|..., "error":"...",
+///            "queue_ms":Q, "run_ms":R, "result":{...}}
+///
+/// Ops: "ping", "attack", "eval", "stats", "cancel" (target_id),
+/// "pause"/"resume" (operational scheduler gate), "shutdown" (graceful
+/// drain). Attack/eval are queued jobs subject to admission control and
+/// per-request deadlines (`deadline_ms`); the rest are answered inline.
+struct Request {
+  int64_t id = 0;
+  std::string tenant;
+  std::string op;
+  obs::Json raw;  // full request object for op-specific fields
+};
+
+/// Parses one request line. Enforces the envelope: a JSON object with a
+/// string "op", an optional numeric "id" (default 0) and an optional
+/// well-formed "tenant" (default "default"; max 32 chars of
+/// [A-Za-z0-9_-], keeping per-tenant metric names bounded and clean).
+status::Status ParseRequest(const std::string& line, Request* out);
+
+/// Response envelope for `status`; callers attach op-specific fields
+/// ("result", "queue_ms", ...) before encoding.
+obs::Json MakeResponse(int64_t id, const std::string& tenant,
+                       const status::Status& status);
+
+/// Compact one-line encoding with the trailing newline appended.
+std::string EncodeLine(const obs::Json& message);
+
+/// Field accessors with defaults (absent key or wrong type -> default).
+std::string GetString(const obs::Json& object, const std::string& key,
+                      const std::string& fallback);
+double GetNumber(const obs::Json& object, const std::string& key,
+                 double fallback);
+bool GetBool(const obs::Json& object, const std::string& key,
+             bool fallback);
+
+}  // namespace repro::serve
+
+#endif  // PEEGA_SERVE_PROTOCOL_H_

@@ -1,0 +1,731 @@
+#include "serve/server.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attack/attacker.h"
+#include "eval/pipeline.h"
+#include "eval/registry.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "linalg/random.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
+#include "parallel/worker_thread.h"
+#include "serve/protocol.h"
+#include "status/deadline.h"
+#include "status/status.h"
+
+namespace repro::serve {
+
+namespace {
+
+using status::Status;
+
+constexpr size_t kMaxGraphCacheEntries = 16;
+constexpr size_t kMaxRequestLineBytes = 1 << 20;
+
+obs::Json Num(double v) { return obs::Json::MakeNumber(v); }
+obs::Json Str(std::string s) { return obs::Json::MakeString(std::move(s)); }
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// Per-tenant obs instruments, created on first use and cached; the
+// "stats" op reads them back. Instrument names are bounded because
+// ParseRequest validates tenant names.
+struct TenantStats {
+  obs::Counter* accepted;
+  obs::Counter* rejected;
+  obs::Counter* completed;
+  obs::Counter* failed;
+  obs::Counter* cancelled;
+  obs::Histogram* queue_ms;
+  obs::Histogram* run_ms;
+};
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServerOptions opts) : options(std::move(opts)) {}
+
+  ServerOptions options;
+
+  int listen_fd = -1;
+  int wake_read = -1;
+  int wake_write = -1;
+
+  std::unique_ptr<parallel::WorkerThread> io_thread;
+  std::unique_ptr<parallel::WorkerThread> scheduler_thread;
+
+  struct Job {
+    int64_t id = 0;
+    std::string tenant;
+    std::string op;
+    obs::Json raw;
+    int conn_id = -1;
+    status::Deadline deadline;  // armed at admission
+    obs::StopWatch waited;      // queue-wait clock
+    bool cancelled = false;
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::string inbuf;
+    std::string outbuf;
+  };
+
+  // ---- shared state (guarded by mu) --------------------------------
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Job> queue;
+  bool paused = false;
+  bool draining = false;
+  bool stopping = false;
+  int64_t running_id = -1;
+  std::string running_tenant;
+  status::Deadline running_deadline;
+  // Completed-job responses en route from the scheduler to the IO loop.
+  std::vector<std::pair<int, std::string>> outbox;
+  std::map<std::string, TenantStats> tenants;
+
+  // ---- IO-thread-only state ----------------------------------------
+  std::map<int, Connection> conns;
+  int next_conn_id = 1;
+
+  // ---- scheduler-thread-only state ---------------------------------
+  std::map<std::string, graph::Graph> graph_cache;
+
+  void WakeIo() {
+    if (wake_write >= 0) {
+      const char byte = 1;
+      (void)!::write(wake_write, &byte, 1);
+    }
+  }
+
+  TenantStats* GetTenant(const std::string& tenant) {
+    const auto it = tenants.find(tenant);
+    if (it != tenants.end()) return &it->second;
+    const std::string prefix = "serve.tenant." + tenant + ".";
+    TenantStats stats;
+    stats.accepted = obs::GetCounter(prefix + "accepted");
+    stats.rejected = obs::GetCounter(prefix + "rejected");
+    stats.completed = obs::GetCounter(prefix + "completed");
+    stats.failed = obs::GetCounter(prefix + "failed");
+    stats.cancelled = obs::GetCounter(prefix + "cancelled");
+    stats.queue_ms =
+        obs::GetHistogram(prefix + "queue_ms", obs::LatencyBucketsMs());
+    stats.run_ms =
+        obs::GetHistogram(prefix + "run_ms", obs::LatencyBucketsMs());
+    return &tenants.emplace(tenant, stats).first->second;
+  }
+
+  // ---- request handling (IO thread) --------------------------------
+
+  void Respond(int conn_id, const obs::Json& response) {
+    const auto it = conns.find(conn_id);
+    if (it != conns.end()) it->second.outbuf += EncodeLine(response);
+  }
+
+  void HandleLine(int conn_id, const std::string& line) {
+    Request request;
+    const Status parsed = ParseRequest(line, &request);
+    if (!parsed.ok()) {
+      Respond(conn_id, MakeResponse(request.id, "default", parsed));
+      return;
+    }
+    if (request.op == "ping") {
+      obs::Json response =
+          MakeResponse(request.id, request.tenant, Status::Ok());
+      obs::Json result = obs::Json::MakeObject();
+      result.object["pong"] = obs::Json::MakeBool(true);
+      response.object["result"] = std::move(result);
+      Respond(conn_id, response);
+      return;
+    }
+    if (request.op == "stats") {
+      obs::Json response =
+          MakeResponse(request.id, request.tenant, Status::Ok());
+      response.object["result"] = StatsJson();
+      Respond(conn_id, response);
+      return;
+    }
+    if (request.op == "pause" || request.op == "resume") {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        paused = request.op == "pause";
+      }
+      cv.notify_all();
+      Respond(conn_id,
+              MakeResponse(request.id, request.tenant, Status::Ok()));
+      return;
+    }
+    if (request.op == "cancel") {
+      HandleCancel(conn_id, request);
+      return;
+    }
+    if (request.op == "shutdown") {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        draining = true;
+      }
+      cv.notify_all();
+      obs::Json response =
+          MakeResponse(request.id, request.tenant, Status::Ok());
+      obs::Json result = obs::Json::MakeObject();
+      result.object["draining"] = obs::Json::MakeBool(true);
+      response.object["result"] = std::move(result);
+      Respond(conn_id, response);
+      return;
+    }
+    if (request.op == "attack" || request.op == "eval") {
+      Admit(conn_id, request);
+      return;
+    }
+    Respond(conn_id,
+            MakeResponse(request.id, request.tenant,
+                         status::InvalidInput("unknown op \"" +
+                                              request.op + "\"")));
+  }
+
+  void Admit(int conn_id, const Request& request) {
+    std::unique_lock<std::mutex> lock(mu);
+    TenantStats* tenant = GetTenant(request.tenant);
+    if (draining || stopping) {
+      tenant->rejected->Add(1);
+      lock.unlock();
+      Respond(conn_id,
+              MakeResponse(request.id, request.tenant,
+                           status::Unavailable("server is draining")));
+      return;
+    }
+    if (static_cast<int>(queue.size()) >= options.max_queue) {
+      tenant->rejected->Add(1);
+      lock.unlock();
+      Respond(conn_id,
+              MakeResponse(
+                  request.id, request.tenant,
+                  status::ResourceExhausted(
+                      "job queue is full (max_queue=" +
+                      std::to_string(options.max_queue) + ")")));
+      return;
+    }
+    Job job;
+    job.id = request.id;
+    job.tenant = request.tenant;
+    job.op = request.op;
+    job.raw = request.raw;
+    job.conn_id = conn_id;
+    const double deadline_ms = GetNumber(request.raw, "deadline_ms", 0.0);
+    // Armed here, at admission: queue wait spends the budget too.
+    job.deadline = deadline_ms > 0.0
+                       ? status::Deadline::AfterSeconds(deadline_ms / 1e3)
+                       : status::Deadline::Cancellable();
+    tenant->accepted->Add(1);
+    queue.push_back(std::move(job));
+    obs::GetGauge("serve.queue_depth")
+        ->Set(static_cast<double>(queue.size()));
+    lock.unlock();
+    cv.notify_one();
+    // No response yet — it arrives when the job completes.
+  }
+
+  void HandleCancel(int conn_id, const Request& request) {
+    const int64_t target =
+        static_cast<int64_t>(GetNumber(request.raw, "target_id", -1));
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      for (Job& job : queue) {
+        if (job.id == target && job.tenant == request.tenant) {
+          job.cancelled = true;
+          job.deadline.RequestCancel();
+          found = true;
+        }
+      }
+      if (running_id == target && running_tenant == request.tenant) {
+        running_deadline.RequestCancel();
+        found = true;
+      }
+    }
+    obs::Json response =
+        MakeResponse(request.id, request.tenant, Status::Ok());
+    obs::Json result = obs::Json::MakeObject();
+    result.object["found"] = obs::Json::MakeBool(found);
+    response.object["result"] = std::move(result);
+    Respond(conn_id, response);
+  }
+
+  obs::Json StatsJson() {
+    std::lock_guard<std::mutex> lock(mu);
+    obs::Json stats = obs::Json::MakeObject();
+    stats.object["queue_depth"] =
+        Num(static_cast<double>(queue.size()));
+    stats.object["paused"] = obs::Json::MakeBool(paused);
+    stats.object["draining"] = obs::Json::MakeBool(draining);
+    obs::Json cache = obs::Json::MakeObject();
+    cache.object["hits"] = Num(static_cast<double>(
+        obs::GetCounter("serve.graph_cache.hit")->value()));
+    cache.object["misses"] = Num(static_cast<double>(
+        obs::GetCounter("serve.graph_cache.miss")->value()));
+    stats.object["graph_cache"] = std::move(cache);
+    obs::Json tenants_json = obs::Json::MakeObject();
+    for (const auto& [name, t] : tenants) {
+      obs::Json entry = obs::Json::MakeObject();
+      entry.object["accepted"] =
+          Num(static_cast<double>(t.accepted->value()));
+      entry.object["rejected"] =
+          Num(static_cast<double>(t.rejected->value()));
+      entry.object["completed"] =
+          Num(static_cast<double>(t.completed->value()));
+      entry.object["failed"] = Num(static_cast<double>(t.failed->value()));
+      entry.object["cancelled"] =
+          Num(static_cast<double>(t.cancelled->value()));
+      entry.object["queue_ms_count"] =
+          Num(static_cast<double>(t.queue_ms->total_count()));
+      entry.object["queue_ms_sum"] = Num(t.queue_ms->sum());
+      entry.object["run_ms_count"] =
+          Num(static_cast<double>(t.run_ms->total_count()));
+      entry.object["run_ms_sum"] = Num(t.run_ms->sum());
+      tenants_json.object[name] = std::move(entry);
+    }
+    stats.object["tenants"] = std::move(tenants_json);
+    return stats;
+  }
+
+  // ---- job execution (scheduler thread) ----------------------------
+
+  const graph::Graph* CachedGraph(const std::string& path,
+                                  Status* failure) {
+    const auto it = graph_cache.find(path);
+    if (it != graph_cache.end()) {
+      obs::GetCounter("serve.graph_cache.hit")->Add(1);
+      return &it->second;
+    }
+    obs::GetCounter("serve.graph_cache.miss")->Add(1);
+    status::StatusOr<graph::Graph> loaded = graph::LoadGraph(path);
+    if (!loaded.ok()) {
+      *failure = loaded.status();
+      return nullptr;
+    }
+    if (graph_cache.size() >= kMaxGraphCacheEntries) graph_cache.clear();
+    return &graph_cache.emplace(path, std::move(loaded).value())
+                .first->second;
+  }
+
+  obs::Json RunAttackJob(const Job& job, const graph::Graph& g) {
+    const obs::Json& r = job.raw;
+    eval::AttackerSpec spec;
+    spec.name = GetString(r, "attacker", "peega");
+    spec.lambda = GetNumber(r, "lambda", 0.01);
+    spec.norm_p = static_cast<int>(GetNumber(r, "p", 2));
+    spec.layers = static_cast<int>(GetNumber(r, "layers", 2));
+    spec.batch_size = static_cast<int>(GetNumber(r, "batch", 16));
+    spec.mode = GetString(r, "mode", "both");
+    spec.checkpoint_path = GetString(r, "checkpoint", "");
+    spec.checkpoint_every =
+        static_cast<int>(GetNumber(r, "checkpoint_every", 16));
+    std::unique_ptr<attack::Attacker> attacker =
+        eval::MakeAttackerByName(spec);
+    if (attacker == nullptr) {
+      return MakeResponse(job.id, job.tenant,
+                          status::InvalidInput("unknown attacker \"" +
+                                               spec.name + "\""));
+    }
+    attack::AttackOptions options;
+    options.perturbation_rate = GetNumber(r, "rate", 0.1);
+    options.feature_cost = GetNumber(r, "feature_cost", 1.0);
+    options.deadline = job.deadline;
+    linalg::Rng rng(
+        static_cast<uint64_t>(GetNumber(r, "seed", 42.0)));
+    const attack::AttackResult result =
+        attacker->Attack(g, options, &rng);
+    if (!result.status.ok() &&
+        result.status.code() == status::Code::kInvalidInput) {
+      return MakeResponse(job.id, job.tenant, result.status);
+    }
+    obs::Json response = MakeResponse(job.id, job.tenant, result.status);
+    obs::Json res = obs::Json::MakeObject();
+    res.object["attacker"] = Str(attacker->name());
+    res.object["edge_modifications"] =
+        Num(static_cast<double>(result.edge_modifications));
+    res.object["feature_modifications"] =
+        Num(static_cast<double>(result.feature_modifications));
+    res.object["elapsed_seconds"] = Num(result.elapsed_seconds);
+    res.object["final_objective"] = Num(result.final_objective);
+    if (GetBool(r, "return_flips", false)) {
+      obs::Json flips = obs::Json::MakeArray();
+      for (const attack::Flip& flip : result.flips) {
+        obs::Json triple = obs::Json::MakeArray();
+        triple.array.push_back(Num(flip.is_feature ? 1 : 0));
+        triple.array.push_back(Num(flip.a));
+        triple.array.push_back(Num(flip.b));
+        flips.array.push_back(std::move(triple));
+      }
+      res.object["flips"] = std::move(flips);
+    }
+    const std::string out = GetString(r, "out", "");
+    if (!out.empty()) {
+      const Status saved = graph::SaveGraph(result.poisoned, out);
+      if (!saved.ok()) return MakeResponse(job.id, job.tenant, saved);
+      res.object["out"] = Str(out);
+    }
+    response.object["result"] = std::move(res);
+    return response;
+  }
+
+  obs::Json RunEvalJob(const Job& job, const graph::Graph& g) {
+    const obs::Json& r = job.raw;
+    const std::string name = GetString(r, "defender", "gnat");
+    std::unique_ptr<defense::Defender> defender =
+        eval::MakeDefenderByName(name);
+    if (defender == nullptr) {
+      return MakeResponse(job.id, job.tenant,
+                          status::InvalidInput("unknown defender \"" +
+                                               name + "\""));
+    }
+    eval::PipelineOptions options;
+    options.runs = static_cast<int>(GetNumber(r, "runs", 1));
+    options.seed = static_cast<uint64_t>(GetNumber(r, "seed", 42.0));
+    options.train.deadline = job.deadline;
+    const eval::DefenseEvaluation evaluation =
+        eval::EvaluateDefense(defender.get(), g, options);
+    obs::Json response =
+        MakeResponse(job.id, job.tenant, evaluation.status);
+    obs::Json res = obs::Json::MakeObject();
+    res.object["defender"] = Str(defender->name());
+    res.object["accuracy_mean"] = Num(evaluation.accuracy.mean);
+    res.object["accuracy_std"] = Num(evaluation.accuracy.std);
+    res.object["mean_train_seconds"] = Num(evaluation.mean_train_seconds);
+    res.object["ok_runs"] = Num(evaluation.ok_runs);
+    response.object["result"] = std::move(res);
+    return response;
+  }
+
+  obs::Json RunJob(const Job& job) {
+    try {
+      const std::string path = GetString(job.raw, "graph", "");
+      if (path.empty()) {
+        return MakeResponse(
+            job.id, job.tenant,
+            status::InvalidInput("job has no \"graph\" path"));
+      }
+      Status failure;
+      const graph::Graph* g = CachedGraph(path, &failure);
+      if (g == nullptr) {
+        return MakeResponse(job.id, job.tenant,
+                            failure.WithContext("load job graph"));
+      }
+      return job.op == "attack" ? RunAttackJob(job, *g)
+                                : RunEvalJob(job, *g);
+    } catch (...) {
+      // A job must never take the server down; report and move on.
+      obs::Json response = obs::Json::MakeObject();
+      response.object["id"] = Num(static_cast<double>(job.id));
+      response.object["tenant"] = Str(job.tenant);
+      response.object["ok"] = obs::Json::MakeBool(false);
+      response.object["code"] = Str("INTERNAL");
+      response.object["error"] =
+          Str("unexpected exception while running job");
+      return response;
+    }
+  }
+
+  void SchedulerLoop() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [this] {
+          return stopping || (draining && queue.empty()) ||
+                 (!queue.empty() && (!paused || draining));
+        });
+        if (stopping) break;
+        if (queue.empty()) {  // draining and fully drained
+          stopping = true;
+          break;
+        }
+        job = std::move(queue.front());
+        queue.pop_front();
+        obs::GetGauge("serve.queue_depth")
+            ->Set(static_cast<double>(queue.size()));
+        running_id = job.id;
+        running_tenant = job.tenant;
+        running_deadline = job.deadline;
+      }
+      const double queue_ms = job.waited.Millis();
+      obs::Json response;
+      obs::StopWatch run_watch;
+      if (job.cancelled) {
+        response = MakeResponse(
+            job.id, job.tenant,
+            status::Cancelled("job cancelled while queued"));
+      } else if (const Status admission =
+                     job.deadline.Check("serve queue wait");
+                 !admission.ok()) {
+        response = MakeResponse(job.id, job.tenant, admission);
+      } else {
+        response = RunJob(job);
+      }
+      const double run_ms = run_watch.Millis();
+      response.object["queue_ms"] = Num(queue_ms);
+      response.object["run_ms"] = Num(run_ms);
+      const std::string code = GetString(response, "code", "INTERNAL");
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        running_id = -1;
+        running_tenant.clear();
+        running_deadline = status::Deadline();
+        TenantStats* tenant = GetTenant(job.tenant);
+        tenant->queue_ms->Observe(queue_ms);
+        tenant->run_ms->Observe(run_ms);
+        if (code == "OK") {
+          tenant->completed->Add(1);
+        } else if (code == "CANCELLED") {
+          tenant->cancelled->Add(1);
+        } else {
+          tenant->failed->Add(1);
+        }
+        outbox.emplace_back(job.conn_id, EncodeLine(response));
+      }
+      WakeIo();
+    }
+    WakeIo();
+  }
+
+  // ---- socket event loop (IO thread) -------------------------------
+
+  void DrainOutbox() {
+    std::vector<std::pair<int, std::string>> pending;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      pending.swap(outbox);
+    }
+    for (auto& [conn_id, line] : pending) {
+      const auto it = conns.find(conn_id);
+      if (it != conns.end()) it->second.outbuf += line;
+    }
+  }
+
+  bool Stopping() {
+    std::lock_guard<std::mutex> lock(mu);
+    return stopping;
+  }
+
+  void CloseConnection(int conn_id) {
+    const auto it = conns.find(conn_id);
+    if (it == conns.end()) return;
+    ::close(it->second.fd);
+    conns.erase(it);
+  }
+
+  void IoLoop() {
+    for (;;) {
+      DrainOutbox();
+      if (Stopping()) {
+        bool flushed = true;
+        for (auto& [id, conn] : conns) {
+          if (!conn.outbuf.empty()) flushed = false;
+        }
+        if (flushed) break;
+      }
+      std::vector<pollfd> fds;
+      std::vector<int> ids;  // conn id per pollfd (or -1 / -2)
+      fds.push_back({wake_read, POLLIN, 0});
+      ids.push_back(-1);
+      if (listen_fd >= 0) {
+        fds.push_back({listen_fd, POLLIN, 0});
+        ids.push_back(-2);
+      }
+      for (auto& [id, conn] : conns) {
+        short events = POLLIN;
+        if (!conn.outbuf.empty()) events |= POLLOUT;
+        fds.push_back({conn.fd, events, 0});
+        ids.push_back(id);
+      }
+      const int ready = ::poll(fds.data(), fds.size(), -1);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      std::vector<int> to_close;
+      for (size_t i = 0; i < fds.size(); ++i) {
+        const short revents = fds[i].revents;
+        if (revents == 0) continue;
+        if (ids[i] == -1) {  // wake pipe: swallow the bytes
+          char sink[256];
+          while (::read(wake_read, sink, sizeof(sink)) > 0) {
+          }
+          continue;
+        }
+        if (ids[i] == -2) {  // new connection
+          for (;;) {
+            const int fd = ::accept(listen_fd, nullptr, nullptr);
+            if (fd < 0) break;
+            SetNonBlocking(fd);
+            Connection conn;
+            conn.fd = fd;
+            conns.emplace(next_conn_id++, conn);
+          }
+          continue;
+        }
+        const int conn_id = ids[i];
+        auto it = conns.find(conn_id);
+        if (it == conns.end()) continue;
+        Connection& conn = it->second;
+        bool dead = (revents & (POLLERR | POLLNVAL)) != 0;
+        if (!dead && (revents & POLLIN) != 0) {
+          char buf[4096];
+          for (;;) {
+            const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+            if (n > 0) {
+              conn.inbuf.append(buf, static_cast<size_t>(n));
+              if (conn.inbuf.size() > kMaxRequestLineBytes) {
+                dead = true;  // protocol abuse: unbounded line
+                break;
+              }
+              continue;
+            }
+            if (n == 0) {
+              dead = true;  // peer closed
+            }
+            break;  // n < 0: EAGAIN (done) or error handled below
+          }
+          size_t start = 0;
+          for (;;) {
+            const size_t nl = conn.inbuf.find('\n', start);
+            if (nl == std::string::npos) break;
+            const std::string line = conn.inbuf.substr(start, nl - start);
+            start = nl + 1;
+            if (!line.empty()) HandleLine(conn_id, line);
+          }
+          conn.inbuf.erase(0, start);
+        }
+        if ((revents & POLLOUT) != 0 && !conn.outbuf.empty()) {
+          const ssize_t n =
+              ::write(conn.fd, conn.outbuf.data(), conn.outbuf.size());
+          if (n > 0) conn.outbuf.erase(0, static_cast<size_t>(n));
+        }
+        if ((revents & POLLHUP) != 0 && conn.outbuf.empty()) dead = true;
+        if (dead && conn.outbuf.empty()) to_close.push_back(conn_id);
+        if (dead && !conn.outbuf.empty()) {
+          // Peer half-closed but responses are still pending: keep the
+          // fd until the outbuf flushes (or write fails).
+          const ssize_t n =
+              ::write(conn.fd, conn.outbuf.data(), conn.outbuf.size());
+          if (n > 0) {
+            conn.outbuf.erase(0, static_cast<size_t>(n));
+          } else {
+            to_close.push_back(conn_id);
+          }
+          if (conn.outbuf.empty()) to_close.push_back(conn_id);
+        }
+      }
+      for (const int conn_id : to_close) CloseConnection(conn_id);
+    }
+    for (auto& [id, conn] : conns) ::close(conn.fd);
+    conns.clear();
+    if (listen_fd >= 0) {
+      ::close(listen_fd);
+      listen_fd = -1;
+      ::unlink(options.socket_path.c_str());
+    }
+  }
+};
+
+Server::Server(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() {
+  Shutdown();
+  Wait();
+  if (impl_->wake_read >= 0) ::close(impl_->wake_read);
+  if (impl_->wake_write >= 0) ::close(impl_->wake_write);
+}
+
+status::Status Server::Start() {
+  Impl& s = *impl_;
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  if (s.options.socket_path.empty() ||
+      s.options.socket_path.size() >= sizeof(addr.sun_path)) {
+    return status::InvalidInput("serve: bad socket path \"" +
+                                s.options.socket_path + "\"");
+  }
+  if (s.options.max_queue < 1) {
+    return status::InvalidInput("serve: max_queue must be >= 1");
+  }
+  ::unlink(s.options.socket_path.c_str());
+  s.listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (s.listen_fd < 0) {
+    return status::IoError("serve: socket() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, s.options.socket_path.c_str(),
+              s.options.socket_path.size());
+  if (::bind(s.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(s.listen_fd);
+    s.listen_fd = -1;
+    return status::IoError("serve: bind(" + s.options.socket_path +
+                           ") failed: " + std::strerror(errno));
+  }
+  if (::listen(s.listen_fd, s.options.listen_backlog) != 0) {
+    ::close(s.listen_fd);
+    s.listen_fd = -1;
+    ::unlink(s.options.socket_path.c_str());
+    return status::IoError("serve: listen() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  SetNonBlocking(s.listen_fd);
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    ::close(s.listen_fd);
+    s.listen_fd = -1;
+    ::unlink(s.options.socket_path.c_str());
+    return status::IoError("serve: pipe() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  s.wake_read = pipe_fds[0];
+  s.wake_write = pipe_fds[1];
+  SetNonBlocking(s.wake_read);
+  SetNonBlocking(s.wake_write);
+  s.io_thread = std::make_unique<parallel::WorkerThread>(
+      [impl = impl_.get()] { impl->IoLoop(); });
+  s.scheduler_thread = std::make_unique<parallel::WorkerThread>(
+      [impl = impl_.get()] { impl->SchedulerLoop(); });
+  return status::Status::Ok();
+}
+
+void Server::Wait() {
+  if (impl_->scheduler_thread != nullptr) impl_->scheduler_thread->Join();
+  if (impl_->io_thread != nullptr) impl_->io_thread->Join();
+}
+
+void Server::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->draining = true;
+  }
+  impl_->cv.notify_all();
+  impl_->WakeIo();
+}
+
+}  // namespace repro::serve

@@ -1,0 +1,72 @@
+#ifndef PEEGA_SERVE_SERVER_H_
+#define PEEGA_SERVE_SERVER_H_
+
+#include <memory>
+#include <string>
+
+#include "status/status.h"
+
+namespace repro::serve {
+
+struct ServerOptions {
+  /// Filesystem path of the AF_UNIX listening socket. A stale socket
+  /// file from a crashed previous run is unlinked on Start().
+  std::string socket_path;
+  /// Admission control: maximum number of queued (not yet running)
+  /// jobs. A submission past this bound is rejected immediately with
+  /// RESOURCE_EXHAUSTED instead of growing an unbounded backlog.
+  int max_queue = 64;
+  /// listen(2) backlog for pending connections.
+  int listen_backlog = 128;
+};
+
+/// Long-running multi-tenant job server (`graphguard serve`).
+///
+/// Two owned threads (`parallel::WorkerThread`, keeping the one-layer-
+/// owns-threads rule intact):
+///   - the IO thread runs a poll(2) loop over the listening socket and
+///     every client connection, parsing newline-delimited JSON requests
+///     and answering control ops (ping/stats/pause/resume/cancel/
+///     shutdown) inline;
+///   - the scheduler thread executes attack/eval jobs strictly FIFO,
+///     one at a time, so every job sees the full deterministic thread
+///     pool (`src/parallel`) and identical requests produce identical
+///     results regardless of client concurrency.
+///
+/// Every job carries a `status::Deadline` armed at ADMISSION, so time
+/// spent queued counts against the budget; an expired or cancelled job
+/// is answered with its code instead of running. Shutdown drains: no
+/// new jobs are admitted (UNAVAILABLE), queued jobs finish and their
+/// responses are flushed, then the server exits.
+///
+/// Per-tenant obs instruments (serve.tenant.<name>.*): accepted /
+/// rejected / completed / failed / cancelled counters plus queue-wait
+/// and run-time histograms, all exposed through the "stats" op.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and spawns the IO + scheduler threads. Returns
+  /// kInvalidInput/kIoError on a bad path or socket failure (the server
+  /// is then inert and Wait() returns immediately).
+  status::Status Start();
+
+  /// Blocks until the server has fully drained and both threads exited
+  /// (i.e. after a "shutdown" request or a Shutdown() call).
+  void Wait();
+
+  /// Programmatic graceful drain, equivalent to a "shutdown" request.
+  void Shutdown();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace repro::serve
+
+#endif  // PEEGA_SERVE_SERVER_H_

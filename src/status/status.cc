@@ -16,6 +16,10 @@ const char* CodeName(Code code) {
       return "CANCELLED";
     case Code::kIoError:
       return "IO_ERROR";
+    case Code::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case Code::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

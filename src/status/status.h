@@ -19,6 +19,8 @@ enum class Code {
   kDeadlineExceeded,   // wall-clock budget spent
   kCancelled,          // cooperative cancellation flag raised
   kIoError,            // filesystem read/write failure
+  kResourceExhausted,  // admission control: queue/budget full, try later
+  kUnavailable,        // endpoint draining or gone; retry elsewhere
 };
 
 /// Short stable name ("OK", "INVALID_INPUT", ...) used in table cells
@@ -83,6 +85,12 @@ inline Status Cancelled(std::string message) {
 }
 inline Status IoError(std::string message) {
   return Status(Code::kIoError, std::move(message));
+}
+inline Status ResourceExhausted(std::string message) {
+  return Status(Code::kResourceExhausted, std::move(message));
+}
+inline Status Unavailable(std::string message) {
+  return Status(Code::kUnavailable, std::move(message));
 }
 
 /// A `Status` or, on success, a value of type T. Access to `value()` on

@@ -1,0 +1,262 @@
+// The C ABI is a shim, not a fork: everything reachable through
+// capi/graphguard.h must behave bitwise-identically to the native C++
+// API it wraps. These tests drive the same attack through both doors
+// and demand the identical flip sequence, objective, and output bytes;
+// they also pin the error-code mapping, gg_last_error's contract, the
+// cancellation handshake, and the hex-float model round-trip.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "attack/attacker.h"
+#include "capi/graphguard.h"
+#include "eval/registry.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "linalg/random.h"
+#include "status/status.h"
+
+namespace repro {
+namespace {
+
+constexpr unsigned kGraphSeed = 20240502;
+constexpr uint64_t kAttackSeed = 11;
+
+std::string TempPath(const std::string& tag) {
+  return ::testing::TempDir() + "/capi_test_" + tag;
+}
+
+// Writes a small cora-like graph to disk; returns its path.
+std::string MakeGraphFile(const std::string& tag) {
+  linalg::Rng rng(kGraphSeed);
+  const graph::Graph g = graph::MakeCoraLike(&rng, 0.1);
+  const std::string path = TempPath(tag + ".txt");
+  EXPECT_TRUE(graph::SaveGraph(g, path).ok());
+  return path;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(CapiAttackTest, BitwiseEqualToNativeApi) {
+  const std::string graph_path = MakeGraphFile("bitwise");
+
+  // Native run.
+  linalg::Rng rng(kGraphSeed);
+  const graph::Graph g = graph::MakeCoraLike(&rng, 0.1);
+  eval::AttackerSpec spec;  // defaults match gg_attack_options_init
+  auto attacker = eval::MakeAttackerByName(spec);
+  ASSERT_NE(attacker, nullptr);
+  attack::AttackOptions native_options;
+  native_options.perturbation_rate = 0.05;
+  linalg::Rng attack_rng(kAttackSeed);
+  const attack::AttackResult native =
+      attacker->Attack(g, native_options, &attack_rng);
+  ASSERT_TRUE(native.status.ok());
+
+  // Same campaign through the ABI.
+  gg_ctx* gg = gg_init();
+  ASSERT_NE(gg, nullptr);
+  ASSERT_EQ(gg_load_graph(gg, graph_path.c_str()), GG_OK);
+  gg_attack_options options;
+  gg_attack_options_init(&options);
+  options.rate = 0.05;
+  options.seed = kAttackSeed;
+  ASSERT_EQ(gg_attack(gg, &options), GG_OK) << gg_last_error(gg);
+
+  ASSERT_EQ(gg_num_flips(gg), static_cast<int32_t>(native.flips.size()));
+  for (int32_t i = 0; i < gg_num_flips(gg); ++i) {
+    gg_flip flip;
+    ASSERT_EQ(gg_get_flip(gg, i, &flip), GG_OK);
+    EXPECT_EQ(flip.is_feature != 0,
+              native.flips[static_cast<size_t>(i)].is_feature);
+    EXPECT_EQ(flip.a, native.flips[static_cast<size_t>(i)].a);
+    EXPECT_EQ(flip.b, native.flips[static_cast<size_t>(i)].b);
+  }
+  EXPECT_EQ(gg_edge_modifications(gg), native.edge_modifications);
+  EXPECT_EQ(gg_feature_modifications(gg), native.feature_modifications);
+  // Bitwise: the shim must not perturb the objective arithmetic at all.
+  EXPECT_EQ(gg_final_objective(gg), native.final_objective);
+  EXPECT_STREQ(gg_result_name(gg), attacker->name().c_str());
+
+  // The poisoned graphs serialize to identical bytes.
+  const std::string abi_out = TempPath("bitwise_abi_out.txt");
+  const std::string native_out = TempPath("bitwise_native_out.txt");
+  ASSERT_EQ(gg_save_graph(gg, abi_out.c_str()), GG_OK);
+  ASSERT_TRUE(graph::SaveGraph(native.poisoned, native_out).ok());
+  EXPECT_EQ(ReadFileBytes(abi_out), ReadFileBytes(native_out));
+  gg_free(gg);
+}
+
+TEST(CapiErrorTest, CodesMapAndLastErrorCarriesContext) {
+  gg_ctx* gg = gg_init();
+  ASSERT_NE(gg, nullptr);
+  EXPECT_STREQ(gg_last_error(gg), "");
+
+  // IO failure surfaces as GG_IO_ERROR and names the path.
+  EXPECT_EQ(gg_load_graph(gg, "/nonexistent/graphguard/g.txt"),
+            GG_IO_ERROR);
+  const std::string io_message = gg_last_error(gg);
+  EXPECT_NE(io_message.find("IO_ERROR"), std::string::npos) << io_message;
+  EXPECT_NE(io_message.find("/nonexistent/graphguard/g.txt"),
+            std::string::npos)
+      << io_message;
+
+  // Operating without a graph is invalid input, not a crash.
+  gg_attack_options options;
+  gg_attack_options_init(&options);
+  EXPECT_EQ(gg_attack(gg, &options), GG_INVALID_INPUT);
+
+  // Unknown names are invalid input with the name quoted back.
+  const std::string graph_path = MakeGraphFile("errors");
+  ASSERT_EQ(gg_load_graph(gg, graph_path.c_str()), GG_OK);
+  EXPECT_STREQ(gg_last_error(gg), "");  // success clears the slot
+  options.attacker = "definitely-not-an-attacker";
+  EXPECT_EQ(gg_attack(gg, &options), GG_INVALID_INPUT);
+  EXPECT_NE(std::string(gg_last_error(gg))
+                .find("definitely-not-an-attacker"),
+            std::string::npos);
+
+  // NULL arguments are rejected, including a NULL context.
+  EXPECT_EQ(gg_attack(gg, nullptr), GG_INVALID_INPUT);
+  EXPECT_EQ(gg_attack(nullptr, &options), GG_INVALID_INPUT);
+  EXPECT_STREQ(gg_last_error(nullptr), "");
+  EXPECT_STREQ(gg_status_name(GG_DEADLINE_EXCEEDED), "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(gg_status_name(GG_RESOURCE_EXHAUSTED),
+               "RESOURCE_EXHAUSTED");
+  gg_free(gg);
+}
+
+TEST(CapiCancelTest, PendingCancelStopsTheNextAttack) {
+  const std::string graph_path = MakeGraphFile("cancel");
+  gg_ctx* gg = gg_init();
+  ASSERT_NE(gg, nullptr);
+  ASSERT_EQ(gg_load_graph(gg, graph_path.c_str()), GG_OK);
+  // No operation is in flight, so the cancel arms for the next one —
+  // this is the no-race half of the gg_cancel contract; the in-flight
+  // half is exercised end-to-end by the serve cancel op.
+  ASSERT_EQ(gg_cancel(gg), GG_OK);
+  gg_attack_options options;
+  gg_attack_options_init(&options);
+  options.seed = kAttackSeed;
+  EXPECT_EQ(gg_attack(gg, &options), GG_CANCELLED);
+  EXPECT_NE(std::string(gg_last_error(gg)).find("CANCELLED"),
+            std::string::npos);
+  // Cancelled at the first check: the best-so-far prefix is empty.
+  EXPECT_EQ(gg_num_flips(gg), 0);
+  // The pending cancel was consumed; the same campaign now completes.
+  EXPECT_EQ(gg_attack(gg, &options), GG_OK) << gg_last_error(gg);
+  EXPECT_GT(gg_num_flips(gg), 0);
+  gg_free(gg);
+}
+
+TEST(CapiModelTest, HexFloatRoundTripIsBitwise) {
+  const std::string graph_path = MakeGraphFile("model");
+  gg_ctx* gg = gg_init();
+  ASSERT_NE(gg, nullptr);
+  ASSERT_EQ(gg_load_graph(gg, graph_path.c_str()), GG_OK);
+  ASSERT_EQ(gg_assign_splits(gg, 0.1, 0.1, 7), GG_OK);
+  ASSERT_EQ(gg_train_model(gg, 16, 2, 3), GG_OK) << gg_last_error(gg);
+  double trained_accuracy = -1.0;
+  ASSERT_EQ(gg_model_accuracy(gg, &trained_accuracy), GG_OK);
+
+  const std::string model_path = TempPath("model.ggm");
+  ASSERT_EQ(gg_save_model(gg, model_path.c_str()), GG_OK);
+
+  // Reload into a fresh context over the same graph: predictions (and
+  // hence accuracy) must match exactly, and save->load->save must
+  // reproduce the model file byte for byte.
+  gg_ctx* gg2 = gg_init();
+  ASSERT_NE(gg2, nullptr);
+  ASSERT_EQ(gg_load_graph(gg2, graph_path.c_str()), GG_OK);
+  ASSERT_EQ(gg_assign_splits(gg2, 0.1, 0.1, 7), GG_OK);
+  ASSERT_EQ(gg_load_model(gg2, model_path.c_str()), GG_OK)
+      << gg_last_error(gg2);
+  double reloaded_accuracy = -2.0;
+  ASSERT_EQ(gg_model_accuracy(gg2, &reloaded_accuracy), GG_OK);
+  EXPECT_EQ(trained_accuracy, reloaded_accuracy);
+
+  const std::string resaved_path = TempPath("model_resaved.ggm");
+  ASSERT_EQ(gg_save_model(gg2, resaved_path.c_str()), GG_OK);
+  EXPECT_EQ(ReadFileBytes(model_path), ReadFileBytes(resaved_path));
+  gg_free(gg2);
+  gg_free(gg);
+}
+
+TEST(CapiCsrTest, ValidatesAndInstallsCallerBuffers) {
+  gg_ctx* gg = gg_init();
+  ASSERT_NE(gg, nullptr);
+
+  // A 3-node path graph 0-1-2 (symmetric, no self-loops).
+  const int64_t row_ptr[] = {0, 1, 3, 4};
+  const int32_t col_idx[] = {1, 0, 2, 1};
+  const float features[] = {1.0f, 0.0f, 0.0f, 1.0f, 1.0f, 1.0f};
+  const int32_t labels[] = {0, 1, 0};
+  ASSERT_EQ(gg_set_graph_csr(gg, 3, 2, row_ptr, col_idx, 2, features,
+                             labels),
+            GG_OK)
+      << gg_last_error(gg);
+  EXPECT_EQ(gg_num_nodes(gg), 3);
+  EXPECT_EQ(gg_num_edges(gg), 2);  // undirected edge count
+
+  // Asymmetric adjacency: 0->1 without 1->0.
+  const int64_t asym_row_ptr[] = {0, 1, 1, 1};
+  const int32_t asym_col_idx[] = {1};
+  EXPECT_EQ(gg_set_graph_csr(gg, 3, 2, asym_row_ptr, asym_col_idx, 0,
+                             nullptr, labels),
+            GG_INVALID_INPUT);
+
+  // Decreasing row_ptr.
+  const int64_t bad_row_ptr[] = {0, 2, 1, 4};
+  EXPECT_EQ(gg_set_graph_csr(gg, 3, 2, bad_row_ptr, col_idx, 0, nullptr,
+                             labels),
+            GG_INVALID_INPUT);
+
+  // Self-loop.
+  const int64_t loop_row_ptr[] = {0, 1, 1, 1};
+  const int32_t loop_col_idx[] = {0};
+  EXPECT_EQ(gg_set_graph_csr(gg, 3, 2, loop_row_ptr, loop_col_idx, 0,
+                             nullptr, labels),
+            GG_INVALID_INPUT);
+
+  // Column out of range.
+  const int64_t oob_row_ptr[] = {0, 1, 1, 1};
+  const int32_t oob_col_idx[] = {5};
+  EXPECT_EQ(gg_set_graph_csr(gg, 3, 2, oob_row_ptr, oob_col_idx, 0,
+                             nullptr, labels),
+            GG_INVALID_INPUT);
+
+  // A failed install leaves the previous (valid) graph in place.
+  EXPECT_EQ(gg_num_nodes(gg), 3);
+  gg_free(gg);
+}
+
+TEST(CapiDeadlineTest, TinyBudgetDegradesNotHangs) {
+  const std::string graph_path = MakeGraphFile("deadline");
+  gg_ctx* gg = gg_init();
+  ASSERT_NE(gg, nullptr);
+  ASSERT_EQ(gg_load_graph(gg, graph_path.c_str()), GG_OK);
+  // An already-expired budget: the attack must return promptly with the
+  // best-so-far prefix, never hang or abort.
+  ASSERT_EQ(gg_set_deadline_ms(gg, 1e-9), GG_OK);
+  gg_attack_options options;
+  gg_attack_options_init(&options);
+  const gg_status rc = gg_attack(gg, &options);
+  EXPECT_EQ(rc, GG_DEADLINE_EXCEEDED) << gg_status_name(rc);
+  // Removing the budget restores normal completion.
+  ASSERT_EQ(gg_set_deadline_ms(gg, 0.0), GG_OK);
+  EXPECT_EQ(gg_attack(gg, &options), GG_OK) << gg_last_error(gg);
+  gg_free(gg);
+}
+
+}  // namespace
+}  // namespace repro

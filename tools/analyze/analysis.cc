@@ -130,6 +130,18 @@ const std::vector<PassInfo>& PassRegistry() {
        "hoist the allocation out of the loop or reserve() the container "
        "before entering it",
        &passes::HotLoopAlloc},
+      {"capi-boundary", Severity::kError,
+       "In src/capi (the stable C ABI): every extern \"C\" function must "
+       "be gg_-prefixed, keep C++ tokens (std, ::, &, class) out of its "
+       "signature so graphguard.h stays compilable as C11, and wrap its "
+       "entire body in try { ... } catch (...) — an exception unwinding "
+       "into a C caller is undefined behavior. Helper functions without "
+       "the extern \"C\" marker are exempt; translating between the two "
+       "worlds is what the shim is for.",
+       "rename the symbol gg_*, move C++ types behind the opaque "
+       "gg_ctx, and wrap the body in try { ... } catch (...) returning "
+       "GG_INTERNAL",
+       &passes::CapiBoundary},
   };
   return *registry;
 }

@@ -30,6 +30,9 @@ void DeterminismHazard(const AnalysisContext&, std::vector<Finding>*);
 void FpContractSync(const AnalysisContext&, std::vector<Finding>*);
 void HotLoopAlloc(const AnalysisContext&, std::vector<Finding>*);
 
+// ABI-boundary pass (src/capi only).
+void CapiBoundary(const AnalysisContext&, std::vector<Finding>*);
+
 }  // namespace repro::analyze::passes
 
 #endif  // PEEGA_TOOLS_ANALYZE_PASSES_H_

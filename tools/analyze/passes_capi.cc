@@ -1,0 +1,120 @@
+// capi-boundary: the ABI hygiene pass for src/capi (the stable C API).
+//
+// Exceptions must never unwind across the C boundary (that is undefined
+// behavior for a C caller), and no C++ class type may appear in an
+// extern "C" signature (the header must stay compilable as C11 — the CI
+// serve-smoke job checks it with `gcc -std=c11`). The pass anchors on
+// the per-function `extern "C"` markers in src/capi/*.cc: every such
+// definition must (a) carry the gg_ symbol prefix, (b) keep its
+// signature free of C++ tokens (std, ::, &, class), and (c) wrap its
+// whole body in try { ... } catch (...) so nothing escapes. Helper
+// functions without the extern "C" marker are free to use C++ — the
+// shim exists precisely to translate between the two worlds.
+
+#include <string>
+#include <vector>
+
+#include "passes.h"
+
+namespace repro::analyze::passes {
+
+namespace {
+
+// Index just past the matching closer for the opener at `open`, or
+// tokens.size() when unbalanced (degrade, never crash).
+size_t SkipBalanced(const std::vector<Token>& toks, size_t open,
+                    const char* opener, const char* closer) {
+  int depth = 0;
+  for (size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].IsPunct(opener)) ++depth;
+    if (toks[i].IsPunct(closer) && --depth == 0) return i + 1;
+  }
+  return toks.size();
+}
+
+}  // namespace
+
+void CapiBoundary(const AnalysisContext& ctx, std::vector<Finding>* out) {
+  const PassInfo* info = FindPass("capi-boundary");
+  for (const SourceFile& file : *ctx.files) {
+    if (file.rel.rfind("src/capi/", 0) != 0) continue;
+    const std::vector<Token>& toks = file.tokens;
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!toks[i].IsIdent("extern") ||
+          !toks[i + 1].Is(TokenKind::kString, "C")) {
+        continue;
+      }
+      // `extern "C" {` opens the header's linkage block, not a function.
+      if (toks[i + 2].IsPunct("{")) continue;
+
+      // The declarator: the identifier immediately before the parameter
+      // list's '(' is the function name.
+      size_t open_paren = toks.size();
+      size_t name_idx = toks.size();
+      for (size_t j = i + 2; j + 1 < toks.size(); ++j) {
+        if (toks[j].IsPunct(";") || toks[j].IsPunct("{")) break;
+        if (toks[j].kind == TokenKind::kIdentifier &&
+            toks[j + 1].IsPunct("(")) {
+          name_idx = j;
+          open_paren = j + 1;
+          break;
+        }
+      }
+      if (name_idx == toks.size()) continue;  // extern "C" variable etc.
+      const Token& name = toks[name_idx];
+
+      if (name.text.rfind("gg_", 0) != 0) {
+        out->push_back(Finding{
+            "capi-boundary", file.rel, name.line, name.col,
+            "extern \"C\" symbol '" + name.text +
+                "' is outside the gg_ ABI namespace; every exported "
+                "symbol must be gg_-prefixed",
+            info->fixit, info->severity});
+      }
+
+      // (b) C++ tokens inside the parameter list.
+      const size_t sig_end = SkipBalanced(toks, open_paren, "(", ")");
+      for (size_t j = open_paren + 1; j + 1 < sig_end; ++j) {
+        if (toks[j].IsIdent("std") || toks[j].IsPunct("::") ||
+            toks[j].IsPunct("&") || toks[j].IsIdent("class") ||
+            toks[j].IsIdent("template")) {
+          out->push_back(Finding{
+              "capi-boundary", file.rel, toks[j].line, toks[j].col,
+              "C++ type token '" + toks[j].text +
+                  "' in the extern \"C\" signature of '" + name.text +
+                  "'; the ABI admits only C types (opaque pointers, "
+                  "integers, doubles, const char*)",
+              info->fixit, info->severity});
+          break;
+        }
+      }
+
+      // (c) Definitions must be exception-proof: a try + catch (...)
+      // inside the body. Declarations (';') have no body to check.
+      if (sig_end >= toks.size() || !toks[sig_end].IsPunct("{")) continue;
+      const size_t body_end = SkipBalanced(toks, sig_end, "{", "}");
+      bool has_try = false;
+      bool has_catch_all = false;
+      for (size_t j = sig_end + 1; j + 1 < body_end; ++j) {
+        if (toks[j].IsIdent("try")) has_try = true;
+        if (toks[j].IsIdent("catch") && j + 3 < body_end &&
+            toks[j + 1].IsPunct("(") && toks[j + 2].IsPunct("...") &&
+            toks[j + 3].IsPunct(")")) {
+          has_catch_all = true;
+        }
+      }
+      if (!has_try || !has_catch_all) {
+        out->push_back(Finding{
+            "capi-boundary", file.rel, name.line, name.col,
+            "extern \"C\" entry point '" + name.text +
+                "' lacks a catch-all wrapper; an exception unwinding "
+                "into a C caller is undefined behavior, so the whole "
+                "body must sit in try { ... } catch (...)",
+            info->fixit, info->severity});
+      }
+      i = sig_end;  // resume after the signature we just handled
+    }
+  }
+}
+
+}  // namespace repro::analyze::passes

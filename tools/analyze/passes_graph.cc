@@ -38,6 +38,12 @@ const std::vector<ModuleSpec>& LayerDag() {
           {"eval",
            {"debug", "obs", "status", "parallel", "linalg", "autograd",
             "graph", "nn", "attack", "defense", "core"}},
+          {"capi",
+           {"debug", "obs", "status", "parallel", "linalg", "autograd",
+            "graph", "nn", "attack", "defense", "core", "eval"}},
+          {"serve",
+           {"debug", "obs", "status", "parallel", "linalg", "autograd",
+            "graph", "nn", "attack", "defense", "core", "eval"}},
       };
   return *dag;
 }

@@ -206,6 +206,44 @@ void PlantTree(const fs::path& root) {
             "void Collect(std::vector<int>* rows, int n) {\n"
             "  for (int i = 0; i < n; ++i) rows->push_back(i);\n"
             "}\n");
+
+  // --- capi-boundary ----------------------------------------------------
+  // Three violations: a body with no catch-all, a symbol outside the
+  // gg_ namespace, and a C++ reference type crossing the ABI.
+  WriteFile(root / "src/capi/bad_shim.cc",
+            "#include <string>\n"
+            "extern \"C\" int gg_bad_no_catch(int v) {\n"
+            "  return v + 1;\n"
+            "}\n"
+            "extern \"C\" int bad_prefix(int v) {\n"
+            "  try {\n"
+            "    return v;\n"
+            "  } catch (...) {\n"
+            "    return -1;\n"
+            "  }\n"
+            "}\n"
+            "extern \"C\" int gg_bad_cpp_sig(const std::string& name) {\n"
+            "  try {\n"
+            "    return (int)name.size();\n"
+            "  } catch (...) {\n"
+            "    return -1;\n"
+            "  }\n"
+            "}\n");
+  // Decoys: a non-extern-C helper may use C++ freely, a declaration has
+  // no body to check, and a compliant entry point must stay silent.
+  WriteFile(root / "src/capi/ok_shim.cc",
+            "#include <string>\n"
+            "static int Helper(const std::string& tag) {\n"
+            "  return (int)tag.size();\n"
+            "}\n"
+            "extern \"C\" int gg_ok_len(const char* tag);\n"
+            "extern \"C\" int gg_ok_len(const char* tag) {\n"
+            "  try {\n"
+            "    return Helper(tag == nullptr ? \"\" : tag);\n"
+            "  } catch (...) {\n"
+            "    return -1;\n"
+            "  }\n"
+            "}\n");
 }
 
 struct Expect {
@@ -229,6 +267,7 @@ constexpr Expect kExpected[] = {
     {"src/linalg/bad_pragma.cc", "determinism-hazard"},
     {"src/linalg/op_registry.cc", "fp-contract-sync"},
     {"src/linalg/kernels/bad_alloc.cc", "hot-loop-alloc"},
+    {"src/capi/bad_shim.cc", "capi-boundary"},
 };
 
 constexpr const char* kCleanFiles[] = {
@@ -246,6 +285,7 @@ constexpr const char* kCleanFiles[] = {
     "src/linalg/kernels/pragma_ok.cc",
     "src/linalg/kernels/ok_alloc.cc",
     "src/eval/cold_alloc.cc",
+    "src/capi/ok_shim.cc",
 };
 
 }  // namespace
@@ -327,6 +367,17 @@ int RunSelfTest(const std::string& scratch_dir, std::ostream& log) {
   if (!bad_op_named || ok_op_named) {
     log << "SELF-TEST FAIL: fp-contract-sync must flag exactly the op "
            "whose TU is off the -ffp-contract=off list\n";
+    ++failures;
+  }
+  // bad_shim.cc plants all three ABI violations; each must fire.
+  const auto capi_hits = std::count_if(
+      findings.begin(), findings.end(), [](const Finding& f) {
+        return f.file == "src/capi/bad_shim.cc" &&
+               f.pass == "capi-boundary";
+      });
+  if (capi_hits < 3) {
+    log << "SELF-TEST FAIL: expected missing-catch-all, bad-prefix, and "
+           "C++-signature hits in src/capi/bad_shim.cc\n";
     ++failures;
   }
 

@@ -7,6 +7,7 @@
 //                        --checkpoint-every K]
 //   graphguard defend   --in poisoned.txt --defender gnat [--runs 3]
 //   graphguard inspect  --in g.txt [--clean g_clean.txt]
+//   graphguard serve    --socket /tmp/graphguard.sock [--max-queue 64]
 //
 // `defend` prints mean±std test accuracy; `inspect` prints homophily and
 // (given a clean reference) the Add/Del x Same/Diff forensics of Fig. 2.
@@ -17,29 +18,23 @@
 // periodically persist its campaign state; re-running the same command
 // after an interruption resumes from the file and reproduces the
 // uninterrupted flip sequence bit for bit.
+//
+// The one-shot attack/defend paths run through the stable C ABI
+// (capi/graphguard.h) rather than the C++ library directly: the CLI is
+// the ABI's first consumer, so any capability it needs the ABI must
+// provide — embedders get the same guarantee for free. `serve` starts
+// the long-running multi-tenant job server (src/serve; DESIGN.md
+// "Serving model & admission control").
 #include <cstdio>
-#include <memory>
 #include <string>
 
-#include "attack/dice.h"
-#include "attack/gf_attack.h"
-#include "attack/metattack.h"
-#include "attack/pgd.h"
-#include "attack/random_attack.h"
-#include "core/gnat.h"
-#include "core/peega.h"
-#include "core/peega_batch.h"
-#include "defense/gnnguard.h"
-#include "defense/jaccard.h"
-#include "defense/model_defenders.h"
-#include "defense/prognn.h"
-#include "defense/svd.h"
+#include "capi/graphguard.h"
 #include "eval/args.h"
-#include "eval/pipeline.h"
+#include "eval/stats.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/metrics.h"
-#include "status/deadline.h"
+#include "serve/server.h"
 #include "status/status.h"
 
 namespace {
@@ -49,7 +44,8 @@ using namespace repro;
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: graphguard <generate|attack|defend|inspect> [--flags]\n"
+      "usage: graphguard <generate|attack|defend|inspect|serve> "
+      "[--flags]\n"
       "  generate --dataset cora|citeseer|polblogs|pubmed|blog\n"
       "           [--scale S] [--seed N] --out FILE\n"
       "  attack   --in FILE --out FILE\n"
@@ -60,55 +56,15 @@ int Usage() {
       "           [--checkpoint FILE] [--checkpoint-every K]\n"
       "  defend   --in FILE [--defender gnat|gcn|gat|jaccard|svd|rgcn|\n"
       "            prognn|simpgcn|gnnguard] [--runs N] [--seed N]\n"
-      "  inspect  --in FILE [--clean FILE]\n");
+      "  inspect  --in FILE [--clean FILE]\n"
+      "  serve    [--socket PATH] [--max-queue N]\n");
   return 2;
 }
 
-std::unique_ptr<attack::Attacker> MakeAttacker(const eval::Args& args) {
-  const std::string name = args.GetString("attacker", "peega");
-  if (name == "peega" || name == "peega-batch") {
-    core::PeegaAttack::Options options;
-    options.lambda = static_cast<float>(args.GetDouble("lambda", 0.01));
-    options.norm_p = args.GetInt("p", 2);
-    options.layers = args.GetInt("layers", 2);
-    options.checkpoint_path = args.GetString("checkpoint", "");
-    options.checkpoint_every = args.GetInt("checkpoint-every", 16);
-    const std::string mode = args.GetString("mode", "both");
-    if (mode == "tm") options.mode = core::PeegaAttack::Mode::kTopologyOnly;
-    if (mode == "fp") options.mode = core::PeegaAttack::Mode::kFeaturesOnly;
-    if (name == "peega-batch") {
-      core::PeegaBatchAttack::Options batch;
-      batch.peega = options;
-      batch.batch_size = args.GetInt("batch", 16);
-      return std::make_unique<core::PeegaBatchAttack>(batch);
-    }
-    return std::make_unique<core::PeegaAttack>(options);
-  }
-  if (name == "metattack") return std::make_unique<attack::Metattack>();
-  if (name == "pgd") return std::make_unique<attack::PgdAttack>();
-  if (name == "minmax") return std::make_unique<attack::MinMaxAttack>();
-  if (name == "gf") return std::make_unique<attack::GfAttack>();
-  if (name == "dice") return std::make_unique<attack::DiceAttack>();
-  if (name == "random") return std::make_unique<attack::RandomAttack>();
-  return nullptr;
-}
-
-std::unique_ptr<defense::Defender> MakeDefender(const eval::Args& args) {
-  const std::string name = args.GetString("defender", "gnat");
-  if (name == "gnat") return std::make_unique<core::GnatDefender>();
-  if (name == "gcn") return std::make_unique<defense::GcnDefender>();
-  if (name == "gat") return std::make_unique<defense::GatDefender>();
-  if (name == "jaccard") return std::make_unique<defense::JaccardDefender>();
-  if (name == "svd") return std::make_unique<defense::SvdDefender>();
-  if (name == "rgcn") return std::make_unique<defense::RGcnDefender>();
-  if (name == "prognn") return std::make_unique<defense::ProGnnDefender>();
-  if (name == "gnnguard") {
-    return std::make_unique<defense::GnnGuardDefender>();
-  }
-  if (name == "simpgcn") {
-    return std::make_unique<defense::SimPGcnDefender>();
-  }
-  return nullptr;
+int CapiError(gg_ctx* gg) {
+  std::fprintf(stderr, "error: %s\n", gg_last_error(gg));
+  gg_free(gg);
+  return 1;
 }
 
 int Generate(const eval::Args& args) {
@@ -139,73 +95,83 @@ int Generate(const eval::Args& args) {
 }
 
 int AttackCmd(const eval::Args& args) {
-  status::StatusOr<graph::Graph> loaded =
-      graph::LoadGraph(args.GetString("in"));
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 loaded.status().ToString().c_str());
-    return 1;
-  }
-  const graph::Graph& g = *loaded;
-  auto attacker = MakeAttacker(args);
-  if (attacker == nullptr) return Usage();
-  attack::AttackOptions options;
-  options.perturbation_rate = args.GetDouble("rate", 0.1);
-  const double deadline = args.GetDouble("deadline", 0.0);
-  if (deadline > 0.0) {
-    options.deadline = status::Deadline::AfterSeconds(deadline);
-  }
-  linalg::Rng rng(static_cast<uint64_t>(args.GetInt("seed", 42)));
-  const auto result = attacker->Attack(g, options, &rng);
-  if (!result.status.ok() &&
-      result.status.code() == status::Code::kInvalidInput) {
-    // A rejected (stale/corrupt) checkpoint: nothing was attacked, so
-    // writing the clean graph out would be misleading.
-    std::fprintf(stderr, "error: %s\n", result.status.ToString().c_str());
-    return 1;
-  }
   const std::string out = args.GetString("out");
   if (out.empty()) {
     std::fprintf(stderr, "error: --out is required\n");
     return 1;
   }
-  if (const status::Status save = graph::SaveGraph(result.poisoned, out);
-      !save.ok()) {
-    std::fprintf(stderr, "error: %s\n", save.ToString().c_str());
+  gg_ctx* gg = gg_init();
+  if (gg == nullptr) {
+    std::fprintf(stderr, "error: gg_init failed\n");
     return 1;
   }
+  if (gg_load_graph(gg, args.GetString("in").c_str()) != GG_OK) {
+    return CapiError(gg);
+  }
+  // The option strings must outlive the gg_attack call.
+  const std::string attacker = args.GetString("attacker", "peega");
+  const std::string mode = args.GetString("mode", "both");
+  const std::string checkpoint = args.GetString("checkpoint", "");
+  gg_attack_options options;
+  gg_attack_options_init(&options);
+  options.attacker = attacker.c_str();
+  options.rate = args.GetDouble("rate", 0.1);
+  options.lambda = args.GetDouble("lambda", 0.01);
+  options.norm_p = args.GetInt("p", 2);
+  options.layers = args.GetInt("layers", 2);
+  options.batch_size = args.GetInt("batch", 16);
+  options.mode = mode.c_str();
+  options.checkpoint_path = checkpoint.empty() ? nullptr
+                                               : checkpoint.c_str();
+  options.checkpoint_every = args.GetInt("checkpoint-every", 16);
+  options.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const double deadline = args.GetDouble("deadline", 0.0);
+  if (deadline > 0.0) gg_set_deadline_ms(gg, deadline * 1000.0);
+  const gg_status attacked = gg_attack(gg, &options);
+  if (attacked == GG_INVALID_INPUT) {
+    // Nothing was attacked (unknown attacker, rejected checkpoint):
+    // writing the clean graph out would be misleading.
+    return CapiError(gg);
+  }
+  if (gg_save_graph(gg, out.c_str()) != GG_OK) return CapiError(gg);
   std::printf("%s: %d edge flips, %d feature flips in %.2fs -> %s\n",
-              attacker->name().c_str(), result.edge_modifications,
-              result.feature_modifications, result.elapsed_seconds,
+              gg_result_name(gg), gg_edge_modifications(gg),
+              gg_feature_modifications(gg), gg_elapsed_seconds(gg),
               out.c_str());
-  if (!result.status.ok()) {
+  if (attacked != GG_OK) {
     // Best-so-far output: the written graph is valid but the campaign
     // stopped early (deadline, cancellation, numeric fault).
-    std::printf("attack-status: %s\n", result.status.ToString().c_str());
+    std::printf("attack-status: %s\n", gg_last_error(gg));
   }
+  gg_free(gg);
   return 0;
 }
 
 int Defend(const eval::Args& args) {
-  status::StatusOr<graph::Graph> loaded =
-      graph::LoadGraph(args.GetString("in"));
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "error: %s\n",
-                 loaded.status().ToString().c_str());
+  gg_ctx* gg = gg_init();
+  if (gg == nullptr) {
+    std::fprintf(stderr, "error: gg_init failed\n");
     return 1;
   }
-  const graph::Graph& g = *loaded;
-  auto defender = MakeDefender(args);
-  if (defender == nullptr) return Usage();
-  eval::PipelineOptions pipeline;
-  pipeline.runs = args.GetInt("runs", 3);
-  pipeline.seed = static_cast<uint64_t>(args.GetInt("seed", 42));
-  const auto result =
-      eval::EvaluateDefense(defender.get(), g, pipeline);
+  if (gg_load_graph(gg, args.GetString("in").c_str()) != GG_OK) {
+    return CapiError(gg);
+  }
+  const std::string defender = args.GetString("defender", "gnat");
+  gg_eval_result result;
+  const gg_status evaluated = gg_eval(
+      gg, defender.c_str(), args.GetInt("runs", 3),
+      static_cast<uint64_t>(args.GetInt("seed", 42)), &result);
+  if (evaluated == GG_INVALID_INPUT) return CapiError(gg);
+  const eval::MeanStd accuracy{result.accuracy_mean,
+                               result.accuracy_std};
   std::printf("%s on %s: %s test accuracy (%.2fs/run)\n",
-              defender->name().c_str(), g.name.c_str(),
-              eval::FormatMeanStd(result.accuracy).c_str(),
+              defender.c_str(), gg_graph_name(gg),
+              eval::FormatMeanStd(accuracy).c_str(),
               result.mean_train_seconds);
+  if (evaluated != GG_OK) {
+    std::printf("eval-status: %s\n", gg_last_error(gg));
+  }
+  gg_free(gg);
   return 0;
 }
 
@@ -245,6 +211,24 @@ int Inspect(const eval::Args& args) {
   return 0;
 }
 
+int ServeCmd(const eval::Args& args) {
+  serve::ServerOptions options;
+  options.socket_path =
+      args.GetString("socket", "/tmp/graphguard.sock");
+  options.max_queue = args.GetInt("max-queue", 64);
+  serve::Server server(options);
+  if (const status::Status started = server.Start(); !started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("graphguard serve: listening on %s (max queue %d)\n",
+              options.socket_path.c_str(), options.max_queue);
+  std::fflush(stdout);  // the CI smoke job backgrounds this process
+  server.Wait();
+  std::printf("graphguard serve: drained, exiting\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -253,5 +237,6 @@ int main(int argc, char** argv) {
   if (args.command() == "attack") return AttackCmd(args);
   if (args.command() == "defend") return Defend(args);
   if (args.command() == "inspect") return Inspect(args);
+  if (args.command() == "serve") return ServeCmd(args);
   return Usage();
 }
