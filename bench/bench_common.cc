@@ -1,5 +1,7 @@
 #include "bench_common.h"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -123,6 +125,23 @@ void PrintRunMetadata() {
   std::printf("%s\n", line.c_str());
 }
 
+int64_t PeakRssBytes() {
+  // VmHWM is the kernel's high-water mark of the resident set, in kB.
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    return static_cast<int64_t>(
+               std::atoll(line.c_str() + sizeof("VmHWM:") - 1)) *
+           1024;
+  }
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // kB on Linux
+  }
+  return 0;
+}
+
 std::string ConsumeFlag(const char* flag, int* argc, char** argv) {
   for (int i = 1; i < *argc; ++i) {
     if (std::string(argv[i]) != flag) continue;
@@ -230,6 +249,10 @@ RepeatStats BenchReporter::MeasureRepeats(const std::string& name,
   return stats;
 }
 
+void BenchReporter::RecordPhaseRss(const std::string& name) {
+  GetPhase(name)->peak_rss_bytes = PeakRssBytes();
+}
+
 void BenchReporter::Finish() {
   if (finished_) return;
   finished_ = true;
@@ -287,6 +310,10 @@ void BenchReporter::Finish() {
       entry.object["count"] =
           obs::Json::MakeNumber(static_cast<double>(phase.count));
       entry.object["status"] = obs::Json::MakeString(phase.status);
+      if (phase.peak_rss_bytes > 0) {
+        entry.object["peak_rss_bytes"] = obs::Json::MakeNumber(
+            static_cast<double>(phase.peak_rss_bytes));
+      }
       if (phase.has_stats) {
         entry.object["min_ms"] = obs::Json::MakeNumber(phase.stats.min_ms);
         entry.object["median_ms"] =

@@ -1,6 +1,7 @@
 #ifndef PEEGA_BENCH_BENCH_COMMON_H_
 #define PEEGA_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -75,6 +76,13 @@ void PrintRunMetadata();
 /// bench-specific flags like table7's `--engine {tape,incremental}`.
 std::string ConsumeFlag(const char* flag, int* argc, char** argv);
 
+/// Peak resident-set size of this process in bytes (VmHWM from
+/// /proc/self/status, falling back to getrusage), or 0 when neither
+/// source is available. A high-water mark: monotone over the process
+/// lifetime, so scale benches that must attribute a peak to one phase
+/// run that phase in a fresh process or order phases smallest-first.
+int64_t PeakRssBytes();
+
 /// Timing statistics over the measured repeats of one phase; warm-up
 /// iterations are run first and never enter these numbers.
 struct RepeatStats {
@@ -142,6 +150,12 @@ class BenchReporter {
   RepeatStats MeasureRepeats(const std::string& name, int warmup,
                              int repeats, const std::function<void()>& fn);
 
+  /// Stamps the process peak RSS (PeakRssBytes()) onto phase `name`,
+  /// adding a "peak_rss_bytes" key to its JSON entry. The scale phases
+  /// of table7 use this to prove the sparse path never materializes a
+  /// dense N x N adjacency — CI asserts a ceiling on the recorded value.
+  void RecordPhaseRss(const std::string& name);
+
   /// Writes the JSON/trace artifacts and the phase-summary line.
   /// Idempotent; runs at destruction when not called explicitly.
   void Finish();
@@ -157,6 +171,7 @@ class BenchReporter {
     std::string status = "OK";  // CodeName of the first non-OK status
     bool has_stats = false;
     RepeatStats stats;
+    int64_t peak_rss_bytes = 0;  // 0 = not recorded (key omitted)
   };
 
   Phase* GetPhase(const std::string& name);

@@ -7,11 +7,15 @@
 // Flags (beyond the common --json/--trace):
 //   --engine {tape,incremental}   objective engine PEEGA uses in the
 //     main table (default incremental; see EXPERIMENTS.md).
+//   --scale-n1e6 1                adds the million-node smoke phase to
+//     the scale campaign (off by default: too slow for CI).
 //
 // After the table the bench runs both engines head-to-head on a fixed
 // n=1000 cora-like graph and records the speedup (and a flip-sequence
 // equality check) under "engine:*" phases and the
-// "engine_speedup_n1000" config key of BENCH_table7.json.
+// "engine_speedup_n1000" config key of BENCH_table7.json; then the
+// sparse-first scale campaign runs PEEGA on streaming SBM graphs at
+// n=1e4/1e5, recording wall-clock and peak RSS under "scale:*" phases.
 #include <algorithm>
 #include <cstdio>
 #include <iostream>
@@ -21,10 +25,13 @@
 #include "debug/check.h"
 #include "eval/stats.h"
 #include "eval/table.h"
+#include "graph/streaming_sbm.h"
 
 int main(int argc, char** argv) {
   using namespace repro;
   bench::BenchReporter reporter("table7_attack_time", &argc, argv);
+  const std::string scale_n1e6 =
+      bench::ConsumeFlag("--scale-n1e6", &argc, argv);
   const std::string engine_flag = bench::ConsumeFlag("--engine", &argc, argv);
   PEEGA_CHECK(engine_flag.empty() || engine_flag == "tape" ||
               engine_flag == "incremental")
@@ -132,6 +139,58 @@ int main(int argc, char** argv) {
                 g.num_nodes, compare.perturbation_rate,
                 results[0].flips.size(), wall_ms[0] / 1e3, wall_ms[1] / 1e3,
                 speedup);
+  }
+
+  // --- Sparse-first scale campaign: streaming SBM -------------------------
+  // PEEGA on streaming SBM graphs far beyond the dense path's reach:
+  // incremental engine in features-only mode, where every engine cache
+  // is O(N·F) and the commit path never touches an N x N matrix. Each
+  // phase records wall-clock AND the process peak RSS; CI asserts a
+  // ceiling on the n1e5 value that a single dense adjacency (40 GB at
+  // n=1e5) would blow through, proving the path stayed sparse. Phases
+  // run smallest-first because peak RSS is a process-wide high-water
+  // mark. The budget is pinned to ~10 flips at every n so the phases
+  // compare per-iteration cost, not budget growth.
+  {
+    std::vector<std::pair<int, const char*>> sizes = {{10000, "n1e4"},
+                                                      {100000, "n1e5"}};
+    if (scale_n1e6 == "1") sizes.emplace_back(1000000, "n1e6");
+    for (const auto& [n, tag] : sizes) {
+      graph::StreamingSbmConfig config;
+      config.num_nodes = n;
+      config.seed = 7;
+      graph::Graph g;
+      reporter.MeasureRepeats(std::string("scale_gen:") + tag,
+                              /*warmup=*/0, /*repeats=*/1, [&] {
+                                graph::StreamingSbm stream(config);
+                                g = stream.Materialize();
+                              });
+      attack::AttackOptions scale_options;
+      scale_options.perturbation_rate =
+          10.0 / static_cast<double>(g.NumEdges());
+      core::PeegaAttack::Options peega;
+      peega.engine = core::PeegaAttack::Engine::kIncremental;
+      peega.mode = core::PeegaAttack::Mode::kFeaturesOnly;
+      core::PeegaAttack attacker(peega);
+      attack::AttackResult result;
+      const std::string phase = std::string("scale:") + tag;
+      reporter.MeasureRepeats(phase, /*warmup=*/0, /*repeats=*/1, [&] {
+        linalg::Rng rng(917);
+        result = attacker.Attack(g, scale_options, &rng);
+      });
+      reporter.RecordPhaseRss(phase);
+      reporter.RecordPhaseStatus(phase, result.status);
+      reporter.Config(std::string("scale_") + tag + "_nodes",
+                      static_cast<double>(n));
+      reporter.Config(std::string("scale_") + tag + "_edges",
+                      static_cast<double>(g.NumEdges()));
+      reporter.Config(std::string("scale_") + tag + "_flips",
+                      static_cast<double>(result.flips.size()));
+      std::printf("scale %s: n=%d |E|=%lld flips=%zu peak-rss=%.1f MB\n",
+                  tag, n, static_cast<long long>(g.NumEdges()),
+                  result.flips.size(),
+                  static_cast<double>(bench::PeakRssBytes()) / (1024.0 * 1024.0));
+    }
   }
   return 0;
 }

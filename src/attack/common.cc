@@ -57,7 +57,7 @@ void FlipFeature(Matrix* features, int v, int j) {
 EdgeCandidate BestEdgeFlip(const Matrix& grad,
                            const Matrix& dense_adjacency,
                            const AccessControl& access,
-                           const Matrix* exclude) {
+                           const FlipSet* exclude) {
   return BestEdgeFlipScored(
       dense_adjacency.rows(), access, exclude, [&](int u, int v) {
         const float direction =
@@ -68,7 +68,7 @@ EdgeCandidate BestEdgeFlip(const Matrix& grad,
 
 FeatureCandidate BestFeatureFlip(const Matrix& grad, const Matrix& features,
                                  const AccessControl& access,
-                                 const Matrix* exclude) {
+                                 const FlipSet* exclude) {
   return BestFeatureFlipScored(
       features.rows(), features.cols(), access, exclude, [&](int v, int j) {
         const float direction = 1.0f - 2.0f * features(v, j);

@@ -1,6 +1,7 @@
 #ifndef PEEGA_ATTACK_COMMON_H_
 #define PEEGA_ATTACK_COMMON_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <utility>
@@ -33,6 +34,68 @@ class AccessControl {
   bool all_nodes_;
 };
 
+/// Sparse set of frozen (row, col) coordinates — the greedy loops'
+/// "already flipped once" memory. Replaces the dense N x N / N x F
+/// freeze matrices that capped attack memory at O(N²): storage is
+/// O(flips committed), which the perturbation budget keeps tiny.
+///
+/// Deterministic by construction (a sorted vector of packed keys, no
+/// hashing), so scans that consult it stay bitwise-identical at any
+/// thread count. Insert is O(size) — irrelevant at budget-bounded sizes
+/// — and Contains is O(log size), off the scans' inner-loop hot path
+/// (the exclude test only runs for allowed candidates).
+class FlipSet {
+ public:
+  /// `cols` is the coordinate stride: the node count for edge sets, the
+  /// feature dimension for feature sets.
+  explicit FlipSet(int cols) : cols_(cols) {}
+
+  bool Contains(int r, int c) const {
+    return std::binary_search(keys_.begin(), keys_.end(), Key(r, c));
+  }
+
+  void Insert(int r, int c) {
+    const int64_t key = Key(r, c);
+    const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it == keys_.end() || *it != key) keys_.insert(it, key);
+  }
+
+  /// Freezes an undirected edge: both (u, v) and (v, u).
+  void InsertSymmetric(int u, int v) {
+    Insert(u, v);
+    Insert(v, u);
+  }
+
+  /// Toggles an undirected edge's membership: present → removed,
+  /// absent → inserted. Used by samplers (random / DICE) that may
+  /// revisit a pair, where the set tracks the delta against the clean
+  /// CSR rather than a freeze list.
+  void ToggleSymmetric(int u, int v) {
+    Toggle(u, v);
+    Toggle(v, u);
+  }
+
+  size_t size() const { return keys_.size(); }
+
+ private:
+  void Toggle(int r, int c) {
+    const int64_t key = Key(r, c);
+    const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it != keys_.end() && *it == key) {
+      keys_.erase(it);
+    } else {
+      keys_.insert(it, key);
+    }
+  }
+
+  int64_t Key(int r, int c) const {
+    return static_cast<int64_t>(r) * cols_ + c;
+  }
+
+  int64_t cols_;
+  std::vector<int64_t> keys_;  // sorted
+};
+
 /// Flips A[u][v] and A[v][u] between 0 and 1 in a dense adjacency.
 void FlipEdge(linalg::Matrix* dense_adjacency, int u, int v);
 
@@ -42,10 +105,10 @@ void FlipFeature(linalg::Matrix* features, int v, int j);
 /// Scans a dense gradient-score matrix over node pairs (u < v) and
 /// returns the best allowed flip. The score of flipping (u, v) is
 /// grad[u][v] * (1 - 2 A[u][v]) summed with its symmetric mirror.
-/// Entries already flipped once (`exclude`(u,v) > 0) are skipped —
-/// greedy attackers would otherwise oscillate on a single edge after
-/// reaching a local optimum. Returns {-1, -1, -inf} when no pair is
-/// allowed.
+/// Coordinates in `exclude` (the committed-flip freeze set) are
+/// skipped — greedy attackers would otherwise oscillate on a single
+/// edge after reaching a local optimum. Returns {-1, -1, -inf} when no
+/// pair is allowed.
 ///
 /// Parallelized over row chunks with a per-chunk argmax merged in chunk
 /// order; ties resolve to the lowest (u, v), so the returned flip — and
@@ -59,10 +122,10 @@ struct EdgeCandidate {
 EdgeCandidate BestEdgeFlip(const linalg::Matrix& grad,
                            const linalg::Matrix& dense_adjacency,
                            const AccessControl& access,
-                           const linalg::Matrix* exclude = nullptr);
+                           const FlipSet* exclude = nullptr);
 
 /// Best allowed feature flip: score = grad[v][j] * (1 - 2 X[v][j]);
-/// entries with `exclude`(v,j) > 0 are skipped. Parallelized like
+/// coordinates in `exclude` are skipped. Parallelized like
 /// `BestEdgeFlip` with the same lowest-index tie-break guarantee.
 struct FeatureCandidate {
   int node = -1;
@@ -72,7 +135,7 @@ struct FeatureCandidate {
 FeatureCandidate BestFeatureFlip(const linalg::Matrix& grad,
                                  const linalg::Matrix& features,
                                  const AccessControl& access,
-                                 const linalg::Matrix* exclude = nullptr);
+                                 const FlipSet* exclude = nullptr);
 
 /// Rebuilds a binary symmetric SparseMatrix from a dense 0/1 adjacency.
 linalg::SparseMatrix DenseToAdjacency(const linalg::Matrix& dense);
@@ -97,7 +160,7 @@ constexpr int64_t kScanRowGrain = 32;
 /// the historical dense-gradient score.
 template <typename ScoreFn>
 EdgeCandidate BestEdgeFlipScored(int num_nodes, const AccessControl& access,
-                                 const linalg::Matrix* exclude,
+                                 const FlipSet* exclude,
                                  const ScoreFn& score) {
   const obs::TraceSpan span("attack.best_edge_flip");
   static obs::Counter* const scans = obs::GetCounter("attack.edge_scans");
@@ -117,10 +180,9 @@ EdgeCandidate BestEdgeFlipScored(int num_nodes, const AccessControl& access,
         // loop.
         uint64_t considered = 0;
         for (int u = static_cast<int>(u0); u < static_cast<int>(u1); ++u) {
-          const float* erow = exclude != nullptr ? exclude->row(u) : nullptr;
           for (int v = u + 1; v < num_nodes; ++v) {
             if (!access.EdgeAllowed(u, v)) continue;
-            if (erow != nullptr && erow[v] > 0.0f) continue;
+            if (exclude != nullptr && exclude->Contains(u, v)) continue;
             ++considered;
             const float s = score(u, v);
             if (s > local.score) {
@@ -143,7 +205,7 @@ EdgeCandidate BestEdgeFlipScored(int num_nodes, const AccessControl& access,
 template <typename ScoreFn>
 FeatureCandidate BestFeatureFlipScored(int num_nodes, int num_features,
                                        const AccessControl& access,
-                                       const linalg::Matrix* exclude,
+                                       const FlipSet* exclude,
                                        const ScoreFn& score) {
   const obs::TraceSpan span("attack.best_feature_flip");
   static obs::Counter* const scans = obs::GetCounter("attack.feature_scans");
@@ -160,9 +222,8 @@ FeatureCandidate BestFeatureFlipScored(int num_nodes, int num_features,
         uint64_t considered = 0;
         for (int v = static_cast<int>(v0); v < static_cast<int>(v1); ++v) {
           if (!access.FeatureAllowed(v)) continue;
-          const float* erow = exclude != nullptr ? exclude->row(v) : nullptr;
           for (int j = 0; j < num_features; ++j) {
-            if (erow != nullptr && erow[j] > 0.0f) continue;
+            if (exclude != nullptr && exclude->Contains(v, j)) continue;
             ++considered;
             const float s = score(v, j);
             if (s > local.score) {

@@ -1,6 +1,10 @@
 #include "attack/dice.h"
 
+#include <utility>
+#include <vector>
+
 #include "attack/common.h"
+#include "graph/graph.h"
 #include "obs/stopwatch.h"
 
 namespace repro::attack {
@@ -14,38 +18,50 @@ AttackResult DiceAttack::Attack(const graph::Graph& g,
   const obs::StopWatch watch;
   const int budget = ComputeBudget(g, attack_options.perturbation_rate);
   const AccessControl access(g.num_nodes, attack_options.attacker_nodes);
-  linalg::Matrix dense = g.adjacency.ToDense();
   auto edges = g.EdgeList();
 
   AttackResult result;
   int spent = 0;
   int attempts = 0;
   const int max_attempts = budget * 400 + 1000;
+  // The current edge state is the clean CSR XOR the toggles committed so
+  // far — no densified copy. `delta` holds the toggled pairs; `toggles`
+  // records them in commit order for the final sparse rebuild (the two
+  // only differ if a pair is revisited, which the delta test prevents).
+  FlipSet delta(g.num_nodes);
+  std::vector<std::pair<int, int>> toggles;
+  const auto has_edge_now = [&](int u, int v) {
+    return (g.adjacency.At(u, v) > 0.0f) != delta.Contains(u, v);
+  };
   while (spent < budget && attempts++ < max_attempts) {
     result.status = attack_options.deadline.Check(
         name() + " flip " + std::to_string(spent));
     if (!result.status.ok()) break;  // flips so far form the result
+    int u;
+    int v;
     if (rng->Bernoulli(options_.add_fraction)) {
       // Connect externally: add an inter-class edge.
-      const int u = static_cast<int>(rng->UniformInt(0, g.num_nodes - 1));
-      const int v = static_cast<int>(rng->UniformInt(0, g.num_nodes - 1));
+      u = static_cast<int>(rng->UniformInt(0, g.num_nodes - 1));
+      v = static_cast<int>(rng->UniformInt(0, g.num_nodes - 1));
       if (u == v || g.labels[u] == g.labels[v]) continue;
-      if (dense(u, v) > 0.5f || !access.EdgeAllowed(u, v)) continue;
-      FlipEdge(&dense, u, v);
+      if (has_edge_now(u, v) || !access.EdgeAllowed(u, v)) continue;
     } else {
       // Delete internally: remove an intra-class edge.
       if (edges.empty()) continue;
       const size_t pick =
           static_cast<size_t>(rng->UniformInt(0, edges.size() - 1));
-      const auto [u, v] = edges[pick];
+      u = edges[pick].first;
+      v = edges[pick].second;
       if (g.labels[u] != g.labels[v]) continue;
-      if (dense(u, v) < 0.5f || !access.EdgeAllowed(u, v)) continue;
-      FlipEdge(&dense, u, v);
+      if (!has_edge_now(u, v) || !access.EdgeAllowed(u, v)) continue;
     }
+    delta.ToggleSymmetric(u, v);
+    toggles.emplace_back(u, v);
+    result.flips.push_back({false, u, v});
     ++result.edge_modifications;
     ++spent;
   }
-  result.poisoned = g.WithAdjacency(DenseToAdjacency(dense));
+  result.poisoned = g.WithAdjacency(graph::WithFlips(g.adjacency, toggles));
   result.elapsed_seconds = watch.Seconds();
   return result;
 }

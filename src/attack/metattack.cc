@@ -49,8 +49,8 @@ AttackResult Metattack::Attack(const graph::Graph& g,
   Matrix features = g.features;
   // Once-flipped entries are frozen so the greedy loop cannot oscillate
   // on a single edge once a local optimum is reached.
-  Matrix edge_done(g.num_nodes, g.num_nodes);
-  Matrix feature_done(g.num_nodes, g.features.cols());
+  FlipSet edge_done(g.num_nodes);
+  FlipSet feature_done(g.features.cols());
   AttackResult result;
   double spent = 0.0;
 
@@ -95,13 +95,12 @@ AttackResult Metattack::Attack(const graph::Graph& g,
     if (edge.u < 0 && feature.node < 0) break;
     if (feature.node >= 0 && feature.score > edge.score) {
       FlipFeature(&features, feature.node, feature.dim);
-      feature_done(feature.node, feature.dim) = 1.0f;
+      feature_done.Insert(feature.node, feature.dim);
       ++result.feature_modifications;
       spent += attack_options.feature_cost;
     } else if (edge.u >= 0) {
       FlipEdge(&dense, edge.u, edge.v);
-      edge_done(edge.u, edge.v) = 1.0f;
-      edge_done(edge.v, edge.u) = 1.0f;
+      edge_done.InsertSymmetric(edge.u, edge.v);
       ++result.edge_modifications;
       spent += 1.0;
     } else {

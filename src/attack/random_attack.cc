@@ -1,6 +1,10 @@
 #include "attack/random_attack.h"
 
+#include <utility>
+#include <vector>
+
 #include "attack/common.h"
+#include "graph/graph.h"
 #include "obs/stopwatch.h"
 
 namespace repro::attack {
@@ -11,11 +15,14 @@ AttackResult RandomAttack::Attack(const graph::Graph& g,
   const obs::StopWatch watch;
   const int budget = ComputeBudget(g, options.perturbation_rate);
   const AccessControl access(g.num_nodes, options.attacker_nodes);
-  linalg::Matrix dense = g.adjacency.ToDense();
   AttackResult result;
   int spent = 0;
   int attempts = 0;
   const int max_attempts = budget * 200 + 1000;
+  // Toggles are only recorded here — never applied to a dense matrix.
+  // graph::WithFlips parity-cancels a pair drawn twice, exactly like
+  // toggling it twice in a densified copy did.
+  std::vector<std::pair<int, int>> toggles;
   while (spent < budget && attempts++ < max_attempts) {
     result.status =
         options.deadline.Check(name() + " flip " + std::to_string(spent));
@@ -23,11 +30,12 @@ AttackResult RandomAttack::Attack(const graph::Graph& g,
     const int u = static_cast<int>(rng->UniformInt(0, g.num_nodes - 1));
     const int v = static_cast<int>(rng->UniformInt(0, g.num_nodes - 1));
     if (u == v || !access.EdgeAllowed(u, v)) continue;
-    FlipEdge(&dense, u, v);
+    toggles.emplace_back(u, v);
+    result.flips.push_back({false, u, v});
     ++result.edge_modifications;
     ++spent;
   }
-  result.poisoned = g.WithAdjacency(DenseToAdjacency(dense));
+  result.poisoned = g.WithAdjacency(graph::WithFlips(g.adjacency, toggles));
   result.elapsed_seconds = watch.Seconds();
   return result;
 }

@@ -204,7 +204,7 @@ status::Status CheckInterrupt(const status::Deadline& deadline,
 }
 
 // Alg. 1 on the incremental engine: same loop structure, budget
-// accounting, freeze matrices, and tie-breaks as the tape path below,
+// accounting, freeze sets, and tie-breaks as the tape path below,
 // but scores come from PeegaEngine's cached closed-form gradients and
 // flips are committed as sparse delta updates. The two paths produce
 // the same flip sequence (tests/engine_equiv_test.cc).
@@ -229,8 +229,8 @@ AttackResult AttackWithEngine(const PeegaAttack::Options& options,
   config.target_nodes = options.target_nodes;
   PeegaEngine engine(g, config);
 
-  Matrix edge_done(g.num_nodes, g.num_nodes);
-  Matrix feature_done(g.num_nodes, g.features.cols());
+  attack::FlipSet edge_done(g.num_nodes);
+  attack::FlipSet feature_done(g.features.cols());
   AttackResult result;
   double spent = 0.0;
 
@@ -247,13 +247,12 @@ AttackResult AttackWithEngine(const PeegaAttack::Options& options,
   for (const attack::Flip& flip : replay) {
     if (flip.is_feature) {
       engine.FlipFeature(flip.a, flip.b);
-      feature_done(flip.a, flip.b) = 1.0f;
+      feature_done.Insert(flip.a, flip.b);
       ++result.feature_modifications;
       spent += beta;
     } else {
       engine.FlipEdge(flip.a, flip.b);
-      edge_done(flip.a, flip.b) = 1.0f;
-      edge_done(flip.b, flip.a) = 1.0f;
+      edge_done.InsertSymmetric(flip.a, flip.b);
       ++result.edge_modifications;
       spent += 1.0;
     }
@@ -309,15 +308,14 @@ AttackResult AttackWithEngine(const PeegaAttack::Options& options,
         feature.node >= 0 && (edge.u < 0 || edge.score < feature.score);
     if (pick_feature) {
       engine.FlipFeature(feature.node, feature.dim);
-      feature_done(feature.node, feature.dim) = 1.0f;
+      feature_done.Insert(feature.node, feature.dim);
       ++result.feature_modifications;
       feature_flips->Add(1);
       result.flips.push_back({true, feature.node, feature.dim});
       spent += beta;
     } else {
       engine.FlipEdge(edge.u, edge.v);
-      edge_done(edge.u, edge.v) = 1.0f;
-      edge_done(edge.v, edge.u) = 1.0f;
+      edge_done.InsertSymmetric(edge.u, edge.v);
       ++result.edge_modifications;
       edge_flips->Add(1);
       result.flips.push_back({false, edge.u, edge.v});
@@ -396,8 +394,8 @@ AttackResult PeegaAttack::Attack(const graph::Graph& g,
   Matrix features = g.features;
   // Freeze once-flipped entries: without this the greedy loop oscillates
   // on one edge after the objective's local optimum is reached.
-  Matrix edge_done(g.num_nodes, g.num_nodes);
-  Matrix feature_done(g.num_nodes, g.features.cols());
+  attack::FlipSet edge_done(g.num_nodes);
+  attack::FlipSet feature_done(g.features.cols());
   AttackResult result;
   double spent = 0.0;
 
@@ -412,13 +410,12 @@ AttackResult PeegaAttack::Attack(const graph::Graph& g,
   for (const attack::Flip& flip : replay) {
     if (flip.is_feature) {
       attack::FlipFeature(&features, flip.a, flip.b);
-      feature_done(flip.a, flip.b) = 1.0f;
+      feature_done.Insert(flip.a, flip.b);
       ++result.feature_modifications;
       spent += beta;
     } else {
       attack::FlipEdge(&dense, flip.a, flip.b);
-      edge_done(flip.a, flip.b) = 1.0f;
-      edge_done(flip.b, flip.a) = 1.0f;
+      edge_done.InsertSymmetric(flip.a, flip.b);
       ++result.edge_modifications;
       spent += 1.0;
     }
@@ -483,15 +480,14 @@ AttackResult PeegaAttack::Attack(const graph::Graph& g,
         feature.node >= 0 && (edge.u < 0 || edge.score < feature.score);
     if (pick_feature) {
       attack::FlipFeature(&features, feature.node, feature.dim);
-      feature_done(feature.node, feature.dim) = 1.0f;
+      feature_done.Insert(feature.node, feature.dim);
       ++result.feature_modifications;
       feature_flips->Add(1);
       result.flips.push_back({true, feature.node, feature.dim});
       spent += beta;
     } else {
       attack::FlipEdge(&dense, edge.u, edge.v);
-      edge_done(edge.u, edge.v) = 1.0f;
-      edge_done(edge.v, edge.u) = 1.0f;
+      edge_done.InsertSymmetric(edge.u, edge.v);
       ++result.edge_modifications;
       edge_flips->Add(1);
       result.flips.push_back({false, edge.u, edge.v});
@@ -506,8 +502,18 @@ AttackResult PeegaAttack::Attack(const graph::Graph& g,
   }
 
   result.final_objective = Objective(g, dense, features);
-  result.poisoned = g.WithAdjacency(attack::DenseToAdjacency(dense))
-                        .WithFeatures(features);
+  // Commit sparsely: toggle the recorded edge flips on the clean CSR
+  // rather than rescanning the N x N tape matrix. graph::WithFlips is
+  // bitwise-identical to DenseToAdjacency(dense) here (tests/
+  // scale_test.cc holds both paths to that equality).
+  std::vector<std::pair<int, int>> edge_flip_pairs;
+  edge_flip_pairs.reserve(result.flips.size());
+  for (const attack::Flip& flip : result.flips) {
+    if (!flip.is_feature) edge_flip_pairs.emplace_back(flip.a, flip.b);
+  }
+  result.poisoned =
+      g.WithAdjacency(graph::WithFlips(g.adjacency, edge_flip_pairs))
+          .WithFeatures(features);
   result.elapsed_seconds = watch.Seconds();
   return result;
 }

@@ -37,14 +37,99 @@ struct Candidate {
 
 // Rows per chunk of the parallel candidate scans. Per-chunk results are
 // concatenated in ascending chunk order, so the candidate list — and
-// therefore the (unstable) partial_sort over it and the committed batch
-// — is identical to the serial scan at any thread count.
+// therefore the RanksBefore ranking over it and the committed batch —
+// is identical to the serial scan at any thread count.
 constexpr int64_t kScanRowGrain = 32;
 
 float GumbelNoise(float scale, linalg::Rng* rng) {
   if (scale <= 0.0f) return 0.0f;
   const double u = std::max(1e-12, rng->Uniform(0.0, 1.0));
   return static_cast<float>(-scale * std::log(-std::log(u)));
+}
+
+// Strict total order for ranking candidates: score descending, ties
+// broken edge-before-feature then lowest (a, b). std::partial_sort is
+// unstable, so without an explicit tie rule the committed batch could
+// depend on the partition of the scan; a total order makes the sharded
+// per-chunk top-k below exact and keeps the engine and tape paths
+// committing identical batches at any thread count.
+bool RanksBefore(const Candidate& lhs, const Candidate& rhs) {
+  if (lhs.score != rhs.score) return lhs.score > rhs.score;
+  if (lhs.is_feature != rhs.is_feature) return !lhs.is_feature;
+  if (lhs.a != rhs.a) return lhs.a < rhs.a;
+  return lhs.b < rhs.b;
+}
+
+// Shrinks `out` to its best `keep` candidates under RanksBefore.
+void PruneToTop(std::vector<Candidate>* out, int keep) {
+  if (static_cast<int>(out->size()) <= keep) return;
+  std::partial_sort(out->begin(), out->begin() + keep, out->end(),
+                    RanksBefore);
+  out->resize(static_cast<size_t>(keep));
+}
+
+// Sharded candidate scan shared by the engine and tape batch paths:
+// row-chunked with static kScanRowGrain chunks, per-chunk buffers
+// concatenated in ascending chunk order (= the serial scan order). When
+// `keep` > 0 each shard prunes to its best `keep` candidates under
+// RanksBefore after every scanned row, so scan memory is
+// O(keep + num_cols) per shard instead of the full O(N²) candidate
+// list — and because RanksBefore is a strict total order, the global
+// top-`keep` of the merged prunings equals the top-`keep` of the full
+// list exactly. `keep` <= 0 collects everything: Gumbel runs draw one
+// noise value per candidate in list order, so every candidate must
+// survive to the draw for seeded reproducibility.
+template <typename EdgeScoreFn, typename FeatureScoreFn>
+std::vector<Candidate> CollectCandidates(
+    int num_nodes, int num_features, const AccessControl& access,
+    const attack::FlipSet& edge_done, const attack::FlipSet& feature_done,
+    bool attack_topology, bool attack_features, float beta, int keep,
+    const EdgeScoreFn& edge_score, const FeatureScoreFn& feature_score) {
+  std::vector<Candidate> candidates;
+  if (attack_topology) {
+    const int64_t chunks = parallel::NumChunks(num_nodes, kScanRowGrain);
+    std::vector<std::vector<Candidate>> per_chunk(
+        static_cast<size_t>(chunks));
+    parallel::ParallelForChunked(
+        0, num_nodes, kScanRowGrain,
+        [&](int64_t u0, int64_t u1, int64_t chunk) {
+          auto& out = per_chunk[static_cast<size_t>(chunk)];
+          for (int u = static_cast<int>(u0); u < static_cast<int>(u1); ++u) {
+            for (int v = u + 1; v < num_nodes; ++v) {
+              if (edge_done.Contains(u, v) || !access.EdgeAllowed(u, v)) {
+                continue;
+              }
+              out.push_back({edge_score(u, v), false, u, v});
+            }
+            if (keep > 0) PruneToTop(&out, keep);
+          }
+        });
+    for (const auto& chunk : per_chunk) {
+      candidates.insert(candidates.end(), chunk.begin(), chunk.end());
+    }
+  }
+  if (attack_features && beta > 0.0f) {
+    const int64_t chunks = parallel::NumChunks(num_nodes, kScanRowGrain);
+    std::vector<std::vector<Candidate>> per_chunk(
+        static_cast<size_t>(chunks));
+    parallel::ParallelForChunked(
+        0, num_nodes, kScanRowGrain,
+        [&](int64_t v0, int64_t v1, int64_t chunk) {
+          auto& out = per_chunk[static_cast<size_t>(chunk)];
+          for (int v = static_cast<int>(v0); v < static_cast<int>(v1); ++v) {
+            if (!access.FeatureAllowed(v)) continue;
+            for (int j = 0; j < num_features; ++j) {
+              if (feature_done.Contains(v, j)) continue;
+              out.push_back({feature_score(v, j), true, v, j});
+            }
+            if (keep > 0) PruneToTop(&out, keep);
+          }
+        });
+    for (const auto& chunk : per_chunk) {
+      candidates.insert(candidates.end(), chunk.begin(), chunk.end());
+    }
+  }
+  return candidates;
 }
 
 // The batched loop on the incremental engine: identical candidate
@@ -78,8 +163,8 @@ AttackResult BatchWithEngine(const PeegaBatchAttack::Options& options,
   config.attack_features = attack_features;
   PeegaEngine engine(g, config);
 
-  Matrix edge_done(g.num_nodes, g.num_nodes);
-  Matrix feature_done(g.num_nodes, num_features);
+  attack::FlipSet edge_done(g.num_nodes);
+  attack::FlipSet feature_done(num_features);
   AttackResult result;
   double spent = 0.0;
 
@@ -106,51 +191,13 @@ AttackResult BatchWithEngine(const PeegaBatchAttack::Options& options,
     std::vector<Candidate> candidates;
     {
       const obs::TraceSpan collect_span("peega_batch.collect");
-      if (attack_topology) {
-        const int64_t chunks =
-            parallel::NumChunks(g.num_nodes, kScanRowGrain);
-        std::vector<std::vector<Candidate>> per_chunk(
-            static_cast<size_t>(chunks));
-        parallel::ParallelForChunked(
-            0, g.num_nodes, kScanRowGrain,
-            [&](int64_t u0, int64_t u1, int64_t chunk) {
-              auto& out = per_chunk[static_cast<size_t>(chunk)];
-              for (int u = static_cast<int>(u0); u < static_cast<int>(u1);
-                   ++u) {
-                for (int v = u + 1; v < g.num_nodes; ++v) {
-                  if (edge_done(u, v) > 0.0f || !access.EdgeAllowed(u, v)) {
-                    continue;
-                  }
-                  out.push_back({engine.EdgeScore(u, v), false, u, v});
-                }
-              }
-            });
-        for (const auto& chunk : per_chunk) {
-          candidates.insert(candidates.end(), chunk.begin(), chunk.end());
-        }
-      }
-      if (attack_features && beta > 0.0f) {
-        const int64_t chunks =
-            parallel::NumChunks(g.num_nodes, kScanRowGrain);
-        std::vector<std::vector<Candidate>> per_chunk(
-            static_cast<size_t>(chunks));
-        parallel::ParallelForChunked(
-            0, g.num_nodes, kScanRowGrain,
-            [&](int64_t v0, int64_t v1, int64_t chunk) {
-              auto& out = per_chunk[static_cast<size_t>(chunk)];
-              for (int v = static_cast<int>(v0); v < static_cast<int>(v1);
-                   ++v) {
-                if (!access.FeatureAllowed(v)) continue;
-                for (int j = 0; j < num_features; ++j) {
-                  if (feature_done(v, j) > 0.0f) continue;
-                  out.push_back({engine.FeatureScore(v, j) / beta, true, v, j});
-                }
-              }
-            });
-        for (const auto& chunk : per_chunk) {
-          candidates.insert(candidates.end(), chunk.begin(), chunk.end());
-        }
-      }
+      const int keep =
+          options.gumbel_scale > 0.0f ? 0 : options.batch_size;
+      candidates = CollectCandidates(
+          g.num_nodes, num_features, access, edge_done, feature_done,
+          attack_topology, attack_features, beta, keep,
+          [&](int u, int v) { return engine.EdgeScore(u, v); },
+          [&](int v, int j) { return engine.FeatureScore(v, j) / beta; });
     }  // collect_span
     collected->Add(candidates.size());
     const obs::TraceSpan commit_span("peega_batch.commit");
@@ -163,10 +210,7 @@ AttackResult BatchWithEngine(const PeegaBatchAttack::Options& options,
     const int take = std::min<int>(options.batch_size,
                                    static_cast<int>(candidates.size()));
     std::partial_sort(candidates.begin(), candidates.begin() + take,
-                      candidates.end(),
-                      [](const Candidate& a, const Candidate& b) {
-                        return a.score > b.score;
-                      });
+                      candidates.end(), RanksBefore);
     bool committed = false;
     for (int i = 0; i < take; ++i) {
       const Candidate& c = candidates[i];
@@ -174,13 +218,12 @@ AttackResult BatchWithEngine(const PeegaBatchAttack::Options& options,
       if (spent + cost > budget + 1e-9) continue;
       if (c.is_feature) {
         engine.FlipFeature(c.a, c.b);
-        feature_done(c.a, c.b) = 1.0f;
+        feature_done.Insert(c.a, c.b);
         ++result.feature_modifications;
         result.flips.push_back({true, c.a, c.b});
       } else {
         engine.FlipEdge(c.a, c.b);
-        edge_done(c.a, c.b) = 1.0f;
-        edge_done(c.b, c.a) = 1.0f;
+        edge_done.InsertSymmetric(c.a, c.b);
         ++result.edge_modifications;
         result.flips.push_back({false, c.a, c.b});
       }
@@ -238,8 +281,8 @@ AttackResult PeegaBatchAttack::Attack(const graph::Graph& g,
 
   Matrix dense = g.adjacency.ToDense();
   Matrix features = g.features;
-  Matrix edge_done(g.num_nodes, g.num_nodes);
-  Matrix feature_done(g.num_nodes, g.features.cols());
+  attack::FlipSet edge_done(g.num_nodes);
+  attack::FlipSet feature_done(g.features.cols());
   AttackResult result;
   double spent = 0.0;
 
@@ -277,61 +320,26 @@ AttackResult PeegaBatchAttack::Attack(const graph::Graph& g,
       tape.Backward(obj);
     }
 
-    // Collect all candidates (row-chunked scans concatenated in chunk
-    // order = serial order), rank, commit top-k.
+    // Sharded candidate scan (see CollectCandidates), rank, commit
+    // top-k — identical collection order and ranking as the engine path.
     std::vector<Candidate> candidates;
     {
-    const obs::TraceSpan collect_span("peega_batch.collect");
-    if (attack_topology) {
-      const Matrix& grad = a.grad();
-      const int64_t chunks =
-          parallel::NumChunks(g.num_nodes, kScanRowGrain);
-      std::vector<std::vector<Candidate>> per_chunk(
-          static_cast<size_t>(chunks));
-      parallel::ParallelForChunked(
-          0, g.num_nodes, kScanRowGrain,
-          [&](int64_t u0, int64_t u1, int64_t chunk) {
-            auto& out = per_chunk[static_cast<size_t>(chunk)];
-            for (int u = static_cast<int>(u0); u < static_cast<int>(u1);
-                 ++u) {
-              for (int v = u + 1; v < g.num_nodes; ++v) {
-                if (edge_done(u, v) > 0.0f || !access.EdgeAllowed(u, v)) {
-                  continue;
-                }
-                const float direction = 1.0f - 2.0f * dense(u, v);
-                const float score = direction * (grad(u, v) + grad(v, u));
-                out.push_back({score, false, u, v});
-              }
-            }
+      const obs::TraceSpan collect_span("peega_batch.collect");
+      const Matrix& a_grad = a.grad();
+      const Matrix& x_grad = x.grad();
+      const int keep =
+          options_.gumbel_scale > 0.0f ? 0 : options_.batch_size;
+      candidates = CollectCandidates(
+          g.num_nodes, g.features.cols(), access, edge_done, feature_done,
+          attack_topology, attack_features, beta, keep,
+          [&](int u, int v) {
+            const float direction = 1.0f - 2.0f * dense(u, v);
+            return direction * (a_grad(u, v) + a_grad(v, u));
+          },
+          [&](int v, int j) {
+            const float direction = 1.0f - 2.0f * features(v, j);
+            return direction * x_grad(v, j) / beta;
           });
-      for (const auto& chunk : per_chunk) {
-        candidates.insert(candidates.end(), chunk.begin(), chunk.end());
-      }
-    }
-    if (attack_features && beta > 0.0f) {
-      const Matrix& grad = x.grad();
-      const int64_t chunks =
-          parallel::NumChunks(g.num_nodes, kScanRowGrain);
-      std::vector<std::vector<Candidate>> per_chunk(
-          static_cast<size_t>(chunks));
-      parallel::ParallelForChunked(
-          0, g.num_nodes, kScanRowGrain,
-          [&](int64_t v0, int64_t v1, int64_t chunk) {
-            auto& out = per_chunk[static_cast<size_t>(chunk)];
-            for (int v = static_cast<int>(v0); v < static_cast<int>(v1);
-                 ++v) {
-              if (!access.FeatureAllowed(v)) continue;
-              for (int j = 0; j < features.cols(); ++j) {
-                if (feature_done(v, j) > 0.0f) continue;
-                const float direction = 1.0f - 2.0f * features(v, j);
-                out.push_back({direction * grad(v, j) / beta, true, v, j});
-              }
-            }
-          });
-      for (const auto& chunk : per_chunk) {
-        candidates.insert(candidates.end(), chunk.begin(), chunk.end());
-      }
-    }
     }  // collect_span
     collected->Add(candidates.size());
     const obs::TraceSpan commit_span("peega_batch.commit");
@@ -347,10 +355,7 @@ AttackResult PeegaBatchAttack::Attack(const graph::Graph& g,
     const int take = std::min<int>(options_.batch_size,
                                    static_cast<int>(candidates.size()));
     std::partial_sort(candidates.begin(), candidates.begin() + take,
-                      candidates.end(),
-                      [](const Candidate& a, const Candidate& b) {
-                        return a.score > b.score;
-                      });
+                      candidates.end(), RanksBefore);
     bool committed = false;
     for (int i = 0; i < take; ++i) {
       const Candidate& c = candidates[i];
@@ -358,13 +363,12 @@ AttackResult PeegaBatchAttack::Attack(const graph::Graph& g,
       if (spent + cost > budget + 1e-9) continue;
       if (c.is_feature) {
         attack::FlipFeature(&features, c.a, c.b);
-        feature_done(c.a, c.b) = 1.0f;
+        feature_done.Insert(c.a, c.b);
         ++result.feature_modifications;
         result.flips.push_back({true, c.a, c.b});
       } else {
         attack::FlipEdge(&dense, c.a, c.b);
-        edge_done(c.a, c.b) = 1.0f;
-        edge_done(c.b, c.a) = 1.0f;
+        edge_done.InsertSymmetric(c.a, c.b);
         ++result.edge_modifications;
         result.flips.push_back({false, c.a, c.b});
       }
@@ -384,8 +388,17 @@ AttackResult PeegaBatchAttack::Attack(const graph::Graph& g,
     result.status =
         status::NumericFault("non-finite PEEGA-Batch final objective");
   }
-  result.poisoned = g.WithAdjacency(attack::DenseToAdjacency(dense))
-                        .WithFeatures(features);
+  // Sparse commit: toggle the recorded edge flips on the clean CSR
+  // instead of rescanning the dense tape matrix; bitwise-identical to
+  // DenseToAdjacency(dense) (tests/scale_test.cc).
+  std::vector<std::pair<int, int>> edge_flip_pairs;
+  edge_flip_pairs.reserve(result.flips.size());
+  for (const attack::Flip& flip : result.flips) {
+    if (!flip.is_feature) edge_flip_pairs.emplace_back(flip.a, flip.b);
+  }
+  result.poisoned =
+      g.WithAdjacency(graph::WithFlips(g.adjacency, edge_flip_pairs))
+          .WithFeatures(features);
   result.elapsed_seconds = watch.Seconds();
   return result;
 }

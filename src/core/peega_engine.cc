@@ -78,14 +78,11 @@ PeegaEngine::PeegaEngine(const graph::Graph& g, const Config& config)
   pair_col_ = g.adjacency.col_idx();
 
   neighbors_.resize(static_cast<size_t>(n_));
-  adj_.assign(static_cast<size_t>(n_) * n_, 0);
   for (int u = 0; u < n_; ++u) {
     auto& list = neighbors_[static_cast<size_t>(u)];
     list.reserve(pair_row_ptr_[u + 1] - pair_row_ptr_[u]);
     for (int64_t k = pair_row_ptr_[u]; k < pair_row_ptr_[u + 1]; ++k) {
-      const int v = pair_col_[k];
-      list.push_back(v);  // CSR columns are already sorted
-      adj_[static_cast<size_t>(u) * n_ + v] = 1;
+      list.push_back(pair_col_[k]);  // CSR columns are already sorted
     }
   }
   scale_.resize(static_cast<size_t>(n_));
@@ -426,7 +423,6 @@ void PeegaEngine::FlipEdge(int u, int v) {
     } else {
       list.insert(it, b);
     }
-    adj_[static_cast<size_t>(a) * n_ + b] = had ? 0 : 1;
   };
   toggle(u, v);
   toggle(v, u);

@@ -1,6 +1,7 @@
 #ifndef PEEGA_CORE_PEEGA_ENGINE_H_
 #define PEEGA_CORE_PEEGA_ENGINE_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "graph/graph.h"
@@ -114,7 +115,8 @@ class PeegaEngine {
   float FeatureGradient(int v, int j) const { return gx_(v, j); }
 
   bool HasEdge(int u, int v) const {
-    return adj_[static_cast<size_t>(u) * n_ + v] != 0;
+    const auto& list = neighbors_[static_cast<size_t>(u)];
+    return std::binary_search(list.begin(), list.end(), v);
   }
 
   /// Commits a flip, updating the adjacency/features and queueing the
@@ -175,7 +177,6 @@ class PeegaEngine {
 
   // --- poisoned state -----------------------------------------------------
   std::vector<std::vector<int>> neighbors_;  // sorted adjacency lists
-  std::vector<char> adj_;                    // n*n dense 0/1 bytes
   std::vector<float> scale_;                 // s_i = 1/sqrt(deg_i + 1)
   linalg::Matrix features_;
 

@@ -193,6 +193,73 @@ SparseMatrix AdjacencyFromEdges(
   return adj;
 }
 
+SparseMatrix WithFlips(const linalg::SparseMatrix& adjacency,
+                       const std::vector<std::pair<int, int>>& flips) {
+  const int n = adjacency.rows();
+  PEEGA_CHECK_EQ(n, adjacency.cols());
+  // Directed toggle keys, parity-cancelled: flipping a pair twice is the
+  // identity, so only keys with an odd count survive.
+  std::vector<int64_t> keys;
+  keys.reserve(flips.size() * 2);
+  for (const auto& [u, v] : flips) {
+    PEEGA_CHECK_NE(u, v) << " — self-loop flips are not valid edges";
+    PEEGA_CHECK_GE(u, 0);
+    PEEGA_CHECK_LT(u, n);
+    PEEGA_CHECK_GE(v, 0);
+    PEEGA_CHECK_LT(v, n);
+    keys.push_back(static_cast<int64_t>(u) * n + v);
+    keys.push_back(static_cast<int64_t>(v) * n + u);
+  }
+  std::sort(keys.begin(), keys.end());
+  std::vector<int64_t> toggles;
+  toggles.reserve(keys.size());
+  for (size_t i = 0; i < keys.size();) {
+    size_t j = i;
+    while (j < keys.size() && keys[j] == keys[i]) ++j;
+    if ((j - i) % 2 == 1) toggles.push_back(keys[i]);
+    i = j;
+  }
+
+  // Per-row sorted merge of the clean columns with the row's toggles:
+  // a toggle matching a stored column removes it, any other toggle
+  // inserts. Emitting row-major (row, sorted col) triplets with value
+  // 1.0f reproduces DenseToAdjacency's output exactly.
+  const auto& row_ptr = adjacency.row_ptr();
+  const auto& col_idx = adjacency.col_idx();
+  std::vector<std::tuple<int, int, float>> triplets;
+  triplets.reserve(static_cast<size_t>(adjacency.nnz()) + toggles.size());
+  size_t t = 0;
+  for (int u = 0; u < n; ++u) {
+    const int64_t row_end = static_cast<int64_t>(u) * n + n;
+    int64_t k = row_ptr[u];
+    while (k < row_ptr[u + 1] || (t < toggles.size() && toggles[t] < row_end)) {
+      const int64_t have =
+          k < row_ptr[u + 1] ? static_cast<int64_t>(u) * n + col_idx[k]
+                             : row_end;
+      const int64_t want = t < toggles.size() && toggles[t] < row_end
+                               ? toggles[t]
+                               : row_end;
+      if (have < want) {
+        triplets.emplace_back(u, col_idx[k], 1.0f);  // untouched edge
+        ++k;
+      } else if (want < have) {
+        triplets.emplace_back(u, static_cast<int>(want - static_cast<int64_t>(u) * n),
+                              1.0f);  // added edge
+        ++t;
+      } else {
+        ++k;  // removed edge
+        ++t;
+      }
+    }
+  }
+  return SparseMatrix::FromTriplets(n, n, triplets);
+}
+
+SparseMatrix CsrFlipEdge(const linalg::SparseMatrix& adjacency, int u,
+                         int v) {
+  return WithFlips(adjacency, {{u, v}});
+}
+
 void AssignSplits(Graph* g, double train_frac, double val_frac,
                   linalg::Rng* rng) {
   const std::vector<int> perm = rng->Permutation(g->num_nodes);

@@ -80,6 +80,24 @@ linalg::SparseMatrix KHopAdjacency(const linalg::SparseMatrix& adjacency,
 linalg::SparseMatrix AdjacencyFromEdges(
     int num_nodes, const std::vector<std::pair<int, int>>& edges);
 
+/// Returns `adjacency` with every listed undirected edge toggled: a
+/// present (u, v) is removed, an absent one is added, both directions at
+/// once. A pair appearing an even number of times cancels (flip-twice
+/// identity). Self-loops are rejected. O(nnz + k log k) for k flips —
+/// never O(N²) — and the result is bitwise-identical to densifying,
+/// applying attack::FlipEdge per pair, and rebuilding with
+/// attack::DenseToAdjacency: sorted columns, every value exactly 1.0f.
+/// This is the sparse-first commit path: attackers turn their flip list
+/// into the poisoned adjacency directly instead of rescanning a dense
+/// matrix.
+linalg::SparseMatrix WithFlips(
+    const linalg::SparseMatrix& adjacency,
+    const std::vector<std::pair<int, int>>& flips);
+
+/// Single-edge convenience form of `WithFlips`.
+linalg::SparseMatrix CsrFlipEdge(const linalg::SparseMatrix& adjacency,
+                                 int u, int v);
+
 /// Assigns random train/val/test splits with the given fractions.
 void AssignSplits(Graph* g, double train_frac, double val_frac,
                   linalg::Rng* rng);

@@ -73,6 +73,69 @@ TEST(GraphTest, WithAdjacencyKeepsOtherFields) {
   EXPECT_LT(linalg::MaxAbsDiff(g2.features, g.features), 1e-6f);
 }
 
+void ExpectSameCsr(const SparseMatrix& a, const SparseMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  EXPECT_EQ(a.row_ptr(), b.row_ptr());
+  EXPECT_EQ(a.col_idx(), b.col_idx());
+  EXPECT_EQ(a.values(), b.values());
+}
+
+TEST(CsrFlipTest, FlipEdgeAddsAndRemovesSymmetrically) {
+  const SparseMatrix adj = TinyPathGraph().adjacency;
+  const SparseMatrix added = CsrFlipEdge(adj, 0, 3);  // absent -> added
+  EXPECT_EQ(added.nnz(), adj.nnz() + 2);
+  EXPECT_FLOAT_EQ(added.At(0, 3), 1.0f);
+  EXPECT_FLOAT_EQ(added.At(3, 0), 1.0f);
+  const SparseMatrix removed = CsrFlipEdge(adj, 2, 1);  // present -> removed
+  EXPECT_EQ(removed.nnz(), adj.nnz() - 2);
+  EXPECT_FLOAT_EQ(removed.At(1, 2), 0.0f);
+  EXPECT_FLOAT_EQ(removed.At(2, 1), 0.0f);
+}
+
+TEST(CsrFlipTest, FlipTwiceIsIdentity) {
+  const SparseMatrix adj = TinyPathGraph().adjacency;
+  // Round trip through two single flips...
+  ExpectSameCsr(CsrFlipEdge(CsrFlipEdge(adj, 0, 3), 3, 0), adj);
+  // ...and parity cancellation inside one WithFlips call, including a
+  // reversed duplicate of an existing edge.
+  ExpectSameCsr(WithFlips(adj, {{0, 3}, {3, 0}}), adj);
+  ExpectSameCsr(WithFlips(adj, {{1, 2}, {2, 1}}), adj);
+}
+
+TEST(CsrFlipTest, WithFlipsMixedBatchStaysSymmetricAndBinary) {
+  const SparseMatrix adj = TinyPathGraph().adjacency;
+  // Add (0,2) and (0,3), remove (1,2), leave (2,3) alone.
+  const SparseMatrix flipped = WithFlips(adj, {{0, 2}, {1, 2}, {0, 3}});
+  EXPECT_EQ(flipped.nnz(), adj.nnz() + 2);
+  for (int u = 0; u < flipped.rows(); ++u) {
+    for (int v = 0; v < flipped.cols(); ++v) {
+      EXPECT_FLOAT_EQ(flipped.At(u, v), flipped.At(v, u));
+      EXPECT_TRUE(flipped.At(u, v) == 0.0f || flipped.At(u, v) == 1.0f);
+    }
+  }
+  EXPECT_FLOAT_EQ(flipped.At(0, 2), 1.0f);
+  EXPECT_FLOAT_EQ(flipped.At(0, 3), 1.0f);
+  EXPECT_FLOAT_EQ(flipped.At(1, 2), 0.0f);
+  EXPECT_FLOAT_EQ(flipped.At(2, 3), 1.0f);
+}
+
+TEST(CsrFlipTest, WithFlipsMatchesDenseRebuild) {
+  const SparseMatrix adj = TinyPathGraph().adjacency;
+  const std::vector<std::pair<int, int>> flips = {{0, 2}, {1, 2}, {0, 3}};
+  Matrix dense = adj.ToDense();
+  for (const auto& [u, v] : flips) {
+    dense(u, v) = 1.0f - dense(u, v);
+    dense(v, u) = 1.0f - dense(v, u);
+  }
+  ExpectSameCsr(WithFlips(adj, flips), SparseMatrix::FromDense(dense));
+}
+
+TEST(CsrFlipTest, WithFlipsRejectsSelfLoops) {
+  const SparseMatrix adj = TinyPathGraph().adjacency;
+  EXPECT_DEATH((void)WithFlips(adj, {{1, 1}}), "self-loop");
+}
+
 TEST(NormalizeTest, GcnNormalizeRowValues) {
   // Path 0-1-2: degrees with self-loop 2, 3, 2.
   const SparseMatrix adj = AdjacencyFromEdges(3, {{0, 1}, {1, 2}});

@@ -142,6 +142,18 @@ const std::vector<PassInfo>& PassRegistry() {
        "gg_ctx, and wrap the body in try { ... } catch (...) returning "
        "GG_INTERNAL",
        &passes::CapiBoundary},
+      {"dense-roundtrip", Severity::kError,
+       "No ToDense() / DenseToAdjacency() in src/core or src/attack "
+       "outside the explicit allowlist of dense-by-design files. The "
+       "PEEGA hot path commits flips CSR-natively (graph::WithFlips, "
+       "PeegaEngine::PoisonedAdjacency); densifying an adjacency "
+       "reintroduces the O(N²) memory wall that caps campaigns at "
+       "CI-scale graphs. Dense methods (PGD/Metattack/GF-Attack) and "
+       "the tape autograd paths are allowlisted by file.",
+       "commit through graph::WithFlips / the engine's sparse state; if "
+       "the algorithm is inherently dense, add the file to the "
+       "dense-roundtrip allowlist with a justification",
+       &passes::DenseRoundtrip},
   };
   return *registry;
 }

@@ -33,6 +33,9 @@ void HotLoopAlloc(const AnalysisContext&, std::vector<Finding>*);
 // ABI-boundary pass (src/capi only).
 void CapiBoundary(const AnalysisContext&, std::vector<Finding>*);
 
+// Sparse-first commit guard (src/core + src/attack, file allowlist).
+void DenseRoundtrip(const AnalysisContext&, std::vector<Finding>*);
+
 }  // namespace repro::analyze::passes
 
 #endif  // PEEGA_TOOLS_ANALYZE_PASSES_H_

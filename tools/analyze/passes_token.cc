@@ -181,6 +181,49 @@ void NoAbortOnInput(const AnalysisContext& ctx, std::vector<Finding>* out) {
   ScanRules(ctx, "no-abort-on-input", kRules, out);
 }
 
+void DenseRoundtrip(const AnalysisContext& ctx, std::vector<Finding>* out) {
+  // Files allowed to densify an adjacency, each for a stated reason.
+  // Everything else under src/core + src/attack commits CSR-natively
+  // (graph::WithFlips / PeegaEngine::PoisonedAdjacency); a new ToDense()
+  // there silently reinstates the O(N²) memory wall the scale path
+  // removed, long before any test notices.
+  static const char* const kAllowlist[] = {
+      "src/attack/common.h",      // DenseToAdjacency's own declaration
+      "src/attack/common.cc",     // ... and definition
+      "src/attack/pgd.cc",        // relaxed (continuous) dense method
+      "src/attack/metattack.cc",  // bilevel meta-gradients are dense
+      "src/attack/gf_attack.cc",  // spectral scoring is dense
+      "src/core/peega.cc",        // tape autograd reference path
+      "src/core/peega_batch.cc",  // tape autograd reference path
+  };
+  const PassInfo* info = FindPass("dense-roundtrip");
+  for (const SourceFile& file : *ctx.files) {
+    if (file.rel.rfind("src/core/", 0) != 0 &&
+        file.rel.rfind("src/attack/", 0) != 0) {
+      continue;
+    }
+    bool allowed = false;
+    for (const char* path : kAllowlist) allowed = allowed || file.rel == path;
+    if (allowed) continue;
+    const std::vector<Token>& toks = file.tokens;
+    for (size_t i = 0; i + 1 < toks.size(); ++i) {
+      const bool is_needle = toks[i].IsIdent("ToDense") ||
+                             toks[i].IsIdent("DenseToAdjacency");
+      // Unlike NeedleKind::kCall, member/qualified spellings count:
+      // `adjacency.ToDense()` IS the hazard this pass exists for.
+      if (!is_needle || !toks[i + 1].IsPunct("(")) continue;
+      out->push_back(Finding{
+          "dense-roundtrip", file.rel, toks[i].line, toks[i].col,
+          toks[i].text +
+              "(): dense O(N²) adjacency round-trip on the sparse-first "
+              "path; commit via graph::WithFlips or the engine's sparse "
+              "state (or allowlist the file with a justification)",
+          info != nullptr ? info->fixit : "",
+          info != nullptr ? info->severity : Severity::kError});
+    }
+  }
+}
+
 void HeaderGuard(const AnalysisContext& ctx, std::vector<Finding>* out) {
   const PassInfo* info = FindPass("header-guard");
   for (const SourceFile& file : *ctx.files) {

@@ -4,6 +4,8 @@
 // positives. This is what keeps the analyzer honest: a pass that rots
 // into never-firing (or into flagging comments) fails CI here.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -98,6 +100,27 @@ void PlantTree(const fs::path& root) {
   // Token rules are scoped to src/: the same tokens in tools/ are fine.
   WriteFile(root / "tools/tool_decoy.cc",
             "#include <iostream>\nvoid T() { std::cout << \"cli\"; }\n");
+
+  // --- dense-roundtrip --------------------------------------------------
+  // Member-call ToDense() AND free-call DenseToAdjacency() in a core
+  // file outside the allowlist: both must fire.
+  WriteFile(root / "src/core/bad_dense.cc",
+            "struct A { int ToDense(); };\n"
+            "int Densify(A a) { return a.ToDense(); }\n"
+            "int Rebuild(int d) { return DenseToAdjacency(d); }\n");
+  // Decoys: the same calls in an allowlisted dense-by-design file, the
+  // needles in comments/strings (lexer strips them), the identifier
+  // without a call, and a longer identifier that merely contains the
+  // needle.
+  WriteFile(root / "src/attack/pgd.cc",
+            "struct M { int ToDense(); };\n"
+            "int Relax(M m) { return m.ToDense(); }\n");
+  WriteFile(root / "src/attack/dense_decoy.cc",
+            "// ToDense() and DenseToAdjacency() in a comment\n"
+            "const char* kDense = \"never call ToDense() here\";\n"
+            "int to_dense_count;\n"
+            "int MyToDenseHelper(int v);\n"
+            "int Use(int v) { return MyToDenseHelper(v) + to_dense_count; }\n");
 
   // --- layering ---------------------------------------------------------
   // linalg must not reach up into nn …
@@ -268,6 +291,7 @@ constexpr Expect kExpected[] = {
     {"src/linalg/op_registry.cc", "fp-contract-sync"},
     {"src/linalg/kernels/bad_alloc.cc", "hot-loop-alloc"},
     {"src/capi/bad_shim.cc", "capi-boundary"},
+    {"src/core/bad_dense.cc", "dense-roundtrip"},
 };
 
 constexpr const char* kCleanFiles[] = {
@@ -286,12 +310,19 @@ constexpr const char* kCleanFiles[] = {
     "src/linalg/kernels/ok_alloc.cc",
     "src/eval/cold_alloc.cc",
     "src/capi/ok_shim.cc",
+    "src/attack/pgd.cc",
+    "src/attack/dense_decoy.cc",
 };
 
 }  // namespace
 
 int RunSelfTest(const std::string& scratch_dir, std::ostream& log) {
-  const fs::path root = fs::path(scratch_dir) / "peega_analyze_selftest";
+  // Per-process scratch root: the self-test runs concurrently from two
+  // ctests (the standalone binary and analyze_test), and a shared path
+  // would let one run's cleanup delete the tree under the other.
+  const fs::path root =
+      fs::path(scratch_dir) /
+      ("peega_analyze_selftest." + std::to_string(::getpid()));
   fs::remove_all(root);
   PlantTree(root);
 
@@ -367,6 +398,18 @@ int RunSelfTest(const std::string& scratch_dir, std::ostream& log) {
   if (!bad_op_named || ok_op_named) {
     log << "SELF-TEST FAIL: fp-contract-sync must flag exactly the op "
            "whose TU is off the -ffp-contract=off list\n";
+    ++failures;
+  }
+  // bad_dense.cc plants both ToDense() and DenseToAdjacency(); both
+  // spellings (member call, free call) must fire.
+  const auto dense_hits = std::count_if(
+      findings.begin(), findings.end(), [](const Finding& f) {
+        return f.file == "src/core/bad_dense.cc" &&
+               f.pass == "dense-roundtrip";
+      });
+  if (dense_hits < 2) {
+    log << "SELF-TEST FAIL: expected ToDense() and DenseToAdjacency() "
+           "hits in src/core/bad_dense.cc\n";
     ++failures;
   }
   // bad_shim.cc plants all three ABI violations; each must fire.
