@@ -20,11 +20,23 @@
 //   --max-queue <n>    queue bound for the in-process server only
 //   --shutdown <0|1>   send a shutdown op when done (default: 1 for
 //                      the in-process server, 0 for an external one)
+//   --journal <dir>    durability directory for the in-process server
+//   --chaos <0|1>      chaos drill (default 0): the server is expected
+//                      to fail — transient job codes (NUMERIC_FAULT,
+//                      IO_ERROR) and dropped connections are tolerated
+//                      and counted (clients reconnect and keep going),
+//                      and the journal/recovery/retry stats objects are
+//                      emitted as chaos metrics (recovered_jobs,
+//                      replayed_records, retry_attempts, ...). The CI
+//                      serve-chaos job SIGKILLs and restarts the server
+//                      under this mode.
 //
 // Exit code is non-zero on any hang-adjacent failure: a client that
 // cannot connect, a transport error, an unexpected response code, or a
 // per-tenant counter mismatch between the server's `stats` op and the
-// client-side tallies.
+// client-side tallies. Under --chaos only unexpected response codes
+// fail the run; the point is that every failure mode is a *classified*
+// degradation, never a hang or a crash of the bench itself.
 #include <unistd.h>
 
 #include <algorithm>
@@ -60,6 +72,8 @@ struct ClientTally {
   int rejected = 0;            // RESOURCE_EXHAUSTED
   int unavailable = 0;         // draining server
   int deadline_exceeded = 0;
+  int transient = 0;           // chaos only: NUMERIC_FAULT / IO_ERROR
+  int disconnects = 0;         // chaos only: connection lost, reconnected
   int unexpected = 0;          // any code the mix cannot produce
   int transport_errors = 0;
 };
@@ -98,11 +112,22 @@ Json EvalRequest(int64_t id, const std::string& tenant,
 /// classify every response. Any transport failure aborts the session
 /// (counted, never retried — a hang would show up here as the bench
 /// itself wedging, which is exactly what the CI smoke guards against).
+// Chaos reconnect: the server may be between SIGKILL and restart, so
+// keep knocking for a few seconds before giving up.
+bool ChaosConnect(serve::Client* client, const std::string& socket_path) {
+  for (int i = 0; i < 400; ++i) {
+    if (client->Connect(socket_path).ok()) return true;
+    ::usleep(20000);
+  }
+  return false;
+}
+
 void RunClient(const std::string& socket_path, const std::string& tenant,
                const std::string& graph_path, int jobs, bool force_deadline,
-               bool send_eval, ClientTally* tally) {
+               bool send_eval, bool chaos, ClientTally* tally) {
   serve::Client client;
-  if (!client.Connect(socket_path).ok()) {
+  if (chaos ? !ChaosConnect(&client, socket_path)
+            : !client.Connect(socket_path).ok()) {
     tally->transport_errors++;
     return;
   }
@@ -127,8 +152,20 @@ void RunClient(const std::string& socket_path, const std::string& tenant,
     obs::StopWatch watch;
     status::StatusOr<Json> response = client.Call(request);
     if (!response.ok()) {
-      tally->transport_errors++;
-      return;
+      if (!chaos) {
+        tally->transport_errors++;
+        return;
+      }
+      // The server died under us (that's the drill). The in-flight
+      // response is lost — the journal guarantees the JOB is not —
+      // so reconnect and move on to the next request.
+      tally->disconnects++;
+      client.Close();
+      if (!ChaosConnect(&client, socket_path)) {
+        tally->transport_errors++;
+        return;
+      }
+      continue;
     }
     const std::string code =
         serve::GetString(*response, "code", "<missing>");
@@ -143,6 +180,11 @@ void RunClient(const std::string& socket_path, const std::string& tenant,
       tally->rejected++;
     } else if (code == "UNAVAILABLE") {
       tally->unavailable++;
+    } else if (chaos && (code == "NUMERIC_FAULT" || code == "IO_ERROR")) {
+      // Injected transient failure that exhausted its retry budget (or
+      // refused admission at a journal-append failpoint): a classified
+      // degradation, not a bench failure.
+      tally->transient++;
     } else {
       std::fprintf(stderr, "serve_load: %s job %s -> %s: %s\n",
                    tenant.c_str(),
@@ -174,12 +216,15 @@ int Main(int argc, char** argv) {
   const std::string max_queue_flag =
       ConsumeFlag("--max-queue", &argc, argv);
   const std::string shutdown_flag = ConsumeFlag("--shutdown", &argc, argv);
+  const std::string journal_flag = ConsumeFlag("--journal", &argc, argv);
+  const std::string chaos_flag = ConsumeFlag("--chaos", &argc, argv);
 
   const int clients =
       clients_flag.empty() ? 64 : std::atoi(clients_flag.c_str());
   const int jobs = jobs_flag.empty() ? 4 : std::atoi(jobs_flag.c_str());
   const int deadline_fail =
       deadline_flag.empty() ? 1 : std::atoi(deadline_flag.c_str());
+  const bool chaos = !chaos_flag.empty() && chaos_flag != "0";
   const bool self_serve = socket_flag.empty();
   const bool send_shutdown =
       shutdown_flag.empty() ? self_serve : shutdown_flag != "0";
@@ -209,6 +254,7 @@ int Main(int argc, char** argv) {
     options.max_queue = max_queue_flag.empty()
                             ? 64
                             : std::atoi(max_queue_flag.c_str());
+    options.journal_dir = journal_flag;
     server = std::make_unique<serve::Server>(options);
     const status::Status started = server->Start();
     if (!started.ok()) {
@@ -221,6 +267,7 @@ int Main(int argc, char** argv) {
   reporter.Config("clients", static_cast<double>(clients));
   reporter.Config("jobs_per_client", static_cast<double>(jobs));
   reporter.Config("deadline_forced", static_cast<double>(deadline_fail));
+  reporter.Config("chaos", chaos ? 1.0 : 0.0);
 
   std::vector<ClientTally> tallies(static_cast<size_t>(clients));
   obs::StopWatch load_watch;
@@ -231,7 +278,7 @@ int Main(int argc, char** argv) {
       workers.push_back(std::make_unique<parallel::WorkerThread>([&, c] {
         RunClient(socket_path, "load" + run_tag + "-" + std::to_string(c),
                   graph_path, jobs, /*force_deadline=*/c < deadline_fail,
-                  /*send_eval=*/c % 16 == 0, &tallies[c]);
+                  /*send_eval=*/c % 16 == 0, chaos, &tallies[c]);
       }));
     }
     for (auto& worker : workers) worker->Join();
@@ -247,6 +294,8 @@ int Main(int argc, char** argv) {
     total.rejected += tally.rejected;
     total.unavailable += tally.unavailable;
     total.deadline_exceeded += tally.deadline_exceeded;
+    total.transient += tally.transient;
+    total.disconnects += tally.disconnects;
     total.unexpected += tally.unexpected;
     total.transport_errors += tally.transport_errors;
     latencies.insert(latencies.end(), tally.latencies_ms.begin(),
@@ -260,13 +309,52 @@ int Main(int argc, char** argv) {
   int stats_accepted = -1;
   int stats_rejected = -1;
   int stats_completed = -1;
+  bool chaos_stats_seen = false;
   {
     serve::Client control;
-    if (control.Connect(socket_path).ok()) {
+    const bool control_connected =
+        chaos ? ChaosConnect(&control, socket_path)
+              : control.Connect(socket_path).ok();
+    if (control_connected) {
       status::StatusOr<Json> stats =
           control.Call(MakeRequest(1, "bench-control", "stats"));
       const Json* result =
           stats.ok() ? stats->Find("result") : nullptr;
+      // Chaos drill payoff: the server's own account of what the crash
+      // cost (nothing) and what the retries absorbed, surfaced into the
+      // bench artifact for the CI schema check.
+      if (chaos && result != nullptr) {
+        const Json* recovery = result->Find("recovery");
+        const Json* retry = result->Find("retry");
+        const Json* journal = result->Find("journal");
+        if (recovery != nullptr && retry != nullptr) {
+          chaos_stats_seen = true;
+          reporter.Config(
+              "recovered_jobs",
+              serve::GetNumber(*recovery, "requeued_jobs", 0.0));
+          reporter.Config(
+              "replayed_records",
+              serve::GetNumber(*recovery, "replayed_records", 0.0));
+          reporter.Config(
+              "corrupt_records",
+              serve::GetNumber(*recovery, "corrupt_records", 0.0));
+          reporter.Config("recovery_ms",
+                          serve::GetNumber(*recovery, "recovery_ms", 0.0));
+          reporter.Config("retry_attempts",
+                          serve::GetNumber(*retry, "attempts", 0.0));
+          reporter.Config("retry_succeeded",
+                          serve::GetNumber(*retry, "succeeded", 0.0));
+          reporter.Config("retry_exhausted",
+                          serve::GetNumber(*retry, "exhausted", 0.0));
+        }
+        if (journal != nullptr) {
+          reporter.Config("journal_appends",
+                          serve::GetNumber(*journal, "appends", 0.0));
+          reporter.Config(
+              "journal_append_errors",
+              serve::GetNumber(*journal, "append_errors", 0.0));
+        }
+      }
       const Json* tenants =
           result != nullptr ? result->Find("tenants") : nullptr;
       if (tenants != nullptr) {
@@ -307,6 +395,11 @@ int Main(int argc, char** argv) {
   reporter.Config("unavailable", static_cast<double>(total.unavailable));
   reporter.Config("deadline_exceeded",
                   static_cast<double>(total.deadline_exceeded));
+  if (chaos) {
+    reporter.Config("transient", static_cast<double>(total.transient));
+    reporter.Config("disconnects",
+                    static_cast<double>(total.disconnects));
+  }
   reporter.Config("p50_ms", Percentile(latencies, 0.50));
   reporter.Config("p95_ms", Percentile(latencies, 0.95));
   reporter.Config("p99_ms", Percentile(latencies, 0.99));
@@ -314,24 +407,37 @@ int Main(int argc, char** argv) {
   reporter.Config("rejection_rate", rejection_rate);
 
   std::printf(
-      "serve-load: %d clients x %d jobs -> %d accepted %d rejected "
-      "%d unavailable %d deadline-exceeded in %.2fs "
+      "serve-load%s: %d clients x %d jobs -> %d accepted %d rejected "
+      "%d unavailable %d deadline-exceeded %d transient "
+      "%d disconnects in %.2fs "
       "(%.1f rps, p50 %.1fms p95 %.1fms p99 %.1fms)\n",
-      clients, jobs, total.accepted, total.rejected, total.unavailable,
-      total.deadline_exceeded, load_seconds, throughput,
+      chaos ? " (chaos)" : "", clients, jobs, total.accepted,
+      total.rejected, total.unavailable, total.deadline_exceeded,
+      total.transient, total.disconnects, load_seconds, throughput,
       Percentile(latencies, 0.50), Percentile(latencies, 0.95),
       Percentile(latencies, 0.99));
 
-  bool ok = total.unexpected == 0 && total.transport_errors == 0;
+  // Under chaos, lost connections are the drill, not a failure; an
+  // unexpected response code still is.
+  bool ok = total.unexpected == 0 &&
+            (chaos || total.transport_errors == 0);
   if (!ok) {
     std::fprintf(stderr,
                  "serve_load: FAILED — %d unexpected codes, "
                  "%d transport errors\n",
                  total.unexpected, total.transport_errors);
   }
+  if (chaos && !chaos_stats_seen) {
+    std::fprintf(stderr,
+                 "serve_load: FAILED — chaos run but the stats op "
+                 "reported no recovery/retry objects (server not "
+                 "started with --journal?)\n");
+    ok = false;
+  }
   // With UNAVAILABLE rejections a client stops early, so stats can only
-  // be reconciled when the server stayed up for the whole mix.
-  if (stats_accepted >= 0 && total.unavailable == 0) {
+  // be reconciled when the server stayed up for the whole mix. A chaos
+  // run loses responses by design, so the cross-check is skipped.
+  if (!chaos && stats_accepted >= 0 && total.unavailable == 0) {
     if (stats_accepted != total.accepted ||
         stats_rejected != total.rejected) {
       std::fprintf(stderr,

@@ -66,9 +66,7 @@ void RunAccuracyTable(BenchReporter* reporter, const Dataset& dataset,
         reporter->RecordPhaseStatus("defense:" + defenders[c]->name(),
                                     evaluation.status);
         if (evaluation.ok_runs == 0) {
-          cell_errors[r][c] = std::string("ERR(") +
-                              status::CodeName(evaluation.status.code()) +
-                              ")";
+          cell_errors[r][c] = eval::ErrorCell(evaluation.status);
         }
       }
     }

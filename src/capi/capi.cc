@@ -191,6 +191,27 @@ extern "C" const char* gg_status_name(gg_status status) {
   }
 }
 
+extern "C" int32_t gg_status_is_transient(gg_status status) {
+  try {
+    switch (status) {
+      case GG_NUMERIC_FAULT:
+      case GG_IO_ERROR:
+      case GG_RESOURCE_EXHAUSTED:
+      case GG_UNAVAILABLE:
+        return 1;
+      case GG_OK:
+      case GG_INVALID_INPUT:
+      case GG_DEADLINE_EXCEEDED:
+      case GG_CANCELLED:
+      case GG_INTERNAL:
+        return 0;
+    }
+    return 0;
+  } catch (...) {
+    return 0;
+  }
+}
+
 extern "C" gg_ctx* gg_init(void) {
   try {
     return new gg_ctx();

@@ -61,6 +61,13 @@ typedef enum gg_status {
 /* Stable name for a code ("OK", "INVALID_INPUT", ...). Never NULL. */
 const char* gg_status_name(gg_status status);
 
+/* 1 when a retry with fresh resources might clear the failure
+ * (NUMERIC_FAULT, IO_ERROR, RESOURCE_EXHAUSTED, UNAVAILABLE), 0 for
+ * permanent codes, GG_OK, and GG_INTERNAL. Mirrors
+ * repro::status::IsTransient — the classification the serve retry
+ * policy uses — so embedders can apply the same policy. */
+int32_t gg_status_is_transient(gg_status status);
+
 /* Opaque session handle. Create with gg_init, destroy with gg_free. */
 typedef struct gg_ctx gg_ctx;
 

@@ -1,11 +1,13 @@
 #include "core/peega_checkpoint.h"
 
 #include <cstdio>
+#include <cstdint>
 #include <fstream>
 #include <initializer_list>
 #include <sstream>
 #include <utility>
 
+#include "obs/crc32.h"
 #include "obs/json.h"
 
 namespace repro::core {
@@ -66,6 +68,10 @@ status::Status SavePeegaCheckpoint(const PeegaCheckpoint& checkpoint,
     flips.array.push_back(std::move(entry));
   }
   doc.object["flips"] = std::move(flips);
+  // CRC over the crc-less serialization; obs::Json keys are map-ordered
+  // so the byte layout is stable and the check is reproducible.
+  doc.object["crc"] =
+      Json::MakeNumber(static_cast<double>(obs::Crc32(doc.Dump())));
 
   // tmp + rename: the checkpoint at `path` is always either the previous
   // complete one or the new complete one, never a torn write.
@@ -95,6 +101,8 @@ status::StatusOr<PeegaCheckpoint> LoadPeegaCheckpoint(
   Json doc;
   std::string error;
   if (!Json::Parse(buffer.str(), &doc, &error)) {
+    // `error` carries the parser's byte offset ("... at offset N") so
+    // the log names where in the file the corruption sits.
     return InvalidInput("corrupt checkpoint " + path + ": " + error);
   }
   const Json* magic = doc.Find("magic");
@@ -110,6 +118,23 @@ status::StatusOr<PeegaCheckpoint> LoadPeegaCheckpoint(
     return InvalidInput("stale checkpoint " + path + ": version " +
                         std::to_string(version) + ", expected " +
                         std::to_string(PeegaCheckpoint::kVersion));
+  }
+  const Json* crc_field = doc.Find("crc");
+  if (crc_field == nullptr || crc_field->type != Json::Type::kNumber) {
+    return InvalidInput("corrupt checkpoint " + path + ": missing crc");
+  }
+  {
+    const uint32_t stored =
+        static_cast<uint32_t>(crc_field->number_value);
+    Json without_crc = doc;
+    without_crc.object.erase("crc");
+    const uint32_t computed = obs::Crc32(without_crc.Dump());
+    if (stored != computed) {
+      return IoError("corrupt checkpoint " + path +
+                     ": crc mismatch (stored " + std::to_string(stored) +
+                     ", computed " + std::to_string(computed) + " over " +
+                     std::to_string(buffer.str().size()) + " bytes)");
+    }
   }
 
   PeegaCheckpoint checkpoint;

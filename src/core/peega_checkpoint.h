@@ -23,8 +23,16 @@ namespace repro::core {
 /// The config echo lets `LoadPeegaCheckpoint` reject stale checkpoints
 /// (written for a different graph or option set) with a readable
 /// kInvalidInput status instead of silently diverging.
+///
+/// Since version 2 the file carries a "crc" field — a CRC32
+/// (obs::Crc32) over the document serialized without it — so bit rot
+/// that happens to keep the JSON parsable is still caught: a mismatch
+/// is rejected with kIoError (stored vs computed CRC named) instead of
+/// silently resuming from corrupt state. Structural corruption keeps
+/// the kInvalidInput "corrupt checkpoint" contract, with the parser's
+/// byte offset surfaced in the message.
 struct PeegaCheckpoint {
-  static constexpr int kVersion = 1;
+  static constexpr int kVersion = 2;
 
   // Config echo, validated on resume.
   int num_nodes = 0;

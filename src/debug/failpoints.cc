@@ -32,6 +32,14 @@ Site g_sites[] = {
     {"engine.step"},    // core/peega_engine.cc RefreshScores
     {"trainer.epoch"},  // nn/trainer.cc epoch loop: poisons the loss
     {"peega.interrupt"},  // core/peega.cc greedy loop: kCancelled
+    // serve.* sites fire inside the job server; failpoint_test's
+    // save/load/attack/defend sweep skips them and journal_test sweeps
+    // them through a live server instead.
+    {"serve.accept"},   // serve/server.cc IoLoop: drops a fresh connection
+    {"serve.parse"},    // serve/server.cc HandleLine: kInvalidInput
+    {"serve.execute"},  // serve/server.cc RunJob: kNumericFault (transient)
+    {"serve.respond"},  // serve/server.cc Respond: closes the connection
+    {"serve.journal.append"},  // serve/journal.cc Append: kIoError
 };
 
 Site* FindSite(const char* name) {

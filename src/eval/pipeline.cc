@@ -27,6 +27,14 @@ void RecordPipelineError(const status::Status& status) {
   ErrorLog().push_back(status.ToString());
 }
 
+std::string ErrorCell(const status::Status& status) {
+  std::string cell = "ERR(";
+  cell += status::CodeName(status.code());
+  if (status::IsTransient(status.code())) cell += "~";
+  cell += ")";
+  return cell;
+}
+
 DefenseEvaluation EvaluateDefense(defense::Defender* defender,
                                   const graph::Graph& g,
                                   const PipelineOptions& options) {

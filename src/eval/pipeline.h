@@ -86,6 +86,12 @@ struct RunMetadata {
 /// run failure; benches may add their own.
 void RecordPipelineError(const status::Status& status);
 
+/// Renders a failed table cell: "ERR(<CODE>)", with a trailing '~' on
+/// transient codes (status::IsTransient) — "ERR(NUMERIC_FAULT~)" — so
+/// a reader tells retryable degradation from permanent
+/// misconfiguration at a glance. Shared by the bench tables.
+std::string ErrorCell(const status::Status& status);
+
 /// Captures the current metadata for `options`.
 RunMetadata CollectRunMetadata(const PipelineOptions& options);
 

@@ -1,0 +1,24 @@
+#ifndef PEEGA_OBS_CRC32_H_
+#define PEEGA_OBS_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace repro::obs {
+
+/// CRC-32 (ISO-HDLC / zlib polynomial 0xEDB88320) over `size` bytes.
+/// Table-driven, no dependencies. Used as the per-record integrity
+/// check in the serve journal and in PEEGA checkpoint files: both
+/// serialize through `obs::Json` (byte-stable, map-ordered keys), so
+/// the checksum of the re-serialized document is reproducible across
+/// writers and platforms.
+uint32_t Crc32(const void* data, size_t size);
+
+inline uint32_t Crc32(const std::string& bytes) {
+  return Crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace repro::obs
+
+#endif  // PEEGA_OBS_CRC32_H_

@@ -34,6 +34,14 @@ class StopWatch {
 /// different threads line up on one timeline.
 uint64_t NowNanos();
 
+/// A millisecond duration usable with `condition_variable::wait_for` and
+/// friends. Exists so code outside src/obs/ can express timed waits
+/// (e.g. the serve retry-backoff sleep) without naming `std::chrono`,
+/// which the no-raw-chrono analyzer pass bans elsewhere in src/.
+inline std::chrono::duration<double, std::milli> DurationMs(double ms) {
+  return std::chrono::duration<double, std::milli>(ms);
+}
+
 }  // namespace repro::obs
 
 #endif  // PEEGA_OBS_STOPWATCH_H_

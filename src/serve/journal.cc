@@ -1,0 +1,454 @@
+#include "serve/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "debug/failpoints.h"
+#include "obs/crc32.h"
+#include "obs/metrics.h"
+
+namespace repro::serve {
+
+namespace {
+
+using status::Status;
+
+// Auto-compaction trigger: once the file holds this many records AND
+// most of them belong to terminal jobs, rewrite it. Both thresholds are
+// deterministic (record counts, no clocks) so tests can pin exactly
+// when a compaction happens.
+constexpr int64_t kCompactMinRecords = 1024;
+
+obs::Json Num(double v) { return obs::Json::MakeNumber(v); }
+
+status::Status Errno(const std::string& what) {
+  return status::IoError(what + ": " + std::strerror(errno));
+}
+
+// fsync the directory so a rename (compaction) survives a power cut.
+// Best-effort: a filesystem that refuses O_DIRECTORY fsync does not
+// fail the operation.
+void SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+}
+
+status::Status WriteAll(int fd, const std::string& bytes,
+                        const std::string& path) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("journal write " + path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kAccepted:
+      return "ACCEPTED";
+    case JobState::kRunning:
+      return "RUNNING";
+    case JobState::kRetrying:
+      return "RETRYING";
+    case JobState::kDone:
+      return "DONE";
+    case JobState::kFailed:
+      return "FAILED";
+    case JobState::kCancelled:
+      return "CANCELLED";
+  }
+  return "UNKNOWN";
+}
+
+bool ParseJobState(const std::string& name, JobState* out) {
+  for (const JobState state :
+       {JobState::kAccepted, JobState::kRunning, JobState::kRetrying,
+        JobState::kDone, JobState::kFailed, JobState::kCancelled}) {
+    if (name == JobStateName(state)) {
+      *out = state;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsTerminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+std::string EncodeJournalRecord(const JournalRecord& record) {
+  obs::Json doc = obs::Json::MakeObject();
+  doc.object["v"] = Num(kJournalVersion);
+  doc.object["seq"] = Num(static_cast<double>(record.seq));
+  doc.object["uid"] = Num(static_cast<double>(record.uid));
+  doc.object["state"] = obs::Json::MakeString(JobStateName(record.state));
+  doc.object["id"] = Num(static_cast<double>(record.client_id));
+  doc.object["tenant"] = obs::Json::MakeString(record.tenant);
+  doc.object["attempt"] = Num(record.attempt);
+  doc.object["remaining_ms"] = Num(record.remaining_ms);
+  if (!record.code.empty()) {
+    doc.object["code"] = obs::Json::MakeString(record.code);
+  }
+  if (record.state == JobState::kAccepted) {
+    doc.object["request"] = record.request;
+  }
+  const uint32_t crc = obs::Crc32(doc.Dump());
+  doc.object["crc"] = Num(static_cast<double>(crc));
+  return doc.Dump() + "\n";
+}
+
+status::Status DecodeJournalRecord(const std::string& line,
+                                   const std::string& where,
+                                   JournalRecord* out) {
+  obs::Json doc;
+  std::string error;
+  if (!obs::Json::Parse(line, &doc, &error)) {
+    return status::IoError(where + ": bad journal record: " + error);
+  }
+  if (doc.type != obs::Json::Type::kObject) {
+    return status::IoError(where + ": journal record is not an object");
+  }
+  const obs::Json* crc_field = doc.Find("crc");
+  if (crc_field == nullptr ||
+      crc_field->type != obs::Json::Type::kNumber) {
+    return status::IoError(where + ": journal record has no crc");
+  }
+  const uint32_t stored = static_cast<uint32_t>(crc_field->number_value);
+  obs::Json without_crc = doc;
+  without_crc.object.erase("crc");
+  const uint32_t computed = obs::Crc32(without_crc.Dump());
+  if (stored != computed) {
+    return status::IoError(
+        where + ": crc mismatch (stored " + std::to_string(stored) +
+        ", computed " + std::to_string(computed) + ")");
+  }
+  const obs::Json* version = doc.Find("v");
+  if (version == nullptr ||
+      version->type != obs::Json::Type::kNumber) {
+    return status::IoError(where + ": journal record has no version");
+  }
+  if (static_cast<int>(version->number_value) != kJournalVersion) {
+    return status::IoError(
+        where + ": unsupported journal version " +
+        std::to_string(static_cast<int>(version->number_value)));
+  }
+  const obs::Json* state = doc.Find("state");
+  if (state == nullptr || state->type != obs::Json::Type::kString ||
+      !ParseJobState(state->string_value, &out->state)) {
+    return status::IoError(where + ": bad journal record state");
+  }
+  const auto number = [&doc](const char* key, double fallback) {
+    const obs::Json* field = doc.Find(key);
+    return field != nullptr && field->type == obs::Json::Type::kNumber
+               ? field->number_value
+               : fallback;
+  };
+  out->seq = static_cast<int64_t>(number("seq", 0));
+  out->uid = static_cast<int64_t>(number("uid", 0));
+  out->client_id = static_cast<int64_t>(number("id", 0));
+  out->attempt = static_cast<int>(number("attempt", 0));
+  out->remaining_ms = number("remaining_ms", -1.0);
+  const obs::Json* tenant = doc.Find("tenant");
+  if (tenant == nullptr || tenant->type != obs::Json::Type::kString) {
+    return status::IoError(where + ": journal record has no tenant");
+  }
+  out->tenant = tenant->string_value;
+  const obs::Json* code = doc.Find("code");
+  out->code = code != nullptr && code->type == obs::Json::Type::kString
+                  ? code->string_value
+                  : "";
+  out->request = obs::Json();
+  if (out->state == JobState::kAccepted) {
+    const obs::Json* request = doc.Find("request");
+    if (request == nullptr ||
+        request->type != obs::Json::Type::kObject) {
+      return status::IoError(where +
+                             ": ACCEPTED record has no request object");
+    }
+    out->request = *request;
+  }
+  return Status::Ok();
+}
+
+status::StatusOr<ReplayResult> ReplayJournal(const std::string& dir) {
+  ReplayResult result;
+  const std::string path = dir + "/" + kJournalFileName;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    if (errno == ENOENT) return result;  // fresh journal directory
+    return Errno("journal open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  // Fold records into per-uid recovery state, preserving admission
+  // order for the re-enqueue.
+  std::map<int64_t, size_t> index;  // uid -> slot in result.jobs
+  size_t pos = 0;
+  int64_t line_no = 0;
+  while (pos < content.size()) {
+    ++line_no;
+    const size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Torn tail: the process died mid-append. Drop the fragment
+      // loudly; Journal::Open's compaction rewrite discards the bytes.
+      result.truncated_bytes =
+          static_cast<int64_t>(content.size() - pos);
+      result.warnings.push_back(
+          path + ":" + std::to_string(line_no) + ": torn tail (" +
+          std::to_string(result.truncated_bytes) + " bytes) truncated");
+      break;
+    }
+    const std::string line = content.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    const std::string where = path + ":" + std::to_string(line_no);
+    JournalRecord record;
+    const Status decoded = DecodeJournalRecord(line, where, &record);
+    if (!decoded.ok()) {
+      // Bit rot / torn rewrite: skip this record, keep replaying — a
+      // later valid record may still recover another job.
+      ++result.corrupt_records;
+      result.warnings.push_back(decoded.message());
+      continue;
+    }
+    ++result.replayed_records;
+    if (record.seq > result.max_seq) result.max_seq = record.seq;
+    if (record.uid > result.max_uid) result.max_uid = record.uid;
+    const auto slot = index.find(record.uid);
+    switch (record.state) {
+      case JobState::kAccepted: {
+        RecoveredJob job;
+        job.uid = record.uid;
+        job.client_id = record.client_id;
+        job.tenant = record.tenant;
+        job.request = record.request;
+        job.next_attempt = record.attempt + 1;
+        job.remaining_ms = record.remaining_ms;
+        if (slot != index.end()) {
+          result.jobs[slot->second] = std::move(job);
+        } else {
+          index[record.uid] = result.jobs.size();
+          result.jobs.push_back(std::move(job));
+        }
+        break;
+      }
+      case JobState::kRunning:
+      case JobState::kRetrying: {
+        if (slot == index.end()) {
+          result.warnings.push_back(where +
+                                    ": state record for unknown uid " +
+                                    std::to_string(record.uid));
+          break;
+        }
+        RecoveredJob& job = result.jobs[slot->second];
+        // Killed mid-RUNNING(n): re-run attempt n (the checkpoint has
+        // the progress). RETRYING(n) on disk: attempt n failed, the
+        // next run is n+1.
+        job.next_attempt = record.state == JobState::kRunning
+                               ? record.attempt
+                               : record.attempt + 1;
+        job.remaining_ms = record.remaining_ms;
+        break;
+      }
+      case JobState::kDone:
+      case JobState::kFailed:
+      case JobState::kCancelled: {
+        if (record.state == JobState::kDone) ++result.done;
+        if (record.state == JobState::kFailed) ++result.failed;
+        if (record.state == JobState::kCancelled) ++result.cancelled;
+        if (slot != index.end()) {
+          // Tombstone: clear the slot but keep indices of later jobs
+          // stable; compacted out below.
+          result.jobs[slot->second].uid = -1;
+          index.erase(slot);
+        }
+        break;
+      }
+    }
+  }
+  std::vector<RecoveredJob> live;
+  live.reserve(result.jobs.size());
+  for (RecoveredJob& job : result.jobs) {
+    if (job.uid >= 0) live.push_back(std::move(job));
+  }
+  result.jobs = std::move(live);
+  return result;
+}
+
+double RetryBackoffMs(const RetryPolicy& policy, int next_attempt) {
+  if (next_attempt <= 2) return policy.backoff_base_ms;
+  const int exponent = next_attempt - 2 > 30 ? 30 : next_attempt - 2;
+  const double delay =
+      policy.backoff_base_ms * static_cast<double>(1u << exponent);
+  return delay < policy.backoff_max_ms ? delay : policy.backoff_max_ms;
+}
+
+std::string Journal::CheckpointPath(const std::string& dir, int64_t uid) {
+  return dir + "/ckpt-" + std::to_string(uid) + ".json";
+}
+
+Journal::Journal(std::string dir, std::string path)
+    : dir_(std::move(dir)), path_(std::move(path)) {}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+status::StatusOr<std::unique_ptr<Journal>> Journal::Open(
+    const std::string& dir, ReplayResult* replay) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Errno("journal mkdir " + dir);
+  }
+  status::StatusOr<ReplayResult> replayed = ReplayJournal(dir);
+  if (!replayed.ok()) return replayed.status();
+  std::unique_ptr<Journal> journal(
+      new Journal(dir, dir + "/" + kJournalFileName));
+  journal->last_seq_ = replayed->max_seq;
+  journal->last_uid_ = replayed->max_uid;
+  for (const RecoveredJob& job : replayed->jobs) {
+    JournalRecord folded;
+    folded.uid = job.uid;
+    folded.state = JobState::kAccepted;
+    folded.client_id = job.client_id;
+    folded.tenant = job.tenant;
+    folded.attempt = job.next_attempt - 1;
+    folded.remaining_ms = job.remaining_ms;
+    folded.request = job.request;
+    journal->live_[job.uid] = std::move(folded);
+  }
+  // Rotate on open: rewrites the journal compacted, which also discards
+  // any torn tail or corrupt records the replay skipped.
+  int live = 0;
+  PEEGA_RETURN_IF_ERROR(journal->CompactLocked(&live),
+                        "journal open " + dir);
+  if (replay != nullptr) *replay = *std::move(replayed);
+  return journal;
+}
+
+int64_t Journal::NextUid() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ++last_uid_;
+}
+
+status::Status Journal::AppendRecord(JournalRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AppendLocked(record);
+}
+
+status::Status Journal::AppendLocked(JournalRecord& record) {
+  if (PEEGA_FAILPOINT("serve.journal.append")) {
+    obs::GetCounter("serve.journal.append_errors")->Add(1);
+    return status::IoError("injected failpoint serve.journal.append");
+  }
+  if (records_in_file_ >= kCompactMinRecords &&
+      static_cast<int64_t>(live_.size()) * 4 < records_in_file_) {
+    int live = 0;
+    PEEGA_RETURN_IF_ERROR(CompactLocked(&live), "journal auto-compact");
+  }
+  record.seq = ++last_seq_;
+  const std::string line = EncodeJournalRecord(record);
+  const Status written = WriteAll(fd_, line, path_);
+  if (!written.ok()) {
+    obs::GetCounter("serve.journal.append_errors")->Add(1);
+    return written;
+  }
+  if (::fsync(fd_) != 0) {
+    obs::GetCounter("serve.journal.append_errors")->Add(1);
+    return Errno("journal fsync " + path_);
+  }
+  ++records_in_file_;
+  obs::GetCounter("serve.journal.appends")->Add(1);
+  TrackLocked(record);
+  return Status::Ok();
+}
+
+void Journal::TrackLocked(const JournalRecord& record) {
+  switch (record.state) {
+    case JobState::kAccepted:
+      live_[record.uid] = record;
+      break;
+    case JobState::kRunning:
+    case JobState::kRetrying: {
+      const auto it = live_.find(record.uid);
+      if (it == live_.end()) break;
+      // Fold into the ACCEPTED-shaped live entry: attempt counts the
+      // attempts already spent, so a RUNNING(n) folds to n-1 and a
+      // RETRYING(n) to n (see ReplayJournal for the inverse).
+      it->second.attempt = record.state == JobState::kRunning
+                               ? record.attempt - 1
+                               : record.attempt;
+      it->second.remaining_ms = record.remaining_ms;
+      break;
+    }
+    case JobState::kDone:
+    case JobState::kFailed:
+    case JobState::kCancelled:
+      live_.erase(record.uid);
+      break;
+  }
+}
+
+status::StatusOr<int> Journal::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  int live = 0;
+  PEEGA_RETURN_IF_ERROR(CompactLocked(&live), "journal compact");
+  return live;
+}
+
+status::Status Journal::CompactLocked(int* live) {
+  const std::string tmp = path_ + ".tmp";
+  const int tmp_fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tmp_fd < 0) return Errno("journal open " + tmp);
+  for (auto& [uid, record] : live_) {
+    record.seq = ++last_seq_;
+    const Status written =
+        WriteAll(tmp_fd, EncodeJournalRecord(record), tmp);
+    if (!written.ok()) {
+      ::close(tmp_fd);
+      ::unlink(tmp.c_str());
+      return written;
+    }
+  }
+  if (::fsync(tmp_fd) != 0) {
+    ::close(tmp_fd);
+    ::unlink(tmp.c_str());
+    return Errno("journal fsync " + tmp);
+  }
+  ::close(tmp_fd);
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Errno("journal rename " + tmp);
+  }
+  SyncDir(dir_);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) return Errno("journal reopen " + path_);
+  records_in_file_ = static_cast<int64_t>(live_.size());
+  *live = static_cast<int>(live_.size());
+  obs::GetCounter("serve.journal.compactions")->Add(1);
+  return Status::Ok();
+}
+
+}  // namespace repro::serve

@@ -15,12 +15,15 @@ namespace repro::serve {
 /// Request:  {"id":N, "tenant":"team-a", "op":"attack", ...op fields}
 /// Response: {"id":N, "tenant":"team-a", "ok":true|false,
 ///            "code":"OK"|"RESOURCE_EXHAUSTED"|..., "error":"...",
-///            "queue_ms":Q, "run_ms":R, "result":{...}}
+///            "queue_ms":Q, "run_ms":R, "attempts":A, "result":{...}}
 ///
 /// Ops: "ping", "attack", "eval", "stats", "cancel" (target_id),
 /// "pause"/"resume" (operational scheduler gate), "shutdown" (graceful
 /// drain). Attack/eval are queued jobs subject to admission control and
 /// per-request deadlines (`deadline_ms`); the rest are answered inline.
+/// "attempts" counts the runs the job took (> 1 after transient-failure
+/// retries). With `--journal` the stats result additionally carries
+/// "journal", "recovery", and "retry" objects (see server.h).
 struct Request {
   int64_t id = 0;
   std::string tenant;

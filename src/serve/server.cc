@@ -7,6 +7,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <cmath>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "attack/attacker.h"
+#include "debug/failpoints.h"
 #include "eval/pipeline.h"
 #include "eval/registry.h"
 #include "graph/graph.h"
@@ -26,6 +28,7 @@
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
 #include "parallel/worker_thread.h"
+#include "serve/journal.h"
 #include "serve/protocol.h"
 #include "status/deadline.h"
 #include "status/status.h"
@@ -45,6 +48,28 @@ obs::Json Str(std::string s) { return obs::Json::MakeString(std::move(s)); }
 void SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+// Deadline budget left, in the journal's convention (< 0 = unbounded).
+double RemainingMsOf(const status::Deadline& deadline) {
+  const double left = deadline.RemainingSeconds();
+  return std::isinf(left) ? -1.0 : left * 1e3;
+}
+
+// Inverse of the response envelope's "code" string; false for "INTERNAL"
+// and anything else CodeName never produces.
+bool CodeFromName(const std::string& name, status::Code* out) {
+  for (const status::Code code :
+       {status::Code::kOk, status::Code::kInvalidInput,
+        status::Code::kNumericFault, status::Code::kDeadlineExceeded,
+        status::Code::kCancelled, status::Code::kIoError,
+        status::Code::kResourceExhausted, status::Code::kUnavailable}) {
+    if (name == status::CodeName(code)) {
+      *out = code;
+      return true;
+    }
+  }
+  return false;
 }
 
 // Per-tenant obs instruments, created on first use and cached; the
@@ -76,19 +101,27 @@ struct Server::Impl {
 
   struct Job {
     int64_t id = 0;
+    int64_t uid = 0;  // journal identity; 0 when the journal is off
     std::string tenant;
     std::string op;
     obs::Json raw;
-    int conn_id = -1;
+    int conn_id = -1;  // -1: recovered job, no client to respond to
     status::Deadline deadline;  // armed at admission
     obs::StopWatch waited;      // queue-wait clock
     bool cancelled = false;
+    int attempt = 1;            // 1-based attempt this run would be
+    double not_before_ms = 0.0;  // uptime instant a retry becomes due
   };
 
   struct Connection {
     int fd = -1;
     std::string inbuf;
     std::string outbuf;
+    /// Torn down at the end of the current IO-loop pass. Deferred
+    /// rather than erased inline: Respond() runs inside HandleLine(),
+    /// which the loop calls while holding a reference into `conns` —
+    /// erasing there would leave that reference dangling.
+    bool doomed = false;
   };
 
   // ---- shared state (guarded by mu) --------------------------------
@@ -104,6 +137,11 @@ struct Server::Impl {
   // Completed-job responses en route from the scheduler to the IO loop.
   std::vector<std::pair<int, std::string>> outbox;
   std::map<std::string, TenantStats> tenants;
+
+  // ---- durability (written in Start, then scheduler/IO threads) ----
+  std::unique_ptr<Journal> journal;  // null when journal_dir is empty
+  RecoveryInfo recovery_info;        // filled once, in Start()
+  obs::StopWatch uptime;             // clock for retry due instants
 
   // ---- IO-thread-only state ----------------------------------------
   std::map<int, Connection> conns;
@@ -139,11 +177,28 @@ struct Server::Impl {
   // ---- request handling (IO thread) --------------------------------
 
   void Respond(int conn_id, const obs::Json& response) {
+    if (conn_id < 0) return;  // recovered job: no surviving client
     const auto it = conns.find(conn_id);
-    if (it != conns.end()) it->second.outbuf += EncodeLine(response);
+    if (it == conns.end() || it->second.doomed) return;
+    if (PEEGA_FAILPOINT("serve.respond")) {
+      // Simulates a response write failure: the connection is torn
+      // down (at the end of this IO pass), so the client observes
+      // UNAVAILABLE instead of a hang.
+      it->second.doomed = true;
+      it->second.outbuf.clear();
+      return;
+    }
+    it->second.outbuf += EncodeLine(response);
   }
 
   void HandleLine(int conn_id, const std::string& line) {
+    if (PEEGA_FAILPOINT("serve.parse")) {
+      Respond(conn_id,
+              MakeResponse(0, "default",
+                           status::InvalidInput(
+                               "injected failpoint serve.parse")));
+      return;
+    }
     Request request;
     const Status parsed = ParseRequest(line, &request);
     if (!parsed.ok()) {
@@ -237,6 +292,35 @@ struct Server::Impl {
     job.deadline = deadline_ms > 0.0
                        ? status::Deadline::AfterSeconds(deadline_ms / 1e3)
                        : status::Deadline::Cancellable();
+    if (journal != nullptr) {
+      job.uid = journal->NextUid();
+      // Attack jobs get a server-assigned checkpoint path unless the
+      // client chose one: that file is what lets a crash-recovered
+      // campaign resume from its last committed flip.
+      if (job.op == "attack" &&
+          GetString(job.raw, "checkpoint", "").empty()) {
+        job.raw.object["checkpoint"] =
+            Str(Journal::CheckpointPath(journal->dir(), job.uid));
+      }
+      JournalRecord record;
+      record.uid = job.uid;
+      record.state = JobState::kAccepted;
+      record.client_id = job.id;
+      record.tenant = job.tenant;
+      record.attempt = 0;
+      record.remaining_ms = RemainingMsOf(job.deadline);
+      record.request = job.raw;
+      const Status logged = journal->AppendRecord(std::move(record));
+      if (!logged.ok()) {
+        // The durability promise cannot be kept; refuse the job rather
+        // than silently accept it non-durably.
+        tenant->rejected->Add(1);
+        lock.unlock();
+        Respond(conn_id, MakeResponse(request.id, request.tenant,
+                                      logged.WithContext("journal accept")));
+        return;
+      }
+    }
     tenant->accepted->Add(1);
     queue.push_back(std::move(job));
     obs::GetGauge("serve.queue_depth")
@@ -264,6 +348,9 @@ struct Server::Impl {
         found = true;
       }
     }
+    // A job waiting out a retry backoff becomes due immediately once
+    // cancelled; wake the scheduler so it reaps it now.
+    cv.notify_all();
     obs::Json response =
         MakeResponse(request.id, request.tenant, Status::Ok());
     obs::Json result = obs::Json::MakeObject();
@@ -285,6 +372,35 @@ struct Server::Impl {
     cache.object["misses"] = Num(static_cast<double>(
         obs::GetCounter("serve.graph_cache.miss")->value()));
     stats.object["graph_cache"] = std::move(cache);
+    obs::Json journal_json = obs::Json::MakeObject();
+    journal_json.object["enabled"] =
+        obs::Json::MakeBool(journal != nullptr);
+    journal_json.object["appends"] = Num(static_cast<double>(
+        obs::GetCounter("serve.journal.appends")->value()));
+    journal_json.object["append_errors"] = Num(static_cast<double>(
+        obs::GetCounter("serve.journal.append_errors")->value()));
+    journal_json.object["compactions"] = Num(static_cast<double>(
+        obs::GetCounter("serve.journal.compactions")->value()));
+    stats.object["journal"] = std::move(journal_json);
+    obs::Json recovery = obs::Json::MakeObject();
+    recovery.object["requeued_jobs"] =
+        Num(static_cast<double>(recovery_info.requeued_jobs));
+    recovery.object["replayed_records"] =
+        Num(static_cast<double>(recovery_info.replayed_records));
+    recovery.object["corrupt_records"] =
+        Num(static_cast<double>(recovery_info.corrupt_records));
+    recovery.object["truncated_bytes"] =
+        Num(static_cast<double>(recovery_info.truncated_bytes));
+    recovery.object["recovery_ms"] = Num(recovery_info.recovery_ms);
+    stats.object["recovery"] = std::move(recovery);
+    obs::Json retry = obs::Json::MakeObject();
+    retry.object["attempts"] = Num(static_cast<double>(
+        obs::GetCounter("serve.retry.attempts")->value()));
+    retry.object["succeeded"] = Num(static_cast<double>(
+        obs::GetCounter("serve.retry.succeeded")->value()));
+    retry.object["exhausted"] = Num(static_cast<double>(
+        obs::GetCounter("serve.retry.exhausted")->value()));
+    stats.object["retry"] = std::move(retry);
     obs::Json tenants_json = obs::Json::MakeObject();
     for (const auto& [name, t] : tenants) {
       obs::Json entry = obs::Json::MakeObject();
@@ -418,7 +534,40 @@ struct Server::Impl {
     return response;
   }
 
+  // Best-effort journal append for post-admission transitions: a failed
+  // append degrades durability, not availability (it is counted by
+  // serve.journal.append_errors inside the journal).
+  void JournalTransition(const Job& job, JobState state,
+                         const std::string& code_name) {
+    if (journal == nullptr) return;
+    JournalRecord record;
+    record.uid = job.uid;
+    record.state = state;
+    record.client_id = job.id;
+    record.tenant = job.tenant;
+    record.attempt = job.attempt;
+    record.code = code_name;
+    record.remaining_ms = RemainingMsOf(job.deadline);
+    journal->AppendRecord(std::move(record)).IgnoreError();
+  }
+
+  // Drops the server-assigned checkpoint of a terminal job (never a
+  // client-chosen path). Best-effort: the journal record is what makes
+  // the job terminal.
+  void CleanupCheckpoint(const Job& job) {
+    if (journal == nullptr || job.uid <= 0) return;
+    const std::string path = GetString(job.raw, "checkpoint", "");
+    if (path == Journal::CheckpointPath(journal->dir(), job.uid)) {
+      ::unlink(path.c_str());
+    }
+  }
+
   obs::Json RunJob(const Job& job) {
+    if (PEEGA_FAILPOINT("serve.execute")) {
+      return MakeResponse(
+          job.id, job.tenant,
+          status::NumericFault("injected failpoint serve.execute"));
+    }
     try {
       const std::string path = GetString(job.raw, "graph", "");
       if (path.empty()) {
@@ -447,31 +596,55 @@ struct Server::Impl {
     }
   }
 
+  // Picks the next due job, FIFO among due ones. A retry waiting out
+  // its backoff is skipped until its instant arrives (the scheduler
+  // sleeps at most until the earliest one); a cancelled job is always
+  // due so it can be reaped immediately. Returns false once the server
+  // should stop.
+  bool NextJob(Job* out) {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      if (stopping) return false;
+      if ((!paused || draining) && !queue.empty()) {
+        const double now = uptime.Millis();
+        double next_due = -1.0;
+        for (size_t i = 0; i < queue.size(); ++i) {
+          Job& candidate = queue[i];
+          if (candidate.cancelled || candidate.not_before_ms <= now) {
+            *out = std::move(candidate);
+            queue.erase(queue.begin() + static_cast<long>(i));
+            obs::GetGauge("serve.queue_depth")
+                ->Set(static_cast<double>(queue.size()));
+            running_id = out->id;
+            running_tenant = out->tenant;
+            running_deadline = out->deadline;
+            return true;
+          }
+          if (next_due < 0.0 || candidate.not_before_ms < next_due) {
+            next_due = candidate.not_before_ms;
+          }
+        }
+        // Everything queued is a retry waiting out its backoff.
+        cv.wait_for(lock,
+                    obs::DurationMs(next_due - uptime.Millis() + 0.5));
+        continue;
+      }
+      if (draining && queue.empty()) {
+        stopping = true;
+        return false;
+      }
+      cv.wait(lock);
+    }
+  }
+
   void SchedulerLoop() {
     for (;;) {
       Job job;
-      {
-        std::unique_lock<std::mutex> lock(mu);
-        cv.wait(lock, [this] {
-          return stopping || (draining && queue.empty()) ||
-                 (!queue.empty() && (!paused || draining));
-        });
-        if (stopping) break;
-        if (queue.empty()) {  // draining and fully drained
-          stopping = true;
-          break;
-        }
-        job = std::move(queue.front());
-        queue.pop_front();
-        obs::GetGauge("serve.queue_depth")
-            ->Set(static_cast<double>(queue.size()));
-        running_id = job.id;
-        running_tenant = job.tenant;
-        running_deadline = job.deadline;
-      }
+      if (!NextJob(&job)) break;
       const double queue_ms = job.waited.Millis();
       obs::Json response;
       obs::StopWatch run_watch;
+      bool executed = false;
       if (job.cancelled) {
         response = MakeResponse(
             job.id, job.tenant,
@@ -481,12 +654,60 @@ struct Server::Impl {
                  !admission.ok()) {
         response = MakeResponse(job.id, job.tenant, admission);
       } else {
+        JournalTransition(job, JobState::kRunning, "");
         response = RunJob(job);
+        executed = true;
       }
       const double run_ms = run_watch.Millis();
+      const std::string code = GetString(response, "code", "INTERNAL");
+      // A transient failure re-enters the queue with deterministic
+      // backoff until the attempt budget is spent; the client response
+      // waits for the final attempt. Retries bypass admission (no
+      // max_queue check, no accepted counter): the job was admitted
+      // exactly once.
+      status::Code parsed = status::Code::kOk;
+      const bool transient_failure =
+          executed && code != "OK" && CodeFromName(code, &parsed) &&
+          status::IsTransient(parsed);
+      if (transient_failure && job.attempt < options.max_attempts) {
+        JournalTransition(job, JobState::kRetrying, code);
+        const RetryPolicy policy{options.max_attempts,
+                                 options.retry_backoff_ms,
+                                 options.retry_backoff_max_ms};
+        const double backoff = RetryBackoffMs(policy, job.attempt + 1);
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          running_id = -1;
+          running_tenant.clear();
+          running_deadline = status::Deadline();
+          TenantStats* tenant = GetTenant(job.tenant);
+          tenant->queue_ms->Observe(queue_ms);
+          tenant->run_ms->Observe(run_ms);
+          obs::GetCounter("serve.retry.attempts")->Add(1);
+          job.attempt += 1;
+          job.not_before_ms = uptime.Millis() + backoff;
+          job.waited.Restart();
+          queue.push_back(std::move(job));
+          obs::GetGauge("serve.queue_depth")
+              ->Set(static_cast<double>(queue.size()));
+        }
+        continue;
+      }
+      if (transient_failure) {
+        obs::GetCounter("serve.retry.exhausted")->Add(1);
+      }
+      if (executed && code == "OK" && job.attempt > 1) {
+        obs::GetCounter("serve.retry.succeeded")->Add(1);
+      }
+      JournalTransition(job,
+                        code == "OK"          ? JobState::kDone
+                        : code == "CANCELLED" ? JobState::kCancelled
+                                              : JobState::kFailed,
+                        code == "OK" ? "" : code);
+      CleanupCheckpoint(job);
       response.object["queue_ms"] = Num(queue_ms);
       response.object["run_ms"] = Num(run_ms);
-      const std::string code = GetString(response, "code", "INTERNAL");
+      response.object["attempts"] = Num(job.attempt);
       {
         std::lock_guard<std::mutex> lock(mu);
         running_id = -1;
@@ -502,7 +723,9 @@ struct Server::Impl {
         } else {
           tenant->failed->Add(1);
         }
-        outbox.emplace_back(job.conn_id, EncodeLine(response));
+        if (job.conn_id >= 0) {
+          outbox.emplace_back(job.conn_id, EncodeLine(response));
+        }
       }
       WakeIo();
     }
@@ -519,7 +742,9 @@ struct Server::Impl {
     }
     for (auto& [conn_id, line] : pending) {
       const auto it = conns.find(conn_id);
-      if (it != conns.end()) it->second.outbuf += line;
+      if (it != conns.end() && !it->second.doomed) {
+        it->second.outbuf += line;
+      }
     }
   }
 
@@ -578,6 +803,10 @@ struct Server::Impl {
           for (;;) {
             const int fd = ::accept(listen_fd, nullptr, nullptr);
             if (fd < 0) break;
+            if (PEEGA_FAILPOINT("serve.accept")) {
+              ::close(fd);  // simulated accept failure: drop the peer
+              continue;
+            }
             SetNonBlocking(fd);
             Connection conn;
             conn.fd = fd;
@@ -614,8 +843,10 @@ struct Server::Impl {
             const std::string line = conn.inbuf.substr(start, nl - start);
             start = nl + 1;
             if (!line.empty()) HandleLine(conn_id, line);
+            if (conn.doomed) break;  // drop the rest of the burst
           }
           conn.inbuf.erase(0, start);
+          if (conn.doomed) dead = true;
         }
         if ((revents & POLLOUT) != 0 && !conn.outbuf.empty()) {
           const ssize_t n =
@@ -670,6 +901,54 @@ status::Status Server::Start() {
   }
   if (s.options.max_queue < 1) {
     return status::InvalidInput("serve: max_queue must be >= 1");
+  }
+  if (s.options.max_attempts < 1) {
+    return status::InvalidInput("serve: max_attempts must be >= 1");
+  }
+  // Durability first: replay the journal and re-enqueue non-terminal
+  // jobs before the socket opens, so recovered work is ahead of any new
+  // admission in the FIFO.
+  if (!s.options.journal_dir.empty()) {
+    obs::StopWatch recovery_watch;
+    ReplayResult replay;
+    status::StatusOr<std::unique_ptr<Journal>> journal =
+        Journal::Open(s.options.journal_dir, &replay);
+    if (!journal.ok()) {
+      return journal.status().WithContext("serve journal");
+    }
+    s.journal = std::move(journal).value();
+    s.recovery_info.requeued_jobs = static_cast<int>(replay.jobs.size());
+    s.recovery_info.replayed_records = replay.replayed_records;
+    s.recovery_info.corrupt_records = replay.corrupt_records;
+    s.recovery_info.truncated_bytes = replay.truncated_bytes;
+    s.recovery_info.warnings = replay.warnings;
+    for (RecoveredJob& recovered : replay.jobs) {
+      Impl::Job job;
+      job.id = recovered.client_id;
+      job.uid = recovered.uid;
+      job.tenant = recovered.tenant;
+      job.op = GetString(recovered.request, "op", "attack");
+      job.raw = std::move(recovered.request);
+      job.conn_id = -1;  // the client connection died with the old process
+      job.attempt = recovered.next_attempt;
+      // Re-arm what was left of the budget when the last record was
+      // written, not a fresh one.
+      job.deadline =
+          recovered.remaining_ms >= 0.0
+              ? status::Deadline::AfterSeconds(recovered.remaining_ms /
+                                               1e3)
+              : status::Deadline::Cancellable();
+      s.queue.push_back(std::move(job));
+    }
+    obs::GetGauge("serve.queue_depth")
+        ->Set(static_cast<double>(s.queue.size()));
+    obs::GetCounter("serve.recovery.requeued_jobs")
+        ->Add(s.recovery_info.requeued_jobs);
+    obs::GetCounter("serve.recovery.replayed_records")
+        ->Add(replay.replayed_records);
+    obs::GetCounter("serve.recovery.corrupt_records")
+        ->Add(replay.corrupt_records);
+    s.recovery_info.recovery_ms = recovery_watch.Millis();
   }
   ::unlink(s.options.socket_path.c_str());
   s.listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
@@ -726,6 +1005,10 @@ void Server::Shutdown() {
   }
   impl_->cv.notify_all();
   impl_->WakeIo();
+}
+
+const RecoveryInfo& Server::recovery() const {
+  return impl_->recovery_info;
 }
 
 }  // namespace repro::serve

@@ -1,8 +1,10 @@
 #ifndef PEEGA_SERVE_SERVER_H_
 #define PEEGA_SERVE_SERVER_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "status/status.h"
 
@@ -18,6 +20,32 @@ struct ServerOptions {
   int max_queue = 64;
   /// listen(2) backlog for pending connections.
   int listen_backlog = 128;
+  /// Durability directory (`--journal <dir>`). Empty = no journal: jobs
+  /// live only in memory, as before PR 10. Non-empty: every job state
+  /// transition is fsync'd to <dir>/journal.jsonl BEFORE it takes
+  /// effect, Start() replays the journal and re-enqueues non-terminal
+  /// jobs, and attack jobs get a server-assigned checkpoint path under
+  /// <dir> unless the client chose one.
+  std::string journal_dir;
+  /// Retry policy for jobs that fail with a transient code
+  /// (status::IsTransient): total attempt budget (first run included)
+  /// and deterministic exponential backoff base/cap. Retries re-enter
+  /// the queue directly — no admission double-counting, no max_queue
+  /// check.
+  int max_attempts = 3;
+  double retry_backoff_ms = 100.0;
+  double retry_backoff_max_ms = 5000.0;
+};
+
+/// What Start() recovered from the journal; also surfaced through the
+/// "stats" op so operators can read it post-hoc.
+struct RecoveryInfo {
+  int requeued_jobs = 0;      // non-terminal jobs re-enqueued
+  int replayed_records = 0;   // records decoded + CRC-verified
+  int corrupt_records = 0;    // records skipped (CRC/shape)
+  int64_t truncated_bytes = 0;  // torn tail dropped
+  double recovery_ms = 0.0;   // replay + re-enqueue wall time
+  std::vector<std::string> warnings;  // "path:line: reason" per skip
 };
 
 /// Long-running multi-tenant job server (`graphguard serve`).
@@ -42,6 +70,19 @@ struct ServerOptions {
 /// Per-tenant obs instruments (serve.tenant.<name>.*): accepted /
 /// rejected / completed / failed / cancelled counters plus queue-wait
 /// and run-time histograms, all exposed through the "stats" op.
+///
+/// With `journal_dir` set the server is additionally crash-safe: an
+/// ACCEPTED job is fsync'd to the write-ahead journal before it is
+/// queued (an append failure rejects the job with IO_ERROR — the
+/// durability promise is refused, not silently dropped), every state
+/// transition is journaled, and a restart replays the journal and
+/// re-runs every non-terminal job with its remaining deadline budget
+/// and its checkpoint file, so a recovered PEEGA campaign resumes from
+/// the last committed flip. Transient failures (status::IsTransient)
+/// are retried with deterministic exponential backoff up to
+/// `max_attempts`; responses to recovered jobs are dropped (the client
+/// connection did not survive the crash) but their results — output
+/// files, checkpoints, journal terminal records — are identical.
 class Server {
  public:
   explicit Server(ServerOptions options);
@@ -61,6 +102,10 @@ class Server {
 
   /// Programmatic graceful drain, equivalent to a "shutdown" request.
   void Shutdown();
+
+  /// Journal recovery summary; meaningful after a successful Start()
+  /// with `journal_dir` set (all-zero otherwise).
+  const RecoveryInfo& recovery() const;
 
  private:
   struct Impl;

@@ -60,6 +60,18 @@ class Deadline {
   /// Re-arms the budget clock (the cancellation flag is untouched).
   void Restart() { watch_.Restart(); }
 
+  /// Seconds of budget left (infinity when no budget was set, clamped at
+  /// zero once spent). The serve journal records this at each job state
+  /// transition so a crash-recovered job resumes with the budget it had
+  /// left, not a fresh one.
+  double RemainingSeconds() const {
+    if (budget_seconds_ == std::numeric_limits<double>::infinity()) {
+      return std::numeric_limits<double>::infinity();
+    }
+    const double left = budget_seconds_ - watch_.Seconds();
+    return left > 0.0 ? left : 0.0;
+  }
+
   /// OK while within budget and not cancelled. `where` names the loop
   /// for the status message ("PEEGA greedy loop", "GNAT epoch 17").
   Status Check(const std::string& where) const {

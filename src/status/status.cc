@@ -24,6 +24,22 @@ const char* CodeName(Code code) {
   return "UNKNOWN";
 }
 
+bool IsTransient(Code code) {
+  switch (code) {
+    case Code::kNumericFault:
+    case Code::kIoError:
+    case Code::kResourceExhausted:
+    case Code::kUnavailable:
+      return true;
+    case Code::kOk:
+    case Code::kInvalidInput:
+    case Code::kDeadlineExceeded:
+    case Code::kCancelled:
+      return false;
+  }
+  return false;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = CodeName(code_);

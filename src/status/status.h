@@ -27,6 +27,16 @@ enum class Code {
 /// (`ERR(<code>)`), bench JSON, and log lines.
 const char* CodeName(Code code);
 
+/// True for failures that a retry with fresh resources might clear:
+/// NUMERIC_FAULT (often a poisoned intermediate from a transient fault),
+/// IO_ERROR (filesystem hiccup), RESOURCE_EXHAUSTED (queue full, try
+/// later), UNAVAILABLE (endpoint draining). Permanent codes —
+/// INVALID_INPUT, CANCELLED, DEADLINE_EXCEEDED — describe the request
+/// itself and retrying cannot help; kOk is not a failure at all. The
+/// serve retry policy and `eval::Pipeline`'s `ERR(<code>)` table cells
+/// both key off this single classification.
+bool IsTransient(Code code);
+
 /// A success-or-error value. Cheap to copy on the OK path (empty
 /// message). Error statuses carry a human-readable message that grows
 /// context as it propagates up through `PEEGA_RETURN_IF_ERROR` /

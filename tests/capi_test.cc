@@ -133,6 +133,18 @@ TEST(CapiErrorTest, CodesMapAndLastErrorCarriesContext) {
   EXPECT_STREQ(gg_status_name(GG_DEADLINE_EXCEEDED), "DEADLINE_EXCEEDED");
   EXPECT_STREQ(gg_status_name(GG_RESOURCE_EXHAUSTED),
                "RESOURCE_EXHAUSTED");
+
+  // Transient/permanent partition mirrors status::IsTransient, so
+  // embedders can implement the same retry policy the job server uses.
+  EXPECT_EQ(gg_status_is_transient(GG_NUMERIC_FAULT), 1);
+  EXPECT_EQ(gg_status_is_transient(GG_IO_ERROR), 1);
+  EXPECT_EQ(gg_status_is_transient(GG_RESOURCE_EXHAUSTED), 1);
+  EXPECT_EQ(gg_status_is_transient(GG_UNAVAILABLE), 1);
+  EXPECT_EQ(gg_status_is_transient(GG_OK), 0);
+  EXPECT_EQ(gg_status_is_transient(GG_INVALID_INPUT), 0);
+  EXPECT_EQ(gg_status_is_transient(GG_DEADLINE_EXCEEDED), 0);
+  EXPECT_EQ(gg_status_is_transient(GG_CANCELLED), 0);
+  EXPECT_EQ(gg_status_is_transient(GG_INTERNAL), 0);
   gg_free(gg);
 }
 

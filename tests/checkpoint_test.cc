@@ -215,5 +215,65 @@ TEST_F(CheckpointTest, CorruptCheckpointIsRejectedLoudly) {
   std::remove(path.c_str());
 }
 
+TEST_F(CheckpointTest, CrcMismatchIsRejectedAsIoError) {
+  const Graph g = CampaignGraph();
+  const attack::AttackOptions attack_options = CampaignOptions();
+  const std::string path = TempCheckpoint("crc");
+  std::remove(path.c_str());
+
+  core::PeegaAttack::Options options;
+  options.checkpoint_path = path;
+  options.checkpoint_every = 1;
+  {
+    debug::ArmFailpoint("peega.interrupt", "3");
+    core::PeegaAttack attacker(options);
+    Rng rng(kAttackSeed);
+    const attack::AttackResult interrupted =
+        attacker.Attack(g, attack_options, &rng);
+    debug::DisarmAllFailpoints();
+    ASSERT_EQ(interrupted.status.code(), status::Code::kCancelled);
+    ASSERT_TRUE(std::ifstream(path).good());
+  }
+
+  // Single-bit-rot drill: alter one digit of the stored CRC. The file
+  // still parses and passes the magic/version checks, so only the
+  // checksum can catch it — and it must, as IO_ERROR (transient:
+  // re-fetch the file), not INVALID_INPUT.
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  const size_t at = bytes.find("\"crc\":");
+  ASSERT_NE(at, std::string::npos) << bytes.substr(0, 120);
+  size_t digit = at + 6;
+  ASSERT_LT(digit, bytes.size());
+  // Last digit, nudged by one: the value always changes but stays a
+  // valid uint32, so the mismatch is caught by the CRC compare itself.
+  while (digit + 1 < bytes.size() &&
+         bytes[digit + 1] >= '0' && bytes[digit + 1] <= '9') {
+    ++digit;
+  }
+  bytes[digit] = bytes[digit] == '0' ? '1' : '0';
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+
+  core::PeegaAttack attacker(options);
+  Rng rng(kAttackSeed);
+  const attack::AttackResult rejected =
+      attacker.Attack(g, attack_options, &rng);
+  EXPECT_EQ(rejected.status.code(), status::Code::kIoError)
+      << rejected.status.ToString();
+  EXPECT_NE(rejected.status.message().find("crc mismatch"),
+            std::string::npos)
+      << rejected.status.ToString();
+  EXPECT_TRUE(rejected.flips.empty());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace repro

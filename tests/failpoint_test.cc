@@ -89,6 +89,10 @@ TEST(FailpointSweepTest, PipelineIsCleanWithNothingArmed) {
 TEST(FailpointSweepTest, EveryArmedFailpointSurfacesNonOkStatus) {
   const Graph g = SweepGraph();
   for (const std::string& name : debug::RegisteredFailpoints()) {
+    // serve.* sites live in the job server's IO/scheduler threads, not
+    // in this save/load/attack/defend pipeline; journal_test sweeps
+    // them through a real server instead.
+    if (name.rfind("serve.", 0) == 0) continue;
 #ifdef PEEGA_DEBUG_NUMERICS
     // linalg.spmm plants a real NaN in kernel output, which the
     // debug-numerics finite checks (correctly) abort on before the

@@ -43,6 +43,19 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(CodeName(Code::kIoError), "IO_ERROR");
 }
 
+TEST(StatusTest, TransientCodesAreExactlyTheRetryableOnes) {
+  // The serve retry policy and the eval ERR(<code>~) rendering both key
+  // off this partition; changing it silently changes retry behavior.
+  EXPECT_TRUE(IsTransient(Code::kNumericFault));
+  EXPECT_TRUE(IsTransient(Code::kIoError));
+  EXPECT_TRUE(IsTransient(Code::kResourceExhausted));
+  EXPECT_TRUE(IsTransient(Code::kUnavailable));
+  EXPECT_FALSE(IsTransient(Code::kOk));
+  EXPECT_FALSE(IsTransient(Code::kInvalidInput));
+  EXPECT_FALSE(IsTransient(Code::kDeadlineExceeded));
+  EXPECT_FALSE(IsTransient(Code::kCancelled));
+}
+
 TEST(StatusTest, WithContextChainsOutermostFirst) {
   const Status inner = InvalidInput("bad token");
   const Status outer =

@@ -8,6 +8,8 @@
 //   graphguard defend   --in poisoned.txt --defender gnat [--runs 3]
 //   graphguard inspect  --in g.txt [--clean g_clean.txt]
 //   graphguard serve    --socket /tmp/graphguard.sock [--max-queue 64]
+//                       [--journal DIR] [--max-attempts 3]
+//                       [--retry-backoff-ms 100]
 //
 // `defend` prints mean±std test accuracy; `inspect` prints homophily and
 // (given a clean reference) the Add/Del x Same/Diff forensics of Fig. 2.
@@ -57,7 +59,8 @@ int Usage() {
       "  defend   --in FILE [--defender gnat|gcn|gat|jaccard|svd|rgcn|\n"
       "            prognn|simpgcn|gnnguard] [--runs N] [--seed N]\n"
       "  inspect  --in FILE [--clean FILE]\n"
-      "  serve    [--socket PATH] [--max-queue N]\n");
+      "  serve    [--socket PATH] [--max-queue N] [--journal DIR]\n"
+      "           [--max-attempts N] [--retry-backoff-ms MS]\n");
   return 2;
 }
 
@@ -216,6 +219,9 @@ int ServeCmd(const eval::Args& args) {
   options.socket_path =
       args.GetString("socket", "/tmp/graphguard.sock");
   options.max_queue = args.GetInt("max-queue", 64);
+  options.journal_dir = args.GetString("journal", "");
+  options.max_attempts = args.GetInt("max-attempts", 3);
+  options.retry_backoff_ms = args.GetDouble("retry-backoff-ms", 100.0);
   serve::Server server(options);
   if (const status::Status started = server.Start(); !started.ok()) {
     std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
@@ -223,6 +229,21 @@ int ServeCmd(const eval::Args& args) {
   }
   std::printf("graphguard serve: listening on %s (max queue %d)\n",
               options.socket_path.c_str(), options.max_queue);
+  if (!options.journal_dir.empty()) {
+    const serve::RecoveryInfo& recovery = server.recovery();
+    std::printf(
+        "graphguard serve: journal %s — recovered %d job(s) from %d "
+        "record(s) in %.1fms (%d corrupt skipped, %lld bytes "
+        "truncated)\n",
+        options.journal_dir.c_str(), recovery.requeued_jobs,
+        recovery.replayed_records, recovery.recovery_ms,
+        recovery.corrupt_records,
+        static_cast<long long>(recovery.truncated_bytes));
+    for (const std::string& warning : recovery.warnings) {
+      std::fprintf(stderr, "graphguard serve: journal warning: %s\n",
+                   warning.c_str());
+    }
+  }
   std::fflush(stdout);  // the CI smoke job backgrounds this process
   server.Wait();
   std::printf("graphguard serve: drained, exiting\n");
